@@ -1,0 +1,107 @@
+// Ablation A4: Ampere memory error management vs the previous generation.
+//
+// The paper notes (Table I footnote) that an A100 supports up to 512 row
+// remappings while previous generations supported only 64 page retirements
+// and no remapping — and credits row remapping + containment for memory's
+// 160x reliability advantage.  This harness sweeps the uncorrectable-fault
+// rate under both inventories and reports how many faults still ended in a
+// reset-requiring remap/retirement failure, i.e. where the spare-inventory
+// crossover sits for a degraded GPU.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "cluster/memory_model.h"
+#include "common/rng.h"
+#include "common/table.h"
+
+namespace {
+
+using namespace gpures;
+
+cluster::MemoryModelConfig ampere() {
+  cluster::MemoryModelConfig cfg;  // 32 banks x 16 spares = 512 remaps
+  return cfg;
+}
+
+cluster::MemoryModelConfig previous_gen() {
+  cluster::MemoryModelConfig cfg;
+  cfg.banks_per_gpu = 1;        // page-retirement pool, no per-bank remap
+  cfg.spare_rows_per_bank = 64; // 64 retirements per GPU
+  return cfg;
+}
+
+struct Outcome {
+  int recovered = 0;  ///< absorbed by remapping / retirement
+  int failures = 0;   ///< spare inventory exhausted -> reset/replacement
+};
+
+// Hammer one GPU with `faults` uncorrectable faults; a degraded device
+// concentrates `hot_fraction` of them on one bank.
+Outcome hammer(const cluster::MemoryModelConfig& cfg, int faults,
+               double hot_fraction, std::uint64_t seed) {
+  cluster::GpuMemory mem(cfg);
+  common::Rng rng(seed);
+  Outcome out;
+  for (int i = 0; i < faults; ++i) {
+    const bool hot = rng.bernoulli(hot_fraction);
+    const auto res =
+        hot ? mem.on_uncorrectable_fault_in_bank(rng, cfg, 0)
+            : mem.on_uncorrectable_fault(rng, cfg);
+    if (res.remap_succeeded) {
+      ++out.recovered;
+    } else {
+      ++out.failures;
+    }
+  }
+  return out;
+}
+
+void BM_AmpereRemap(benchmark::State& state) {
+  const auto faults = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto out = hammer(ampere(), faults, 0.8, seed++);
+    benchmark::DoNotOptimize(out.failures);
+  }
+}
+BENCHMARK(BM_AmpereRemap)->Arg(64)->Arg(512)->Arg(4096);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== Ablation A4: A100 row remapping (512) vs previous-gen "
+              "page retirement (64) ===\n");
+  std::printf("(reset-requiring spare-exhaustion failures per GPU; averaged "
+              "over 20 seeds)\n\n");
+
+  for (const double hot : {0.0, 0.8}) {
+    std::printf("%s faults:\n",
+                hot == 0.0 ? "Diffuse (uniform-bank)" : "Hammered (80% one-bank)");
+    common::AsciiTable t({"faults on GPU", "A100 failures",
+                          "prev-gen failures"});
+    for (const int faults : {16, 32, 64, 128, 256, 512, 1024}) {
+      double a_fail = 0;
+      double p_fail = 0;
+      for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        a_fail += hammer(ampere(), faults, hot, seed).failures;
+        p_fail += hammer(previous_gen(), faults, hot, seed + 1000).failures;
+      }
+      t.add_row({std::to_string(faults), common::fmt_fixed(a_fail / 20, 1),
+                 common::fmt_fixed(p_fail / 20, 1)});
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+  std::printf(
+      "Reading: for diffuse faults the A100's 512-remap inventory absorbs "
+      "~8x more than the previous generation's 64 retirements before any "
+      "reset-requiring failure.  For a *hammered* bank the A100's per-bank "
+      "partitioning (16 spares/bank) fails earlier than the unified legacy "
+      "pool — which is exactly the pre-op episode the paper observed: ~31 "
+      "faults concentrated on one bank produced 15 RRFs despite hundreds of "
+      "spares elsewhere on the device.\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

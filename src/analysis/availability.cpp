@@ -1,0 +1,70 @@
+#include "analysis/availability.h"
+
+#include <algorithm>
+#include <map>
+
+namespace gpures::analysis {
+
+double AvailabilityStats::availability(double mttf_h) const {
+  if (mttf_h <= 0.0 || mttr_h < 0.0) return 1.0;
+  return mttf_h / (mttf_h + mttr_h);
+}
+
+double AvailabilityStats::downtime_minutes_per_day(double availability) {
+  return (1.0 - availability) * 24.0 * 60.0;
+}
+
+AvailabilityStats compute_availability(
+    const std::vector<LifecycleRecord>& lifecycle,
+    const AvailabilityConfig& cfg) {
+  AvailabilityStats out;
+  out.cfg = cfg;
+
+  // Group records per host, sort by time, and pair drain -> next resume.
+  std::map<std::string, std::vector<LifecycleRecord>> by_host;
+  for (const auto& r : lifecycle) by_host[r.host].push_back(r);
+
+  std::vector<double> durations;
+  for (auto& [host, recs] : by_host) {
+    std::sort(recs.begin(), recs.end(),
+              [](const LifecycleRecord& a, const LifecycleRecord& b) {
+                return a.time < b.time;
+              });
+    bool open = false;
+    common::TimePoint drain_at = 0;
+    for (const auto& r : recs) {
+      if (r.kind == LifecycleRecord::Kind::kDrain) {
+        if (open) ++out.unpaired_drains;  // drain while already draining
+        open = true;
+        drain_at = r.time;
+      } else {
+        if (!open) {
+          ++out.unpaired_resumes;
+          continue;
+        }
+        open = false;
+        if (!cfg.period.contains(drain_at)) continue;
+        Unavailability u;
+        u.host = host;
+        u.begin = drain_at;
+        u.end = r.time;
+        if (u.hours() < 0.0 || u.hours() > cfg.max_interval_h) continue;
+        durations.push_back(u.hours());
+        out.total_node_hours_lost += u.hours();
+        out.intervals.push_back(std::move(u));
+      }
+    }
+    if (open) ++out.unpaired_drains;  // study ended while down
+  }
+
+  std::sort(out.intervals.begin(), out.intervals.end(),
+            [](const Unavailability& a, const Unavailability& b) {
+              return a.begin < b.begin;
+            });
+  out.duration_hours = common::summarize(durations);
+  out.mttr_h = out.duration_hours.mean;
+  out.ecdf = common::make_ecdf(durations, 60);
+  return out;
+}
+
+}  // namespace gpures::analysis

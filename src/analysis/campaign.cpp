@@ -1,0 +1,183 @@
+#include "analysis/campaign.h"
+
+#include <algorithm>
+
+#include "logsys/syslog.h"
+#include "slurm/accounting.h"
+
+namespace gpures::analysis {
+
+CampaignConfig CampaignConfig::delta_a100() { return CampaignConfig{}; }
+
+CampaignConfig CampaignConfig::quick() {
+  CampaignConfig c;
+  c.faults = cluster::FaultConfig::test_config();
+  // ~20k jobs over the 60-day operational slice of the quick window.
+  c.workload_scale =
+      20000.0 / (c.workload.op_jobs * (c.faults.op_hours() / 21528.0));
+  c.noise_lines_per_day = 50.0;
+  return c;
+}
+
+// Receives simulator callbacks and turns them into raw log lines + job-layer
+// effects.
+class DeltaCampaign::Glue final : public cluster::RawLineSink,
+                                  public cluster::SimListener {
+ public:
+  explicit Glue(DeltaCampaign& owner) : owner_(owner) {}
+
+  // RawLineSink: render the NVRM XID line into the day stream.
+  void on_xid_record(common::TimePoint t, std::int32_t node, std::int32_t slot,
+                     xid::Code code, const std::string& detail) override {
+    const auto& topo = owner_.topo_;
+    owner_.log_stream_->append(
+        t, logsys::render_xid_line(t, topo.node(node).name,
+                                   topo.pci_bus({node, slot}), code, detail));
+    ++owner_.raw_lines_;
+  }
+
+  // SimListener: lifecycle lines + job-layer propagation.
+  void on_error(const cluster::ErrorNotification& n) override {
+    if (owner_.failure_) owner_.failure_->on_error(n);
+  }
+  void on_drain_begin(std::int32_t node, common::TimePoint t) override {
+    owner_.log_stream_->append(
+        t, logsys::render_drain_line(t, owner_.topo_.node(node).name));
+    ++owner_.raw_lines_;
+    if (owner_.failure_) owner_.failure_->on_drain_begin(node, t);
+  }
+  void on_node_down(std::int32_t node, common::TimePoint t) override {
+    if (owner_.failure_) owner_.failure_->on_node_down(node, t);
+  }
+  void on_node_up(std::int32_t node, common::TimePoint t) override {
+    owner_.log_stream_->append(
+        t, logsys::render_resume_line(t, owner_.topo_.node(node).name));
+    ++owner_.raw_lines_;
+    if (owner_.failure_) owner_.failure_->on_node_up(node, t);
+  }
+
+ private:
+  DeltaCampaign& owner_;
+};
+
+DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
+    : cfg_(std::move(cfg)),
+      periods_(StudyPeriods::make(cfg_.faults.study_begin, cfg_.faults.op_begin,
+                                  cfg_.faults.study_end)),
+      topo_(cfg_.spec),
+      engine_(cfg_.faults.study_begin),
+      noise_rng_(common::Rng(cfg_.seed).fork("noise")) {
+  common::Rng root(cfg_.seed);
+
+  cfg_.pipeline.periods = periods_;
+  pipeline_ = std::make_unique<AnalysisPipeline>(topo_, cfg_.pipeline);
+
+  log_stream_ = std::make_unique<logsys::DayLogStream>(
+      [this](common::TimePoint day_start, std::vector<logsys::RawLine>&& lines) {
+        if (dataset_ != nullptr) dataset_->write_day(day_start, lines);
+        pipeline_->ingest_log_day(day_start, lines);
+      });
+
+  sim_ = std::make_unique<cluster::ClusterSim>(engine_, topo_, cfg_.faults,
+                                               root.fork("sim"));
+  glue_ = std::make_unique<Glue>(*this);
+  sim_->set_raw_sink(glue_.get());
+  sim_->set_listener(glue_.get());
+
+  if (cfg_.with_jobs) {
+    slurm::SchedulerConfig sched_cfg = cfg_.scheduler;
+    sched_cfg.p_user_failed = cfg_.workload.p_user_failed;
+    sched_cfg.p_cancelled = cfg_.workload.p_cancelled;
+    scheduler_ = std::make_unique<slurm::Scheduler>(engine_, topo_, sched_cfg,
+                                                    root.fork("sched"));
+    auto wl_cfg = cfg_.workload;
+    wl_cfg.op_jobs *= cfg_.workload_scale;
+    workload_ = std::make_unique<slurm::WorkloadModel>(wl_cfg,
+                                                       root.fork("workload"));
+    failure_ = std::make_unique<slurm::FailurePropagator>(
+        *scheduler_, cfg_.failure, root.fork("failure"));
+    sim_->set_drain_query([this](std::int32_t node, common::TimePoint now,
+                                 common::Duration cap) {
+      return scheduler_->drain_time_estimate(node, now, cap);
+    });
+    sim_->set_busy_query([this](xid::GpuId gpu) {
+      return scheduler_->job_on_gpu(gpu).has_value();
+    });
+  }
+}
+
+DeltaCampaign::~DeltaCampaign() = default;
+
+const std::vector<slurm::JobRecord>& DeltaCampaign::job_records() const {
+  static const std::vector<slurm::JobRecord> kEmpty;
+  return scheduler_ ? scheduler_->records() : kEmpty;
+}
+
+std::uint64_t DeltaCampaign::jobs_killed_by_errors() const {
+  return failure_ ? failure_->jobs_killed() : 0;
+}
+
+void DeltaCampaign::schedule_next_arrival(common::TimePoint from) {
+  const auto t = workload_->next_arrival(from, cfg_.faults.study_begin,
+                                         cfg_.faults.op_begin,
+                                         cfg_.faults.study_end);
+  if (t >= cfg_.faults.study_end) return;
+  engine_.schedule_at(t, [this] {
+    scheduler_->submit(workload_->draw_job(engine_.now()));
+    schedule_next_arrival(engine_.now());
+  });
+}
+
+void DeltaCampaign::emit_noise_for_day(common::TimePoint day_start) {
+  const auto n = noise_rng_.poisson(cfg_.noise_lines_per_day);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const auto t = day_start + static_cast<common::Duration>(
+                                   noise_rng_.uniform_u64(common::kDay));
+    const auto node = static_cast<std::int32_t>(
+        noise_rng_.uniform_u64(static_cast<std::uint64_t>(topo_.node_count())));
+    log_stream_->append(
+        t, logsys::render_noise_line(noise_rng_, t, topo_.node(node).name));
+    ++raw_lines_;
+  }
+}
+
+void DeltaCampaign::run() {
+  if (ran_) return;
+  ran_ = true;
+
+  sim_->start();
+  if (workload_) schedule_next_arrival(cfg_.faults.study_begin);
+
+  const auto begin = cfg_.faults.study_begin;
+  const auto end = cfg_.faults.study_end;
+  const int total_days =
+      static_cast<int>(common::day_index(end) - common::day_index(begin));
+  int day = 0;
+  for (common::TimePoint t = begin; t < end; t += common::kDay, ++day) {
+    const common::TimePoint day_end = std::min(t + common::kDay, end);
+    engine_.run_until(day_end);
+    emit_noise_for_day(t);
+    log_stream_->flush_through(engine_.now());
+    if (progress_ && (day % 64 == 0 || day + 1 == total_days)) {
+      progress_(day + 1, total_days);
+    }
+  }
+
+  if (scheduler_) scheduler_->finalize(end);
+  log_stream_->finalize();
+
+  if (scheduler_) {
+    const auto header = slurm::accounting_header();
+    if (dataset_ != nullptr) dataset_->write_accounting_line(header);
+    pipeline_->ingest_accounting_line(header);
+    for (const auto& rec : scheduler_->records()) {
+      const auto line = slurm::to_accounting_line(rec, topo_);
+      if (dataset_ != nullptr) dataset_->write_accounting_line(line);
+      pipeline_->ingest_accounting_line(line);
+    }
+  }
+  pipeline_->finish();
+  if (dataset_ != nullptr) dataset_->finalize();
+}
+
+}  // namespace gpures::analysis

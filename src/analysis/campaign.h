@@ -1,0 +1,98 @@
+// Campaign driver: one-call "simulate Delta 2022-2025, emit raw artifacts,
+// run the analysis pipeline over them".
+//
+// The campaign owns the DES engine, the cluster simulator, the Slurm
+// workload/scheduler/failure-propagation stack, and the analysis pipeline.
+// Raw syslog lines flow simulator -> day-bucketed stream -> Stage I parser,
+// one day at a time (the log is never held in memory whole); accounting
+// records round-trip through their textual sacct form.  Ground truth is
+// retained solely for validation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "analysis/dataset.h"
+#include "analysis/pipeline.h"
+#include "cluster/cluster_sim.h"
+#include "cluster/fault_config.h"
+#include "cluster/topology.h"
+#include "des/event_queue.h"
+#include "logsys/log_store.h"
+#include "slurm/failure_model.h"
+#include "slurm/scheduler.h"
+#include "slurm/workload_model.h"
+
+namespace gpures::analysis {
+
+struct CampaignConfig {
+  cluster::ClusterSpec spec = cluster::ClusterSpec::delta_a100();
+  cluster::FaultConfig faults = cluster::FaultConfig::delta_a100();
+  slurm::WorkloadConfig workload = slurm::WorkloadConfig::delta_a100();
+  slurm::FailureModelConfig failure;
+  slurm::SchedulerConfig scheduler;
+  PipelineConfig pipeline;  ///< periods are overridden from `faults`
+  std::uint64_t seed = 42;
+  bool with_jobs = true;
+  /// Cluster-wide non-XID noise lines per day (exercises Stage-I rejection).
+  double noise_lines_per_day = 200.0;
+  /// Multiplies the workload's expected job count (quick runs use << 1).
+  double workload_scale = 1.0;
+
+  /// Full paper-scale campaign (1170 days, 106 nodes, ~1.4M jobs).
+  static CampaignConfig delta_a100();
+  /// Fast campaign for tests/examples: 90-day window, ~20k jobs.
+  static CampaignConfig quick();
+};
+
+class DeltaCampaign {
+ public:
+  explicit DeltaCampaign(CampaignConfig cfg);
+  ~DeltaCampaign();
+
+  /// Optional progress hook: (days simulated, total days).
+  void set_progress(std::function<void(int, int)> cb) { progress_ = std::move(cb); }
+
+  /// Optional: tee every raw artifact (day logs, accounting dump) to a
+  /// dataset directory while the campaign runs.  Must outlive run().
+  void set_dataset_writer(DatasetWriter* writer) { dataset_ = writer; }
+
+  /// Run the full campaign; idempotent (second call is a no-op).
+  void run();
+
+  // ---- results ----
+  const AnalysisPipeline& pipeline() const { return *pipeline_; }
+  const xid::GroundTruth& ground_truth() const { return sim_->ground_truth(); }
+  const std::vector<slurm::JobRecord>& job_records() const;
+  const cluster::Topology& topology() const { return topo_; }
+  const CampaignConfig& config() const { return cfg_; }
+  const StudyPeriods& periods() const { return periods_; }
+  std::uint64_t raw_log_lines() const { return raw_lines_; }
+  std::uint64_t jobs_killed_by_errors() const;
+
+ private:
+  class Glue;  // RawLineSink + SimListener implementation
+
+  CampaignConfig cfg_;
+  StudyPeriods periods_;
+  cluster::Topology topo_;
+  des::Engine engine_;
+  std::unique_ptr<cluster::ClusterSim> sim_;
+  std::unique_ptr<slurm::Scheduler> scheduler_;
+  std::unique_ptr<slurm::WorkloadModel> workload_;
+  std::unique_ptr<slurm::FailurePropagator> failure_;
+  std::unique_ptr<AnalysisPipeline> pipeline_;
+  std::unique_ptr<logsys::DayLogStream> log_stream_;
+  std::unique_ptr<Glue> glue_;
+  common::Rng noise_rng_;
+  DatasetWriter* dataset_ = nullptr;
+  std::function<void(int, int)> progress_;
+  std::uint64_t raw_lines_ = 0;
+  bool ran_ = false;
+
+  void schedule_next_arrival(common::TimePoint from);
+  void emit_noise_for_day(common::TimePoint day_start);
+};
+
+}  // namespace gpures::analysis

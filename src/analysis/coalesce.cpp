@@ -1,0 +1,97 @@
+#include "analysis/coalesce.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "xid/xid.h"
+
+namespace gpures::analysis {
+
+namespace {
+
+std::uint64_t key_of(xid::GpuId gpu, xid::Code code) {
+  return (xid::gpu_key(gpu) << 16) | xid::to_number(code);
+}
+
+}  // namespace
+
+Coalescer::Coalescer(CoalescerConfig cfg, Sink sink)
+    : cfg_(cfg), sink_(std::move(sink)) {
+  if (!sink_) throw std::invalid_argument("Coalescer: null sink");
+  if (cfg_.window < 0) throw std::invalid_argument("Coalescer: negative window");
+}
+
+void Coalescer::add(const XidObservation& obs) {
+  ++in_;
+  const auto desc = xid::describe(obs.xid);
+  if (cfg_.filter_to_catalog) {
+    if (!desc || desc->excluded_from_study) return;
+  }
+  xid::Code code = desc ? desc->code : static_cast<xid::Code>(obs.xid);
+  if (cfg_.merge_families && desc) code = xid::merge_key(code);
+
+  const std::uint64_t key = key_of(obs.gpu, code);
+  auto it = open_.find(key);
+  if (it != open_.end()) {
+    auto& cur = it->second.err;
+    if (obs.time <= cur.time + cfg_.window) {
+      // Merge into the open error; keep the first occurrence as the error.
+      ++cur.raw_lines;
+      cur.last = std::max(cur.last, obs.time);
+      return;
+    }
+    // Window expired: emit and start a new error.
+    ++out_;
+    sink_(cur);
+    open_.erase(it);
+  }
+  CoalescedError err;
+  err.time = obs.time;
+  err.last = obs.time;
+  err.gpu = obs.gpu;
+  err.code = code;
+  err.raw_xid = obs.xid;
+  err.raw_lines = 1;
+  open_.emplace(key, Open{err});
+}
+
+void Coalescer::flush() {
+  // Emit in deterministic (time, gpu, code) order.
+  std::vector<CoalescedError> remaining;
+  remaining.reserve(open_.size());
+  for (auto& [k, o] : open_) remaining.push_back(o.err);
+  open_.clear();
+  std::sort(remaining.begin(), remaining.end(),
+            [](const CoalescedError& a, const CoalescedError& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.gpu != b.gpu) return a.gpu < b.gpu;
+              return xid::to_number(a.code) < xid::to_number(b.code);
+            });
+  for (const auto& e : remaining) {
+    ++out_;
+    sink_(e);
+  }
+}
+
+std::vector<CoalescedError> coalesce_all(std::vector<XidObservation> obs,
+                                         const CoalescerConfig& cfg) {
+  std::sort(obs.begin(), obs.end(),
+            [](const XidObservation& a, const XidObservation& b) {
+              return a.time < b.time;
+            });
+  std::vector<CoalescedError> out;
+  Coalescer c(cfg, [&out](const CoalescedError& e) { out.push_back(e); });
+  for (const auto& o : obs) c.add(o);
+  c.flush();
+  // The streaming coalescer emits an error only when its window closes or at
+  // flush, so output order is not globally sorted; normalize here.
+  std::sort(out.begin(), out.end(),
+            [](const CoalescedError& a, const CoalescedError& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.gpu != b.gpu) return a.gpu < b.gpu;
+              return xid::to_number(a.code) < xid::to_number(b.code);
+            });
+  return out;
+}
+
+}  // namespace gpures::analysis

@@ -1,0 +1,80 @@
+// Stage II: error coalescing.
+//
+// The same GPU error produces many near-identical log lines in close
+// succession; counting lines as errors would grossly underestimate GPU
+// resilience.  The coalescer merges identical (GPU, XID) records that fall
+// within `window` of the current leader record into a single error, counting
+// only the first occurrence — the semantics used by the paper and by the
+// field-data studies it cites.  A record later than leader + window starts a
+// new error (renewal/leader semantics).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/time.h"
+#include "xid/event.h"
+
+namespace gpures::analysis {
+
+/// Input record: an extracted XID observation resolved to a GPU.
+struct XidObservation {
+  common::TimePoint time = 0;
+  xid::GpuId gpu;
+  std::uint16_t xid = 0;
+};
+
+/// Output: one coalesced error (leader time, merged line count).
+struct CoalescedError {
+  common::TimePoint time = 0;   ///< first occurrence
+  common::TimePoint last = 0;   ///< last merged occurrence
+  xid::GpuId gpu;
+  xid::Code code = xid::Code::kMmuError;  ///< canonical (merged family) code
+  std::uint16_t raw_xid = 0;              ///< as logged (119 vs 120 etc.)
+  std::uint32_t raw_lines = 1;            ///< lines merged into this error
+};
+
+struct CoalescerConfig {
+  /// Merge window Delta-t.
+  common::Duration window = 30;
+  /// Drop XIDs the study excludes (13, 43) and unknown codes.
+  bool filter_to_catalog = true;
+  /// Merge family codes (119/120 -> GSP, 122/123 -> PMU) before keying, so a
+  /// 119 followed by a 120 on the same GPU within the window is one error.
+  bool merge_families = true;
+};
+
+/// Streaming coalescer.  Feed observations in (approximately) nondecreasing
+/// time order per (GPU, code) key — per-day sorted input satisfies this.
+/// Completed errors are delivered to the sink; call flush() at end of input.
+class Coalescer {
+ public:
+  using Sink = std::function<void(const CoalescedError&)>;
+
+  Coalescer(CoalescerConfig cfg, Sink sink);
+
+  void add(const XidObservation& obs);
+  void flush();
+
+  std::uint64_t records_in() const { return in_; }
+  std::uint64_t errors_out() const { return out_; }
+
+ private:
+  struct Open {
+    CoalescedError err;
+  };
+
+  CoalescerConfig cfg_;
+  Sink sink_;
+  std::unordered_map<std::uint64_t, Open> open_;  ///< by (gpu, code) key
+  std::uint64_t in_ = 0;
+  std::uint64_t out_ = 0;
+};
+
+/// Convenience: coalesce a whole batch (sorts a copy by time first).
+std::vector<CoalescedError> coalesce_all(std::vector<XidObservation> obs,
+                                         const CoalescerConfig& cfg);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,229 @@
+#include "analysis/config_file.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <functional>
+#include <map>
+
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace gpures::analysis {
+
+namespace {
+
+using Setter = std::function<bool(std::string_view, CampaignConfig&)>;
+
+bool set_double(double* slot, std::string_view v) {
+  const double d = common::parse_double(v);
+  if (std::isnan(d)) return false;
+  *slot = d;
+  return true;
+}
+
+bool set_bool(bool* slot, std::string_view v) {
+  if (v == "true" || v == "1") {
+    *slot = true;
+    return true;
+  }
+  if (v == "false" || v == "0") {
+    *slot = false;
+    return true;
+  }
+  return false;
+}
+
+bool set_date(common::TimePoint* slot, std::string_view v) {
+  const auto t = common::parse_iso(v);
+  if (!t) return false;
+  *slot = *t;
+  return true;
+}
+
+// Build the key table once.  Member-pointer lambdas keep each entry one line.
+const std::map<std::string, Setter>& key_table() {
+  static const auto* table = [] {
+    auto* m = new std::map<std::string, Setter>;
+    auto dbl = [m](const std::string& key, auto member) {
+      (*m)[key] = [member](std::string_view v, CampaignConfig& c) {
+        return set_double(member(c), v);
+      };
+    };
+    auto date = [m](const std::string& key, auto member) {
+      (*m)[key] = [member](std::string_view v, CampaignConfig& c) {
+        return set_date(member(c), v);
+      };
+    };
+
+    // --- top level ---
+    (*m)["seed"] = [](std::string_view v, CampaignConfig& c) {
+      const long long s = common::parse_ll(v);
+      if (s < 0) return false;
+      c.seed = static_cast<std::uint64_t>(s);
+      return true;
+    };
+    (*m)["with_jobs"] = [](std::string_view v, CampaignConfig& c) {
+      return set_bool(&c.with_jobs, v);
+    };
+    dbl("noise_lines_per_day",
+        [](CampaignConfig& c) { return &c.noise_lines_per_day; });
+    dbl("workload_scale", [](CampaignConfig& c) { return &c.workload_scale; });
+
+    // --- study window ---
+    date("faults.study_begin",
+         [](CampaignConfig& c) { return &c.faults.study_begin; });
+    date("faults.op_begin", [](CampaignConfig& c) { return &c.faults.op_begin; });
+    date("faults.study_end", [](CampaignConfig& c) { return &c.faults.study_end; });
+
+    // --- fault families ---
+    auto family = [&dbl](const std::string& name,
+                         cluster::ProcessSpec* (*get)(CampaignConfig&)) {
+      dbl("faults." + name + ".pre_count",
+          [get](CampaignConfig& c) { return &get(c)->pre_count; });
+      dbl("faults." + name + ".op_count",
+          [get](CampaignConfig& c) { return &get(c)->op_count; });
+      dbl("faults." + name + ".dup_extra_mean",
+          [get](CampaignConfig& c) { return &get(c)->dup_extra_mean; });
+      dbl("faults." + name + ".idle_affinity",
+          [get](CampaignConfig& c) { return &get(c)->idle_affinity; });
+    };
+    family("mmu", [](CampaignConfig& c) { return &c.faults.mmu; });
+    family("mem_fault", [](CampaignConfig& c) { return &c.faults.mem_fault; });
+    family("nvlink", [](CampaignConfig& c) { return &c.faults.nvlink_incident; });
+    family("off_bus", [](CampaignConfig& c) { return &c.faults.off_bus; });
+    family("gsp", [](CampaignConfig& c) { return &c.faults.gsp; });
+    family("pmu", [](CampaignConfig& c) { return &c.faults.pmu; });
+
+    // --- NVLink storms ---
+    dbl("faults.nvlink_storms.storms_pre",
+        [](CampaignConfig& c) { return &c.faults.nvlink_storms.storms_pre; });
+    dbl("faults.nvlink_storms.storms_op",
+        [](CampaignConfig& c) { return &c.faults.nvlink_storms.storms_op; });
+    dbl("faults.nvlink_storms.incident_gap_s",
+        [](CampaignConfig& c) { return &c.faults.nvlink_storms.incident_gap_s; });
+
+    // --- recovery ---
+    dbl("faults.recovery.health_check_period_s", [](CampaignConfig& c) {
+      return &c.faults.recovery.health_check_period_s;
+    });
+    dbl("faults.recovery.drain_cap_s",
+        [](CampaignConfig& c) { return &c.faults.recovery.drain_cap_s; });
+    dbl("faults.recovery.reboot_lognormal_mu", [](CampaignConfig& c) {
+      return &c.faults.recovery.reboot_lognormal_mu;
+    });
+    dbl("faults.recovery.reboot_lognormal_sigma", [](CampaignConfig& c) {
+      return &c.faults.recovery.reboot_lognormal_sigma;
+    });
+    dbl("faults.recovery.reset_failure_probability", [](CampaignConfig& c) {
+      return &c.faults.recovery.reset_failure_probability;
+    });
+    dbl("faults.recovery.replacement_lo_h", [](CampaignConfig& c) {
+      return &c.faults.recovery.replacement_lo_h;
+    });
+    dbl("faults.recovery.replacement_hi_h", [](CampaignConfig& c) {
+      return &c.faults.recovery.replacement_hi_h;
+    });
+
+    // --- workload ---
+    dbl("workload.op_jobs", [](CampaignConfig& c) { return &c.workload.op_jobs; });
+    dbl("workload.preop_intensity",
+        [](CampaignConfig& c) { return &c.workload.preop_intensity; });
+    dbl("workload.diurnal_amplitude",
+        [](CampaignConfig& c) { return &c.workload.diurnal_amplitude; });
+    dbl("workload.weekend_intensity",
+        [](CampaignConfig& c) { return &c.workload.weekend_intensity; });
+    dbl("workload.p_user_failed",
+        [](CampaignConfig& c) { return &c.workload.p_user_failed; });
+    dbl("workload.p_cancelled",
+        [](CampaignConfig& c) { return &c.workload.p_cancelled; });
+
+    // --- failure propagation ---
+    dbl("failure.p_mmu", [](CampaignConfig& c) { return &c.failure.p_mmu; });
+    dbl("failure.p_pmu", [](CampaignConfig& c) { return &c.failure.p_pmu; });
+    dbl("failure.p_gsp", [](CampaignConfig& c) { return &c.failure.p_gsp; });
+    dbl("failure.p_nvlink_recovered",
+        [](CampaignConfig& c) { return &c.failure.p_nvlink_recovered; });
+    dbl("failure.p_nvlink_unrecovered",
+        [](CampaignConfig& c) { return &c.failure.p_nvlink_unrecovered; });
+
+    // --- pipeline knobs ---
+    (*m)["pipeline.coalesce_window"] = [](std::string_view v,
+                                          CampaignConfig& c) {
+      const long long w = common::parse_ll(v);
+      if (w < 0) return false;
+      c.pipeline.coalescer.window = w;
+      return true;
+    };
+    (*m)["pipeline.attribution_window"] = [](std::string_view v,
+                                             CampaignConfig& c) {
+      const long long w = common::parse_ll(v);
+      if (w < 0) return false;
+      c.pipeline.attribution_window = w;
+      return true;
+    };
+    return m;
+  }();
+  return *table;
+}
+
+}  // namespace
+
+common::Result<CampaignConfig> apply_config_text(std::string_view text,
+                                                 CampaignConfig base) {
+  int line_no = 0;
+  for (const auto raw_line : common::split(text, '\n')) {
+    ++line_no;
+    auto line = raw_line;
+    // Strip trailing comment.
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = common::trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return common::Error::make("config line " + std::to_string(line_no) +
+                                 ": expected key = value");
+    }
+    const auto key = std::string(common::trim(line.substr(0, eq)));
+    const auto value = common::trim(line.substr(eq + 1));
+
+    const auto& table = key_table();
+    const auto it = table.find(key);
+    if (it == table.end()) {
+      return common::Error::make("config line " + std::to_string(line_no) +
+                                 ": unknown key '" + key + "'");
+    }
+    if (!it->second(value, base)) {
+      return common::Error::make("config line " + std::to_string(line_no) +
+                                 ": bad value '" + std::string(value) +
+                                 "' for " + key);
+    }
+  }
+  // Fail fast on inconsistent results.
+  try {
+    base.faults.validate();
+    base.workload.validate();
+  } catch (const std::invalid_argument& e) {
+    return common::Error::make(std::string("config: ") + e.what());
+  }
+  return base;
+}
+
+common::Result<CampaignConfig> load_config_file(const std::string& path,
+                                                CampaignConfig base) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return common::Error::make("config: cannot open " + path);
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return apply_config_text(text, std::move(base));
+}
+
+std::vector<std::string> supported_config_keys() {
+  std::vector<std::string> keys;
+  for (const auto& [k, setter] : key_table()) keys.push_back(k);
+  return keys;
+}
+
+}  // namespace gpures::analysis

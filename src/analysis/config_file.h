@@ -1,0 +1,38 @@
+// Campaign configuration files: a small "key = value" format so the CLI can
+// run custom scenarios (rate what-ifs, different windows, recovery policies)
+// without recompiling.
+//
+//   # comments and blank lines are ignored
+//   seed = 7
+//   faults.gsp.op_count = 1000
+//   faults.recovery.reboot_lognormal_mu = -1.2
+//   workload.op_jobs = 200000
+//   failure.p_mmu = 0.8
+//   faults.study_begin = 2022-01-01        # dates in ISO form
+//
+// Unknown keys are errors (typos should not silently do nothing); values are
+// validated by the underlying config validate() calls at use time.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/campaign.h"
+#include "common/error.h"
+
+namespace gpures::analysis {
+
+/// Apply `text` on top of `base`.  Returns the updated config or the first
+/// error (line number + message).
+common::Result<CampaignConfig> apply_config_text(std::string_view text,
+                                                 CampaignConfig base);
+
+/// Load from a file path.
+common::Result<CampaignConfig> load_config_file(const std::string& path,
+                                                CampaignConfig base);
+
+/// The supported keys (for --help / error messages), sorted.
+std::vector<std::string> supported_config_keys();
+
+}  // namespace gpures::analysis

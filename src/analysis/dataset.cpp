@@ -1,0 +1,187 @@
+#include "analysis/dataset.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace gpures::analysis {
+
+namespace fs = std::filesystem;
+
+std::string DatasetManifest::serialize() const {
+  std::string out;
+  out += "name=" + name + "\n";
+  out += "study_begin=" + common::format_date(periods.pre.begin) + "\n";
+  out += "op_begin=" + common::format_date(periods.op.begin) + "\n";
+  out += "study_end=" + common::format_date(periods.op.end) + "\n";
+  out += "nodes=" + std::to_string(spec.node_count()) + "\n";
+  for (const auto& n : spec.nodes) {
+    out += "node=" + n.name + ":" + std::to_string(n.gpu_count) + "\n";
+  }
+  return out;
+}
+
+common::Result<DatasetManifest> DatasetManifest::parse(std::string_view text) {
+  DatasetManifest m;
+  m.spec.nodes.clear();
+  common::TimePoint begin = 0;
+  common::TimePoint op = 0;
+  common::TimePoint end = 0;
+  bool have_begin = false;
+  bool have_op = false;
+  bool have_end = false;
+  for (const auto raw_line : common::split(text, '\n')) {
+    const auto line = common::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    const auto eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return common::Error::make("manifest: malformed line '" +
+                                 std::string(line) + "'");
+    }
+    const auto key = line.substr(0, eq);
+    const auto value = line.substr(eq + 1);
+    if (key == "name") {
+      m.name = std::string(value);
+    } else if (key == "study_begin" || key == "op_begin" || key == "study_end") {
+      const auto t = common::parse_iso(value);
+      if (!t) return common::Error::make("manifest: bad date in " + std::string(key));
+      if (key == "study_begin") { begin = *t; have_begin = true; }
+      if (key == "op_begin") { op = *t; have_op = true; }
+      if (key == "study_end") { end = *t; have_end = true; }
+    } else if (key == "node") {
+      const auto colon = value.rfind(':');
+      if (colon == std::string_view::npos) {
+        return common::Error::make("manifest: bad node entry");
+      }
+      const long long gpus = common::parse_ll(value.substr(colon + 1));
+      if (gpus <= 0 || gpus > 8) {
+        return common::Error::make("manifest: bad node GPU count");
+      }
+      m.spec.nodes.push_back({std::string(value.substr(0, colon)),
+                              static_cast<std::int32_t>(gpus)});
+    } else if (key == "nodes") {
+      // informational; validated below
+    } else {
+      return common::Error::make("manifest: unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (!have_begin || !have_op || !have_end) {
+    return common::Error::make("manifest: missing period boundaries");
+  }
+  if (m.spec.nodes.empty()) {
+    return common::Error::make("manifest: no nodes");
+  }
+  try {
+    m.periods = StudyPeriods::make(begin, op, end);
+  } catch (const std::invalid_argument& e) {
+    return common::Error::make(std::string("manifest: ") + e.what());
+  }
+  return m;
+}
+
+DatasetWriter::DatasetWriter(fs::path dir, DatasetManifest manifest)
+    : dir_(std::move(dir)), manifest_(std::move(manifest)) {
+  fs::create_directories(dir_ / "syslog");
+  accounting_.open(dir_ / "slurm_accounting.txt",
+                   std::ios::trunc | std::ios::binary);
+  if (!accounting_) {
+    throw std::runtime_error("DatasetWriter: cannot create accounting file in " +
+                             dir_.string());
+  }
+}
+
+DatasetWriter::~DatasetWriter() {
+  try {
+    finalize();
+  } catch (...) {
+    // Destructors must not throw; an explicit finalize() surfaces errors.
+  }
+}
+
+void DatasetWriter::write_day(common::TimePoint day_start,
+                              const std::vector<logsys::RawLine>& lines) {
+  const auto path =
+      dir_ / "syslog" / ("syslog-" + common::format_date(day_start) + ".log");
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("DatasetWriter: cannot write " + path.string());
+  }
+  os << logsys::render_day(lines);
+  ++days_;
+}
+
+void DatasetWriter::write_accounting_line(std::string_view line) {
+  accounting_ << line << '\n';
+}
+
+void DatasetWriter::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  accounting_.flush();
+  accounting_.close();
+  std::ofstream os(dir_ / "manifest.txt", std::ios::trunc | std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("DatasetWriter: cannot write manifest in " +
+                             dir_.string());
+  }
+  os << manifest_.serialize();
+}
+
+common::Result<DatasetManifest> read_manifest(const fs::path& dir) {
+  std::ifstream is(dir / "manifest.txt", std::ios::binary);
+  if (!is) {
+    return common::Error::make("dataset: missing manifest.txt in " +
+                               dir.string());
+  }
+  std::string text((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+  return DatasetManifest::parse(text);
+}
+
+common::Result<std::uint64_t> load_dataset(const fs::path& dir,
+                                           AnalysisPipeline& pipeline) {
+  const auto syslog_dir = dir / "syslog";
+  if (!fs::is_directory(syslog_dir)) {
+    return common::Error::make("dataset: missing syslog/ in " + dir.string());
+  }
+  // Collect day files; names encode the date, so lexicographic order is
+  // chronological order.
+  std::vector<fs::path> days;
+  for (const auto& entry : fs::directory_iterator(syslog_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto name = entry.path().filename().string();
+    if (common::starts_with(name, "syslog-")) days.push_back(entry.path());
+  }
+  std::sort(days.begin(), days.end());
+
+  std::uint64_t ingested = 0;
+  for (const auto& path : days) {
+    const auto name = path.filename().string();  // syslog-YYYY-MM-DD.log
+    if (name.size() < 17) {
+      return common::Error::make("dataset: bad day file name " + name);
+    }
+    const auto date = common::parse_iso(std::string_view(name).substr(7, 10));
+    if (!date) {
+      return common::Error::make("dataset: bad date in file name " + name);
+    }
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return common::Error::make("dataset: cannot read " + path.string());
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    pipeline.ingest_log_text(*date, text);
+    ++ingested;
+  }
+
+  std::ifstream acc(dir / "slurm_accounting.txt", std::ios::binary);
+  if (acc) {
+    std::string line;
+    while (std::getline(acc, line)) {
+      pipeline.ingest_accounting_line(line);
+    }
+  }
+  pipeline.finish();
+  return ingested;
+}
+
+}  // namespace gpures::analysis

@@ -1,0 +1,78 @@
+// On-disk dataset format: the bridge between the simulator and the analysis
+// CLI, and the format a site would drop its *real* logs into to use this
+// pipeline on production data.
+//
+// A dataset directory contains:
+//   manifest.txt               key=value: cluster spec, period boundaries
+//   syslog/syslog-YYYY-MM-DD.log   one consolidated day file per day
+//   slurm_accounting.txt       sacct-style dump (header + one job per line)
+//
+// `DatasetWriter` materializes a campaign's raw artifacts; `load_dataset`
+// streams a directory through an AnalysisPipeline day by day.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis/periods.h"
+#include "analysis/pipeline.h"
+#include "cluster/topology.h"
+#include "common/error.h"
+#include "logsys/log_store.h"
+
+namespace gpures::analysis {
+
+/// Dataset metadata persisted in manifest.txt.
+struct DatasetManifest {
+  std::string name = "gpures-dataset";
+  cluster::ClusterSpec spec;
+  StudyPeriods periods = StudyPeriods::delta();
+
+  std::string serialize() const;
+  static common::Result<DatasetManifest> parse(std::string_view text);
+};
+
+/// Writes a dataset directory incrementally (day consumer + accounting).
+class DatasetWriter {
+ public:
+  /// Creates `dir` (and syslog/) if needed; truncates existing files.
+  DatasetWriter(std::filesystem::path dir, DatasetManifest manifest);
+  ~DatasetWriter();
+
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  /// Write one consolidated day file.
+  void write_day(common::TimePoint day_start,
+                 const std::vector<logsys::RawLine>& lines);
+
+  /// Append one accounting line (header is written automatically first).
+  void write_accounting_line(std::string_view line);
+
+  /// Flush and write the manifest.  Called by the destructor too.
+  void finalize();
+
+  const std::filesystem::path& dir() const { return dir_; }
+  std::uint64_t days_written() const { return days_; }
+
+ private:
+  std::filesystem::path dir_;
+  DatasetManifest manifest_;
+  std::ofstream accounting_;  ///< kept open: the dump has ~1.5M lines
+  std::uint64_t days_ = 0;
+  bool finalized_ = false;
+};
+
+/// Read manifest.txt from a dataset directory.
+common::Result<DatasetManifest> read_manifest(const std::filesystem::path& dir);
+
+/// Stream a dataset directory through a pipeline: every syslog day file in
+/// date order, then the accounting dump; finishes the pipeline.  Returns the
+/// number of day files ingested or an error.
+common::Result<std::uint64_t> load_dataset(const std::filesystem::path& dir,
+                                           AnalysisPipeline& pipeline);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,219 @@
+#include "analysis/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "common/csv.h"
+#include "common/json.h"
+
+namespace gpures::analysis {
+
+namespace {
+
+std::string num_or_empty(double v) {
+  if (!std::isfinite(v)) return "";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+void write_code_row(common::CsvWriter& w, const std::string& label,
+                    const std::string& category, const CodeStats& cs) {
+  w.write_row({label, category, std::to_string(cs.pre.count),
+               std::to_string(cs.op.count), num_or_empty(cs.pre.mtbe_system_h),
+               num_or_empty(cs.pre.mtbe_per_node_h),
+               num_or_empty(cs.op.mtbe_system_h),
+               num_or_empty(cs.op.mtbe_per_node_h)});
+}
+
+void json_period(common::JsonWriter& j, const PeriodStats& ps) {
+  j.begin_object();
+  j.kv("count", ps.count);
+  j.key("mtbe_system_h");
+  std::isfinite(ps.mtbe_system_h) ? j.value(ps.mtbe_system_h) : j.null();
+  j.key("mtbe_per_node_h");
+  std::isfinite(ps.mtbe_per_node_h) ? j.value(ps.mtbe_per_node_h) : j.null();
+  j.end_object();
+}
+
+void json_code_stats(common::JsonWriter& j, const CodeStats& cs) {
+  j.begin_object();
+  j.key("pre");
+  json_period(j, cs.pre);
+  j.key("op");
+  json_period(j, cs.op);
+  j.end_object();
+}
+
+}  // namespace
+
+void write_table1_csv(std::ostream& os, const ErrorStats& stats) {
+  common::CsvWriter w(os);
+  w.write_row({"event", "category", "pre_count", "op_count",
+               "pre_mtbe_system_h", "pre_mtbe_per_node_h", "op_mtbe_system_h",
+               "op_mtbe_per_node_h"});
+  for (const auto& cs : stats.by_code) {
+    const auto d = xid::describe(cs.code);
+    write_code_row(w, std::string(d ? d->abbrev : "?"),
+                   std::string(d ? xid::to_string(d->category) : "?"), cs);
+  }
+  write_code_row(w, "uncorrectable_ecc", "Memory", stats.uncorrectable_ecc);
+  for (const auto& [cat, cs] : stats.by_category) {
+    write_code_row(w, "all_" + std::string(xid::to_string(cat)),
+                   std::string(xid::to_string(cat)), cs);
+  }
+  write_code_row(w, "non_memory", "-", stats.non_memory);
+  write_code_row(w, "total", "-", stats.total);
+  write_code_row(w, "total_with_outliers", "-", stats.total_with_outliers);
+}
+
+void write_table2_csv(std::ostream& os, const JobImpact& impact) {
+  common::CsvWriter w(os);
+  w.write_row({"xid", "event", "gpu_failed_jobs", "jobs_encountering",
+               "failure_probability", "ci_lo", "ci_hi"});
+  for (const auto& row : impact.rows) {
+    const auto d = xid::describe(row.code);
+    w.write_row({std::to_string(xid::to_number(row.code)),
+                 std::string(d ? d->abbrev : "?"),
+                 std::to_string(row.failed_jobs),
+                 std::to_string(row.encountering_jobs),
+                 num_or_empty(row.failure_probability),
+                 num_or_empty(row.ci.lo), num_or_empty(row.ci.hi)});
+  }
+}
+
+void write_table3_csv(std::ostream& os, const JobStats& stats) {
+  common::CsvWriter w(os);
+  w.write_row({"gpu_bucket", "count", "share", "mean_minutes", "p50_minutes",
+               "p99_minutes", "ml_gpu_hours", "non_ml_gpu_hours"});
+  for (const auto& b : stats.buckets) {
+    w.write_row({b.bucket.label, std::to_string(b.count),
+                 num_or_empty(b.share), num_or_empty(b.mean_minutes),
+                 num_or_empty(b.p50_minutes), num_or_empty(b.p99_minutes),
+                 num_or_empty(b.ml_gpu_hours),
+                 num_or_empty(b.non_ml_gpu_hours)});
+  }
+}
+
+void write_fig2_csv(std::ostream& os, const AvailabilityStats& stats) {
+  common::CsvWriter w(os);
+  w.write_row({"hours", "cumulative_fraction"});
+  for (const auto& p : stats.ecdf) {
+    w.write_row({num_or_empty(p.x), num_or_empty(p.p)});
+  }
+}
+
+std::string to_json(const ExportBundle& bundle) {
+  common::JsonWriter j;
+  j.begin_object();
+
+  if (bundle.error_stats != nullptr) {
+    const auto& s = *bundle.error_stats;
+    j.key("error_stats");
+    j.begin_object();
+    j.key("by_code");
+    j.begin_object();
+    for (const auto& cs : s.by_code) {
+      j.key("xid_" + std::to_string(xid::to_number(cs.code)));
+      json_code_stats(j, cs);
+    }
+    j.end_object();
+    j.key("uncorrectable_ecc");
+    json_code_stats(j, s.uncorrectable_ecc);
+    j.key("total");
+    json_code_stats(j, s.total);
+    j.key("total_with_outliers");
+    json_code_stats(j, s.total_with_outliers);
+    j.kv("mtbe_degradation_fraction", s.mtbe_degradation_fraction());
+    j.kv("memory_reliability_ratio_op", s.memory_reliability_ratio_op());
+    j.kv("gsp_degradation_ratio", s.gsp_degradation_ratio());
+    j.key("outliers");
+    j.begin_array();
+    for (const auto& o : s.outliers) {
+      j.begin_object();
+      j.kv("node", static_cast<std::int64_t>(o.gpu.node));
+      j.kv("slot", static_cast<std::int64_t>(o.gpu.slot));
+      j.kv("xid", static_cast<std::int64_t>(xid::to_number(o.code)));
+      j.kv("period", to_string(o.period));
+      j.kv("count", o.count);
+      j.kv("share", o.share);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
+  if (bundle.job_stats != nullptr) {
+    const auto& s = *bundle.job_stats;
+    j.key("job_stats");
+    j.begin_object();
+    j.kv("total_jobs", s.total_jobs);
+    j.kv("success_rate", s.success_rate);
+    j.kv("single_gpu_share", s.single_gpu_share);
+    j.kv("ml_job_share", s.ml_job_share);
+    j.key("buckets");
+    j.begin_array();
+    for (const auto& b : s.buckets) {
+      j.begin_object();
+      j.kv("label", b.bucket.label);
+      j.kv("count", b.count);
+      j.kv("share", b.share);
+      j.kv("mean_minutes", b.mean_minutes);
+      j.kv("p50_minutes", b.p50_minutes);
+      j.kv("p99_minutes", b.p99_minutes);
+      j.kv("ml_gpu_hours", b.ml_gpu_hours);
+      j.kv("non_ml_gpu_hours", b.non_ml_gpu_hours);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
+  if (bundle.job_impact != nullptr) {
+    const auto& s = *bundle.job_impact;
+    j.key("job_impact");
+    j.begin_object();
+    j.kv("gpu_failed_jobs", s.gpu_failed_jobs);
+    j.kv("jobs_analyzed", s.jobs_analyzed);
+    j.key("rows");
+    j.begin_array();
+    for (const auto& row : s.rows) {
+      if (row.encountering_jobs == 0) continue;
+      j.begin_object();
+      j.kv("xid", static_cast<std::int64_t>(xid::to_number(row.code)));
+      j.kv("failed_jobs", row.failed_jobs);
+      j.kv("encountering_jobs", row.encountering_jobs);
+      j.kv("failure_probability", row.failure_probability);
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
+  if (bundle.availability != nullptr) {
+    const auto& s = *bundle.availability;
+    j.key("availability");
+    j.begin_object();
+    j.kv("intervals", static_cast<std::uint64_t>(s.intervals.size()));
+    j.kv("mttr_h", s.mttr_h);
+    j.kv("total_node_hours_lost", s.total_node_hours_lost);
+    j.kv("mttf_h", bundle.mttf_h);
+    j.kv("availability", s.availability(bundle.mttf_h));
+    j.key("ecdf");
+    j.begin_array();
+    for (const auto& p : s.ecdf) {
+      j.begin_array();
+      j.value(p.x);
+      j.value(p.p);
+      j.end_array();
+    }
+    j.end_array();
+    j.end_object();
+  }
+
+  j.end_object();
+  return std::move(j).str();
+}
+
+}  // namespace gpures::analysis

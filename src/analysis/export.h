@@ -1,0 +1,43 @@
+// Machine-readable export of every analysis artifact: CSV (one file per
+// table/series) and a single JSON document, so external tooling (notebooks,
+// plotting) can consume reproduction results without parsing ASCII tables.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/availability.h"
+#include "analysis/error_stats.h"
+#include "analysis/job_impact.h"
+#include "analysis/job_stats.h"
+
+namespace gpures::analysis {
+
+// ---- CSV: one writer per artifact (header + rows) ----
+
+/// Table I rows (per-code + derived + rollups + totals).
+void write_table1_csv(std::ostream& os, const ErrorStats& stats);
+
+/// Table II rows.
+void write_table2_csv(std::ostream& os, const JobImpact& impact);
+
+/// Table III rows.
+void write_table3_csv(std::ostream& os, const JobStats& stats);
+
+/// Fig. 2 ECDF series (hours, cumulative fraction).
+void write_fig2_csv(std::ostream& os, const AvailabilityStats& stats);
+
+// ---- JSON: everything in one document ----
+
+struct ExportBundle {
+  const ErrorStats* error_stats = nullptr;       ///< optional
+  const JobStats* job_stats = nullptr;           ///< optional
+  const JobImpact* job_impact = nullptr;         ///< optional
+  const AvailabilityStats* availability = nullptr;  ///< optional
+  double mttf_h = 0.0;  ///< used with availability when present
+};
+
+/// Serialize the provided artifacts (missing ones are omitted).
+std::string to_json(const ExportBundle& bundle);
+
+}  // namespace gpures::analysis

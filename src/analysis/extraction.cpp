@@ -1,0 +1,200 @@
+#include "analysis/extraction.h"
+
+#include <charconv>
+#include <memory>
+#include <regex>
+
+#include "common/strings.h"
+
+namespace gpures::analysis {
+
+namespace {
+
+constexpr std::string_view kXidPrefix = "kernel: NVRM: Xid (PCI:";
+constexpr std::string_view kSlurmctldPrefix = "slurmctld[";
+constexpr std::string_view kUpdateNode = "]: update_node: node ";
+constexpr std::string_view kReasonDrain = "reason set to: ";
+constexpr std::string_view kDrainSuffix = " [drain]";
+constexpr std::string_view kStateResume = "state set to: resume";
+
+// Tokens matched by the reference regex's \S+ must not contain any regex
+// whitespace; the space delimiter already terminates the token, so only the
+// exotic whitespace characters need rejecting here.
+bool valid_token(std::string_view s) {
+  return !s.empty() &&
+         s.find_first_of("\t\v\f") == std::string_view::npos;
+}
+
+// The reference regex constrains the PCI field to [0-9A-Fa-f:].
+bool valid_pci(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+                     (c >= 'A' && c <= 'F') || c == ':';
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<common::TimePoint> parse_line_time(std::string_view line,
+                                                 common::TimePoint day_start) {
+  if (line.size() < 16) return std::nullopt;
+  const int file_year = common::to_calendar(day_start).year;
+  auto t = common::parse_syslog(line.substr(0, 15), file_year);
+  if (!t) return std::nullopt;
+  // Syslog timestamps carry no year.  A duplicate written moments after
+  // midnight on New Year's Day can land in the previous year's Dec 31 file;
+  // parsing it with the file's year puts it ~a year in the past.  Detect and
+  // roll forward.
+  if (*t < day_start - common::kDay) {
+    t = common::parse_syslog(line.substr(0, 15), file_year + 1);
+    if (!t) return std::nullopt;
+  }
+  return t;
+}
+
+std::optional<ParsedLine> FastLineParser::parse(
+    std::string_view line, common::TimePoint day_start) const {
+  // A "line" can never contain a line terminator; anything that does is
+  // corrupted input (and the regex reference rejects it too, since '.'
+  // excludes terminators).
+  if (line.find('\n') != std::string_view::npos ||
+      line.find('\r') != std::string_view::npos) {
+    return std::nullopt;
+  }
+  // Cheap pre-filter before any time parsing: the interesting lines all
+  // contain either "NVRM: Xid" or "update_node:".
+  const bool maybe_xid = line.find("NVRM: Xid") != std::string_view::npos;
+  const bool maybe_lifecycle =
+      !maybe_xid && line.find("update_node:") != std::string_view::npos;
+  if (!maybe_xid && !maybe_lifecycle) return std::nullopt;
+
+  const auto t = parse_line_time(line, day_start);
+  if (!t) return std::nullopt;
+  if (line.size() < 17 || line[15] != ' ') return std::nullopt;
+  std::string_view rest = line.substr(16);
+  const std::size_t host_end = rest.find(' ');
+  if (host_end == std::string_view::npos || host_end == 0) return std::nullopt;
+  const std::string_view host = rest.substr(0, host_end);
+  if (!valid_token(host)) return std::nullopt;
+  rest.remove_prefix(host_end + 1);
+
+  if (maybe_xid) {
+    if (!common::starts_with(rest, kXidPrefix)) return std::nullopt;
+    rest.remove_prefix(kXidPrefix.size());
+    const std::size_t pci_end = rest.find(')');
+    if (pci_end == std::string_view::npos) return std::nullopt;
+    const std::string_view pci = rest.substr(0, pci_end);
+    if (!valid_pci(pci)) return std::nullopt;
+    rest.remove_prefix(pci_end);
+    if (!common::starts_with(rest, "): ")) return std::nullopt;
+    rest.remove_prefix(3);
+    std::uint16_t xid = 0;
+    const auto* begin = rest.data();
+    const auto* end = rest.data() + rest.size();
+    auto [ptr, ec] = std::from_chars(begin, end, xid);
+    if (ec != std::errc{} || ptr == begin) return std::nullopt;
+    rest.remove_prefix(static_cast<std::size_t>(ptr - begin));
+    if (common::starts_with(rest, ", ")) {
+      rest.remove_prefix(2);
+    } else if (!rest.empty()) {
+      return std::nullopt;
+    }
+    XidRecord rec;
+    rec.time = *t;
+    rec.host = std::string(host);
+    rec.pci = std::string(pci);
+    rec.xid = xid;
+    rec.detail = std::string(rest);
+    return ParsedLine{std::move(rec)};
+  }
+
+  // Lifecycle line: "slurmctld[<pid>]: update_node: node <host> ...", with
+  // the pid strictly numeric (mirrors the reference regex's \[\d+\]).
+  if (!common::starts_with(rest, kSlurmctldPrefix)) return std::nullopt;
+  rest.remove_prefix(kSlurmctldPrefix.size());
+  std::size_t digits = 0;
+  while (digits < rest.size() && rest[digits] >= '0' && rest[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) return std::nullopt;
+  rest.remove_prefix(digits);
+  if (!common::starts_with(rest, kUpdateNode)) return std::nullopt;
+  rest.remove_prefix(kUpdateNode.size());
+  const std::size_t node_end = rest.find(' ');
+  if (node_end == std::string_view::npos || node_end == 0) return std::nullopt;
+  const std::string_view node = rest.substr(0, node_end);
+  if (!valid_token(node)) return std::nullopt;
+  rest.remove_prefix(node_end + 1);
+
+  LifecycleRecord rec;
+  rec.time = *t;
+  rec.host = std::string(node);
+  if (common::starts_with(rest, kReasonDrain) &&
+      rest.size() >= kDrainSuffix.size() &&
+      rest.substr(rest.size() - kDrainSuffix.size()) == kDrainSuffix) {
+    rec.kind = LifecycleRecord::Kind::kDrain;
+    return ParsedLine{std::move(rec)};
+  }
+  if (rest == kStateResume) {
+    rec.kind = LifecycleRecord::Kind::kResume;
+    return ParsedLine{std::move(rec)};
+  }
+  return std::nullopt;
+}
+
+struct RegexLineParser::Impl {
+  // "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 95, ..."
+  std::regex xid{
+      R"(^(\w{3} [ \d]\d \d\d:\d\d:\d\d) (\S+) kernel: NVRM: Xid \(PCI:([0-9A-Fa-f:]+)\): (\d+)(?:, (.*))?$)"};
+  // drain / resume
+  std::regex drain{
+      R"(^(\w{3} [ \d]\d \d\d:\d\d:\d\d) (\S+) slurmctld\[\d+\]: update_node: node (\S+) reason set to: .* \[drain\]$)"};
+  std::regex resume{
+      R"(^(\w{3} [ \d]\d \d\d:\d\d:\d\d) (\S+) slurmctld\[\d+\]: update_node: node (\S+) state set to: resume$)"};
+};
+
+RegexLineParser::RegexLineParser() : impl_(std::make_shared<Impl>()) {}
+
+std::optional<ParsedLine> RegexLineParser::parse(
+    std::string_view line, common::TimePoint day_start) const {
+  std::cmatch m;
+  const char* begin = line.data();
+  const char* end = line.data() + line.size();
+  if (std::regex_match(begin, end, m, impl_->xid)) {
+    const auto t = parse_line_time(line, day_start);
+    if (!t) return std::nullopt;
+    XidRecord rec;
+    rec.time = *t;
+    rec.host = m[2].str();
+    rec.pci = m[3].str();
+    const long long xid = common::parse_ll(m[4].str());
+    if (xid < 0 || xid > 0xffff) return std::nullopt;
+    rec.xid = static_cast<std::uint16_t>(xid);
+    rec.detail = m[5].matched ? m[5].str() : std::string{};
+    return ParsedLine{std::move(rec)};
+  }
+  if (std::regex_match(begin, end, m, impl_->drain)) {
+    const auto t = parse_line_time(line, day_start);
+    if (!t) return std::nullopt;
+    LifecycleRecord rec;
+    rec.time = *t;
+    rec.host = m[3].str();
+    rec.kind = LifecycleRecord::Kind::kDrain;
+    return ParsedLine{std::move(rec)};
+  }
+  if (std::regex_match(begin, end, m, impl_->resume)) {
+    const auto t = parse_line_time(line, day_start);
+    if (!t) return std::nullopt;
+    LifecycleRecord rec;
+    rec.time = *t;
+    rec.host = m[3].str();
+    rec.kind = LifecycleRecord::Kind::kResume;
+    return ParsedLine{std::move(rec)};
+  }
+  return std::nullopt;
+}
+
+}  // namespace gpures::analysis

@@ -1,0 +1,81 @@
+// Stage I: raw-log extraction.
+//
+// Consumes consolidated per-day syslog text and extracts (a) NVRM XID
+// error records and (b) node drain/resume lifecycle records, rejecting all
+// other lines.  Two interchangeable matchers are provided:
+//
+//  * FastLineParser — a hand-rolled scanner (the production path);
+//  * RegexLineParser — a std::regex reference implementation mirroring the
+//    paper's "RegEX pattern-matching for filtering system logs".
+//
+// Property tests assert the two agree line-for-line; the pipeline benchmark
+// compares their throughput (ablation A3 in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/time.h"
+
+namespace gpures::analysis {
+
+/// A parsed NVRM XID line.
+struct XidRecord {
+  common::TimePoint time = 0;
+  std::string host;
+  std::string pci;       ///< e.g. "0000:27:00"
+  std::uint16_t xid = 0; ///< raw XID number (not yet validated/merged)
+  std::string detail;    ///< payload after "<xid>, "
+};
+
+/// A parsed node lifecycle line (slurmctld drain / resume).
+struct LifecycleRecord {
+  enum class Kind : std::uint8_t { kDrain, kResume };
+  common::TimePoint time = 0;
+  std::string host;
+  Kind kind = Kind::kDrain;
+};
+
+using ParsedLine = std::variant<XidRecord, LifecycleRecord>;
+
+/// Shared interface so the pipeline can swap matchers.
+class LineParser {
+ public:
+  virtual ~LineParser() = default;
+
+  /// `day_start` provides the year context that classic syslog timestamps
+  /// lack (day files are consolidated per calendar day).
+  virtual std::optional<ParsedLine> parse(std::string_view line,
+                                          common::TimePoint day_start) const = 0;
+};
+
+/// Hand-rolled scanner; no allocation on the reject path.
+class FastLineParser final : public LineParser {
+ public:
+  std::optional<ParsedLine> parse(std::string_view line,
+                                  common::TimePoint day_start) const override;
+};
+
+/// std::regex reference implementation.
+class RegexLineParser final : public LineParser {
+ public:
+  RegexLineParser();
+  std::optional<ParsedLine> parse(std::string_view line,
+                                  common::TimePoint day_start) const override;
+
+ private:
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+/// Parse the syslog timestamp at the head of `line` using the year of
+/// `day_start`, correcting for the Dec->Jan rollover (a line stamped Jan 1
+/// can sit in a Dec 31 day file when duplicates straddle midnight).
+std::optional<common::TimePoint> parse_line_time(std::string_view line,
+                                                 common::TimePoint day_start);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,130 @@
+#include "analysis/job_impact.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace gpures::analysis {
+
+const ImpactRow* JobImpact::find(xid::Code code) const {
+  for (const auto& r : rows) {
+    if (r.code == code) return &r;
+  }
+  return nullptr;
+}
+
+int exposure_bit(xid::Code code) {
+  const auto order = xid::report_order();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == code) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<JobExposure> compute_exposures(
+    const JobTable& table, const std::vector<CoalescedError>& errors,
+    const JobImpactConfig& cfg) {
+  // Per-location, time-sorted error list.  Location key is a packed GPU for
+  // device-level attribution or a node index for node-level attribution.
+  struct LocError {
+    common::TimePoint time;
+    std::uint32_t bit;
+  };
+  const bool gpu_level = cfg.attribution == Attribution::kGpuLevel;
+  std::unordered_map<std::int64_t, std::vector<LocError>> by_loc;
+  for (const auto& e : errors) {
+    if (!cfg.period.contains(e.time)) continue;
+    const int bit = exposure_bit(e.code);
+    if (bit < 0) continue;
+    const std::int64_t key =
+        gpu_level ? pack_gpu(e.gpu.node, e.gpu.slot) : e.gpu.node;
+    by_loc[key].push_back({e.time, static_cast<std::uint32_t>(bit)});
+  }
+  for (auto& [loc, v] : by_loc) {
+    std::sort(v.begin(), v.end(), [](const LocError& a, const LocError& b) {
+      return a.time < b.time;
+    });
+  }
+
+  std::vector<JobExposure> out;
+  std::vector<std::int32_t> node_scratch;
+  for (std::size_t idx = 0; idx < table.jobs.size(); ++idx) {
+    const auto& j = table.jobs[idx];
+    if (!cfg.period.contains(j.end)) continue;
+
+    std::uint32_t run_mask = 0;
+    std::uint32_t window_mask = 0;
+    const auto scan_loc = [&](std::int64_t key) {
+      const auto it = by_loc.find(key);
+      if (it == by_loc.end()) return;
+      const auto& v = it->second;
+      // Strictly after start: an error stamped at the exact second a job
+      // started belongs to the GPU's previous tenant (the scheduler can hand
+      // a freed GPU to a queued job within the same second the error killed
+      // its former owner).
+      auto lo = std::lower_bound(
+          v.begin(), v.end(), j.start + 1,
+          [](const LocError& e, common::TimePoint t) { return e.time < t; });
+      for (; lo != v.end() && lo->time <= j.end; ++lo) {
+        run_mask |= 1u << lo->bit;
+        if (lo->time >= j.end - cfg.window) window_mask |= 1u << lo->bit;
+      }
+    };
+    if (gpu_level) {
+      for (const PackedGpu g : table.gpus_of(j)) scan_loc(g);
+    } else {
+      table.nodes_of(j, node_scratch);
+      for (const std::int32_t node : node_scratch) scan_loc(node);
+    }
+    if (run_mask == 0) continue;
+
+    JobExposure exp;
+    exp.job_index = idx;
+    exp.run_mask = run_mask;
+    exp.window_mask = window_mask;
+    exp.gpu_failed = slurm::is_failure(j.state) && window_mask != 0;
+    out.push_back(exp);
+  }
+  return out;
+}
+
+JobImpact compute_job_impact(const JobTable& table,
+                             const std::vector<CoalescedError>& errors,
+                             const JobImpactConfig& cfg) {
+  JobImpact out;
+  out.cfg = cfg;
+
+  const auto order = xid::report_order();
+  std::vector<std::uint64_t> encountering(order.size(), 0);
+  std::vector<std::uint64_t> failed(order.size(), 0);
+
+  for (const auto& j : table.jobs) {
+    if (!cfg.period.contains(j.end)) continue;
+    ++out.jobs_analyzed;
+    if (slurm::is_failure(j.state)) ++out.failed_jobs_total;
+  }
+
+  for (const auto& exp : compute_exposures(table, errors, cfg)) {
+    if (exp.gpu_failed) ++out.gpu_failed_jobs;
+    for (std::size_t b = 0; b < order.size(); ++b) {
+      if (exp.run_mask & (1u << b)) ++encountering[b];
+      if (exp.gpu_failed && (exp.window_mask & (1u << b))) ++failed[b];
+    }
+  }
+
+  for (std::size_t b = 0; b < order.size(); ++b) {
+    ImpactRow row;
+    row.code = order[b];
+    row.failed_jobs = failed[b];
+    row.encountering_jobs = encountering[b];
+    if (encountering[b] > 0) {
+      row.failure_probability = static_cast<double>(failed[b]) /
+                                static_cast<double>(encountering[b]);
+      row.ci = common::wilson_interval(failed[b], encountering[b]);
+    }
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace gpures::analysis

@@ -1,0 +1,80 @@
+// Stage III: propagation of GPU errors to user jobs (paper Table II, §V-B).
+//
+// A job "encounters" an XID family when a coalesced error of that family is
+// logged on one of its allocated nodes while the job is running.  A job is
+// classified "GPU-failed" when it ends in a failure state and a GPU error
+// was detected on its nodes within the attribution window (the paper's 20
+// seconds) preceding its end.  Per family, the job-failure probability is
+// (#GPU-failed jobs encountering it in the window) / (#jobs encountering it).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/coalesce.h"
+#include "analysis/job_stats.h"
+#include "analysis/periods.h"
+
+namespace gpures::analysis {
+
+/// Error-to-job attribution granularity.  The paper's Table II numbers imply
+/// device-level correlation (a job "encounters" an error only if it holds
+/// the logging GPU); node-level attribution — counting every job on the
+/// node — is kept as a methodology ablation and systematically dilutes the
+/// measured failure probabilities.
+enum class Attribution { kGpuLevel, kNodeLevel };
+
+struct JobImpactConfig {
+  /// Attribution window: error within this many seconds before job end.
+  common::Duration window = 20;
+  /// Restrict to jobs that end inside this period (the paper analyzes the
+  /// operational period only).
+  Period period;
+  Attribution attribution = Attribution::kGpuLevel;
+};
+
+/// One Table II row.
+struct ImpactRow {
+  xid::Code code;
+  std::uint64_t failed_jobs = 0;       ///< GPU-failed jobs with this XID in window
+  std::uint64_t encountering_jobs = 0; ///< jobs with this XID during their run
+  double failure_probability = 0.0;    ///< failed / encountering (window-based)
+  common::Proportion ci;               ///< Wilson interval on the probability
+};
+
+struct JobImpact {
+  JobImpactConfig cfg;
+  std::vector<ImpactRow> rows;              ///< paper report order
+  std::uint64_t gpu_failed_jobs = 0;        ///< distinct GPU-failed jobs
+  std::uint64_t jobs_analyzed = 0;          ///< jobs ending in the period
+  std::uint64_t failed_jobs_total = 0;      ///< jobs in any failure state
+
+  const ImpactRow* find(xid::Code code) const;
+};
+
+/// Per-job exposure record for jobs that encountered at least one error.
+/// Bits index into xid::report_order().
+struct JobExposure {
+  std::size_t job_index = 0;       ///< into JobTable::jobs
+  std::uint32_t run_mask = 0;      ///< families seen during the run
+  std::uint32_t window_mask = 0;   ///< families seen in the final window
+  bool gpu_failed = false;         ///< failure state + window error
+};
+
+/// Compute exposures for every job ending in cfg.period (jobs with no
+/// errors are omitted).  Shared by the Table II computation and the
+/// mitigation what-ifs.
+std::vector<JobExposure> compute_exposures(
+    const JobTable& table, const std::vector<CoalescedError>& errors,
+    const JobImpactConfig& cfg);
+
+/// Bit index of a family in exposure masks; -1 if not a reported family.
+int exposure_bit(xid::Code code);
+
+/// Correlate coalesced errors with job records.  Errors may be in any order;
+/// jobs may be in any order.
+JobImpact compute_job_impact(const JobTable& table,
+                             const std::vector<CoalescedError>& errors,
+                             const JobImpactConfig& cfg);
+
+}  // namespace gpures::analysis

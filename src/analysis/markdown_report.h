@@ -1,0 +1,31 @@
+// Markdown report generation: one self-contained document with every table,
+// figure series, finding, and extension analysis a pipeline produced — the
+// artifact a reliability team would attach to a quarterly review.  The
+// `gpures-analyze --report-md FILE` flag writes it.
+#pragma once
+
+#include <string>
+
+#include "analysis/pipeline.h"
+
+namespace gpures::analysis {
+
+struct MarkdownReportOptions {
+  std::string title = "GPU resilience characterization";
+  bool include_table1 = true;
+  bool include_findings = true;
+  bool include_table2 = true;       ///< skipped automatically without jobs
+  bool include_table3 = true;       ///< skipped automatically without jobs
+  bool include_fig2 = true;
+  bool include_trends = true;
+  bool include_survival = true;
+  bool include_mitigation = true;   ///< skipped automatically without jobs
+  bool include_scorecard = false;   ///< only meaningful at full Delta scale
+};
+
+/// Render the full report from a finished pipeline.
+std::string render_markdown_report(const AnalysisPipeline& pipe,
+                                   const cluster::Topology& topo,
+                                   const MarkdownReportOptions& opts = {});
+
+}  // namespace gpures::analysis

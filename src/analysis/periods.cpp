@@ -1,0 +1,34 @@
+#include "analysis/periods.h"
+
+#include <stdexcept>
+
+namespace gpures::analysis {
+
+StudyPeriods StudyPeriods::delta() {
+  return make(common::make_date(2022, 1, 1), common::make_date(2022, 10, 1),
+              common::make_date(2025, 3, 16));
+}
+
+StudyPeriods StudyPeriods::make(common::TimePoint begin,
+                                common::TimePoint op_begin,
+                                common::TimePoint end) {
+  if (!(begin < op_begin && op_begin < end)) {
+    throw std::invalid_argument("StudyPeriods: need begin < op_begin < end");
+  }
+  StudyPeriods p;
+  p.pre = {begin, op_begin};
+  p.op = {op_begin, end};
+  return p;
+}
+
+std::optional<PeriodId> StudyPeriods::which(common::TimePoint t) const {
+  if (pre.contains(t)) return PeriodId::kPreOp;
+  if (op.contains(t)) return PeriodId::kOp;
+  return std::nullopt;
+}
+
+std::string to_string(PeriodId p) {
+  return p == PeriodId::kPreOp ? "pre-operational" : "operational";
+}
+
+}  // namespace gpures::analysis

@@ -1,0 +1,41 @@
+// Measurement periods: the study splits its window into a pre-operational
+// (bring-up and testing) period and an operational (production) period and
+// reports every statistic per period.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/time.h"
+
+namespace gpures::analysis {
+
+enum class PeriodId { kPreOp, kOp };
+
+struct Period {
+  common::TimePoint begin = 0;
+  common::TimePoint end = 0;  ///< exclusive
+
+  bool contains(common::TimePoint t) const { return t >= begin && t < end; }
+  double hours() const { return common::to_hours(end - begin); }
+  double days() const { return common::to_days(end - begin); }
+};
+
+struct StudyPeriods {
+  Period pre;  ///< pre-operational
+  Period op;   ///< operational
+
+  /// The paper's window: 2022-01-01 .. 2022-10-01 .. 2025-03-16.
+  static StudyPeriods delta();
+
+  /// Build from boundaries; throws std::invalid_argument on bad ordering.
+  static StudyPeriods make(common::TimePoint begin, common::TimePoint op_begin,
+                           common::TimePoint end);
+
+  std::optional<PeriodId> which(common::TimePoint t) const;
+  Period whole() const { return {pre.begin, op.end}; }
+};
+
+std::string to_string(PeriodId p);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,144 @@
+#include "analysis/pipeline.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/strings.h"
+#include "slurm/accounting.h"
+
+namespace gpures::analysis {
+
+AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
+                                   PipelineConfig cfg)
+    : topo_(topo), cfg_(cfg) {
+  if (cfg_.use_regex_parser) {
+    parser_ = std::make_unique<RegexLineParser>();
+  } else {
+    parser_ = std::make_unique<FastLineParser>();
+  }
+  coalescer_ = std::make_unique<Coalescer>(
+      cfg_.coalescer,
+      [this](const CoalescedError& e) { errors_.push_back(e); });
+}
+
+void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
+                                      std::span<const logsys::RawLine> lines) {
+  if (finished_) throw std::logic_error("pipeline: ingest after finish()");
+  for (const auto& l : lines) {
+    ++counters_.log_lines;
+    auto parsed = parser_->parse(l.text, day_start);
+    if (!parsed) {
+      ++counters_.rejected_lines;
+      continue;
+    }
+    if (auto* xrec = std::get_if<XidRecord>(&*parsed)) {
+      const auto node = topo_.node_index(xrec->host);
+      if (!node) {
+        ++counters_.unknown_hosts;
+        continue;
+      }
+      const auto slot = topo_.slot_for_pci(*node, xrec->pci);
+      if (!slot) {
+        ++counters_.unknown_hosts;
+        continue;
+      }
+      ++counters_.xid_records;
+      XidObservation obs;
+      obs.time = xrec->time;
+      obs.gpu = {*node, *slot};
+      obs.xid = xrec->xid;
+      coalescer_->add(obs);
+    } else if (auto* lrec = std::get_if<LifecycleRecord>(&*parsed)) {
+      if (!topo_.node_index(lrec->host)) {
+        ++counters_.unknown_hosts;
+        continue;
+      }
+      ++counters_.lifecycle_records;
+      lifecycle_.push_back(std::move(*lrec));
+    }
+  }
+}
+
+void AnalysisPipeline::ingest_log_text(common::TimePoint day_start,
+                                       std::string_view text) {
+  std::vector<logsys::RawLine> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) nl = text.size();
+    if (nl > start) {
+      lines.push_back(
+          logsys::RawLine{day_start, std::string(text.substr(start, nl - start))});
+    }
+    start = nl + 1;
+  }
+  ingest_log_day(day_start, lines);
+}
+
+void AnalysisPipeline::ingest_accounting_line(std::string_view line) {
+  if (finished_) throw std::logic_error("pipeline: ingest after finish()");
+  const auto trimmed = common::trim(line);
+  if (trimmed.empty()) return;
+  ++counters_.accounting_lines;
+  if (trimmed == slurm::accounting_header()) return;
+  auto rec = slurm::parse_accounting_line(trimmed, topo_);
+  if (!rec.ok()) {
+    ++counters_.accounting_errors;
+    return;
+  }
+  jobs_.add(rec.value());
+}
+
+void AnalysisPipeline::finish() {
+  if (finished_) return;
+  finished_ = true;
+  coalescer_->flush();
+  std::sort(errors_.begin(), errors_.end(),
+            [](const CoalescedError& a, const CoalescedError& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.gpu != b.gpu) return a.gpu < b.gpu;
+              return xid::to_number(a.code) < xid::to_number(b.code);
+            });
+  std::sort(lifecycle_.begin(), lifecycle_.end(),
+            [](const LifecycleRecord& a, const LifecycleRecord& b) {
+              return a.time < b.time;
+            });
+}
+
+ErrorStats AnalysisPipeline::error_stats() const {
+  ErrorStatsConfig cfg;
+  cfg.node_count = topo_.node_count();
+  cfg.outlier_share = cfg_.outlier_share;
+  cfg.outlier_min = cfg_.outlier_min;
+  return compute_error_stats(errors_, cfg_.periods, cfg);
+}
+
+JobStats AnalysisPipeline::job_stats() const {
+  return compute_job_stats(jobs_, cfg_.periods.whole());
+}
+
+JobStats AnalysisPipeline::job_stats(const Period& w) const {
+  return compute_job_stats(jobs_, w);
+}
+
+JobImpact AnalysisPipeline::job_impact() const {
+  JobImpactConfig cfg;
+  cfg.window = cfg_.attribution_window;
+  cfg.period = cfg_.periods.op;
+  cfg.attribution = cfg_.attribution;
+  return compute_job_impact(jobs_, errors_, cfg);
+}
+
+AvailabilityStats AnalysisPipeline::availability() const {
+  AvailabilityConfig cfg;
+  cfg.period = cfg_.periods.op;
+  cfg.node_count = topo_.node_count();
+  return compute_availability(lifecycle_, cfg);
+}
+
+double AnalysisPipeline::mttf_estimate_h() const {
+  const auto stats = error_stats();
+  return stats.total.op.mtbe_per_node_h;
+}
+
+}  // namespace gpures::analysis

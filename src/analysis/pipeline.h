@@ -1,0 +1,105 @@
+// The end-to-end analysis pipeline (paper Fig. 1).
+//
+// Stage I:  ingest per-day raw syslog text (regex or fast matcher) and the
+//           Slurm accounting dump; resolve hostnames/PCI ids to GPUs.
+// Stage II: coalesce duplicated XID records into errors; compute error
+//           counts and MTBE per family/category/period.
+// Stage III:correlate errors with job records (Table II), job population
+//           statistics (Table III), and node availability (Fig. 2, §V-C).
+//
+// The pipeline consumes raw artifacts only — never simulator ground truth —
+// so validating its outputs against ground truth is a genuine end-to-end
+// test of the measurement methodology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "analysis/coalesce.h"
+#include "analysis/error_stats.h"
+#include "analysis/extraction.h"
+#include "analysis/job_impact.h"
+#include "analysis/job_stats.h"
+#include "analysis/periods.h"
+#include "cluster/topology.h"
+#include "logsys/log_store.h"
+
+namespace gpures::analysis {
+
+struct PipelineConfig {
+  StudyPeriods periods = StudyPeriods::delta();
+  CoalescerConfig coalescer;
+  /// Outlier handling for the aggregate MTBE (see ErrorStatsConfig).
+  double outlier_share = 0.5;
+  std::uint64_t outlier_min = 1000;
+  /// Job-failure attribution window (paper: 20 s).
+  common::Duration attribution_window = 20;
+  /// Error-to-job attribution granularity (see job_impact.h).
+  Attribution attribution = Attribution::kGpuLevel;
+  /// Use the std::regex Stage-I matcher instead of the fast scanner.
+  bool use_regex_parser = false;
+};
+
+class AnalysisPipeline {
+ public:
+  AnalysisPipeline(const cluster::Topology& topo, PipelineConfig cfg);
+
+  // ---- Stage I ingestion ----
+  /// Ingest one consolidated day of raw log lines.
+  void ingest_log_day(common::TimePoint day_start,
+                      std::span<const logsys::RawLine> lines);
+  /// Same, from newline-separated text.
+  void ingest_log_text(common::TimePoint day_start, std::string_view text);
+  /// Ingest one accounting line (header and malformed lines are counted and
+  /// skipped).
+  void ingest_accounting_line(std::string_view line);
+
+  /// Flush the coalescer and sort results.  Call once after all ingestion.
+  void finish();
+
+  // ---- results (valid after finish()) ----
+  const std::vector<CoalescedError>& errors() const { return errors_; }
+  const std::vector<LifecycleRecord>& lifecycle() const { return lifecycle_; }
+  const JobTable& jobs() const { return jobs_; }
+
+  ErrorStats error_stats() const;
+  JobStats job_stats() const;                 ///< full characterization window
+  JobStats job_stats(const Period& w) const;  ///< custom window
+  JobImpact job_impact() const;               ///< operational period
+  AvailabilityStats availability() const;     ///< operational period
+
+  /// Conservative MTTF estimate: the all-error per-node MTBE in op (the
+  /// paper assumes every GPU error interrupts the node).
+  double mttf_estimate_h() const;
+
+  // ---- diagnostics ----
+  struct Counters {
+    std::uint64_t log_lines = 0;
+    std::uint64_t xid_records = 0;
+    std::uint64_t lifecycle_records = 0;
+    std::uint64_t rejected_lines = 0;     ///< noise / non-matching
+    std::uint64_t unknown_hosts = 0;      ///< matched but unresolvable
+    std::uint64_t accounting_lines = 0;
+    std::uint64_t accounting_errors = 0;
+  };
+  const Counters& counters() const { return counters_; }
+  const PipelineConfig& config() const { return cfg_; }
+
+ private:
+  const cluster::Topology& topo_;
+  PipelineConfig cfg_;
+  std::unique_ptr<LineParser> parser_;
+  std::unique_ptr<Coalescer> coalescer_;
+
+  std::vector<CoalescedError> errors_;
+  std::vector<LifecycleRecord> lifecycle_;
+  JobTable jobs_;
+  Counters counters_;
+  bool finished_ = false;
+};
+
+}  // namespace gpures::analysis

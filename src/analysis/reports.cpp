@@ -1,0 +1,211 @@
+#include "analysis/reports.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/histogram.h"
+#include "common/table.h"
+
+namespace gpures::analysis {
+
+namespace {
+
+using common::AsciiTable;
+using common::fmt_fixed;
+using common::fmt_int;
+using common::fmt_mtbe;
+using common::fmt_pct;
+
+std::string row_label(xid::Code code) {
+  const auto d = xid::describe(code);
+  if (!d) return "XID " + std::to_string(xid::to_number(code));
+  std::string label = "XID ";
+  switch (code) {
+    case xid::Code::kGspRpcTimeout: label += "119/120"; break;
+    case xid::Code::kPmuSpiFailure: label += "122/123"; break;
+    default: label += std::to_string(xid::to_number(code)); break;
+  }
+  label += " ";
+  label += d->abbrev;
+  return label;
+}
+
+void add_stats_row(AsciiTable& t, const std::string& label,
+                   const CodeStats& cs, const std::string& category) {
+  t.add_row({label, category, fmt_int(cs.pre.count), fmt_int(cs.op.count),
+             fmt_mtbe(cs.pre.mtbe_system_h), fmt_mtbe(cs.pre.mtbe_per_node_h),
+             fmt_mtbe(cs.op.mtbe_system_h), fmt_mtbe(cs.op.mtbe_per_node_h)});
+}
+
+}  // namespace
+
+std::string render_table1(const ErrorStats& stats) {
+  AsciiTable t({"Event", "Category", "Pre-op count", "Op count",
+                "Pre sys MTBE(h)", "Pre node MTBE(h)", "Op sys MTBE(h)",
+                "Op node MTBE(h)"});
+  t.set_align(1, common::Align::kLeft);
+  for (const auto& cs : stats.by_code) {
+    const auto d = xid::describe(cs.code);
+    add_stats_row(t, row_label(cs.code), cs,
+                  d ? std::string(xid::to_string(d->category)) : "?");
+  }
+  t.add_separator();
+  add_stats_row(t, "Uncorrectable ECC (RRE+RRF)", stats.uncorrectable_ecc,
+                "Memory");
+  t.add_separator();
+  for (const auto& [cat, cs] : stats.by_category) {
+    add_stats_row(t, std::string("All ") + std::string(xid::to_string(cat)),
+                  cs, std::string(xid::to_string(cat)));
+  }
+  add_stats_row(t, "All non-memory (HW+NVLink)", stats.non_memory, "-");
+  t.add_separator();
+  add_stats_row(t, "TOTAL (outliers excluded)", stats.total, "-");
+  add_stats_row(t, "TOTAL (incl. outliers)", stats.total_with_outliers, "-");
+  return t.render();
+}
+
+std::string render_findings(const ErrorStats& stats) {
+  std::string out;
+  char buf[256];
+
+  std::snprintf(buf, sizeof(buf),
+                "Per-node MTBE: pre-op %.0f h -> op %.0f h (%.0f%% degradation;"
+                " paper: 199 h -> 154 h, 23%%)\n",
+                stats.total.pre.mtbe_per_node_h, stats.total.op.mtbe_per_node_h,
+                stats.mtbe_degradation_fraction() * 100.0);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "Memory vs GPU-hardware per-node MTBE ratio (op): %.0fx "
+                "(paper: ~160x; %.0f h vs %.0f h)\n",
+                stats.memory_reliability_ratio_op(),
+                stats.by_category.count(xid::Category::kMemory)
+                    ? stats.by_category.at(xid::Category::kMemory)
+                          .op.mtbe_per_node_h
+                    : 0.0,
+                stats.non_memory.op.mtbe_per_node_h);
+  out += buf;
+
+  std::snprintf(buf, sizeof(buf),
+                "GSP per-node MTBE degradation pre->op: %.1fx (paper: 5.6x)\n",
+                stats.gsp_degradation_ratio());
+  out += buf;
+
+  const double dedup_pre =
+      stats.total_with_outliers.pre.count
+          ? static_cast<double>(stats.raw_lines_pre) /
+                static_cast<double>(stats.total_with_outliers.pre.count)
+          : 0.0;
+  const double dedup_op =
+      stats.total_with_outliers.op.count
+          ? static_cast<double>(stats.raw_lines_op) /
+                static_cast<double>(stats.total_with_outliers.op.count)
+          : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "Coalescing: %s raw pre-op lines -> %s errors (x%.1f); "
+                "%s raw op lines -> %s errors (x%.1f)\n",
+                fmt_int(stats.raw_lines_pre).c_str(),
+                fmt_int(stats.total_with_outliers.pre.count).c_str(), dedup_pre,
+                fmt_int(stats.raw_lines_op).c_str(),
+                fmt_int(stats.total_with_outliers.op.count).c_str(), dedup_op);
+  out += buf;
+
+  for (const auto& o : stats.outliers) {
+    std::snprintf(buf, sizeof(buf),
+                  "Outlier: GPU (node %d, slot %d) produced %s %s errors "
+                  "(%.0f%% of the family) in the %s period\n",
+                  o.gpu.node, o.gpu.slot, fmt_int(o.count).c_str(),
+                  std::string(row_label(o.code)).c_str(), o.share * 100.0,
+                  to_string(o.period).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_table2(const JobImpact& impact) {
+  AsciiTable t({"XID", "GPU Error", "# GPU-failed jobs", "# Jobs encountering",
+                "Failure probability (%)", "95% CI"});
+  t.set_align(1, common::Align::kLeft);
+  for (const auto& row : impact.rows) {
+    if (row.encountering_jobs == 0) continue;
+    const auto d = xid::describe(row.code);
+    char ci[48];
+    std::snprintf(ci, sizeof(ci), "[%.1f, %.1f]", row.ci.lo * 100.0,
+                  row.ci.hi * 100.0);
+    t.add_row({std::to_string(xid::to_number(row.code)),
+               d ? std::string(d->abbrev) : "?", fmt_int(row.failed_jobs),
+               fmt_int(row.encountering_jobs),
+               fmt_pct(row.failure_probability), ci});
+  }
+  std::string out = t.render();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Total GPU-failed jobs: %s of %s analyzed (%s in any "
+                "failure state)\n",
+                fmt_int(impact.gpu_failed_jobs).c_str(),
+                fmt_int(impact.jobs_analyzed).c_str(),
+                fmt_int(impact.failed_jobs_total).c_str());
+  out += buf;
+  return out;
+}
+
+std::string render_table3(const JobStats& stats) {
+  AsciiTable t({"GPU Count", "Count", "(%)", "Elapsed mean (min)", "P50",
+                "P99", "ML GPU-hrs (k)", "Non-ML GPU-hrs (k)"});
+  for (const auto& b : stats.buckets) {
+    t.add_row({b.bucket.label, fmt_int(b.count), fmt_fixed(b.share * 100, 3),
+               fmt_fixed(b.mean_minutes, 2), fmt_fixed(b.p50_minutes, 2),
+               fmt_fixed(b.p99_minutes, 2),
+               fmt_fixed(b.ml_gpu_hours / 1000.0, 1),
+               fmt_fixed(b.non_ml_gpu_hours / 1000.0, 1)});
+  }
+  std::string out = t.render();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Jobs: %s; success rate %.2f%% (paper: 74.68%%); single-GPU "
+                "%.2f%% / 2-4 GPU %.2f%% / >4 GPU %.2f%% "
+                "(paper: 69.86 / 27.31 / 2.83)\n",
+                fmt_int(stats.total_jobs).c_str(), stats.success_rate * 100.0,
+                stats.single_gpu_share * 100.0,
+                stats.small_multi_gpu_share * 100.0,
+                stats.large_gpu_share * 100.0);
+  out += buf;
+  return out;
+}
+
+std::string render_fig2(const AvailabilityStats& stats, double mttf_h) {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "Unavailability intervals: %zu; mean %.2f h (paper: 0.88 h); "
+                "P50 %.2f h; P99 %.2f h; total %.0f node-hours lost "
+                "(paper: ~5,700)\n",
+                stats.intervals.size(), stats.duration_hours.mean,
+                stats.duration_hours.p50, stats.duration_hours.p99,
+                stats.total_node_hours_lost);
+  out += buf;
+
+  // Histogram of durations up to 4 hours (the bulk), as in Fig. 2.
+  common::Histogram h(0.0, 4.0, 16);
+  for (const auto& iv : stats.intervals) h.add(iv.hours());
+  out += "Unavailability time distribution (hours):\n";
+  out += h.render(44);
+
+  out += "ECDF (hours -> cumulative fraction):\n";
+  for (std::size_t i = 0; i < stats.ecdf.size(); i += 6) {
+    std::snprintf(buf, sizeof(buf), "  %.3f h -> %.3f\n", stats.ecdf[i].x,
+                  stats.ecdf[i].p);
+    out += buf;
+  }
+
+  const double avail = stats.availability(mttf_h);
+  std::snprintf(buf, sizeof(buf),
+                "MTTF %.0f h, MTTR %.2f h -> availability %.4f%% "
+                "(paper: 99.5%%), downtime %.1f min/node/day (paper: ~7)\n",
+                mttf_h, stats.mttr_h, avail * 100.0,
+                AvailabilityStats::downtime_minutes_per_day(avail));
+  out += buf;
+  return out;
+}
+
+}  // namespace gpures::analysis

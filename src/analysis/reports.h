@@ -1,0 +1,32 @@
+// Report rendering: prints the paper's tables and figures from computed
+// statistics, with the same row/column structure, for the bench harnesses
+// and examples.
+#pragma once
+
+#include <string>
+
+#include "analysis/availability.h"
+#include "analysis/error_stats.h"
+#include "analysis/job_impact.h"
+#include "analysis/job_stats.h"
+
+namespace gpures::analysis {
+
+/// Table I: per-XID counts and MTBE, pre-op vs op, plus rollups.
+std::string render_table1(const ErrorStats& stats);
+
+/// The headline §IV findings derived from Table I (MTBE degradation, memory
+/// vs hardware ratio, GSP degradation, outliers, de-duplication factor).
+std::string render_findings(const ErrorStats& stats);
+
+/// Table II: job-failure probability per XID family.
+std::string render_table2(const JobImpact& impact);
+
+/// Table III: job distribution / elapsed / GPU-hours by GPU-count bucket.
+std::string render_table3(const JobStats& stats);
+
+/// Fig. 2: unavailability duration distribution (histogram + ECDF) and the
+/// §V-C availability computation.  `mttf_h` is the per-node MTBE estimate.
+std::string render_fig2(const AvailabilityStats& stats, double mttf_h);
+
+}  // namespace gpures::analysis

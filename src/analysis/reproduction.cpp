@@ -1,0 +1,133 @@
+#include "analysis/reproduction.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "analysis/paper_reference.h"
+#include "common/table.h"
+
+namespace gpures::analysis {
+
+double ScoreRow::ratio() const {
+  if (paper == 0.0) return ours == 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+  return ours / paper;
+}
+
+bool ScoreRow::matches() const {
+  if (paper == 0.0) return ours == 0.0;
+  const double r = ratio();
+  return std::isfinite(r) && r >= 1.0 / tolerance && r <= tolerance;
+}
+
+std::size_t Scorecard::matched() const {
+  std::size_t n = 0;
+  for (const auto& r : rows) n += r.matches();
+  return n;
+}
+
+double Scorecard::score() const {
+  if (rows.empty()) return 0.0;
+  return static_cast<double>(matched()) / static_cast<double>(rows.size());
+}
+
+std::string Scorecard::render() const {
+  common::AsciiTable t({"metric", "paper", "ours", "ratio", "band", "ok"});
+  for (const auto& r : rows) {
+    char ratio[32];
+    if (std::isfinite(r.ratio())) {
+      std::snprintf(ratio, sizeof(ratio), "%.2f", r.ratio());
+    } else {
+      std::snprintf(ratio, sizeof(ratio), "-");
+    }
+    char band[32];
+    std::snprintf(band, sizeof(band), "%.2gx", r.tolerance);
+    t.add_row({r.metric, common::fmt_sig(r.paper, 4), common::fmt_sig(r.ours, 4),
+               ratio, band, r.matches() ? "yes" : "NO"});
+  }
+  std::string out = t.render();
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "shape match: %zu/%zu metrics (%.0f%%)\n",
+                matched(), total(), score() * 100.0);
+  out += buf;
+  return out;
+}
+
+Scorecard score_reproduction(const ErrorStats* error_stats,
+                             const JobImpact* job_impact,
+                             const JobStats* job_stats,
+                             const AvailabilityStats* availability,
+                             double mttf_h) {
+  Scorecard card;
+  auto add = [&card](std::string metric, double paper_v, double ours,
+                     double tol) {
+    card.rows.push_back({std::move(metric), paper_v, ours, tol});
+  };
+
+  if (error_stats != nullptr) {
+    for (const auto& ref : paper::kTable1) {
+      const auto* row = error_stats->find(ref.code);
+      if (row == nullptr) continue;
+      const auto d = xid::describe(ref.code);
+      // Rare families (<20 events) scatter hard; give them a wide band.
+      const auto band = [](std::uint64_t n) {
+        return n >= 100 ? 1.35 : n >= 20 ? 2.0 : 4.0;
+      };
+      if (ref.pre_count > 0 || row->pre.count > 0) {
+        add("count.pre." + std::string(d->abbrev),
+            static_cast<double>(ref.pre_count),
+            static_cast<double>(row->pre.count), band(ref.pre_count));
+      }
+      if (ref.op_count > 0 || row->op.count > 0) {
+        add("count.op." + std::string(d->abbrev),
+            static_cast<double>(ref.op_count),
+            static_cast<double>(row->op.count), band(ref.op_count));
+      }
+    }
+    add("mtbe.per_node.pre_h", paper::kPreNodeMtbeH,
+        error_stats->total.pre.mtbe_per_node_h, 1.25);
+    add("mtbe.per_node.op_h", paper::kOpNodeMtbeH,
+        error_stats->total.op.mtbe_per_node_h, 1.25);
+    add("ratio.memory_vs_hardware", paper::kMemoryVsHardwareRatio,
+        error_stats->memory_reliability_ratio_op(), 2.0);
+    add("ratio.gsp_degradation", paper::kGspDegradationRatio,
+        error_stats->gsp_degradation_ratio(), 1.5);
+  }
+
+  if (job_impact != nullptr) {
+    for (const auto& ref : paper::kTable2) {
+      const auto* row = job_impact->find(ref.code);
+      if (row == nullptr || row->encountering_jobs == 0) continue;
+      const auto d = xid::describe(ref.code);
+      add("p_fail." + std::string(d->abbrev), ref.failure_probability,
+          row->failure_probability * 100.0, 1.25);
+    }
+    add("gpu_failed_jobs", static_cast<double>(paper::kGpuFailedJobs),
+        static_cast<double>(job_impact->gpu_failed_jobs), 1.5);
+  }
+
+  if (job_stats != nullptr) {
+    add("jobs.success_pct", paper::kGpuJobSuccessPct,
+        job_stats->success_rate * 100.0, 1.05);
+    for (std::size_t i = 0;
+         i < std::min(paper::kTable3.size(), job_stats->buckets.size()); ++i) {
+      const auto& ref = paper::kTable3[i];
+      const auto& b = job_stats->buckets[i];
+      add(std::string("jobs.share.") + ref.label, ref.share_pct,
+          b.share * 100.0, 1.25);
+      add(std::string("jobs.p50_min.") + ref.label, ref.p50_min,
+          b.p50_minutes, 2.0);
+    }
+  }
+
+  if (availability != nullptr) {
+    add("mttr_h", paper::kMttrH, availability->mttr_h, 1.5);
+    const double a = availability->availability(mttf_h);
+    add("availability_pct", paper::kAvailabilityPct, a * 100.0, 1.01);
+    add("downtime_min_per_day", paper::kDowntimeMinPerDay,
+        AvailabilityStats::downtime_minutes_per_day(a), 2.0);
+  }
+  return card;
+}
+
+}  // namespace gpures::analysis

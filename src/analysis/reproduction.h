@@ -1,0 +1,53 @@
+// Reproduction scorecard: a machine-checkable comparison of measured
+// statistics against the paper's published values (paper_reference.h).
+//
+// Each metric records paper value, measured value, and their ratio; a metric
+// "matches in shape" when the ratio stays inside a tolerance band.  Counts
+// of rare events get wide bands (Poisson scatter); probabilities and the
+// headline ratios get tight ones.  The scorecard is what EXPERIMENTS.md
+// tabulates by hand, computed programmatically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "analysis/error_stats.h"
+#include "analysis/job_impact.h"
+#include "analysis/job_stats.h"
+
+namespace gpures::analysis {
+
+struct ScoreRow {
+  std::string metric;
+  double paper = 0.0;
+  double ours = 0.0;
+  /// Allowed ratio band: matches iff ours/paper in [1/tolerance, tolerance]
+  /// (for paper == 0, matches iff ours == 0).
+  double tolerance = 2.0;
+
+  double ratio() const;
+  bool matches() const;
+};
+
+struct Scorecard {
+  std::vector<ScoreRow> rows;
+
+  std::size_t matched() const;
+  std::size_t total() const { return rows.size(); }
+  /// Fraction of metrics inside their band.
+  double score() const;
+  std::string render() const;
+};
+
+/// Build the scorecard from whatever artifacts are available (pass nullptr
+/// to skip a section).  Only metrics computable at full Delta scale are
+/// scored — callers running scaled-down campaigns should score error_stats
+/// only (counts are scale-dependent, probabilities are not).
+Scorecard score_reproduction(const ErrorStats* error_stats,
+                             const JobImpact* job_impact,
+                             const JobStats* job_stats,
+                             const AvailabilityStats* availability,
+                             double mttf_h);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,190 @@
+#include "analysis/survival.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+
+#include "common/table.h"
+
+namespace gpures::analysis {
+
+double KaplanMeier::survival_at(double time_h) const {
+  double s = 1.0;
+  for (const auto& p : curve) {
+    if (p.time_h > time_h) break;
+    s = p.survival;
+  }
+  return s;
+}
+
+KaplanMeier km_time_to_first_error(const std::vector<CoalescedError>& errors,
+                                   const Period& window,
+                                   std::int32_t total_gpus) {
+  // First-error time per GPU.
+  std::map<std::uint64_t, common::TimePoint> first;
+  for (const auto& e : errors) {
+    if (!window.contains(e.time)) continue;
+    const auto key = xid::gpu_key(e.gpu);
+    const auto it = first.find(key);
+    if (it == first.end() || e.time < it->second) first[key] = e.time;
+  }
+
+  KaplanMeier km;
+  km.subjects = static_cast<std::uint64_t>(total_gpus);
+  km.observed_events = first.size();
+  km.censored = km.subjects >= km.observed_events
+                    ? km.subjects - km.observed_events
+                    : 0;
+
+  // Event times in hours since window start; censored subjects all carry the
+  // full window, which is >= every event time, so the at-risk set at each
+  // event time is simply subjects - (events strictly earlier).
+  std::vector<double> times;
+  times.reserve(first.size());
+  for (const auto& [gpu, t] : first) {
+    times.push_back(common::to_hours(t - window.begin));
+  }
+  std::sort(times.begin(), times.end());
+
+  double s = 1.0;
+  km.median_h = std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  while (i < times.size()) {
+    // Tie group at one event time.
+    std::size_t j = i;
+    while (j < times.size() && times[j] == times[i]) ++j;
+    const auto d = static_cast<std::uint64_t>(j - i);
+    const std::uint64_t at_risk = km.subjects - static_cast<std::uint64_t>(i);
+    if (at_risk == 0) break;
+    s *= 1.0 - static_cast<double>(d) / static_cast<double>(at_risk);
+    km.curve.push_back({times[i], s, at_risk, d});
+    if (s <= 0.5 && std::isinf(km.median_h)) km.median_h = times[i];
+    i = j;
+  }
+  return km;
+}
+
+WeibullFit fit_weibull_mle(const std::vector<double>& samples,
+                           int max_iterations, double tol) {
+  WeibullFit fit;
+  fit.n = samples.size();
+  if (samples.size() < 3) return fit;
+  for (const double x : samples) {
+    if (!(x > 0.0)) return fit;  // requires strictly positive support
+  }
+
+  // Profile likelihood: the shape k solves
+  //   g(k) = sum(y^k ln y)/sum(y^k) - 1/k - mean(ln y) = 0,
+  // where scale-invariance lets us normalize y = x / geometric-mean(x)
+  // (then mean(ln y) = 0 and y^k stays numerically tame).  g is monotone
+  // increasing in k, so a bracketed bisection is robust where Newton can
+  // diverge on heavy mixtures.
+  const double n = static_cast<double>(samples.size());
+  double mean_log = 0.0;
+  for (const double x : samples) mean_log += std::log(x);
+  mean_log /= n;
+  const double gm = std::exp(mean_log);
+
+  std::vector<double> y;
+  y.reserve(samples.size());
+  for (const double x : samples) y.push_back(x / gm);
+
+  const auto g = [&y](double k) {
+    double sum_yk = 0.0;
+    double sum_yk_log = 0.0;
+    for (const double v : y) {
+      const double lv = std::log(v);
+      const double vk = std::exp(k * lv);
+      sum_yk += vk;
+      sum_yk_log += vk * lv;
+    }
+    return sum_yk_log / sum_yk - 1.0 / k;
+  };
+
+  double lo = 1e-3;
+  double hi = 1.0;
+  while (g(hi) < 0.0 && hi < 1024.0) hi *= 2.0;
+  if (g(lo) > 0.0 || g(hi) < 0.0) return fit;  // no bracket: degenerate data
+
+  bool converged = false;
+  for (int it = 0; it < max_iterations * 4; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (g(mid) < 0.0 ? lo : hi) = mid;
+    if (hi - lo < tol * std::max(1.0, hi)) {
+      converged = true;
+      break;
+    }
+  }
+  const double k = 0.5 * (lo + hi);
+
+  double sum_yk = 0.0;
+  for (const double v : y) sum_yk += std::pow(v, k);
+  fit.shape = k;
+  fit.scale = gm * std::pow(sum_yk / n, 1.0 / k);
+  fit.converged = converged;
+  return fit;
+}
+
+std::vector<double> interarrival_hours(const std::vector<CoalescedError>& errors,
+                                       const Period& window, xid::Code family) {
+  std::map<std::uint64_t, std::vector<common::TimePoint>> per_gpu;
+  for (const auto& e : errors) {
+    if (!window.contains(e.time) || e.code != family) continue;
+    per_gpu[xid::gpu_key(e.gpu)].push_back(e.time);
+  }
+  std::vector<double> gaps;
+  for (auto& [gpu, times] : per_gpu) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      const double h = common::to_hours(times[i] - times[i - 1]);
+      if (h > 0.0) gaps.push_back(h);
+    }
+  }
+  return gaps;
+}
+
+std::string render_survival(const std::vector<CoalescedError>& errors,
+                            const StudyPeriods& periods,
+                            std::int32_t total_gpus) {
+  std::string out;
+  char buf[256];
+
+  const auto km = km_time_to_first_error(errors, periods.op, total_gpus);
+  std::snprintf(buf, sizeof(buf),
+                "Kaplan-Meier, time to first error per GPU (op period): %llu "
+                "GPUs, %llu erred, %llu censored; median %.0f h\n",
+                static_cast<unsigned long long>(km.subjects),
+                static_cast<unsigned long long>(km.observed_events),
+                static_cast<unsigned long long>(km.censored),
+                km.median_h);
+  out += buf;
+  for (const double t : {24.0 * 7, 24.0 * 30, 24.0 * 90, 24.0 * 365}) {
+    std::snprintf(buf, sizeof(buf), "  S(%5.0f d) = %.3f\n", t / 24.0,
+                  km.survival_at(t));
+    out += buf;
+  }
+
+  out += "\nWeibull MLE of per-GPU inter-error times (op period):\n";
+  common::AsciiTable t({"Family", "gaps", "shape k", "scale (h)",
+                        "interpretation"});
+  for (const auto code : {xid::Code::kMmuError, xid::Code::kNvlinkError,
+                          xid::Code::kGspRpcTimeout}) {
+    const auto gaps = interarrival_hours(errors, periods.op, code);
+    const auto fit = fit_weibull_mle(gaps);
+    const auto d = xid::describe(code);
+    const char* meaning = fit.n < 3 ? "insufficient data"
+                          : fit.shape < 0.95
+                              ? "k<1: clustered / decreasing hazard"
+                          : fit.shape > 1.05 ? "k>1: wear-out"
+                                             : "k~1: memoryless";
+    t.add_row({std::string(d->abbrev), common::fmt_int(fit.n),
+               common::fmt_fixed(fit.shape, 2), common::fmt_fixed(fit.scale, 1),
+               meaning});
+  }
+  out += t.render();
+  return out;
+}
+
+}  // namespace gpures::analysis

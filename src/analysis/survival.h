@@ -1,0 +1,71 @@
+// Survival analysis of GPU time-to-error, in the style of the Titan GPU
+// lifetime study (Ostrouchov et al., SC'20) the paper builds on.
+//
+//  * Kaplan-Meier estimator of the survival function S(t) for per-GPU time
+//    to first error, with right-censoring for GPUs that never erred during
+//    the observation window;
+//  * Weibull maximum-likelihood fit of inter-error times: shape k < 1 means
+//    the hazard *decreases* with time since the last error (bursty/infant
+//    behaviour), k ~ 1 memoryless, k > 1 wear-out.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/coalesce.h"
+#include "analysis/periods.h"
+#include "cluster/topology.h"
+
+namespace gpures::analysis {
+
+/// One step of a Kaplan-Meier survival curve.
+struct KmPoint {
+  double time_h = 0.0;   ///< event time (hours since window start)
+  double survival = 1.0; ///< S(t) just after this event time
+  std::uint64_t at_risk = 0;
+  std::uint64_t events = 0;
+};
+
+struct KaplanMeier {
+  std::vector<KmPoint> curve;
+  std::uint64_t subjects = 0;
+  std::uint64_t observed_events = 0;
+  std::uint64_t censored = 0;
+  /// Median time to event (hours); infinity if S never drops below 0.5.
+  double median_h = 0.0;
+
+  /// S(t) at an arbitrary time (step function; 1.0 before the first event).
+  double survival_at(double time_h) const;
+};
+
+/// Time to *first* error of any tracked family per GPU, right-censored at
+/// the window end for GPUs with no errors.  `total_gpus` supplies the number
+/// of subjects (GPUs that never logged anything are censored at full window).
+KaplanMeier km_time_to_first_error(const std::vector<CoalescedError>& errors,
+                                   const Period& window,
+                                   std::int32_t total_gpus);
+
+/// Weibull fit of a positive sample by maximum likelihood (Newton iteration
+/// on the profile equation for the shape).
+struct WeibullFit {
+  double shape = 1.0;  ///< k
+  double scale = 1.0;  ///< lambda (same unit as input)
+  std::uint64_t n = 0;
+  bool converged = false;
+};
+
+WeibullFit fit_weibull_mle(const std::vector<double>& samples,
+                           int max_iterations = 100, double tol = 1e-9);
+
+/// Inter-error gaps (hours) for a family within a window, pooled per GPU
+/// (gaps are computed per GPU so device changes don't create fake gaps).
+std::vector<double> interarrival_hours(const std::vector<CoalescedError>& errors,
+                                       const Period& window, xid::Code family);
+
+/// Render the survival report (KM summary + Weibull fits for key families).
+std::string render_survival(const std::vector<CoalescedError>& errors,
+                            const StudyPeriods& periods,
+                            std::int32_t total_gpus);
+
+}  // namespace gpures::analysis

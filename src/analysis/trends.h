@@ -1,0 +1,100 @@
+// Extended characterization beyond the paper's tables: temporal trends,
+// burstiness, and spatial concentration of GPU errors.  These are the
+// standard follow-up analyses in large-scale field studies (Blue Waters,
+// Titan, Summit) and directly extend the reproduced paper's findings:
+//
+//  * monthly error-rate series expose the GSP degradation ramp after the
+//    system entered production;
+//  * burstiness metrics (inter-arrival coefficient of variation, Fano
+//    factor) quantify how far each family departs from a Poisson process —
+//    NVLink storms and the uncontained episode are extreme cases;
+//  * spatial concentration (top-k share, Gini coefficient) shows that a few
+//    "lemon" devices dominate — the basis of the SREs' replace-early policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/coalesce.h"
+#include "analysis/periods.h"
+
+namespace gpures::analysis {
+
+/// One month of a family's error series.
+struct MonthlyPoint {
+  int year = 0;
+  int month = 0;             ///< 1..12
+  std::uint64_t count = 0;
+  double errors_per_day = 0.0;
+
+  std::string label() const;  ///< "2023-04"
+};
+
+/// Monthly error counts for one XID family (or all families combined).
+std::vector<MonthlyPoint> monthly_series(
+    const std::vector<CoalescedError>& errors, const Period& window,
+    std::optional<xid::Code> family = std::nullopt);
+
+/// Burstiness of a family's arrival process.
+struct Burstiness {
+  std::uint64_t events = 0;
+  double mean_interarrival_h = 0.0;
+  /// Coefficient of variation of inter-arrival times; 1 for Poisson,
+  /// >> 1 for bursty/clustered arrivals.
+  double interarrival_cv = 0.0;
+  /// Fano factor of daily counts (variance/mean); 1 for Poisson.
+  double daily_fano = 0.0;
+  /// Burstiness index B = (cv - 1) / (cv + 1) in [-1, 1]; 0 for Poisson.
+  double burstiness_index = 0.0;
+};
+
+Burstiness compute_burstiness(const std::vector<CoalescedError>& errors,
+                              const Period& window, xid::Code family);
+
+/// Spatial concentration of a family's errors across GPUs.
+struct SpatialConcentration {
+  std::uint64_t gpus_affected = 0;
+  std::uint64_t events = 0;
+  double top1_share = 0.0;   ///< share of errors from the worst GPU
+  double top5_share = 0.0;
+  /// Gini coefficient over per-GPU error counts of *affected* GPUs
+  /// (0 = uniform, ->1 = fully concentrated).
+  double gini = 0.0;
+  /// GPUs needed to cover 80% of the errors.
+  std::uint64_t gpus_for_80pct = 0;
+};
+
+SpatialConcentration compute_concentration(
+    const std::vector<CoalescedError>& errors, const Period& window,
+    std::optional<xid::Code> family = std::nullopt);
+
+/// Cross-family propagation: does family A's occurrence raise the short-term
+/// probability of family B on the same GPU?  (Paper finding iii: PMU SPI
+/// communication errors "exhibited high correlations with MMU errors".)
+struct PropagationCorrelation {
+  std::uint64_t trigger_events = 0;   ///< A errors observed
+  std::uint64_t followed = 0;         ///< A errors with >=1 B within horizon
+  double p_follow = 0.0;              ///< followed / triggers
+  /// Baseline: probability a random same-length window on the same GPU
+  /// contains a B error (from B's per-GPU rate).
+  double p_baseline = 0.0;
+  /// Lift = p_follow / p_baseline; >> 1 indicates propagation.
+  double lift = 0.0;
+};
+
+/// Measure P(B within `horizon` after A on the same GPU) against the rate
+/// baseline.  Errors may be in any order.
+PropagationCorrelation compute_propagation(
+    const std::vector<CoalescedError>& errors, const Period& window,
+    xid::Code trigger, xid::Code effect, common::Duration horizon = 1800);
+
+/// Render a compact trends report (monthly GSP ramp, burstiness table,
+/// concentration table, PMU->MMU propagation) for the families that matter
+/// in the paper.
+std::string render_trends(const std::vector<CoalescedError>& errors,
+                          const StudyPeriods& periods);
+
+}  // namespace gpures::analysis

@@ -1,0 +1,431 @@
+#include "cluster/cluster_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace gpures::cluster {
+
+namespace {
+
+std::string hex_detail(const char* fmt, std::uint64_t v) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(des::Engine& engine, const Topology& topo,
+                       FaultConfig cfg, common::Rng rng)
+    : engine_(engine), topo_(topo), cfg_(std::move(cfg)),
+      rng_(rng.fork("cluster_sim")), recovery_(cfg_.recovery),
+      nvlink_(cfg_.nvlink) {
+  cfg_.validate();
+  nodes_.reserve(static_cast<std::size_t>(topo_.node_count()));
+  for (std::int32_t n = 0; n < topo_.node_count(); ++n) {
+    nodes_.emplace_back(topo_.gpus_on_node(n));
+  }
+  memories_.reserve(static_cast<std::size_t>(topo_.total_gpus()));
+  for (std::int32_t g = 0; g < topo_.total_gpus(); ++g) {
+    memories_.emplace_back(cfg_.memory_op);  // bank layout is period-invariant
+  }
+  // Pre-consume the spare rows of degraded-GPU episode banks.
+  for (const auto& ep : cfg_.degraded_memory_episodes) {
+    auto& mem = memories_[static_cast<std::size_t>(topo_.flat_index(ep.gpu))];
+    mem.set_bank_spares(ep.bank, ep.bank_spares);
+  }
+  injector_ = std::make_unique<FaultInjector>(
+      engine_, topo_, cfg_, rng.fork("fault_injector"),
+      [this](const Fault& f) { handle_fault(f); });
+}
+
+void ClusterSim::start() { injector_->start(); }
+
+void ClusterSim::run_to_end() { engine_.run_until(cfg_.study_end); }
+
+NodeState ClusterSim::node_state(std::int32_t node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).state();
+}
+
+const GpuMemory& ClusterSim::gpu_memory(xid::GpuId gpu) const {
+  return memories_.at(static_cast<std::size_t>(topo_.flat_index(gpu)));
+}
+
+const MemoryModelConfig& ClusterSim::memory_probs_now() const {
+  return engine_.now() < cfg_.op_begin ? cfg_.memory_pre : cfg_.memory_op;
+}
+
+bool ClusterSim::node_accepts_faults(std::int32_t node) const {
+  // A node that is powered off (rebooting / awaiting hardware) produces no
+  // logs; a draining node is still running and can keep logging errors.
+  const NodeState s = nodes_[static_cast<std::size_t>(node)].state();
+  return s == NodeState::kUp || s == NodeState::kDraining;
+}
+
+xid::GpuId ClusterSim::maybe_retarget(xid::GpuId gpu, double idle_affinity,
+                                      bool require_idle_node) {
+  if (!busy_query_ || idle_affinity <= 0.0) return gpu;
+  const auto node_busy = [this](std::int32_t node) {
+    for (std::int32_t s = 0; s < topo_.gpus_on_node(node); ++s) {
+      if (busy_query_({node, s})) return true;
+    }
+    return false;
+  };
+  const bool conflict =
+      require_idle_node ? node_busy(gpu.node) : busy_query_(gpu);
+  if (!conflict) return gpu;  // already idle
+  if (!rng_.bernoulli(idle_affinity)) return gpu;
+  // Rejection-sample a random idle target; if the cluster is saturated, give
+  // up after a bounded number of tries and keep the original target.
+  for (int attempt = 0; attempt < 48; ++attempt) {
+    const auto flat = static_cast<std::int32_t>(
+        rng_.uniform_u64(static_cast<std::uint64_t>(topo_.total_gpus())));
+    const xid::GpuId candidate = topo_.from_flat(flat);
+    if (!node_accepts_faults(candidate.node)) continue;
+    if (require_idle_node ? !node_busy(candidate.node)
+                          : !busy_query_(candidate)) {
+      return candidate;
+    }
+  }
+  return gpu;
+}
+
+void ClusterSim::handle_fault(const Fault& raw_fault) {
+  Fault f = raw_fault;
+  switch (f.kind) {
+    case Fault::Kind::kMmu: f.gpu = maybe_retarget(f.gpu, cfg_.mmu.idle_affinity); break;
+    case Fault::Kind::kMemFault: f.gpu = maybe_retarget(f.gpu, cfg_.mem_fault.idle_affinity); break;
+    case Fault::Kind::kNvlink:
+      break;  // incident GPUs are pinned by the storm that spawned them
+    case Fault::Kind::kNvlinkStorm:
+      f.gpu = maybe_retarget(f.gpu, cfg_.nvlink_storms.idle_affinity,
+                             /*require_idle_node=*/true);
+      break;
+    case Fault::Kind::kOffBus: f.gpu = maybe_retarget(f.gpu, cfg_.off_bus.idle_affinity); break;
+    case Fault::Kind::kGsp: f.gpu = maybe_retarget(f.gpu, cfg_.gsp.idle_affinity); break;
+    case Fault::Kind::kPmu: f.gpu = maybe_retarget(f.gpu, cfg_.pmu.idle_affinity); break;
+    default: break;  // episodes stay pinned to their GPU
+  }
+  if (!node_accepts_faults(f.gpu.node)) return;
+  switch (f.kind) {
+    case Fault::Kind::kMmu:
+      emit_error(engine_.now(), f.gpu, xid::Code::kMmuError,
+                 hex_detail("Ch 00000010, intr 10000000. MMU Fault: ENGINE "
+                            "GRAPHICS GPCCLIENT_T1_0 faulted @ 0x%llx",
+                            rng_.next_u64() & 0x7fffffffffffull),
+                 &cfg_.mmu, /*reset=*/false, /*retry=*/false, /*kills=*/false);
+      break;
+    case Fault::Kind::kMemFault:
+      handle_mem_fault(f, /*degraded=*/false);
+      break;
+    case Fault::Kind::kMemFaultDegraded:
+      handle_mem_fault(f, /*degraded=*/true);
+      break;
+    case Fault::Kind::kNvlink:
+      handle_nvlink(f);
+      break;
+    case Fault::Kind::kNvlinkStorm:
+      handle_nvlink_storm(f.gpu.node);
+      break;
+    case Fault::Kind::kOffBus:
+      emit_error(engine_.now(), f.gpu, xid::Code::kFallenOffBus,
+                 "GPU has fallen off the bus.", &cfg_.off_bus,
+                 /*reset=*/true, /*retry=*/false, /*kills=*/true);
+      break;
+    case Fault::Kind::kGsp: {
+      const bool is_119 = rng_.bernoulli(cfg_.gsp_119_fraction);
+      emit_error(engine_.now(), f.gpu,
+                 is_119 ? xid::Code::kGspRpcTimeout : xid::Code::kGspError,
+                 is_119 ? "Timeout waiting for RPC from GSP! Expected function"
+                          " 76 (GSP_RM_CONTROL)."
+                        : "GSP task failure.",
+                 &cfg_.gsp, /*reset=*/true, /*retry=*/false, /*kills=*/true);
+      break;
+    }
+    case Fault::Kind::kPmu:
+      handle_pmu(f);
+      break;
+    case Fault::Kind::kUncontainedEpisode: {
+      const auto& ep =
+          cfg_.uncontained_episodes[static_cast<std::size_t>(f.episode_index)];
+      // The paper's persistent episode ran for 17 days *without recovery* —
+      // containment and recovery had failed, so these do not re-trigger the
+      // recovery workflow (reset_required=false models the failed detection).
+      emit_error(engine_.now(), f.gpu, xid::Code::kUncontainedEccError,
+                 hex_detail("Uncontained ECC error. physical address: 0x%llx",
+                            rng_.next_u64() & 0xffffffffull),
+                 nullptr, /*reset=*/false, /*retry=*/false, /*kills=*/true,
+                 /*dup_override=*/ep.dup_extra_mean);
+      break;
+    }
+  }
+}
+
+void ClusterSim::handle_mem_fault(const Fault& f, bool degraded) {
+  auto& mem = memories_[static_cast<std::size_t>(topo_.flat_index(f.gpu))];
+  const auto& probs = memory_probs_now();
+  MemoryFaultOutcome out;
+  if (degraded) {
+    const auto& ep =
+        cfg_.degraded_memory_episodes[static_cast<std::size_t>(f.episode_index)];
+    out = mem.on_uncorrectable_fault_in_bank(rng_, probs, ep.bank);
+  } else {
+    out = mem.on_uncorrectable_fault(rng_, probs);
+  }
+  const common::TimePoint t = engine_.now();
+
+  if (out.dbe_logged) {
+    emit_error(t, f.gpu, xid::Code::kDoubleBitEcc,
+               hex_detail("DBE (DED) Error on CBU, row 0x%llx", out.row),
+               &cfg_.mem_fault, /*reset=*/false, /*retry=*/false,
+               /*kills=*/false);
+  }
+  if (out.remap_succeeded) {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "Row remapping event: bank %d row 0x%x remapped to spare.",
+                  out.bank, out.row);
+    emit_error(t, f.gpu, xid::Code::kRowRemapEvent, detail, &cfg_.mem_fault,
+               /*reset=*/false, /*retry=*/false, /*kills=*/false);
+  } else {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "Row remapping failure: bank %d out of spare rows.",
+                  out.bank);
+    emit_error(t, f.gpu, xid::Code::kRowRemapFailure, detail, &cfg_.mem_fault,
+               /*reset=*/true, /*retry=*/false, /*kills=*/false);
+  }
+  if (out.containment_attempted) {
+    if (out.contained) {
+      emit_error(t, f.gpu, xid::Code::kContainedEccError,
+                 "Contained ECC error; affected processes terminated.",
+                 &cfg_.mem_fault, /*reset=*/false, /*retry=*/false,
+                 /*kills=*/true);
+    } else {
+      emit_error(t, f.gpu, xid::Code::kUncontainedEccError,
+                 "Uncontained ECC error; error propagation not contained.",
+                 &cfg_.mem_fault, /*reset=*/true, /*retry=*/false,
+                 /*kills=*/true);
+    }
+  }
+}
+
+void ClusterSim::handle_nvlink_storm(std::int32_t node) {
+  // Size the storm so that expected total per-GPU NVLink errors match the
+  // configured incident counts for the current period.
+  const bool pre = engine_.now() < cfg_.op_begin;
+  const double storms = pre ? cfg_.nvlink_storms.storms_pre
+                            : cfg_.nvlink_storms.storms_op;
+  const double incidents_total = pre ? cfg_.nvlink_incident.pre_count
+                                     : cfg_.nvlink_incident.op_count;
+  const double mean_incidents = storms > 0.0 ? incidents_total / storms : 0.0;
+  const auto n = static_cast<std::int32_t>(rng_.poisson(mean_incidents));
+  if (n <= 0) return;
+  schedule_storm_incident(node, n);
+}
+
+void ClusterSim::schedule_storm_incident(std::int32_t node,
+                                         std::int32_t remaining) {
+  const auto gap = std::max<common::Duration>(
+      31,  // stay beyond the coalescing window so incidents stay distinct
+      static_cast<common::Duration>(
+          rng_.exponential(1.0 / cfg_.nvlink_storms.incident_gap_s)));
+  engine_.schedule_after(gap, [this, node, remaining] {
+    if (engine_.now() >= cfg_.study_end) return;
+    if (!node_accepts_faults(node)) {
+      // Node is down for reboot/replacement; the flapping link is still
+      // flapping, it just cannot log.  Pause the storm rather than consume
+      // it, so configured error counts survive the recovery interruptions.
+      schedule_storm_incident(node, remaining);
+      return;
+    }
+    Fault f;
+    f.kind = Fault::Kind::kNvlink;
+    f.gpu = {node, static_cast<std::int32_t>(rng_.uniform_u64(
+                       static_cast<std::uint64_t>(topo_.gpus_on_node(node))))};
+    handle_fault(f);
+    if (remaining > 1) schedule_storm_incident(node, remaining - 1);
+  });
+}
+
+void ClusterSim::handle_nvlink(const Fault& f) {
+  const NvlinkIncident inc = nvlink_.on_link_fault(rng_, topo_, f.gpu);
+  for (std::size_t i = 0; i < inc.affected.size(); ++i) {
+    const auto t = engine_.now() +
+                   static_cast<common::Duration>(std::llround(inc.offsets_s[i]));
+    char detail[96];
+    std::snprintf(detail, sizeof(detail),
+                  "NVLink: fatal error detected on link %d (CRC error).",
+                  static_cast<int>(rng_.uniform_u64(12)));
+    // NVLink errors require a GPU reset to clear, but a CRC-retry-recovered
+    // transfer does not corrupt the running job (the job-failure model uses
+    // `recovered_by_retry`).
+    emit_error(t, inc.affected[i], xid::Code::kNvlinkError, detail,
+               &cfg_.nvlink_incident, /*reset=*/true,
+               /*retry=*/inc.recovered_by_retry, /*kills=*/false);
+  }
+}
+
+void ClusterSim::handle_pmu(const Fault& f) {
+  const bool is_122 = rng_.bernoulli(cfg_.pmu_122_fraction);
+  emit_error(engine_.now(), f.gpu,
+             is_122 ? xid::Code::kPmuSpiFailure
+                    : xid::Code::kPmuCommunicationError,
+             "PMU SPI RPC read failure: communication with PMU failed.",
+             &cfg_.pmu, /*reset=*/false, /*retry=*/false, /*kills=*/false);
+  // Finding (iii): PMU communication errors propagate to MMU errors (e.g.
+  // the driver cannot reprogram clocks and memory I/O faults follow).
+  const auto& cpl = cfg_.pmu_coupling;
+  if (rng_.bernoulli(cpl.trigger_probability)) {
+    const auto burst =
+        static_cast<std::int32_t>(1 + rng_.geometric(1.0 / cpl.burst_mean));
+    const auto delay = std::max<common::Duration>(
+        1, static_cast<common::Duration>(rng_.exponential(1.0 / cpl.delay_mean_s)));
+    const xid::GpuId gpu = f.gpu;
+    engine_.schedule_after(delay, [this, gpu, burst] {
+      emit_induced_mmu(gpu, burst);
+    });
+  }
+}
+
+void ClusterSim::emit_induced_mmu(xid::GpuId gpu, std::int32_t remaining) {
+  if (remaining <= 0 || !node_accepts_faults(gpu.node)) return;
+  if (engine_.now() >= cfg_.study_end) return;
+  emit_error(engine_.now(), gpu, xid::Code::kMmuError,
+             hex_detail("Ch 00000018, intr 10000000. MMU Fault: ENGINE HOST0 "
+                        "faulted @ 0x%llx (PMU-correlated)",
+                        rng_.next_u64() & 0x7fffffffffffull),
+             &cfg_.mmu, /*reset=*/false, /*retry=*/false, /*kills=*/false);
+  if (remaining > 1) {
+    const auto gap = std::max<common::Duration>(
+        1, static_cast<common::Duration>(
+               rng_.exponential(1.0 / cfg_.pmu_coupling.intra_burst_gap_s)));
+    engine_.schedule_after(gap, [this, gpu, remaining] {
+      emit_induced_mmu(gpu, remaining - 1);
+    });
+  }
+}
+
+void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
+                            xid::Code code, std::string detail,
+                            const ProcessSpec* dup_spec, bool reset_required,
+                            bool recovered_by_retry, bool kills_processes,
+                            double dup_extra_mean_override) {
+  if (t >= cfg_.study_end) return;
+  // Duplication: the driver logs the same condition repeatedly in close
+  // succession; Stage II coalescing is what removes these again.
+  double dup_mean = dup_spec ? dup_spec->dup_extra_mean : 1.0;
+  double dup_spread = dup_spec ? dup_spec->dup_spread_s : 4.0;
+  if (dup_extra_mean_override >= 0.0) {
+    dup_mean = dup_extra_mean_override;
+    dup_spread = 6.0;
+  }
+  std::uint32_t extra = 0;
+  if (dup_mean > 0.0) {
+    extra = static_cast<std::uint32_t>(
+        rng_.geometric(1.0 / (1.0 + dup_mean)));
+  }
+
+  xid::GpuErrorEvent ev;
+  ev.time = t;
+  ev.gpu = gpu;
+  ev.code = code;
+  ev.raw_line_count = 1 + extra;
+  ev.detail = detail;
+  truth_.errors.push_back(ev);
+
+  if (raw_sink_ != nullptr) {
+    raw_sink_->on_xid_record(t, gpu.node, gpu.slot, code, detail);
+    ++raw_records_;
+    for (std::uint32_t i = 0; i < extra; ++i) {
+      // Offsets are drawn independently from the leader line and capped to
+      // dup_max_span_s, which keeps every duplicate inside the pipeline's
+      // coalescing window (the log store re-sorts lines per day anyway).
+      const double off = std::min(
+          rng_.exponential(1.0 / std::max(dup_spread, 0.5)),
+          cfg_.dup_max_span_s);
+      const common::TimePoint dup_t =
+          t + std::max<common::Duration>(
+                  1, static_cast<common::Duration>(std::llround(off)));
+      if (dup_t >= cfg_.study_end) continue;
+      raw_sink_->on_xid_record(dup_t, gpu.node, gpu.slot, code, detail);
+      ++raw_records_;
+    }
+  }
+
+  auto& gh = nodes_[static_cast<std::size_t>(gpu.node)].gpu(gpu.slot);
+  gh.last_error = t;
+  if (reset_required) gh.error_pending = true;
+
+  if (listener_ != nullptr) {
+    ErrorNotification note;
+    note.event = ev;
+    note.reset_required = reset_required;
+    note.recovered_by_retry = recovered_by_retry;
+    note.kills_processes = kills_processes;
+    listener_->on_error(note);
+  }
+
+  if (reset_required) begin_recovery(gpu.node);
+}
+
+void ClusterSim::begin_recovery(std::int32_t node) {
+  auto& nh = nodes_[static_cast<std::size_t>(node)];
+  if (nh.state() != NodeState::kUp) return;  // recovery already in progress
+
+  const common::Duration detect = recovery_.detection_latency(rng_);
+  engine_.schedule_after(detect, [this, node] {
+    auto& n = nodes_[static_cast<std::size_t>(node)];
+    if (n.state() != NodeState::kUp) return;
+    const common::TimePoint drain_begin = engine_.now();
+    n.begin_drain(drain_begin);
+    if (listener_ != nullptr) listener_->on_drain_begin(node, drain_begin);
+
+    const auto cap = static_cast<common::Duration>(cfg_.recovery.drain_cap_s);
+    const common::Duration drain =
+        drain_query_ ? std::clamp<common::Duration>(
+                           drain_query_(node, drain_begin, cap), 0, cap)
+                     : recovery_.default_drain(rng_);
+
+    engine_.schedule_after(drain, [this, node, drain_begin] {
+      auto& n2 = nodes_[static_cast<std::size_t>(node)];
+      n2.begin_reboot(engine_.now());
+      if (listener_ != nullptr) listener_->on_node_down(node, engine_.now());
+
+      const common::Duration reboot = recovery_.reboot_duration(rng_);
+      const bool fails = recovery_.reset_fails(rng_);
+
+      engine_.schedule_after(reboot, [this, node, drain_begin, fails] {
+        auto& n3 = nodes_[static_cast<std::size_t>(node)];
+        if (fails) {
+          n3.begin_replacement(engine_.now());
+          const common::Duration repl = recovery_.replacement_duration(rng_);
+          engine_.schedule_after(repl, [this, node, drain_begin] {
+            auto& n4 = nodes_[static_cast<std::size_t>(node)];
+            // Fresh silicon: reset the memory spare inventory of the node's
+            // GPUs that had pending errors before clearing them.
+            for (std::int32_t s = 0; s < n4.gpu_count(); ++s) {
+              if (n4.gpu(s).error_pending) {
+                memories_[static_cast<std::size_t>(
+                              topo_.flat_index({node, s}))]
+                    .replace(cfg_.memory_op);
+              }
+            }
+            n4.return_to_service(engine_.now(), /*was_replacement=*/true);
+            truth_.downtime.push_back(
+                {node, drain_begin, engine_.now(), /*replacement=*/true});
+            if (listener_ != nullptr) listener_->on_node_up(node, engine_.now());
+          });
+          return;
+        }
+        n3.return_to_service(engine_.now(), /*was_replacement=*/false);
+        truth_.downtime.push_back(
+            {node, drain_begin, engine_.now(), /*replacement=*/false});
+        if (listener_ != nullptr) listener_->on_node_up(node, engine_.now());
+      });
+    });
+  });
+}
+
+}  // namespace gpures::cluster

@@ -1,0 +1,146 @@
+// The cluster simulator: interprets raw faults through the component models,
+// emits ground-truth error events and raw (duplicated) syslog-style records,
+// and runs the SRE recovery workflow that produces node downtime.
+//
+// Layering: FaultInjector -> ClusterSim -> {RawLineSink, SimListener}.
+// The simulator knows nothing about log text formats (the logsys layer
+// renders lines) or about jobs (the campaign wires a listener that applies
+// the job-failure propagation model).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/fault_config.h"
+#include "cluster/fault_injector.h"
+#include "cluster/gpu_state.h"
+#include "cluster/health_check.h"
+#include "cluster/memory_model.h"
+#include "cluster/nvlink_model.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "des/event_queue.h"
+#include "xid/event.h"
+
+namespace gpures::cluster {
+
+/// Receives every raw log record the cluster would write to syslog.
+/// One coalesced error produces 1 + dup raw records.
+class RawLineSink {
+ public:
+  virtual ~RawLineSink() = default;
+  /// `slot` is the GPU slot; `detail` is the code-specific payload suffix.
+  virtual void on_xid_record(common::TimePoint t, std::int32_t node,
+                             std::int32_t slot, xid::Code code,
+                             const std::string& detail) = 0;
+};
+
+/// Context the simulator attaches to each ground-truth error notification.
+struct ErrorNotification {
+  xid::GpuErrorEvent event;
+  bool reset_required = false;       ///< triggers the recovery workflow
+  bool recovered_by_retry = false;   ///< NVLink CRC retry masked the fault
+  bool kills_processes = false;      ///< containment terminated processes
+};
+
+/// Observes simulator state changes (campaign wires this to the job layer).
+class SimListener {
+ public:
+  virtual ~SimListener() = default;
+  virtual void on_error(const ErrorNotification&) {}
+  /// Node stops accepting new jobs (drain begins) — downtime clock starts.
+  virtual void on_drain_begin(std::int32_t /*node*/, common::TimePoint) {}
+  /// Node reboots: any still-running job on it dies now.
+  virtual void on_node_down(std::int32_t /*node*/, common::TimePoint) {}
+  /// Node back in service.
+  virtual void on_node_up(std::int32_t /*node*/, common::TimePoint) {}
+};
+
+/// Asked how long draining a node will take (the job layer answers with the
+/// remaining runtime of the node's jobs, capped).  Absent a scheduler, the
+/// simulator uses RecoverySampler::default_drain.
+using DrainQuery = std::function<common::Duration(
+    std::int32_t node, common::TimePoint now, common::Duration cap)>;
+
+/// Asked whether a GPU currently hosts user work; drives each family's
+/// idle-affinity retargeting.  Absent a scheduler, faults are never
+/// retargeted.
+using GpuBusyQuery = std::function<bool(xid::GpuId)>;
+
+class ClusterSim {
+ public:
+  ClusterSim(des::Engine& engine, const Topology& topo, FaultConfig cfg,
+             common::Rng rng);
+
+  /// Optional listeners (may be set before start()).
+  void set_raw_sink(RawLineSink* sink) { raw_sink_ = sink; }
+  void set_listener(SimListener* l) { listener_ = l; }
+  void set_drain_query(DrainQuery q) { drain_query_ = std::move(q); }
+  void set_busy_query(GpuBusyQuery q) { busy_query_ = std::move(q); }
+
+  /// Install fault arrivals on the engine.  Call once before running.
+  void start();
+
+  /// Run the engine to the end of the study window.
+  void run_to_end();
+
+  const Topology& topology() const { return topo_; }
+  const FaultConfig& config() const { return cfg_; }
+  const xid::GroundTruth& ground_truth() const { return truth_; }
+  NodeState node_state(std::int32_t node) const;
+  const GpuMemory& gpu_memory(xid::GpuId gpu) const;
+
+  /// Total raw records emitted (diagnostics).
+  std::uint64_t raw_records() const { return raw_records_; }
+
+ private:
+  void handle_fault(const Fault& raw_fault);
+  void handle_mem_fault(const Fault& f, bool degraded);
+  void handle_nvlink(const Fault& f);
+  void handle_nvlink_storm(std::int32_t node);
+  void schedule_storm_incident(std::int32_t node, std::int32_t remaining);
+  void handle_pmu(const Fault& f);
+  void emit_induced_mmu(xid::GpuId gpu, std::int32_t remaining);
+
+  /// Record one coalesced error: ground truth + raw duplicated records +
+  /// listener notification + (if reset_required) the recovery workflow.
+  void emit_error(common::TimePoint t, xid::GpuId gpu, xid::Code code,
+                  std::string detail, const ProcessSpec* dup_spec,
+                  bool reset_required, bool recovered_by_retry,
+                  bool kills_processes, double dup_extra_mean_override = -1.0);
+
+  void begin_recovery(std::int32_t node);
+  const MemoryModelConfig& memory_probs_now() const;
+  bool node_accepts_faults(std::int32_t node) const;
+
+  /// Apply a family's idle affinity: when the chosen GPU is busy, retarget
+  /// to a random idle GPU with probability `idle_affinity`.  When
+  /// `require_idle_node` is set the whole node must be idle — NVLink
+  /// incidents propagate to peer GPUs, so idle-affine NVLink faults must
+  /// land on fully idle nodes to actually avoid user work.
+  xid::GpuId maybe_retarget(xid::GpuId gpu, double idle_affinity,
+                            bool require_idle_node = false);
+
+  des::Engine& engine_;
+  const Topology& topo_;
+  FaultConfig cfg_;
+  common::Rng rng_;
+  RecoverySampler recovery_;
+  NvlinkModel nvlink_;
+  std::unique_ptr<FaultInjector> injector_;
+
+  std::vector<NodeHealth> nodes_;
+  std::vector<GpuMemory> memories_;  ///< by flat GPU index
+
+  RawLineSink* raw_sink_ = nullptr;
+  SimListener* listener_ = nullptr;
+  DrainQuery drain_query_;
+  GpuBusyQuery busy_query_;
+
+  xid::GroundTruth truth_;
+  std::uint64_t raw_records_ = 0;
+};
+
+}  // namespace gpures::cluster

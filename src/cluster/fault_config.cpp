@@ -1,0 +1,189 @@
+#include "cluster/fault_config.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gpures::cluster {
+
+double FaultConfig::expected_gpus_per_incident(std::int32_t peer_count) const {
+  if (peer_count <= 0) return 1.0;
+  // Given propagation, the first peer always joins and each further peer
+  // joins with geometric continuation probability, truncated at peer_count.
+  double expected_extra = 0.0;
+  double p_reach = 1.0;
+  for (std::int32_t k = 1; k <= peer_count; ++k) {
+    expected_extra += p_reach;
+    p_reach *= nvlink.extra_peer_probability;
+  }
+  return 1.0 + nvlink.multi_gpu_probability * expected_extra;
+}
+
+FaultConfig FaultConfig::delta_a100() {
+  using common::make_date;
+  FaultConfig c;
+  // Measurement window: 2022-01-01 .. 2025-03-16 (1170 days);
+  // operational period starts 2022-10-01 (paper Section III-A).
+  c.study_begin = make_date(2022, 1, 1);
+  c.op_begin = make_date(2022, 10, 1);
+  c.study_end = make_date(2025, 3, 16);
+
+  // ---- background process calibration (paper Table I counts) ----
+  // MMU (XID 31): table counts are 1,078 pre / 8,863 op.  A slice of those
+  // is produced by the PMU->MMU coupling below (expected extra per period =
+  // pmu_count * trigger_p * burst_mean), so the background spec is the table
+  // count minus the induced expectation.
+  // Idle-affinity calibration solves (1 - a) * utilization = busy-hit rate
+  // implied by Table II's "#jobs encountering" column at ~72% GPU utilization.
+  c.pmu = {8.0, 77.0, /*dup*/ 1.0, 4.0, /*idle_affinity=*/0.26};
+  c.pmu_coupling = PmuCouplingConfig{};  // 0.8 * 3.0 => x2.4 per PMU error
+  const double induced_pre =
+      c.pmu.pre_count * c.pmu_coupling.trigger_probability * c.pmu_coupling.burst_mean;
+  const double induced_op =
+      c.pmu.op_count * c.pmu_coupling.trigger_probability * c.pmu_coupling.burst_mean;
+  c.mmu = {1078.0 - induced_pre, 8863.0 - induced_op, /*dup*/ 2.0, 4.0,
+           /*idle_affinity=*/0.47};
+
+  // Uncorrectable memory fault chain (XIDs 48/63/64/94/95): the table's
+  // "Uncorrectable ECC memory errors" row is 46 pre / 34 op; pre-op splits
+  // into 15 background faults plus the degraded-GPU episode (expected 31
+  // faults concentrated on a 16-spare bank => 16 RREs + 15 RRFs, matching
+  // the table's 31 RRE / 15 RRF).
+  c.mem_fault = {15.0, 34.0, /*dup*/ 1.2, 3.0, /*idle_affinity=*/0.46};
+
+  // NVLink (XID 74): the table counts per-GPU errors (2,092 pre / 1,922 op);
+  // 42% of incidents propagate to >=2 GPUs, so divide by the expected GPUs
+  // per incident on the dominant 4-way nodes (3 peers).
+  c.nvlink = NvlinkModelConfig{};
+  const double gpus_per_incident = c.expected_gpus_per_incident(3);
+  c.nvlink_incident = {2092.0 / gpus_per_incident, 1922.0 / gpus_per_incident,
+                       /*dup*/ 1.5, 3.0, /*idle_affinity=*/0.94};
+
+  c.off_bus = {4.0, 10.0, /*dup*/ 0.5, 2.0, /*idle_affinity=*/0.5};
+  c.gsp = {209.0, 3857.0, /*dup*/ 1.5, 4.0, /*idle_affinity=*/0.99};
+
+  // ---- memory-management behaviour per period ----
+  // Pre-op: 22 of 46 faults were touched by a process and all containments
+  // succeeded (no background XID 95 beyond the faulty-GPU episode).
+  c.memory_pre = MemoryModelConfig{};
+  c.memory_pre.touch_probability = 22.0 / 46.0;
+  c.memory_pre.containment_success = 1.0;
+  c.memory_pre.dbe_log_probability = 0.0;  // no XID 48 logged pre-op
+  // Op: 24 of 34 faults attempted containment; 13 contained, 11 uncontained.
+  c.memory_op = MemoryModelConfig{};
+  c.memory_op.touch_probability = 24.0 / 34.0;
+  c.memory_op.containment_success = 13.0 / 24.0;
+  c.memory_op.dbe_log_probability = 1.0 / 34.0;  // the single op-period DBE
+
+  // ---- episodes ----
+  UncontainedEpisode unc;
+  unc.gpu = {52, 1};
+  unc.begin = make_date(2022, 5, 5);
+  unc.end = make_date(2022, 5, 22);  // "persisted for 17 days (May 5th-21st)"
+  unc.gap_s = 37.8;                  // ~38,900 coalesced errors over 17 days
+  unc.gap_jitter_s = 3.0;
+  unc.dup_extra_mean = 25.0;         // >1M raw log lines in total
+  c.uncontained_episodes.push_back(unc);
+
+  DegradedMemoryEpisode deg;
+  deg.gpu = {17, 2};
+  deg.begin = make_date(2022, 2, 10);
+  deg.end = make_date(2022, 8, 20);
+  deg.expected_faults = 31.0;
+  deg.bank = 0;
+  deg.bank_spares = 16;
+  c.degraded_memory_episodes.push_back(deg);
+
+  c.recovery = RecoveryConfig{};
+  c.validate();
+  return c;
+}
+
+FaultConfig FaultConfig::test_config() {
+  using common::make_date;
+  FaultConfig c = delta_a100();
+  // 90-day window: 30 days pre-op + 60 days op.
+  c.study_begin = make_date(2023, 1, 1);
+  c.op_begin = make_date(2023, 1, 31);
+  c.study_end = make_date(2023, 4, 1);
+  // Keep per-hour rates comparable to the full campaign by scaling counts to
+  // the shorter periods (full campaign: 6,552 pre-op hours, 21,528 op hours).
+  const double pre_f = c.pre_hours() / 6552.0;
+  const double op_f = c.op_hours() / 21528.0;
+  for (ProcessSpec* p : {&c.mmu, &c.mem_fault, &c.nvlink_incident, &c.off_bus,
+                         &c.gsp, &c.pmu}) {
+    p->pre_count *= pre_f;
+    p->op_count *= op_f;
+  }
+  // Boost the rare families so a short test window still exercises every
+  // code path (memory chain, off-bus, PMU coupling).
+  c.mem_fault.pre_count = 10.0;
+  c.mem_fault.op_count = 18.0;
+  c.off_bus.pre_count = 2.0;
+  c.off_bus.op_count = 4.0;
+  c.pmu.pre_count = 4.0;
+  c.pmu.op_count = 12.0;
+  // Short windows make big storms statistically violent (a couple of extra
+  // storms flips the pre-op MTBE); use many small storms instead so tests
+  // see stable per-period counts.
+  c.nvlink_storms.storms_pre = 60.0;
+  c.nvlink_storms.storms_op = 30.0;
+  // Re-anchor the episodes inside the shortened window.
+  c.uncontained_episodes.clear();
+  UncontainedEpisode unc;
+  unc.gpu = {3, 0};
+  unc.begin = make_date(2023, 1, 10);
+  unc.end = make_date(2023, 1, 13);  // 3-day burst instead of 17
+  c.uncontained_episodes.push_back(unc);
+  c.degraded_memory_episodes.clear();
+  DegradedMemoryEpisode deg;
+  deg.gpu = {1, 1};
+  deg.begin = make_date(2023, 1, 5);
+  deg.end = make_date(2023, 1, 25);
+  deg.expected_faults = 31.0;
+  deg.bank_spares = 16;
+  c.degraded_memory_episodes.push_back(deg);
+  c.validate();
+  return c;
+}
+
+void FaultConfig::validate() const {
+  if (!(study_begin < op_begin && op_begin < study_end)) {
+    throw std::invalid_argument("FaultConfig: need study_begin < op_begin < study_end");
+  }
+  if (scale <= 0.0) {
+    throw std::invalid_argument("FaultConfig: scale must be positive");
+  }
+  if (dup_max_span_s < 0.0) {
+    throw std::invalid_argument("FaultConfig: negative dup_max_span_s");
+  }
+  for (const ProcessSpec* p : {&mmu, &mem_fault, &nvlink_incident, &off_bus,
+                               &gsp, &pmu}) {
+    if (p->pre_count < 0.0 || p->op_count < 0.0 || p->dup_extra_mean < 0.0 ||
+        p->dup_spread_s < 0.0 || p->idle_affinity < 0.0 ||
+        p->idle_affinity > 1.0) {
+      throw std::invalid_argument("FaultConfig: bad process parameter");
+    }
+  }
+  if (gsp_119_fraction < 0.0 || gsp_119_fraction > 1.0 ||
+      pmu_122_fraction < 0.0 || pmu_122_fraction > 1.0) {
+    throw std::invalid_argument("FaultConfig: bad family split fraction");
+  }
+  for (const auto& e : uncontained_episodes) {
+    if (!(e.begin >= study_begin && e.end <= study_end && e.begin < e.end)) {
+      throw std::invalid_argument("FaultConfig: uncontained episode outside window");
+    }
+    if (e.gap_s <= e.gap_jitter_s) {
+      throw std::invalid_argument("FaultConfig: episode gap must exceed jitter");
+    }
+  }
+  for (const auto& e : degraded_memory_episodes) {
+    if (!(e.begin >= study_begin && e.end <= study_end && e.begin < e.end)) {
+      throw std::invalid_argument("FaultConfig: degraded episode outside window");
+    }
+    if (e.bank_spares < 0 || e.expected_faults < 0.0) {
+      throw std::invalid_argument("FaultConfig: bad degraded episode");
+    }
+  }
+}
+
+}  // namespace gpures::cluster

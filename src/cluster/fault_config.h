@@ -1,0 +1,177 @@
+// Fault-process configuration for the cluster simulator, calibrated to the
+// reproduced study's published statistics (Table I of the paper).
+//
+// Each tracked XID family is driven by a Poisson process whose system-wide
+// expected count is specified per period (pre-operational vs operational);
+// the injector converts counts to rates using the period lengths.  On top of
+// the stationary background processes sit the paper's named episodes:
+//
+//  * the faulty GPU that emitted uncontained memory errors (XID 95)
+//    continuously for 17 days of the pre-op period (May 5-21, 2022),
+//    producing ~38.9k coalesced errors and over a million raw log lines;
+//  * a degraded-memory GPU whose hammered bank exhausts its spare rows,
+//    which is what produces the pre-op period's row-remapping failures.
+//
+// Raw-log duplication (the reason the paper's pipeline needs a coalescing
+// stage) is modeled per family as a geometric number of extra duplicate
+// lines spread over a few seconds after each error.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "cluster/memory_model.h"
+#include "cluster/nvlink_model.h"
+#include "xid/event.h"
+
+namespace gpures::cluster {
+
+/// Expected system-wide coalesced-error counts for one fault family.
+struct ProcessSpec {
+  double pre_count = 0.0;  ///< expected errors in the pre-operational period
+  double op_count = 0.0;   ///< expected errors in the operational period
+  /// Mean number of *extra* duplicated raw lines per error (geometric).
+  double dup_extra_mean = 1.5;
+  /// Duplicates are spread over this mean horizon after the error (seconds);
+  /// must stay well inside the coalescing window to be merged back.
+  double dup_spread_s = 4.0;
+  /// Probability a fault landing on a busy GPU is redirected to an idle one.
+  /// Field data shows hardware errors (GSP, NVLink especially) overwhelmingly
+  /// strike GPUs that are not running user work — the paper records only 31
+  /// jobs ever encountering a GSP error against 3,857 GSP errors logged.
+  double idle_affinity = 0.0;
+};
+
+/// The continuously-logging faulty GPU (paper finding vi): emits one error
+/// every `gap_s` +- `gap_jitter_s`, each with heavy duplication.
+struct UncontainedEpisode {
+  xid::GpuId gpu{52, 1};
+  common::TimePoint begin = 0;
+  common::TimePoint end = 0;
+  double gap_s = 37.8;          ///< mean spacing between coalesced errors
+  double gap_jitter_s = 3.0;    ///< uniform jitter; keep gaps > coalesce dt
+  double dup_extra_mean = 25.0; ///< ~26 raw lines per error -> >1M lines total
+};
+
+/// A GPU whose uncorrectable faults concentrate in one bank until the spare
+/// rows run out, yielding row-remapping failures.
+struct DegradedMemoryEpisode {
+  xid::GpuId gpu{17, 2};
+  common::TimePoint begin = 0;
+  common::TimePoint end = 0;
+  double expected_faults = 31.0;  ///< all hitting `bank`
+  std::int32_t bank = 0;
+  std::int32_t bank_spares = 16;  ///< spares available in that bank
+};
+
+/// Recovery / downtime behaviour (drives Fig. 2 and the availability figure).
+struct RecoveryConfig {
+  /// Health checks run periodically; detection latency of a reset-requiring
+  /// error is uniform in [0, health_check_period_s].
+  double health_check_period_s = 300.0;
+  /// Drain: node stops accepting jobs; surviving jobs get at most this long
+  /// to finish before the reboot proceeds anyway.
+  double drain_cap_s = 1200.0;
+  /// Reboot + post-reboot health-check duration: lognormal(mu, sigma) hours.
+  double reboot_lognormal_mu = -0.92;     ///< median ~0.40 h
+  double reboot_lognormal_sigma = 0.82;   ///< mean ~0.56 h, long tail
+  /// Probability the reset fails and the GPU must be physically replaced.
+  double reset_failure_probability = 0.002;
+  /// Replacement turnaround: uniform [lo, hi] hours.
+  double replacement_lo_h = 8.0;
+  double replacement_hi_h = 48.0;
+};
+
+/// NVLink errors arrive as *storms*: a defective link, connector, or bridge
+/// flaps and logs errors repeatedly on one node until cleared, so thousands
+/// of NVLink errors concentrate into a few dozen episodes.  This temporal
+/// clustering is what lets the paper see 1,922 operational NVLink errors yet
+/// only 80 jobs ever encountering one.
+struct NvlinkStormConfig {
+  double storms_pre = 55.0;     ///< expected storm episodes, pre-op
+  double storms_op = 50.0;      ///< expected storm episodes, op
+  double incident_gap_s = 240.0;///< mean spacing of incidents inside a storm
+  /// Probability a storm starting on a node with running jobs relocates to
+  /// an idle node (defective links are often caught by health checks/burn-in
+  /// rather than by user jobs).
+  double idle_affinity = 0.85;
+};
+
+/// PMU -> MMU error-propagation coupling (paper finding iii: PMU SPI
+/// communication errors correlate with MMU errors).
+struct PmuCouplingConfig {
+  double trigger_probability = 0.8;  ///< PMU error spawns an MMU burst
+  double burst_mean = 3.0;           ///< geometric mean MMU errors per burst
+  double delay_mean_s = 120.0;       ///< exp. delay from PMU error to burst
+  double intra_burst_gap_s = 90.0;   ///< spacing inside the burst (> coalesce dt)
+};
+
+/// Full fault configuration.
+struct FaultConfig {
+  // --- measurement window (defaults: the paper's 1170-day window) ---
+  common::TimePoint study_begin = 0;  ///< pre-op starts
+  common::TimePoint op_begin = 0;     ///< operational period starts
+  common::TimePoint study_end = 0;
+
+  // --- background processes (system-wide expected coalesced counts) ---
+  ProcessSpec mmu;               ///< XID 31 (background, non-PMU-induced)
+  ProcessSpec mem_fault;         ///< uncorrectable-memory-fault chain
+  /// NVLink *incidents* (already divided by the expected GPUs per incident;
+  /// see delta_a100()).  Incidents arrive clustered into storms per
+  /// `nvlink_storms`, not as an independent Poisson stream.
+  ProcessSpec nvlink_incident;
+  ProcessSpec off_bus;           ///< XID 79
+  ProcessSpec gsp;               ///< XID 119/120 family
+  ProcessSpec pmu;               ///< XID 122/123 family
+
+  NvlinkStormConfig nvlink_storms;
+
+  /// Fraction of GSP family errors logged as XID 119 (rest are 120).
+  double gsp_119_fraction = 0.8;
+  /// Fraction of PMU family errors logged as XID 122 (rest are 123).
+  double pmu_122_fraction = 0.85;
+
+  PmuCouplingConfig pmu_coupling;
+
+  // --- component models, per period (containment behaviour differed) ---
+  MemoryModelConfig memory_pre;
+  MemoryModelConfig memory_op;
+  NvlinkModelConfig nvlink;
+
+  // --- episodes ---
+  std::vector<UncontainedEpisode> uncontained_episodes;
+  std::vector<DegradedMemoryEpisode> degraded_memory_episodes;
+
+  RecoveryConfig recovery;
+
+  /// Hard cap on how far a duplicated raw line may trail its error's first
+  /// line (seconds).  Must stay below the pipeline's coalescing window or
+  /// Stage II will split one error into several.
+  double dup_max_span_s = 25.0;
+
+  /// Uniform scale factor on all background counts and episode lengths; lets
+  /// tests/examples run proportionally smaller campaigns quickly.
+  double scale = 1.0;
+
+  // --- derived helpers ---
+  double pre_hours() const { return common::to_hours(op_begin - study_begin); }
+  double op_hours() const { return common::to_hours(study_end - op_begin); }
+
+  /// Expected GPUs logging XID 74 per NVLink incident under `nvlink` and a
+  /// node with `peer_count` NVLink peers.
+  double expected_gpus_per_incident(std::int32_t peer_count) const;
+
+  /// The calibrated Delta A100 configuration (matches paper Table I).
+  static FaultConfig delta_a100();
+
+  /// A lighter configuration for tests: same structure, ~90-day window,
+  /// higher rates so small simulations still see every error family.
+  static FaultConfig test_config();
+
+  /// Throws std::invalid_argument if the configuration is inconsistent
+  /// (non-positive periods, episodes outside the window, bad fractions).
+  void validate() const;
+};
+
+}  // namespace gpures::cluster

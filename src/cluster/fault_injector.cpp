@@ -1,0 +1,161 @@
+#include "cluster/fault_injector.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gpures::cluster {
+
+namespace {
+constexpr double kSecondsPerHour = 3600.0;
+}
+
+std::string_view to_string(Fault::Kind k) {
+  switch (k) {
+    case Fault::Kind::kMmu: return "mmu";
+    case Fault::Kind::kMemFault: return "mem_fault";
+    case Fault::Kind::kMemFaultDegraded: return "mem_fault_degraded";
+    case Fault::Kind::kNvlink: return "nvlink";
+    case Fault::Kind::kNvlinkStorm: return "nvlink_storm";
+    case Fault::Kind::kOffBus: return "off_bus";
+    case Fault::Kind::kGsp: return "gsp";
+    case Fault::Kind::kPmu: return "pmu";
+    case Fault::Kind::kUncontainedEpisode: return "uncontained_episode";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(des::Engine& engine, const Topology& topo,
+                             const FaultConfig& cfg, common::Rng rng,
+                             Sink sink)
+    : engine_(engine), topo_(topo), cfg_(cfg), rng_(std::move(rng)),
+      sink_(std::move(sink)) {
+  cfg_.validate();
+  if (!sink_) throw std::invalid_argument("FaultInjector: null sink");
+}
+
+double FaultInjector::rate_at(const ProcessSpec& spec,
+                              common::TimePoint t) const {
+  if (t < cfg_.study_begin || t >= cfg_.study_end) return 0.0;
+  if (t < cfg_.op_begin) {
+    return cfg_.scale * spec.pre_count / cfg_.pre_hours();
+  }
+  return cfg_.scale * spec.op_count / cfg_.op_hours();
+}
+
+void FaultInjector::start() {
+  // NVLink incidents are delivered through storm episodes, not directly; the
+  // storm process spec lives in the injector so its rate bookkeeping works
+  // like any other family's.
+  storm_spec_.pre_count = cfg_.nvlink_storms.storms_pre;
+  storm_spec_.op_count = cfg_.nvlink_storms.storms_op;
+  const Process processes[] = {
+      {Fault::Kind::kMmu, &cfg_.mmu},
+      {Fault::Kind::kMemFault, &cfg_.mem_fault},
+      {Fault::Kind::kNvlinkStorm, &storm_spec_},
+      {Fault::Kind::kOffBus, &cfg_.off_bus},
+      {Fault::Kind::kGsp, &cfg_.gsp},
+      {Fault::Kind::kPmu, &cfg_.pmu},
+  };
+  for (const auto& p : processes) {
+    schedule_next(p, std::max(engine_.now(), cfg_.study_begin));
+  }
+  for (std::size_t i = 0; i < cfg_.uncontained_episodes.size(); ++i) {
+    schedule_uncontained(static_cast<std::int32_t>(i),
+                         cfg_.uncontained_episodes[i].begin);
+  }
+  for (std::size_t i = 0; i < cfg_.degraded_memory_episodes.size(); ++i) {
+    schedule_degraded(static_cast<std::int32_t>(i),
+                      cfg_.degraded_memory_episodes[i].begin);
+  }
+}
+
+void FaultInjector::schedule_next(const Process& proc, common::TimePoint from) {
+  // Exact sampling of a piecewise-constant-rate Poisson process: draw an
+  // exponential gap at the current period's rate; if the arrival would cross
+  // the next rate boundary, restart the draw at the boundary (memorylessness
+  // makes this exact, not an approximation).
+  common::TimePoint t = from;
+  while (t < cfg_.study_end) {
+    const double rate_per_hour = rate_at(*proc.spec, t);
+    const common::TimePoint boundary =
+        t < cfg_.op_begin ? cfg_.op_begin : cfg_.study_end;
+    if (rate_per_hour <= 0.0) {
+      t = boundary;
+      continue;
+    }
+    const double gap_s =
+        rng_.exponential(rate_per_hour / kSecondsPerHour);
+    // Guard against overflow/huge draws by clamping to the boundary check.
+    const double max_gap = static_cast<double>(cfg_.study_end - t) + 1.0;
+    const auto gap = static_cast<common::TimePoint>(std::min(gap_s, max_gap));
+    if (t + gap >= boundary && boundary != cfg_.study_end) {
+      t = boundary;  // re-draw in the next period
+      continue;
+    }
+    t += std::max<common::TimePoint>(gap, 1);
+    if (t >= cfg_.study_end) return;
+    const Process proc_copy = proc;
+    engine_.schedule_at(t, [this, proc_copy] {
+      Fault f;
+      f.kind = proc_copy.kind;
+      f.gpu = random_gpu();
+      ++delivered_;
+      sink_(f);
+      schedule_next(proc_copy, engine_.now());
+    });
+    return;
+  }
+}
+
+void FaultInjector::schedule_uncontained(std::int32_t idx,
+                                         common::TimePoint from) {
+  const auto& ep = cfg_.uncontained_episodes[static_cast<std::size_t>(idx)];
+  common::TimePoint t = std::max(from, ep.begin);
+  const double jitter = rng_.uniform(-ep.gap_jitter_s, ep.gap_jitter_s);
+  t += std::max<common::TimePoint>(
+      1, static_cast<common::TimePoint>(std::llround(ep.gap_s + jitter)));
+  if (t >= ep.end || t >= cfg_.study_end) return;
+  engine_.schedule_at(t, [this, idx] {
+    const auto& e = cfg_.uncontained_episodes[static_cast<std::size_t>(idx)];
+    Fault f;
+    f.kind = Fault::Kind::kUncontainedEpisode;
+    f.gpu = e.gpu;
+    f.episode_index = idx;
+    ++delivered_;
+    sink_(f);
+    schedule_uncontained(idx, engine_.now());
+  });
+}
+
+void FaultInjector::schedule_degraded(std::int32_t idx,
+                                      common::TimePoint from) {
+  const auto& ep = cfg_.degraded_memory_episodes[static_cast<std::size_t>(idx)];
+  const double hours = common::to_hours(ep.end - ep.begin);
+  if (hours <= 0.0 || ep.expected_faults <= 0.0) return;
+  const double rate_per_s = ep.expected_faults / (hours * kSecondsPerHour);
+  common::TimePoint t = std::max(from, ep.begin);
+  const double gap_s = rng_.exponential(rate_per_s);
+  if (gap_s > static_cast<double>(ep.end - t)) return;
+  t += std::max<common::TimePoint>(
+      1, static_cast<common::TimePoint>(std::llround(gap_s)));
+  if (t >= ep.end || t >= cfg_.study_end) return;
+  engine_.schedule_at(t, [this, idx] {
+    const auto& e = cfg_.degraded_memory_episodes[static_cast<std::size_t>(idx)];
+    Fault f;
+    f.kind = Fault::Kind::kMemFaultDegraded;
+    f.gpu = e.gpu;
+    f.episode_index = idx;
+    ++delivered_;
+    sink_(f);
+    schedule_degraded(idx, engine_.now());
+  });
+}
+
+xid::GpuId FaultInjector::random_gpu() {
+  const auto flat =
+      static_cast<std::int32_t>(rng_.uniform_u64(
+          static_cast<std::uint64_t>(topo_.total_gpus())));
+  return topo_.from_flat(flat);
+}
+
+}  // namespace gpures::cluster

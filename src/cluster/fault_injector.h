@@ -1,0 +1,83 @@
+// Stochastic fault arrival generation.
+//
+// The injector owns one piecewise-constant-rate Poisson process per fault
+// family (rates switch at the pre-op -> op boundary) plus the configured
+// episodes, and delivers `Fault` occurrences to a sink through the shared
+// DES engine.  It deliberately knows nothing about logging, recovery, or
+// jobs — the ClusterSim interprets each fault.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "cluster/fault_config.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "des/event_queue.h"
+#include "xid/event.h"
+
+namespace gpures::cluster {
+
+/// A raw fault occurrence, before component models expand it into XID events.
+struct Fault {
+  enum class Kind : std::uint8_t {
+    kMmu,                 ///< background MMU fault
+    kMemFault,            ///< uncorrectable memory fault (random bank)
+    kMemFaultDegraded,    ///< uncorrectable fault on an episode GPU's bad bank
+    kNvlink,              ///< one NVLink incident origin
+    kNvlinkStorm,         ///< start of an NVLink storm episode (gpu = seed node)
+    kOffBus,              ///< GPU fell off the bus
+    kGsp,                 ///< GSP family fault
+    kPmu,                 ///< PMU family fault
+    kUncontainedEpisode,  ///< one error of the persistent faulty-GPU episode
+  };
+
+  Kind kind = Kind::kMmu;
+  xid::GpuId gpu;
+  std::int32_t episode_index = -1;  ///< for episode faults
+};
+
+std::string_view to_string(Fault::Kind k);
+
+class FaultInjector {
+ public:
+  using Sink = std::function<void(const Fault&)>;
+
+  /// The engine's clock must start at or before cfg.study_begin.
+  FaultInjector(des::Engine& engine, const Topology& topo,
+                const FaultConfig& cfg, common::Rng rng, Sink sink);
+
+  /// Schedule the first arrival of every process and episode.  Call once.
+  void start();
+
+  /// Faults delivered so far (diagnostics).
+  std::uint64_t faults_delivered() const { return delivered_; }
+
+ private:
+  struct Process {
+    Fault::Kind kind;
+    const ProcessSpec* spec;
+  };
+
+  /// Per-hour system-wide rate of `spec` at time `t`.
+  double rate_at(const ProcessSpec& spec, common::TimePoint t) const;
+
+  /// Schedule the next arrival of a background process starting from `from`.
+  void schedule_next(const Process& proc, common::TimePoint from);
+
+  void schedule_uncontained(std::int32_t idx, common::TimePoint from);
+  void schedule_degraded(std::int32_t idx, common::TimePoint from);
+
+  xid::GpuId random_gpu();
+
+  des::Engine& engine_;
+  const Topology& topo_;
+  FaultConfig cfg_;
+  common::Rng rng_;
+  Sink sink_;
+  ProcessSpec storm_spec_;  ///< NVLink storm arrival rates (from config)
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace gpures::cluster

@@ -1,0 +1,64 @@
+#include "cluster/gpu_state.h"
+
+#include <stdexcept>
+
+namespace gpures::cluster {
+
+std::string_view to_string(NodeState s) {
+  switch (s) {
+    case NodeState::kUp: return "UP";
+    case NodeState::kDraining: return "DRAINING";
+    case NodeState::kRebooting: return "REBOOTING";
+    case NodeState::kAwaitingReplacement: return "AWAITING_REPLACEMENT";
+  }
+  return "UNKNOWN";
+}
+
+bool NodeHealth::any_error_pending() const {
+  for (const auto& g : gpus_) {
+    if (g.error_pending) return true;
+  }
+  return false;
+}
+
+void NodeHealth::begin_drain(common::TimePoint t) {
+  if (state_ != NodeState::kUp) {
+    throw std::logic_error("NodeHealth::begin_drain: node not up");
+  }
+  state_ = NodeState::kDraining;
+  state_since_ = t;
+}
+
+void NodeHealth::begin_reboot(common::TimePoint t) {
+  if (state_ != NodeState::kDraining && state_ != NodeState::kUp) {
+    throw std::logic_error("NodeHealth::begin_reboot: node not draining/up");
+  }
+  state_ = NodeState::kRebooting;
+  state_since_ = t;
+}
+
+void NodeHealth::begin_replacement(common::TimePoint t) {
+  if (state_ != NodeState::kRebooting) {
+    throw std::logic_error("NodeHealth::begin_replacement: node not rebooting");
+  }
+  state_ = NodeState::kAwaitingReplacement;
+  state_since_ = t;
+}
+
+void NodeHealth::return_to_service(common::TimePoint t, bool was_replacement) {
+  if (state_ != NodeState::kRebooting &&
+      state_ != NodeState::kAwaitingReplacement) {
+    throw std::logic_error("NodeHealth::return_to_service: node not down");
+  }
+  for (auto& g : gpus_) {
+    if (g.error_pending) {
+      g.error_pending = false;
+      ++g.resets;
+      if (was_replacement) ++g.replacements;
+    }
+  }
+  state_ = NodeState::kUp;
+  state_since_ = t;
+}
+
+}  // namespace gpures::cluster

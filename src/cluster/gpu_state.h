@@ -1,0 +1,67 @@
+// GPU and node health state machines.
+//
+// Nodes cycle Up -> Draining -> Rebooting -> Up (or -> AwaitingReplacement ->
+// Up when the reset fails and the GPU must be physically swapped).  GPUs carry
+// an error-pending flag that forces the owning node through the recovery
+// cycle, mirroring the SRE workflow the paper describes (health checks alert,
+// node is drained, rebooted, and health-checked back into service).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "xid/event.h"
+
+namespace gpures::cluster {
+
+enum class NodeState : std::uint8_t {
+  kUp,                  ///< scheduling new jobs
+  kDraining,            ///< no new jobs; waiting for running jobs to finish
+  kRebooting,           ///< down for reboot + health check
+  kAwaitingReplacement  ///< reset failed; waiting for hardware swap
+};
+
+std::string_view to_string(NodeState s);
+
+/// Health bookkeeping for one GPU.
+struct GpuHealth {
+  bool error_pending = false;     ///< an error requiring reset is outstanding
+  std::uint32_t resets = 0;       ///< lifetime reset count
+  std::uint32_t replacements = 0; ///< physical swaps
+  common::TimePoint last_error = 0;
+};
+
+/// Health bookkeeping for one node plus its GPUs.
+class NodeHealth {
+ public:
+  explicit NodeHealth(std::int32_t gpu_count)
+      : gpus_(static_cast<std::size_t>(gpu_count)) {}
+
+  NodeState state() const { return state_; }
+  bool available() const { return state_ == NodeState::kUp; }
+
+  GpuHealth& gpu(std::int32_t slot) { return gpus_.at(static_cast<std::size_t>(slot)); }
+  const GpuHealth& gpu(std::int32_t slot) const { return gpus_.at(static_cast<std::size_t>(slot)); }
+  std::int32_t gpu_count() const { return static_cast<std::int32_t>(gpus_.size()); }
+
+  /// Any GPU on this node has an outstanding reset-requiring error.
+  bool any_error_pending() const;
+
+  // -- state transitions (validated; throw std::logic_error on misuse) --
+  void begin_drain(common::TimePoint t);
+  void begin_reboot(common::TimePoint t);
+  void begin_replacement(common::TimePoint t);
+  /// Return to service: clears all pending GPU errors, bumps reset counters.
+  void return_to_service(common::TimePoint t, bool was_replacement);
+
+  common::TimePoint state_since() const { return state_since_; }
+
+ private:
+  NodeState state_ = NodeState::kUp;
+  common::TimePoint state_since_ = 0;
+  std::vector<GpuHealth> gpus_;
+};
+
+}  // namespace gpures::cluster

@@ -1,0 +1,35 @@
+#include "cluster/health_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpures::cluster {
+
+common::Duration RecoverySampler::detection_latency(common::Rng& rng) const {
+  return static_cast<common::Duration>(
+      rng.uniform(0.0, std::max(cfg_.health_check_period_s, 1.0)));
+}
+
+common::Duration RecoverySampler::reboot_duration(common::Rng& rng) const {
+  const double hours =
+      rng.lognormal(cfg_.reboot_lognormal_mu, cfg_.reboot_lognormal_sigma);
+  return std::max<common::Duration>(
+      60, static_cast<common::Duration>(hours * 3600.0));
+}
+
+bool RecoverySampler::reset_fails(common::Rng& rng) const {
+  return rng.bernoulli(cfg_.reset_failure_probability);
+}
+
+common::Duration RecoverySampler::replacement_duration(common::Rng& rng) const {
+  const double hours = rng.uniform(cfg_.replacement_lo_h, cfg_.replacement_hi_h);
+  return static_cast<common::Duration>(hours * 3600.0);
+}
+
+common::Duration RecoverySampler::default_drain(common::Rng& rng,
+                                                double busy_fraction) const {
+  if (!rng.bernoulli(busy_fraction)) return 0;
+  return static_cast<common::Duration>(rng.uniform(0.0, cfg_.drain_cap_s));
+}
+
+}  // namespace gpures::cluster

@@ -1,0 +1,43 @@
+// SRE recovery workflow model: health-check detection, drain, reboot,
+// replacement.  The paper's site reliability engineers run automatic node
+// health checks that alert on GPU errors; recovery drains the node, reboots
+// it, and returns it to service if post-reboot checks pass — otherwise the
+// node stays down until the GPU is physically swapped.
+#pragma once
+
+#include "cluster/fault_config.h"
+#include "common/rng.h"
+#include "common/time.h"
+
+namespace gpures::cluster {
+
+/// Samples the stochastic pieces of one recovery episode.
+class RecoverySampler {
+ public:
+  explicit RecoverySampler(RecoveryConfig cfg) : cfg_(cfg) {}
+
+  const RecoveryConfig& config() const { return cfg_; }
+
+  /// Delay from error occurrence to health-check alert (seconds).
+  common::Duration detection_latency(common::Rng& rng) const;
+
+  /// Reboot + post-reboot health-check duration (seconds).
+  common::Duration reboot_duration(common::Rng& rng) const;
+
+  /// Whether the reset fails and hardware replacement is needed.
+  bool reset_fails(common::Rng& rng) const;
+
+  /// Replacement turnaround (seconds).
+  common::Duration replacement_duration(common::Rng& rng) const;
+
+  /// Default drain-time model used when no job scheduler is attached: with
+  /// probability `busy_fraction` the node has work that takes a uniform slice
+  /// of the drain cap to finish; otherwise drain completes immediately.
+  common::Duration default_drain(common::Rng& rng,
+                                 double busy_fraction = 0.5) const;
+
+ private:
+  RecoveryConfig cfg_;
+};
+
+}  // namespace gpures::cluster

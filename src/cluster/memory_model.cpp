@@ -1,0 +1,77 @@
+#include "cluster/memory_model.h"
+
+#include <stdexcept>
+
+namespace gpures::cluster {
+
+GpuMemory::GpuMemory(const MemoryModelConfig& cfg)
+    : cfg_(cfg),
+      bank_spares_(static_cast<std::size_t>(cfg.banks_per_gpu),
+                   cfg.spare_rows_per_bank) {
+  if (cfg.banks_per_gpu <= 0 || cfg.spare_rows_per_bank < 0) {
+    throw std::invalid_argument("GpuMemory: bad bank configuration");
+  }
+}
+
+MemoryFaultOutcome GpuMemory::on_uncorrectable_fault(
+    common::Rng& rng, const MemoryModelConfig& probs) {
+  const auto bank =
+      static_cast<std::int32_t>(rng.uniform_u64(bank_spares_.size()));
+  return on_uncorrectable_fault_in_bank(rng, probs, bank);
+}
+
+MemoryFaultOutcome GpuMemory::on_uncorrectable_fault_in_bank(
+    common::Rng& rng, const MemoryModelConfig& probs, std::int32_t bank) {
+  if (bank < 0 || bank >= static_cast<std::int32_t>(bank_spares_.size())) {
+    throw std::out_of_range("GpuMemory: bad bank index");
+  }
+  MemoryFaultOutcome out;
+  out.bank = bank;
+  out.row = static_cast<std::uint32_t>(rng.uniform_u64(1u << 14));
+  out.dbe_logged = rng.bernoulli(probs.dbe_log_probability);
+
+  auto& spares = bank_spares_[static_cast<std::size_t>(bank)];
+  if (spares > 0) {
+    --spares;
+    ++remapped_;
+    out.remap_succeeded = true;
+  } else {
+    ++remap_failures_;
+    out.remap_succeeded = false;
+  }
+
+  // Dynamic page offlining happens regardless of remap outcome: the page is
+  // marked unallocatable so the node can stay in service.
+  ++offlined_;
+
+  out.containment_attempted = rng.bernoulli(probs.touch_probability);
+  if (out.containment_attempted) {
+    out.contained = rng.bernoulli(probs.containment_success);
+  }
+  return out;
+}
+
+std::int32_t GpuMemory::spares_remaining() const {
+  std::int32_t total = 0;
+  for (auto s : bank_spares_) total += s;
+  return total;
+}
+
+void GpuMemory::replace(const MemoryModelConfig& cfg) {
+  cfg_ = cfg;
+  bank_spares_.assign(static_cast<std::size_t>(cfg.banks_per_gpu),
+                      cfg.spare_rows_per_bank);
+  remapped_ = 0;
+  offlined_ = 0;
+  remap_failures_ = 0;
+}
+
+void GpuMemory::set_bank_spares(std::int32_t bank, std::int32_t spares) {
+  if (bank < 0 || bank >= static_cast<std::int32_t>(bank_spares_.size()) ||
+      spares < 0) {
+    throw std::out_of_range("GpuMemory::set_bank_spares: bad arguments");
+  }
+  bank_spares_[static_cast<std::size_t>(bank)] = spares;
+}
+
+}  // namespace gpures::cluster

@@ -1,0 +1,95 @@
+// A100 HBM2e ECC error-management model.
+//
+// Models the Ampere uncorrectable-memory-error handling chain the paper
+// describes (NVIDIA memory error management, r555):
+//
+//   uncorrectable fault (1 DBE, or 2 SBEs at one address)
+//     -> row remapping: use a spare row for the faulty row
+//          success -> Row Remapping Event (XID 63)
+//          spares exhausted -> Row Remapping Failure (XID 64)
+//     -> dynamic page offlining: faulty page marked unallocatable
+//     -> if a process was touching the region: error containment
+//          success -> Contained Memory Error (XID 94), process killed
+//          failure -> Uncontained Memory Error (XID 95), GPU reset needed
+//
+// The model tracks spare-row inventory per memory bank (A100 supports up to
+// 512 remaps per GPU, previous generations had only 64 page retirements and
+// no remapping), so RRFs emerge mechanistically once a defective GPU burns
+// through its bank's spares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "xid/xid.h"
+
+namespace gpures::cluster {
+
+/// Tunable parameters of the memory management chain.
+struct MemoryModelConfig {
+  /// Memory banks per GPU (HBM2e stacks x banks); remap spares are per bank.
+  std::int32_t banks_per_gpu = 32;
+  /// Spare rows per bank.  32 banks x 16 = 512 total remaps per GPU (A100).
+  std::int32_t spare_rows_per_bank = 16;
+  /// Probability the uncorrectable fault manifests as an explicit DBE log
+  /// (XID 48) rather than the two-SBE path (SBEs are silently corrected and
+  /// not logged, so only the remap/containment chain is visible for them).
+  double dbe_log_probability = 0.03;
+  /// Probability an active process was touching the faulty region, which
+  /// triggers the containment path at all.
+  double touch_probability = 0.6;
+  /// Probability containment succeeds given it is attempted.
+  double containment_success = 0.9;
+};
+
+/// Outcome of one uncorrectable memory fault.
+struct MemoryFaultOutcome {
+  bool dbe_logged = false;        ///< XID 48 emitted
+  bool remap_succeeded = false;   ///< XID 63 (RRE) vs XID 64 (RRF)
+  bool containment_attempted = false;
+  bool contained = false;         ///< XID 94 vs XID 95 when attempted
+  std::int32_t bank = 0;
+  /// Faulty-row address within the bank (for log payload realism).
+  std::uint32_t row = 0;
+};
+
+/// Per-GPU memory error-management state.
+class GpuMemory {
+ public:
+  explicit GpuMemory(const MemoryModelConfig& cfg);
+
+  /// Process one uncorrectable fault at a random bank.  `probs` supplies the
+  /// probabilistic behaviour (DBE logging, touch, containment success), which
+  /// the campaign varies per period; the spare-row inventory is persistent
+  /// state owned by this object.
+  MemoryFaultOutcome on_uncorrectable_fault(common::Rng& rng,
+                                            const MemoryModelConfig& probs);
+
+  /// Process a fault pinned to a specific bank (defective-GPU episodes hammer
+  /// one bank, which is what exhausts spares in the field).
+  MemoryFaultOutcome on_uncorrectable_fault_in_bank(
+      common::Rng& rng, const MemoryModelConfig& probs, std::int32_t bank);
+
+  /// Remaining spare rows across all banks.
+  std::int32_t spares_remaining() const;
+  std::int32_t remapped_rows() const { return remapped_; }
+  std::int32_t offlined_pages() const { return offlined_; }
+  std::int32_t remap_failures() const { return remap_failures_; }
+
+  /// Physical replacement: fresh spares, counters reset.
+  void replace(const MemoryModelConfig& cfg);
+
+  /// Override spares in one bank (used to model GPUs received with partially
+  /// consumed spare inventory).
+  void set_bank_spares(std::int32_t bank, std::int32_t spares);
+
+ private:
+  MemoryModelConfig cfg_;
+  std::vector<std::int32_t> bank_spares_;
+  std::int32_t remapped_ = 0;
+  std::int32_t offlined_ = 0;
+  std::int32_t remap_failures_ = 0;
+};
+
+}  // namespace gpures::cluster

@@ -1,0 +1,32 @@
+#include "cluster/nvlink_model.h"
+
+#include <algorithm>
+
+namespace gpures::cluster {
+
+NvlinkIncident NvlinkModel::on_link_fault(common::Rng& rng,
+                                          const Topology& topo,
+                                          xid::GpuId origin) const {
+  NvlinkIncident inc;
+  inc.affected.push_back(origin);
+  inc.offsets_s.push_back(0.0);
+  inc.recovered_by_retry = rng.bernoulli(cfg_.retry_recovers);
+
+  auto peers = topo.nvlink_peers(origin.node, origin.slot);
+  if (!peers.empty() && rng.bernoulli(cfg_.multi_gpu_probability)) {
+    rng.shuffle(peers);
+    // At least one peer joins; each further peer joins with geometric odds.
+    std::size_t extra = 1;
+    while (extra < peers.size() && rng.bernoulli(cfg_.extra_peer_probability)) {
+      ++extra;
+    }
+    for (std::size_t i = 0; i < extra; ++i) {
+      inc.affected.push_back({origin.node, peers[i]});
+      inc.offsets_s.push_back(rng.exponential(1.0 / std::max(
+          cfg_.intra_incident_spread_s, 1e-9)));
+    }
+  }
+  return inc;
+}
+
+}  // namespace gpures::cluster

@@ -1,0 +1,61 @@
+// NVLink interconnect error model.
+//
+// NVLink carries GPU-to-GPU traffic inside a node; control and data packets
+// are CRC-protected, and a failed checksum triggers retransmission from the
+// last known-good packet.  The paper observes that (a) 42% of NVLink error
+// incidents propagate to two or more GPUs of the node, and (b) only ~54% of
+// jobs that encounter an NVLink error fail — the link often is not in use, or
+// CRC+retry masks the fault.  This model turns one underlying link fault into
+// the set of per-GPU XID 74 errors the driver would log, plus a verdict on
+// whether transmission was recovered by retry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "cluster/topology.h"
+#include "xid/event.h"
+
+namespace gpures::cluster {
+
+struct NvlinkModelConfig {
+  /// Probability an incident is visible on >= 2 GPUs (paper: 42% in op).
+  double multi_gpu_probability = 0.42;
+  /// Given multi-GPU propagation, probability of each additional peer beyond
+  /// the second joining the incident (geometric tail over peers).
+  double extra_peer_probability = 0.3;
+  /// Probability CRC detection + retransmission fully recovers the transfer
+  /// (no data loss; job can continue if the runtime tolerates the stall).
+  double retry_recovers = 0.85;
+  /// Mean spacing between the per-GPU log records of one incident (seconds);
+  /// propagated records appear nearly simultaneously in real logs.
+  double intra_incident_spread_s = 2.0;
+};
+
+/// One NVLink incident expanded to per-GPU observations.
+struct NvlinkIncident {
+  /// GPUs on which XID 74 is logged; first element is the originating GPU.
+  std::vector<xid::GpuId> affected;
+  /// Per-GPU log time offsets (seconds after the incident instant).
+  std::vector<double> offsets_s;
+  /// Whether CRC retry recovered the transfer (affects job-failure odds).
+  bool recovered_by_retry = false;
+};
+
+class NvlinkModel {
+ public:
+  explicit NvlinkModel(NvlinkModelConfig cfg) : cfg_(cfg) {}
+
+  const NvlinkModelConfig& config() const { return cfg_; }
+
+  /// Expand a fault on `origin` into an incident.  Single-GPU nodes never
+  /// propagate (no NVLink peers).
+  NvlinkIncident on_link_fault(common::Rng& rng, const Topology& topo,
+                               xid::GpuId origin) const;
+
+ private:
+  NvlinkModelConfig cfg_;
+};
+
+}  // namespace gpures::cluster

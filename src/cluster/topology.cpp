@@ -1,0 +1,121 @@
+#include "cluster/topology.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpures::cluster {
+
+namespace {
+
+// Slot -> PCI bus number mapping resembling HGX A100 4-GPU / 8-GPU baseboard
+// layouts.  The exact values are cosmetic; what matters is that the mapping
+// is injective per node so logs can be attributed back to slots.
+constexpr std::array<int, 8> kPciBusBySlot = {0x07, 0x27, 0x47, 0x67,
+                                              0x87, 0xA7, 0xC7, 0xE7};
+
+std::string node_name(const char* prefix, int i) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%03d", prefix, i);
+  return buf;
+}
+
+}  // namespace
+
+ClusterSpec ClusterSpec::delta_a100() {
+  ClusterSpec spec;
+  spec.nodes.reserve(106);
+  for (int i = 1; i <= 100; ++i) {
+    spec.nodes.push_back({node_name("gpua", i), 4});
+  }
+  for (int i = 1; i <= 6; ++i) {
+    spec.nodes.push_back({node_name("gpub", i), 8});
+  }
+  return spec;
+}
+
+ClusterSpec ClusterSpec::small(std::int32_t nodes4, std::int32_t nodes8) {
+  ClusterSpec spec;
+  for (int i = 1; i <= nodes4; ++i) {
+    spec.nodes.push_back({node_name("gpua", i), 4});
+  }
+  for (int i = 1; i <= nodes8; ++i) {
+    spec.nodes.push_back({node_name("gpub", i), 8});
+  }
+  return spec;
+}
+
+std::int32_t ClusterSpec::total_gpus() const {
+  std::int32_t total = 0;
+  for (const auto& n : nodes) total += n.gpu_count;
+  return total;
+}
+
+Topology::Topology(ClusterSpec spec) : spec_(std::move(spec)) {
+  flat_base_.reserve(spec_.nodes.size());
+  for (const auto& n : spec_.nodes) {
+    if (n.gpu_count < 1 || n.gpu_count > 8) {
+      throw std::invalid_argument("Topology: node GPU count must be 1..8");
+    }
+    flat_base_.push_back(total_gpus_);
+    total_gpus_ += n.gpu_count;
+  }
+}
+
+std::optional<std::int32_t> Topology::node_index(std::string_view hostname) const {
+  for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
+    if (spec_.nodes[i].name == hostname) return static_cast<std::int32_t>(i);
+  }
+  return std::nullopt;
+}
+
+std::string Topology::pci_bus(xid::GpuId gpu) const {
+  if (gpu.node < 0 || gpu.node >= node_count() || gpu.slot < 0 ||
+      gpu.slot >= gpus_on_node(gpu.node)) {
+    throw std::out_of_range("Topology::pci_bus: bad GpuId");
+  }
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0000:%02X:00",
+                kPciBusBySlot[static_cast<std::size_t>(gpu.slot)]);
+  return buf;
+}
+
+std::optional<std::int32_t> Topology::slot_for_pci(std::int32_t node_idx,
+                                                   std::string_view pci) const {
+  if (node_idx < 0 || node_idx >= node_count()) return std::nullopt;
+  for (std::int32_t s = 0; s < gpus_on_node(node_idx); ++s) {
+    if (pci_bus({node_idx, s}) == pci) return s;
+  }
+  return std::nullopt;
+}
+
+std::int32_t Topology::flat_index(xid::GpuId gpu) const {
+  if (gpu.node < 0 || gpu.node >= node_count() || gpu.slot < 0 ||
+      gpu.slot >= gpus_on_node(gpu.node)) {
+    throw std::out_of_range("Topology::flat_index: bad GpuId");
+  }
+  return flat_base_[static_cast<std::size_t>(gpu.node)] + gpu.slot;
+}
+
+xid::GpuId Topology::from_flat(std::int32_t flat) const {
+  if (flat < 0 || flat >= total_gpus_) {
+    throw std::out_of_range("Topology::from_flat: bad index");
+  }
+  const auto it = std::upper_bound(flat_base_.begin(), flat_base_.end(), flat);
+  const auto node = static_cast<std::int32_t>(it - flat_base_.begin()) - 1;
+  return {node, flat - flat_base_[static_cast<std::size_t>(node)]};
+}
+
+std::vector<std::int32_t> Topology::nvlink_peers(std::int32_t node_idx,
+                                                 std::int32_t slot) const {
+  std::vector<std::int32_t> peers;
+  const std::int32_t n = gpus_on_node(node_idx);
+  peers.reserve(static_cast<std::size_t>(n) - 1);
+  for (std::int32_t s = 0; s < n; ++s) {
+    if (s != slot) peers.push_back(s);
+  }
+  return peers;
+}
+
+}  // namespace gpures::cluster

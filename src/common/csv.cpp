@@ -1,0 +1,59 @@
+#include "common/csv.h"
+
+#include <ostream>
+
+namespace gpures::common {
+
+std::string csv_escape(std::string_view cell) {
+  const bool needs_quote = cell.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quote) return std::string(cell);
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os_ << ',';
+    os_ << csv_escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r') {
+      // ignore CR in CRLF files
+    } else {
+      cur += c;
+    }
+  }
+  out.push_back(std::move(cur));
+  return out;
+}
+
+}  // namespace gpures::common

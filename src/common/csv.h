@@ -1,0 +1,30 @@
+// Minimal CSV reader/writer for exporting analysis artifacts (table rows,
+// figure series) in a form external plotting tools can consume.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpures::common {
+
+/// CSV writer with RFC-4180-style quoting.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ostream& os_;
+};
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// commas/quotes; does not handle embedded newlines).
+std::vector<std::string> parse_csv_line(std::string_view line);
+
+/// Quote a cell if needed.
+std::string csv_escape(std::string_view cell);
+
+}  // namespace gpures::common

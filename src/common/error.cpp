@@ -1,0 +1,4 @@
+#include "common/error.h"
+
+// Header-only today; this TU anchors the target and keeps the door open for
+// richer error context without touching the build.

@@ -1,0 +1,57 @@
+// Lightweight error type for recoverable failures (parse errors, bad config).
+// We use exceptions only for programming errors / violated invariants; data
+// errors (malformed log line, bad CSV row) travel as values.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace gpures::common {
+
+/// Error with a human-readable message and optional source location context.
+struct Error {
+  std::string message;
+
+  static Error make(std::string msg) { return Error{std::move(msg)}; }
+};
+
+/// Poor man's std::expected (C++23) for C++20: either a value or an Error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error e) : v_(std::move(e)) {}              // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(v_);
+  }
+  T& value() & {
+    if (!ok()) throw std::runtime_error("Result::value on error: " + error().message);
+    return std::get<T>(v_);
+  }
+  T&& take() && {
+    if (!ok()) throw std::runtime_error("Result::take on error: " + error().message);
+    return std::get<T>(std::move(v_));
+  }
+  const Error& error() const {
+    return std::get<Error>(v_);
+  }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Throwing check used for invariants ("this cannot happen unless the code is
+/// wrong"); prefer Result for data-dependent failures.
+inline void check(bool cond, const char* what) {
+  if (!cond) throw std::logic_error(what);
+}
+
+}  // namespace gpures::common

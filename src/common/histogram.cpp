@@ -1,0 +1,146 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpures::common {
+
+namespace {
+
+std::string bar(double frac, std::size_t width) {
+  const auto n = static_cast<std::size_t>(std::lround(frac * static_cast<double>(width)));
+  return std::string(std::min(n, width), '#');
+}
+
+}  // namespace
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  if (!(hi > lo) || bins == 0) {
+    throw std::invalid_argument("Histogram: need hi > lo and bins > 0");
+  }
+}
+
+void Histogram::add(double x) { add_n(x, 1); }
+
+void Histogram::add_n(double x, std::uint64_t n) {
+  total_ += n;
+  if (x < lo_) {
+    underflow_ += n;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += n;
+    return;
+  }
+  auto bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
+  counts_[bin] += n;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + static_cast<double>(i) * bin_width_;
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + static_cast<double>(i + 1) * bin_width_;
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_.at(bin)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width, bool skip_empty) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  char buf[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (skip_empty && counts_[i] == 0) continue;
+    const double rel = static_cast<double>(counts_[i]) / static_cast<double>(peak);
+    std::snprintf(buf, sizeof(buf), "[%10.3f, %10.3f) %8llu %5.1f%% |%s\n",
+                  bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]),
+                  fraction(i) * 100.0, bar(rel, width).c_str());
+    out += buf;
+  }
+  if (underflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "underflow: %llu\n",
+                  static_cast<unsigned long long>(underflow_));
+    out += buf;
+  }
+  if (overflow_ > 0) {
+    std::snprintf(buf, sizeof(buf), "overflow:  %llu\n",
+                  static_cast<unsigned long long>(overflow_));
+    out += buf;
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bins_per_decade) {
+  if (!(lo > 0.0) || !(hi > lo) || bins_per_decade == 0) {
+    throw std::invalid_argument("LogHistogram: need 0 < lo < hi, bins > 0");
+  }
+  log_lo_ = std::log10(lo);
+  log_step_ = 1.0 / static_cast<double>(bins_per_decade);
+  const double decades = std::log10(hi) - log_lo_;
+  const auto nbins = static_cast<std::size_t>(std::ceil(decades / log_step_));
+  counts_.assign(std::max<std::size_t>(nbins, 1), 0);
+}
+
+void LogHistogram::add(double x) {
+  ++total_;
+  if (x <= 0.0) return;  // not representable on a log axis; drop silently
+  const double pos = (std::log10(x) - log_lo_) / log_step_;
+  if (pos < 0.0) return;
+  const auto bin = static_cast<std::size_t>(pos);
+  if (bin >= counts_.size()) return;
+  ++counts_[bin];
+}
+
+double LogHistogram::bin_lo(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i) * log_step_);
+}
+
+double LogHistogram::bin_hi(std::size_t i) const {
+  return std::pow(10.0, log_lo_ + static_cast<double>(i + 1) * log_step_);
+}
+
+std::string LogHistogram::render(std::size_t width, bool skip_empty) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  char buf[160];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (skip_empty && counts_[i] == 0) continue;
+    const double rel = static_cast<double>(counts_[i]) / static_cast<double>(peak);
+    std::snprintf(buf, sizeof(buf), "[%10.3g, %10.3g) %8llu |%s\n", bin_lo(i),
+                  bin_hi(i), static_cast<unsigned long long>(counts_[i]),
+                  bar(rel, width).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::vector<EcdfPoint> make_ecdf(std::span<const double> xs,
+                                 std::size_t max_points) {
+  std::vector<EcdfPoint> pts;
+  if (xs.empty() || max_points == 0) return pts;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  const std::size_t step = std::max<std::size_t>(1, n / max_points);
+  for (std::size_t i = 0; i < n; i += step) {
+    pts.push_back({sorted[i], static_cast<double>(i + 1) / static_cast<double>(n)});
+  }
+  if (pts.back().x != sorted.back() || pts.back().p != 1.0) {
+    pts.push_back({sorted.back(), 1.0});
+  }
+  return pts;
+}
+
+}  // namespace gpures::common

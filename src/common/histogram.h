@@ -1,0 +1,83 @@
+// Histograms and ECDF series for figure reproduction (the paper's Fig. 2 is a
+// distribution of node-unavailability durations).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gpures::common {
+
+/// Fixed-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins that are reported separately.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_n(double x, std::uint64_t n);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+
+  /// Fraction of all samples (including under/overflow) in bin i.
+  double fraction(std::size_t bin) const;
+
+  /// Render an ASCII bar chart (one row per bin), e.g. for bench output.
+  std::string render(std::size_t width = 50, bool skip_empty = true) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Log-spaced histogram for heavy-tailed durations (job runtimes span
+/// seconds to days).
+class LogHistogram {
+ public:
+  /// Bins span [lo, hi) with `bins_per_decade` logarithmic bins per 10x.
+  LogHistogram(double lo, double hi, std::size_t bins_per_decade = 5);
+
+  void add(double x);
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  std::string render(std::size_t width = 50, bool skip_empty = true) const;
+
+ private:
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Point on an empirical CDF curve.
+struct EcdfPoint {
+  double x = 0.0;
+  double p = 0.0;
+};
+
+/// Downsampled ECDF: at most `max_points` points covering the full range.
+/// Sorts a copy of the input.
+std::vector<EcdfPoint> make_ecdf(std::span<const double> xs,
+                                 std::size_t max_points = 100);
+
+}  // namespace gpures::common

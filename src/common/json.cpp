@@ -1,0 +1,123 @@
+#include "common/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpures::common {
+
+void JsonWriter::comma_if_needed() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value follows "key":
+  }
+  if (!need_comma_.empty() && need_comma_.back()) out_ += ',';
+  if (!need_comma_.empty()) need_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  comma_if_needed();
+  out_ += '{';
+  need_comma_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::end_object() {
+  if (depth_ <= 0) throw std::logic_error("JsonWriter: unbalanced end_object");
+  out_ += '}';
+  need_comma_.pop_back();
+  --depth_;
+}
+
+void JsonWriter::begin_array() {
+  comma_if_needed();
+  out_ += '[';
+  need_comma_.push_back(false);
+  ++depth_;
+}
+
+void JsonWriter::end_array() {
+  if (depth_ <= 0) throw std::logic_error("JsonWriter: unbalanced end_array");
+  out_ += ']';
+  need_comma_.pop_back();
+  --depth_;
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (pending_key_) throw std::logic_error("JsonWriter: key after key");
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_if_needed();
+  out_ += '"';
+  out_ += escape(s);
+  out_ += '"';
+}
+
+void JsonWriter::value(double d) {
+  comma_if_needed();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", d);
+  out_ += buf;
+}
+
+void JsonWriter::value(std::int64_t i) {
+  comma_if_needed();
+  out_ += std::to_string(i);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  comma_if_needed();
+  out_ += std::to_string(u);
+}
+
+void JsonWriter::value(bool b) {
+  comma_if_needed();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_if_needed();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() && {
+  if (depth_ != 0 || pending_key_) {
+    throw std::logic_error("JsonWriter: unbalanced output");
+  }
+  return std::move(out_);
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace gpures::common

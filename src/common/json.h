@@ -1,0 +1,66 @@
+// Minimal JSON writer (no DOM, no parsing): enough to export analysis
+// artifacts for external plotting/tooling.  Values are written eagerly to a
+// growing string; objects/arrays nest via RAII-free begin/end calls with
+// validation in debug builds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpures::common {
+
+/// Streaming JSON writer producing compact output.
+///
+///   JsonWriter w;
+///   w.begin_object();
+///   w.key("name"); w.value("gpures");
+///   w.key("counts"); w.begin_array();
+///   w.value(1); w.value(2);
+///   w.end_array();
+///   w.end_object();
+///   std::string s = std::move(w).str();
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Write an object key (must be inside an object, before a value).
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(int i) { value(static_cast<std::int64_t>(i)); }
+  void value(bool b);
+  void null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  void kv(std::string_view k, T&& v) {
+    key(k);
+    value(std::forward<T>(v));
+  }
+
+  /// Final output; writer must be balanced (all containers closed).
+  std::string str() &&;
+
+  /// Escape a string per RFC 8259.
+  static std::string escape(std::string_view s);
+
+ private:
+  void comma_if_needed();
+
+  std::string out_;
+  /// Per nesting level: whether a comma is needed before the next element.
+  std::vector<bool> need_comma_{false};
+  bool pending_key_ = false;
+  std::int32_t depth_ = 0;
+};
+
+}  // namespace gpures::common

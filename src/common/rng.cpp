@@ -1,0 +1,199 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gpures::common {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a, used to hash fork names into seed material.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+Rng Rng::fork(std::string_view name) const {
+  // Combine current state with the name hash; the fork does not consume
+  // randomness from the parent stream.
+  const std::uint64_t h = fnv1a(name);
+  std::uint64_t seed = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ s_[3];
+  seed = seed * 0x2545f4914f6cdd1dull ^ h;
+  return Rng{seed};
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53-bit mantissa; result in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_u64(std::uint64_t n) {
+  assert(n > 0);
+  // Lemire's debiased multiply-shift rejection method.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * n;
+  auto l = static_cast<std::uint64_t>(m);
+  if (l < n) {
+    const std::uint64_t t = (0 - n) % n;
+    while (l < t) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * n;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(uniform_u64(span));
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1-U) avoids log(0) since uniform() < 1.
+  return -std::log1p(-uniform()) / rate;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; we intentionally discard the second variate so that one call
+  // always consumes exactly two uniforms (keeps stream alignment predictable).
+  double u1 = uniform();
+  const double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::weibull(double shape, double scale) {
+  assert(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log1p(-uniform()), 1.0 / shape);
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth inversion in the log domain to avoid underflow.
+    const double limit = -mean;
+    double sum = 0.0;
+    std::uint64_t k = 0;
+    for (;;) {
+      sum += std::log(uniform());
+      if (sum < limit) return k;
+      ++k;
+    }
+  }
+  // Normal approximation with continuity correction; fine for campaign-scale
+  // means where relative error of the approximation is < 1%.
+  const double x = normal(mean, std::sqrt(mean));
+  return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+std::uint64_t Rng::geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  const double u = uniform();
+  return static_cast<std::uint64_t>(std::floor(std::log1p(-u) / std::log1p(-p)));
+}
+
+std::size_t Rng::categorical(std::span<const double> weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("categorical: no positive weight");
+  }
+  double r = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    r -= weights[i];
+    if (r < 0.0) return i;
+  }
+  // Floating point slack: return last positive-weight index.
+  for (std::size_t i = weights.size(); i > 0; --i) {
+    if (weights[i - 1] > 0.0) return i - 1;
+  }
+  return 0;
+}
+
+double Rng::pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  return xm * std::pow(1.0 - uniform(), -1.0 / alpha);
+}
+
+CategoricalSampler::CategoricalSampler(std::span<const double> weights) {
+  cumulative_.reserve(weights.size());
+  double total = 0.0;
+  for (double w : weights) total += std::max(w, 0.0);
+  if (total <= 0.0) {
+    throw std::invalid_argument("CategoricalSampler: no positive weight");
+  }
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += std::max(w, 0.0) / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;
+}
+
+std::size_t CategoricalSampler::sample(Rng& rng) const {
+  assert(!cumulative_.empty());
+  const double u = rng.uniform();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(
+      std::min<std::ptrdiff_t>(it - cumulative_.begin(),
+                               static_cast<std::ptrdiff_t>(cumulative_.size()) - 1));
+}
+
+}  // namespace gpures::common

@@ -1,0 +1,107 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpures::common {
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double quantile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, q);
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double ecdf(std::span<const double> sorted, double x) {
+  if (sorted.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted.begin(), sorted.end(), x);
+  return static_cast<double>(it - sorted.begin()) /
+         static_cast<double>(sorted.size());
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  std::vector<double> copy(xs.begin(), xs.end());
+  std::sort(copy.begin(), copy.end());
+  RunningStats rs;
+  for (double x : copy) rs.add(x);
+  s.mean = rs.mean();
+  s.stddev = rs.stddev();
+  s.min = copy.front();
+  s.max = copy.back();
+  s.p50 = quantile_sorted(copy, 0.50);
+  s.p90 = quantile_sorted(copy, 0.90);
+  s.p99 = quantile_sorted(copy, 0.99);
+  return s;
+}
+
+double mtbe(double window_hours, std::uint64_t events) {
+  if (events == 0) return std::numeric_limits<double>::infinity();
+  return window_hours / static_cast<double>(events);
+}
+
+Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                           double z) {
+  Proportion r;
+  if (trials == 0) return r;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double spread =
+      z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  r.p = phat;
+  r.lo = std::max(0.0, (center - spread) / denom);
+  r.hi = std::min(1.0, (center + spread) / denom);
+  return r;
+}
+
+}  // namespace gpures::common

@@ -1,0 +1,78 @@
+// Descriptive statistics used by the analysis pipeline (Stage II/III):
+// running moments, exact quantiles, ECDFs, and MTBE helpers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+namespace gpures::common {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Exact quantile of a sample using linear interpolation between order
+/// statistics (type-7 / numpy default). `q` in [0,1]. Copies + sorts.
+double quantile(std::span<const double> xs, double q);
+
+/// Quantile of an already-sorted sample (no copy).
+double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience percentiles.
+double median(std::span<const double> xs);
+
+/// Empirical CDF evaluated at x: fraction of samples <= x.
+double ecdf(std::span<const double> sorted, double x);
+
+/// Summary of a sample: n, mean, stddev, min, p50, p90, p99, max.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// Mean time between events given an observation window and an event count:
+/// window / count.  Returns +inf for zero events (rendered as "-" upstream,
+/// matching the paper's table convention).
+double mtbe(double window_hours, std::uint64_t events);
+
+/// Wilson score interval for a binomial proportion (95% by default);
+/// used to put uncertainty bars on job-failure probabilities.
+struct Proportion {
+  double p = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                           double z = 1.959964);
+
+}  // namespace gpures::common

@@ -1,0 +1,112 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpures::common {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  if (headers_.empty()) {
+    throw std::invalid_argument("AsciiTable: need at least one column");
+  }
+  aligns_[0] = Align::kLeft;  // first column is usually a label
+}
+
+void AsciiTable::set_align(std::size_t col, Align a) { aligns_.at(col) = a; }
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(Row{std::move(cells), pending_separator_});
+  pending_separator_ = false;
+}
+
+void AsciiTable::add_separator() { pending_separator_ = true; }
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto hline = [&] {
+    std::string s = "+";
+    for (auto w : widths) {
+      s += std::string(w + 2, '-');
+      s += '+';
+    }
+    s += '\n';
+    return s;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string s = "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = widths[c] - cell.size();
+      s += ' ';
+      if (aligns_[c] == Align::kRight) s += std::string(pad, ' ');
+      s += cell;
+      if (aligns_[c] == Align::kLeft) s += std::string(pad, ' ');
+      s += " |";
+    }
+    s += '\n';
+    return s;
+  };
+
+  std::string out = hline();
+  out += render_row(headers_);
+  out += hline();
+  for (const auto& row : rows_) {
+    if (row.separator_before) out += hline();
+    out += render_row(row.cells);
+  }
+  out += hline();
+  return out;
+}
+
+std::string fmt_int(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string fmt_fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_sig(double v, int sig) {
+  if (!std::isfinite(v)) return "-";
+  if (v == 0.0) return "0";
+  const double mag = std::floor(std::log10(std::fabs(v)));
+  const int decimals = std::max(0, sig - 1 - static_cast<int>(mag));
+  return fmt_fixed(v, decimals);
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  return fmt_fixed(fraction * 100.0, digits);
+}
+
+std::string fmt_mtbe(double hours) {
+  if (!std::isfinite(hours)) return "-";
+  if (hours >= 100.0) return fmt_int(static_cast<std::uint64_t>(std::llround(hours)));
+  if (hours >= 10.0) return fmt_fixed(hours, 0);
+  if (hours >= 1.0) return fmt_fixed(hours, 1);
+  return fmt_fixed(hours, 2);
+}
+
+}  // namespace gpures::common

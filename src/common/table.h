@@ -1,0 +1,51 @@
+// ASCII table rendering: the bench harnesses print the paper's tables with
+// the same row/column structure, and this keeps that output tidy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpures::common {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Simple monospace table builder.
+///
+///   AsciiTable t({"Event", "Count", "MTBE (h)"});
+///   t.add_row({"MMU Error", "8863", "2.4"});
+///   std::cout << t.render();
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  void set_align(std::size_t col, Align a);
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal separator line before the next row.
+  void add_separator();
+
+  std::size_t rows() const { return rows_.size(); }
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_separator_ = false;
+};
+
+/// Numeric formatting helpers shared by report renderers.
+std::string fmt_int(std::uint64_t v);           ///< thousands separators: 38,900
+std::string fmt_fixed(double v, int digits);    ///< fixed decimals
+std::string fmt_sig(double v, int sig = 3);     ///< significant digits, adaptive
+std::string fmt_pct(double fraction, int digits = 2);  ///< 0.9048 -> "90.48"
+/// MTBE cell: "-" for infinity/NaN (no events), else adaptive precision.
+std::string fmt_mtbe(double hours);
+
+}  // namespace gpures::common

@@ -1,0 +1,212 @@
+#include "common/time.h"
+
+#include <array>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+
+namespace gpures::common {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+// Days from 1970-01-01 to the given civil date.  Algorithm from Howard
+// Hinnant's `days_from_civil` (public domain), which is exact for the
+// proleptic Gregorian calendar.
+std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);             // [0, 399]
+  const unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+                       static_cast<unsigned>(d) - 1u;                    // [0, 365]
+  const unsigned doe = yoe * 365u + yoe / 4u - yoe / 100u + doy;         // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+// Inverse of days_from_civil (Hinnant's `civil_from_days`).
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);          // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yy = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);          // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                               // [0, 11]
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yy + (m <= 2));
+}
+
+bool parse_int(std::string_view s, int& out) {
+  const auto* first = s.data();
+  const auto* last = s.data() + s.size();
+  // Skip leading spaces (syslog pads day-of-month with a space).
+  while (first < last && *first == ' ') ++first;
+  auto [ptr, ec] = std::from_chars(first, last, out);
+  return ec == std::errc{} && ptr == last;
+}
+
+// Strict fixed-width digit field: no padding, no signs.
+bool parse_digits(std::string_view s, int& out) {
+  if (s.empty()) return false;
+  int v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + (c - '0');
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+bool is_leap_year(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_month(int year, int month) {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  if (month == 2 && is_leap_year(year)) return 29;
+  return kDays[static_cast<std::size_t>(month - 1)];
+}
+
+TimePoint to_timepoint(const CalendarTime& ct) {
+  return days_from_civil(ct.year, ct.month, ct.day) * kDay +
+         ct.hour * kHour + ct.minute * kMinute + ct.second;
+}
+
+TimePoint make_date(int year, int month, int day) {
+  return to_timepoint(CalendarTime{year, month, day, 0, 0, 0});
+}
+
+CalendarTime to_calendar(TimePoint tp) {
+  std::int64_t days = day_index(tp);
+  std::int64_t rem = tp - days * kDay;
+  CalendarTime ct;
+  civil_from_days(days, ct.year, ct.month, ct.day);
+  ct.hour = static_cast<int>(rem / kHour);
+  rem -= static_cast<std::int64_t>(ct.hour) * kHour;
+  ct.minute = static_cast<int>(rem / kMinute);
+  ct.second = static_cast<int>(rem - static_cast<std::int64_t>(ct.minute) * kMinute);
+  return ct;
+}
+
+std::string format_iso(TimePoint tp) {
+  const CalendarTime ct = to_calendar(tp);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", ct.year,
+                ct.month, ct.day, ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::string format_date(TimePoint tp) {
+  const CalendarTime ct = to_calendar(tp);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", ct.year, ct.month, ct.day);
+  return buf;
+}
+
+std::string format_syslog(TimePoint tp) {
+  const CalendarTime ct = to_calendar(tp);
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%s %2d %02d:%02d:%02d",
+                kMonthNames[static_cast<std::size_t>(ct.month - 1)], ct.day,
+                ct.hour, ct.minute, ct.second);
+  return buf;
+}
+
+std::optional<TimePoint> parse_iso(std::string_view s) {
+  // "YYYY-MM-DD" (10 chars) or "YYYY-MM-DD[ T]HH:MM:SS" (19 chars).
+  if (s.size() != 10 && s.size() != 19) return std::nullopt;
+  CalendarTime ct;
+  if (s[4] != '-' || s[7] != '-') return std::nullopt;
+  if (!parse_digits(s.substr(0, 4), ct.year) ||
+      !parse_digits(s.substr(5, 2), ct.month) ||
+      !parse_digits(s.substr(8, 2), ct.day)) {
+    return std::nullopt;
+  }
+  if (s.size() == 19) {
+    if ((s[10] != ' ' && s[10] != 'T') || s[13] != ':' || s[16] != ':') {
+      return std::nullopt;
+    }
+    if (!parse_digits(s.substr(11, 2), ct.hour) ||
+        !parse_digits(s.substr(14, 2), ct.minute) ||
+        !parse_digits(s.substr(17, 2), ct.second)) {
+      return std::nullopt;
+    }
+  }
+  if (ct.month < 1 || ct.month > 12 || ct.day < 1 ||
+      ct.day > days_in_month(ct.year, ct.month) || ct.hour > 23 ||
+      ct.minute > 59 || ct.second > 59 || ct.hour < 0 || ct.minute < 0 ||
+      ct.second < 0) {
+    return std::nullopt;
+  }
+  return to_timepoint(ct);
+}
+
+std::optional<TimePoint> parse_syslog(std::string_view s, int year) {
+  // "Mon DD HH:MM:SS" where DD may be space-padded: "May  5 07:23:01".
+  if (s.size() != 15) return std::nullopt;
+  CalendarTime ct;
+  ct.year = year;
+  const std::string_view mon = s.substr(0, 3);
+  ct.month = 0;
+  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
+    if (mon == kMonthNames[i]) {
+      ct.month = static_cast<int>(i) + 1;
+      break;
+    }
+  }
+  // Only the day-of-month may be space-padded ("May  5"); the time fields
+  // are strictly two digits.
+  if (ct.month == 0 || s[3] != ' ') return std::nullopt;
+  if (!parse_int(s.substr(4, 2), ct.day) || s[6] != ' ' ||
+      !parse_digits(s.substr(7, 2), ct.hour) || s[9] != ':' ||
+      !parse_digits(s.substr(10, 2), ct.minute) || s[12] != ':' ||
+      !parse_digits(s.substr(13, 2), ct.second)) {
+    return std::nullopt;
+  }
+  if (ct.day < 1 || ct.day > days_in_month(ct.year, ct.month) ||
+      ct.hour < 0 || ct.hour > 23 || ct.minute < 0 || ct.minute > 59 ||
+      ct.second < 0 || ct.second > 59) {
+    return std::nullopt;
+  }
+  return to_timepoint(ct);
+}
+
+std::int64_t day_index(TimePoint tp) {
+  // Floor division so pre-1970 timestamps land on the correct day.
+  std::int64_t d = tp / kDay;
+  if (tp % kDay < 0) --d;
+  return d;
+}
+
+TimePoint start_of_day(TimePoint tp) { return day_index(tp) * kDay; }
+
+double to_hours(Duration d) { return static_cast<double>(d) / kHour; }
+
+double to_days(Duration d) { return static_cast<double>(d) / kDay; }
+
+std::string format_duration(Duration d) {
+  const bool neg = d < 0;
+  if (neg) d = -d;
+  const std::int64_t days = d / kDay;
+  const int h = static_cast<int>((d % kDay) / kHour);
+  const int m = static_cast<int>((d % kHour) / kMinute);
+  const int s = static_cast<int>(d % kMinute);
+  char buf[48];
+  if (days > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%lldd %02d:%02d:%02d", neg ? "-" : "",
+                  static_cast<long long>(days), h, m, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%02d:%02d:%02d", neg ? "-" : "", h, m, s);
+  }
+  return buf;
+}
+
+}  // namespace gpures::common

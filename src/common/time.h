@@ -1,0 +1,86 @@
+// Simulation time: seconds since the Unix epoch, with calendar helpers.
+//
+// The whole library uses calendar-real timestamps because the reproduced study
+// splits its 1170-day measurement window at real dates (pre-operational period
+// ends 2022-09-30, operational period ends 2025-03-16).  Keeping sim time as
+// UTC seconds means period arithmetic, syslog rendering, and Slurm accounting
+// all share one clock with no conversions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <optional>
+
+namespace gpures::common {
+
+/// Seconds since the Unix epoch (UTC).  Signed so durations subtract safely.
+using TimePoint = std::int64_t;
+/// Seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+
+/// Broken-down UTC calendar date-time.
+struct CalendarTime {
+  int year = 1970;
+  int month = 1;   ///< 1..12
+  int day = 1;     ///< 1..31
+  int hour = 0;    ///< 0..23
+  int minute = 0;  ///< 0..59
+  int second = 0;  ///< 0..59
+
+  friend bool operator==(const CalendarTime&, const CalendarTime&) = default;
+};
+
+/// True iff `year` is a Gregorian leap year.
+bool is_leap_year(int year);
+
+/// Number of days in `month` (1..12) of `year`.
+int days_in_month(int year, int month);
+
+/// Convert a calendar date-time (UTC) to seconds since the epoch.
+/// Uses the proleptic Gregorian calendar; no leap seconds.
+TimePoint to_timepoint(const CalendarTime& ct);
+
+/// Convenience: midnight UTC of a calendar date.
+TimePoint make_date(int year, int month, int day);
+
+/// Inverse of to_timepoint.
+CalendarTime to_calendar(TimePoint tp);
+
+/// Render "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string format_iso(TimePoint tp);
+
+/// Render "YYYY-MM-DD".
+std::string format_date(TimePoint tp);
+
+/// Render a classic syslog header timestamp, e.g. "May  5 07:23:01".
+std::string format_syslog(TimePoint tp);
+
+/// Parse "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (also accepts 'T' separator).
+std::optional<TimePoint> parse_iso(std::string_view s);
+
+/// Parse a syslog header timestamp ("May  5 07:23:01") given the year it
+/// belongs to (syslog timestamps omit the year).
+std::optional<TimePoint> parse_syslog(std::string_view s, int year);
+
+/// Day index since epoch (floor division; valid for negative times too).
+std::int64_t day_index(TimePoint tp);
+
+/// Midnight UTC of the day containing `tp`.
+TimePoint start_of_day(TimePoint tp);
+
+/// Duration in fractional hours.
+double to_hours(Duration d);
+
+/// Duration in fractional days.
+double to_days(Duration d);
+
+/// Render a duration compactly, e.g. "2d 03:15:07" or "00:04:30".
+std::string format_duration(Duration d);
+
+}  // namespace gpures::common

@@ -1,0 +1,83 @@
+// Discrete-event simulation core.
+//
+// A minimal but production-grade DES kernel: a stable priority queue of
+// (time, sequence, callback) entries with cancellation support.  Both the
+// cluster fault simulator and the Slurm scheduler run on one shared engine so
+// that error injection and job lifecycle events interleave on a single clock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gpures::des {
+
+/// Handle for a scheduled event; used to cancel it.
+using EventId = std::uint64_t;
+
+/// The simulation engine.
+///
+/// Events scheduled for the same timestamp fire in scheduling order (stable),
+/// which makes simulations reproducible independent of heap tie-breaking.
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  explicit Engine(common::TimePoint start = 0) : now_(start) {}
+
+  common::TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t` (must be >= now()).
+  EventId schedule_at(common::TimePoint t, Callback cb);
+
+  /// Schedule `cb` after `delay` seconds.
+  EventId schedule_after(common::Duration delay, Callback cb);
+
+  /// Cancel a pending event.  Returns false if it already fired or was
+  /// cancelled.  Cancellation is O(1); storage is reclaimed lazily.
+  bool cancel(EventId id);
+
+  /// True if no runnable events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of pending (non-cancelled) events.
+  std::size_t pending() const { return pending_.size(); }
+
+  /// Run until the queue empties or the clock passes `until`.
+  /// Events at exactly `until` are executed.  Returns the number of events
+  /// dispatched.
+  std::uint64_t run_until(common::TimePoint until);
+
+  /// Run until the queue is empty.
+  std::uint64_t run();
+
+  /// Dispatch exactly one event if available; returns whether one ran.
+  bool step();
+
+ private:
+  struct Entry {
+    common::TimePoint time;
+    std::uint64_t seq;
+    EventId id;
+    Callback cb;
+
+    // Min-heap on (time, seq): std::priority_queue is a max-heap, so invert.
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  common::TimePoint now_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Entry> queue_;
+  std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
+  std::unordered_set<EventId> cancelled_;  ///< cancelled, tombstone until popped
+};
+
+}  // namespace gpures::des

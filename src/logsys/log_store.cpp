@@ -1,0 +1,59 @@
+#include "logsys/log_store.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gpures::logsys {
+
+DayLogStream::DayLogStream(DayConsumer consumer)
+    : consumer_(std::move(consumer)) {
+  if (!consumer_) throw std::invalid_argument("DayLogStream: null consumer");
+}
+
+void DayLogStream::append(common::TimePoint t, std::string text) {
+  const std::int64_t day = common::day_index(t);
+  if (day < min_open_day_) {
+    throw std::logic_error("DayLogStream: line appended to already-flushed day");
+  }
+  buffers_[day].push_back(RawLine{t, std::move(text)});
+  ++appended_;
+}
+
+void DayLogStream::flush_through(common::TimePoint t) {
+  const std::int64_t cutoff = common::day_index(t);
+  while (!buffers_.empty() && buffers_.begin()->first < cutoff) {
+    flush_day(buffers_.begin()->first);
+  }
+  min_open_day_ = std::max(min_open_day_, cutoff);
+}
+
+void DayLogStream::finalize() {
+  while (!buffers_.empty()) {
+    flush_day(buffers_.begin()->first);
+  }
+}
+
+void DayLogStream::flush_day(std::int64_t day) {
+  auto it = buffers_.find(day);
+  if (it == buffers_.end()) return;
+  auto lines = std::move(it->second);
+  buffers_.erase(it);
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const RawLine& a, const RawLine& b) { return a.time < b.time; });
+  ++flushed_;
+  consumer_(day * common::kDay, std::move(lines));
+}
+
+std::string render_day(const std::vector<RawLine>& lines) {
+  std::string out;
+  std::size_t total = 0;
+  for (const auto& l : lines) total += l.text.size() + 1;
+  out.reserve(total);
+  for (const auto& l : lines) {
+    out += l.text;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace gpures::logsys

@@ -1,0 +1,63 @@
+// Day-bucketed log streaming.
+//
+// Delta consolidates system logs per day across all nodes; the pipeline's
+// Stage I consumes day files.  DayLogStream reproduces that artifact shape
+// without holding the whole campaign's multi-million-line log in memory: the
+// simulator appends lines in rough time order, and whole days are flushed
+// (sorted by timestamp) to a consumer as soon as they are complete.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace gpures::logsys {
+
+/// One raw log line with the timestamp used for bucketing/sorting.  The text
+/// itself also carries the (syslog-format) timestamp; consumers parse text.
+struct RawLine {
+  common::TimePoint time = 0;
+  std::string text;
+};
+
+class DayLogStream {
+ public:
+  /// Called once per finished day with that day's midnight and its lines
+  /// sorted by time (stable).
+  using DayConsumer =
+      std::function<void(common::TimePoint day_start, std::vector<RawLine>&&)>;
+
+  explicit DayLogStream(DayConsumer consumer);
+
+  /// Append a line (mostly in time order; small backwards jitter is fine).
+  void append(common::TimePoint t, std::string text);
+
+  /// Flush every day that ends strictly before `t`'s day.
+  void flush_through(common::TimePoint t);
+
+  /// Flush everything (end of campaign).
+  void finalize();
+
+  std::uint64_t lines_appended() const { return appended_; }
+  std::uint64_t days_flushed() const { return flushed_; }
+
+ private:
+  void flush_day(std::int64_t day);
+
+  DayConsumer consumer_;
+  std::map<std::int64_t, std::vector<RawLine>> buffers_;  ///< by day index
+  std::int64_t min_open_day_ = std::numeric_limits<std::int64_t>::min();
+  std::uint64_t appended_ = 0;
+  std::uint64_t flushed_ = 0;
+};
+
+/// Convenience: write one day's lines as text (one per line) to a string —
+/// used by tests and by examples that materialize day files on disk.
+std::string render_day(const std::vector<RawLine>& lines);
+
+}  // namespace gpures::logsys

@@ -1,0 +1,76 @@
+#include "logsys/syslog.h"
+
+#include <array>
+#include <cstdio>
+
+namespace gpures::logsys {
+
+namespace {
+
+std::string header(common::TimePoint t, std::string_view host) {
+  std::string s = common::format_syslog(t);
+  s += ' ';
+  s += host;
+  s += ' ';
+  return s;
+}
+
+}  // namespace
+
+std::string render_xid_line(common::TimePoint t, std::string_view host,
+                            std::string_view pci_bus, xid::Code code,
+                            std::string_view detail) {
+  std::string s = header(t, host);
+  s += "kernel: NVRM: Xid (PCI:";
+  s += pci_bus;
+  s += "): ";
+  s += std::to_string(xid::to_number(code));
+  s += ", ";
+  s += detail;
+  return s;
+}
+
+std::string render_drain_line(common::TimePoint t, std::string_view host,
+                              std::string_view reason) {
+  std::string s = header(t, host);
+  s += "slurmctld[2112]: update_node: node ";
+  s += host;
+  s += " reason set to: ";
+  s += reason;
+  s += " [drain]";
+  return s;
+}
+
+std::string render_resume_line(common::TimePoint t, std::string_view host) {
+  std::string s = header(t, host);
+  s += "slurmctld[2112]: update_node: node ";
+  s += host;
+  s += " state set to: resume";
+  return s;
+}
+
+std::string render_noise_line(common::Rng& rng, common::TimePoint t,
+                              std::string_view host) {
+  static constexpr std::array<const char*, 8> kTemplates = {
+      "sshd[%u]: Accepted publickey for user%u from 10.0.%u.%u",
+      "systemd[1]: Started Session %u of user hpcuser%u.",
+      "kernel: Lustre: %u:0:(client.c:2114) Skipped %u previous similar "
+      "messages",
+      "slurmd[%u]: launch task StepId=%u.0 request from UID:%u",
+      "kernel: perf: interrupt took too long (%u > %u), lowering rate",
+      "ntpd[%u]: adjusting local clock by %u.%us",
+      "kernel: EDAC MC0: 1 CE memory read error on CPU_SrcID#0_MC#%u "
+      "(channel:%u slot:0)",
+      "munged[%u]: Purged %u credentials from replay cache",
+  };
+  const char* tmpl = kTemplates[rng.uniform_u64(kTemplates.size())];
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), tmpl,
+                static_cast<unsigned>(rng.uniform_u64(30000) + 1000),
+                static_cast<unsigned>(rng.uniform_u64(900) + 10),
+                static_cast<unsigned>(rng.uniform_u64(250)),
+                static_cast<unsigned>(rng.uniform_u64(250)));
+  return header(t, host) + buf;
+}
+
+}  // namespace gpures::logsys

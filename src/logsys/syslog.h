@@ -1,0 +1,39 @@
+// Syslog-format rendering for the raw artifacts the pipeline ingests.
+//
+// The cluster's raw log is classic RFC3164-style text.  XID errors use the
+// NVIDIA kernel-driver format the paper's Stage-I regex targets:
+//
+//   May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 95,
+//       pid=12345, Uncontained ECC error ...
+//
+// Node lifecycle events (drain / resume) come from slurmctld and are used by
+// the availability analysis; everything else is noise the Stage-I filter
+// must reject.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "xid/xid.h"
+
+namespace gpures::logsys {
+
+/// Render a kernel NVRM XID line.
+std::string render_xid_line(common::TimePoint t, std::string_view host,
+                            std::string_view pci_bus, xid::Code code,
+                            std::string_view detail);
+
+/// Render the slurmctld drain line the SRE health checks produce.
+std::string render_drain_line(common::TimePoint t, std::string_view host,
+                              std::string_view reason = "gpu_health_check_failed");
+
+/// Render the slurmctld resume (return-to-service) line.
+std::string render_resume_line(common::TimePoint t, std::string_view host);
+
+/// Render a realistic non-XID noise line (sshd, lustre, systemd, ...).
+std::string render_noise_line(common::Rng& rng, common::TimePoint t,
+                              std::string_view host);
+
+}  // namespace gpures::logsys

@@ -1,0 +1,143 @@
+#include "slurm/accounting.h"
+
+#include <ostream>
+
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace gpures::slurm {
+
+namespace {
+
+std::string iso_t(common::TimePoint tp) {
+  std::string s = common::format_iso(tp);
+  s[10] = 'T';
+  return s;
+}
+
+}  // namespace
+
+std::string accounting_header() {
+  return "JobID|JobName|Submit|Start|End|State|ExitCode|NNodes|NGPUs|NodeList"
+         "|AllocGPUS";
+}
+
+std::string to_accounting_line(const JobRecord& rec,
+                               const cluster::Topology& topo) {
+  std::string line;
+  line.reserve(128);
+  line += std::to_string(rec.id);
+  line += '|';
+  line += rec.name;
+  line += '|';
+  line += iso_t(rec.submit);
+  line += '|';
+  line += iso_t(rec.start);
+  line += '|';
+  line += iso_t(rec.end);
+  line += '|';
+  line += to_string(rec.state);
+  line += '|';
+  line += std::to_string(rec.exit_code);
+  line += ":0";
+  line += '|';
+  line += std::to_string(rec.nodes);
+  line += '|';
+  line += std::to_string(rec.gpus);
+  line += '|';
+  for (std::size_t i = 0; i < rec.node_list.size(); ++i) {
+    if (i) line += ',';
+    line += topo.node(rec.node_list[i]).name;
+  }
+  line += '|';
+  for (std::size_t i = 0; i < rec.gpu_list.size(); ++i) {
+    if (i) line += ';';
+    line += topo.node(rec.gpu_list[i].node).name;
+    line += ':';
+    line += std::to_string(rec.gpu_list[i].slot);
+  }
+  return line;
+}
+
+common::Result<JobRecord> parse_accounting_line(
+    std::string_view line, const cluster::Topology& topo) {
+  const auto fields = common::split(line, '|');
+  if (fields.size() != 11) {
+    return common::Error::make("accounting: expected 11 fields, got " +
+                               std::to_string(fields.size()));
+  }
+  JobRecord rec;
+  const long long id = common::parse_ll(fields[0]);
+  if (id < 0) return common::Error::make("accounting: bad JobID");
+  rec.id = static_cast<JobId>(id);
+  rec.name = std::string(fields[1]);
+
+  const auto submit = common::parse_iso(fields[2]);
+  const auto start = common::parse_iso(fields[3]);
+  const auto end = common::parse_iso(fields[4]);
+  if (!submit || !start || !end) {
+    return common::Error::make("accounting: bad timestamp");
+  }
+  rec.submit = *submit;
+  rec.start = *start;
+  rec.end = *end;
+
+  if (!parse_state(fields[5], rec.state)) {
+    return common::Error::make("accounting: unknown state '" +
+                               std::string(fields[5]) + "'");
+  }
+  const auto exit_fields = common::split(fields[6], ':');
+  const long long code = common::parse_ll(exit_fields[0]);
+  if (code < 0) return common::Error::make("accounting: bad ExitCode");
+  rec.exit_code = static_cast<std::int32_t>(code);
+
+  const long long nnodes = common::parse_ll(fields[7]);
+  const long long ngpus = common::parse_ll(fields[8]);
+  if (nnodes <= 0 || ngpus <= 0) {
+    return common::Error::make("accounting: bad NNodes/NGPUs");
+  }
+  rec.nodes = static_cast<std::int32_t>(nnodes);
+  rec.gpus = static_cast<std::int32_t>(ngpus);
+
+  if (!fields[9].empty()) {
+    for (const auto host : common::split(fields[9], ',')) {
+      const auto idx = topo.node_index(host);
+      if (!idx) {
+        return common::Error::make("accounting: unknown host '" +
+                                   std::string(host) + "'");
+      }
+      rec.node_list.push_back(*idx);
+    }
+  }
+  if (static_cast<std::int32_t>(rec.node_list.size()) != rec.nodes) {
+    return common::Error::make("accounting: NodeList length mismatch");
+  }
+  if (!fields[10].empty()) {
+    for (const auto entry : common::split(fields[10], ';')) {
+      const auto colon = entry.rfind(':');
+      if (colon == std::string_view::npos) {
+        return common::Error::make("accounting: bad AllocGPUS entry");
+      }
+      const auto idx = topo.node_index(entry.substr(0, colon));
+      const long long slot = common::parse_ll(entry.substr(colon + 1));
+      if (!idx || slot < 0 || slot >= topo.gpus_on_node(*idx)) {
+        return common::Error::make("accounting: bad AllocGPUS device");
+      }
+      rec.gpu_list.push_back({*idx, static_cast<std::int32_t>(slot)});
+    }
+  }
+  if (static_cast<std::int32_t>(rec.gpu_list.size()) != rec.gpus) {
+    return common::Error::make("accounting: AllocGPUS length mismatch");
+  }
+  return rec;
+}
+
+void write_accounting(std::ostream& os, const std::vector<JobRecord>& records,
+                      const cluster::Topology& topo) {
+  os << accounting_header() << '\n';
+  for (const auto& rec : records) {
+    os << to_accounting_line(rec, topo) << '\n';
+  }
+}
+
+}  // namespace gpures::slurm

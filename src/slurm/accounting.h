@@ -1,0 +1,42 @@
+// Slurm accounting database serialization.
+//
+// The paper's pipeline reads per-job records out of the Slurm database; our
+// equivalent raw artifact is a pipe-separated `sacct --parsable2` style dump:
+//
+//   JobID|JobName|Submit|Start|End|State|ExitCode|NNodes|NGPUs|NodeList|AllocGPUS
+//
+// Times are "YYYY-MM-DDTHH:MM:SS"; NodeList is a comma-joined hostname list;
+// AllocGPUS lists the exact devices held as semicolon-joined "host:slot"
+// pairs (the GRES-level allocation detail used by the job-impact analysis).
+// The writer and parser round-trip exactly; the analysis pipeline consumes
+// only the parsed form, never the in-memory simulator records.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cluster/topology.h"
+#include "common/error.h"
+#include "slurm/job.h"
+
+namespace gpures::slurm {
+
+/// The dump header line.
+std::string accounting_header();
+
+/// Render one record; `topo` translates node indices to hostnames.
+std::string to_accounting_line(const JobRecord& rec,
+                               const cluster::Topology& topo);
+
+/// Parse one record line (not the header). Node names are translated back to
+/// indices via `topo`; unknown hostnames fail the parse.
+common::Result<JobRecord> parse_accounting_line(std::string_view line,
+                                                const cluster::Topology& topo);
+
+/// Stream a full dump (header + records).
+void write_accounting(std::ostream& os, const std::vector<JobRecord>& records,
+                      const cluster::Topology& topo);
+
+}  // namespace gpures::slurm

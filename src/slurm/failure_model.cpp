@@ -1,0 +1,55 @@
+#include "slurm/failure_model.h"
+
+#include <algorithm>
+
+namespace gpures::slurm {
+
+FailurePropagator::FailurePropagator(Scheduler& sched, FailureModelConfig cfg,
+                                     common::Rng rng)
+    : sched_(sched), cfg_(cfg), rng_(rng.fork("failure_model")) {}
+
+double FailurePropagator::kill_probability(
+    const cluster::ErrorNotification& n) const {
+  using xid::Code;
+  switch (n.event.code) {
+    case Code::kMmuError: return cfg_.p_mmu;
+    case Code::kPmuSpiFailure:
+    case Code::kPmuCommunicationError: return cfg_.p_pmu;
+    case Code::kGspRpcTimeout:
+    case Code::kGspError: return cfg_.p_gsp;
+    case Code::kContainedEccError: return cfg_.p_contained;
+    case Code::kUncontainedEccError: return cfg_.p_uncontained;
+    case Code::kDoubleBitEcc: return cfg_.p_dbe;
+    case Code::kRowRemapEvent: return cfg_.p_rre;
+    case Code::kRowRemapFailure: return cfg_.p_rrf;
+    case Code::kFallenOffBus: return cfg_.p_offbus;
+    case Code::kNvlinkError:
+      return n.recovered_by_retry ? cfg_.p_nvlink_recovered
+                                  : cfg_.p_nvlink_unrecovered;
+    default: return 0.0;
+  }
+}
+
+void FailurePropagator::on_error(const cluster::ErrorNotification& n) {
+  const auto job = sched_.job_on_gpu(n.event.gpu);
+  if (!job) return;  // GPU idle: the error hit nobody (key NVLink finding)
+  if (!rng_.bernoulli(kill_probability(n))) return;
+  const auto lag = static_cast<common::Duration>(
+      rng_.uniform(1.0, std::max(cfg_.max_crash_lag_s, 2.0)));
+  sched_.fail_job(*job, JobState::kFailed, n.event.time + lag);
+  ++killed_;
+}
+
+void FailurePropagator::on_drain_begin(std::int32_t node, common::TimePoint) {
+  sched_.drain_node(node);
+}
+
+void FailurePropagator::on_node_down(std::int32_t node, common::TimePoint) {
+  sched_.node_down(node);
+}
+
+void FailurePropagator::on_node_up(std::int32_t node, common::TimePoint) {
+  sched_.node_up(node);
+}
+
+}  // namespace gpures::slurm

@@ -1,0 +1,69 @@
+// GPU-error -> job-failure propagation model.
+//
+// Encodes the per-XID job-failure conditional probabilities the paper
+// measures in Table II: GSP errors always kill the job; PMU and contained-ECC
+// errors almost always do; MMU errors are sometimes masked by application- or
+// library-level exception handling (ML frameworks can skip a faulty training
+// iteration); NVLink errors only kill the job when CRC retransmission did not
+// recover the transfer or the corrupted link was actively in use.
+//
+// The model is the ground-truth generator; the analysis pipeline must
+// *recover* these probabilities from accounting + syslog data alone.
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/cluster_sim.h"
+#include "common/rng.h"
+#include "slurm/scheduler.h"
+#include "xid/xid.h"
+
+namespace gpures::slurm {
+
+struct FailureModelConfig {
+  /// P(job fails | error of this kind on a GPU the job holds).
+  double p_mmu = 0.9048;
+  double p_pmu = 0.9756;
+  double p_gsp = 1.0;
+  double p_contained = 1.0;
+  double p_uncontained = 1.0;
+  double p_dbe = 0.9;
+  double p_rre = 0.05;   ///< remap is transparent; rare crash from the reset
+  double p_rrf = 1.0;
+  double p_offbus = 1.0;
+  /// NVLink errors arrive in storms, so a job on a flapping node sees many
+  /// of them; the *per-error* kill probability must be small for the
+  /// *per-job* failure probability to land near the paper's 54%.  CRC-retry-
+  /// recovered errors are mostly harmless; unrecovered ones kill the job if
+  /// the link carried live traffic.
+  double p_nvlink_recovered = 0.15;
+  double p_nvlink_unrecovered = 0.95;
+  /// Crash lag: the job's recorded end lands this close after the error
+  /// (uniform seconds); must stay inside the pipeline's 20 s window.
+  double max_crash_lag_s = 15.0;
+};
+
+/// Wires ClusterSim error notifications and node lifecycle into a Scheduler.
+class FailurePropagator final : public cluster::SimListener {
+ public:
+  FailurePropagator(Scheduler& sched, FailureModelConfig cfg, common::Rng rng);
+
+  /// P(kill) for a notification; exposed for tests.
+  double kill_probability(const cluster::ErrorNotification& n) const;
+
+  // SimListener:
+  void on_error(const cluster::ErrorNotification& n) override;
+  void on_drain_begin(std::int32_t node, common::TimePoint t) override;
+  void on_node_down(std::int32_t node, common::TimePoint t) override;
+  void on_node_up(std::int32_t node, common::TimePoint t) override;
+
+  std::uint64_t jobs_killed() const { return killed_; }
+
+ private:
+  Scheduler& sched_;
+  FailureModelConfig cfg_;
+  common::Rng rng_;
+  std::uint64_t killed_ = 0;
+};
+
+}  // namespace gpures::slurm

@@ -1,0 +1,27 @@
+#include "slurm/job.h"
+
+namespace gpures::slurm {
+
+std::string_view to_string(JobState s) {
+  switch (s) {
+    case JobState::kCompleted: return "COMPLETED";
+    case JobState::kFailed: return "FAILED";
+    case JobState::kCancelled: return "CANCELLED";
+    case JobState::kTimeout: return "TIMEOUT";
+    case JobState::kNodeFail: return "NODE_FAIL";
+  }
+  return "UNKNOWN";
+}
+
+bool parse_state(std::string_view s, JobState& out) {
+  if (s == "COMPLETED") { out = JobState::kCompleted; return true; }
+  if (s == "FAILED") { out = JobState::kFailed; return true; }
+  if (s == "CANCELLED") { out = JobState::kCancelled; return true; }
+  if (s == "TIMEOUT") { out = JobState::kTimeout; return true; }
+  if (s == "NODE_FAIL") { out = JobState::kNodeFail; return true; }
+  return false;
+}
+
+bool is_failure(JobState s) { return s != JobState::kCompleted; }
+
+}  // namespace gpures::slurm

@@ -1,0 +1,63 @@
+// Slurm job records.
+//
+// `JobRecord` mirrors the fields the paper extracts from the Slurm scheduler
+// database: submission/start/end times, requested resources, scheduled
+// node(s), exit status, and the job name used to approximate ML vs non-ML
+// classification.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.h"
+#include "xid/event.h"
+
+namespace gpures::slurm {
+
+/// Final job states (subset of Slurm's state machine relevant to the study).
+enum class JobState : std::uint8_t {
+  kCompleted,
+  kFailed,     ///< non-zero exit (user bug or GPU-error-induced crash)
+  kCancelled,  ///< scancel / user abort
+  kTimeout,    ///< hit requested walltime
+  kNodeFail,   ///< node went down underneath the job
+};
+
+std::string_view to_string(JobState s);
+
+/// Parse a state name as rendered by to_string / sacct; returns false on
+/// unknown input.
+bool parse_state(std::string_view s, JobState& out);
+
+/// True if the state is any unsuccessful terminal state.
+bool is_failure(JobState s);
+
+using JobId = std::uint64_t;
+
+struct JobRecord {
+  JobId id = 0;
+  std::string name;
+  common::TimePoint submit = 0;
+  common::TimePoint start = 0;
+  common::TimePoint end = 0;
+  std::int32_t gpus = 1;
+  std::int32_t nodes = 1;
+  JobState state = JobState::kCompleted;
+  std::int32_t exit_code = 0;
+  bool is_ml = false;  ///< ground-truth label (pipeline re-derives from name)
+  /// Indices of the nodes the job ran on (topology node indices).
+  std::vector<std::int32_t> node_list;
+  /// The exact GPUs allocated (Slurm GRES-level detail; what makes the
+  /// paper's per-XID job correlation possible).
+  std::vector<xid::GpuId> gpu_list;
+
+  common::Duration elapsed() const { return end - start; }
+  double elapsed_minutes() const { return static_cast<double>(end - start) / 60.0; }
+  double gpu_hours() const {
+    return common::to_hours(elapsed()) * static_cast<double>(gpus);
+  }
+};
+
+}  // namespace gpures::slurm

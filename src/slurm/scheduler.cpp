@@ -1,0 +1,275 @@
+#include "slurm/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpures::slurm {
+
+Scheduler::Scheduler(des::Engine& engine, const cluster::Topology& topo,
+                     SchedulerConfig cfg, common::Rng rng)
+    : engine_(engine), topo_(topo), cfg_(cfg), rng_(rng.fork("scheduler")) {
+  nodes_.resize(static_cast<std::size_t>(topo_.node_count()));
+  for (std::int32_t n = 0; n < topo_.node_count(); ++n) {
+    auto& res = nodes_[static_cast<std::size_t>(n)];
+    res.free = static_cast<std::uint8_t>(topo_.gpus_on_node(n));
+    res.slot.assign(static_cast<std::size_t>(topo_.gpus_on_node(n)), 0);
+    total_free_ += topo_.gpus_on_node(n);
+  }
+}
+
+JobId Scheduler::submit(const JobRequest& req) {
+  const JobId id = next_id_++;
+  queue_.push_back({id, req});
+  try_dispatch();
+  return id;
+}
+
+void Scheduler::drain_node(std::int32_t node) {
+  nodes_.at(static_cast<std::size_t>(node)).schedulable = false;
+}
+
+void Scheduler::node_down(std::int32_t node) {
+  auto& res = nodes_.at(static_cast<std::size_t>(node));
+  res.schedulable = false;
+  // Kill every job still holding a GPU here; multi-node jobs die entirely.
+  for (const JobId id : jobs_on_node(node)) {
+    fail_job(id, JobState::kNodeFail, engine_.now());
+  }
+}
+
+void Scheduler::node_up(std::int32_t node) {
+  nodes_.at(static_cast<std::size_t>(node)).schedulable = true;
+  try_dispatch();
+}
+
+bool Scheduler::node_schedulable(std::int32_t node) const {
+  return nodes_.at(static_cast<std::size_t>(node)).schedulable;
+}
+
+std::optional<JobId> Scheduler::job_on_gpu(xid::GpuId gpu) const {
+  const auto& res = nodes_.at(static_cast<std::size_t>(gpu.node));
+  const JobId id = res.slot.at(static_cast<std::size_t>(gpu.slot));
+  if (id == 0) return std::nullopt;
+  return id;
+}
+
+std::vector<JobId> Scheduler::jobs_on_node(std::int32_t node) const {
+  const auto& res = nodes_.at(static_cast<std::size_t>(node));
+  std::vector<JobId> out;
+  for (const JobId id : res.slot) {
+    if (id != 0 && std::find(out.begin(), out.end(), id) == out.end()) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+void Scheduler::fail_job(JobId id, JobState state, common::TimePoint end) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  engine_.cancel(it->second.end_event);
+  Running r = std::move(it->second);
+  running_.erase(it);
+  const common::TimePoint end_at = std::max(end, r.rec.start);
+  finish(std::move(r), end_at, state);
+}
+
+common::Duration Scheduler::drain_time_estimate(std::int32_t node,
+                                                common::TimePoint now,
+                                                common::Duration cap) const {
+  common::Duration longest = 0;
+  for (const JobId id : jobs_on_node(node)) {
+    const auto it = running_.find(id);
+    if (it == running_.end()) continue;
+    const auto natural_end =
+        it->second.rec.start +
+        static_cast<common::Duration>(it->second.duration_s);
+    longest = std::max(longest, natural_end - now);
+  }
+  return std::clamp<common::Duration>(longest, 0, cap);
+}
+
+void Scheduler::try_dispatch() {
+  // Anti-starvation: when the head has waited too long, suspend backfill so
+  // the freed pool can grow to meet it.
+  std::int32_t depth = cfg_.backfill_depth;
+  if (!queue_.empty() &&
+      engine_.now() - queue_.front().req.submit > cfg_.head_starvation_s) {
+    depth = 0;
+  }
+  std::int32_t examined = 0;
+  auto it = queue_.begin();
+  while (it != queue_.end() && examined <= depth) {
+    ++examined;
+    if (it->req.gpus > total_free_) {
+      // Head-of-line job cannot run; backfill may still find smaller jobs,
+      // but nothing fits if even the smallest exceeds the free pool.
+      ++it;
+      continue;
+    }
+    if (try_start(*it)) {
+      it = queue_.erase(it);
+      // A successful start consumes resources; restart the scan from the
+      // (possibly new) head so FCFS order is respected for what remains.
+      examined = 0;
+      it = queue_.begin();
+      continue;
+    }
+    ++it;
+  }
+}
+
+std::vector<xid::GpuId> Scheduler::allocate(std::int32_t gpus_needed) {
+  std::vector<xid::GpuId> picked;
+  picked.reserve(static_cast<std::size_t>(gpus_needed));
+  const std::int32_t n_nodes = topo_.node_count();
+
+  // Prefer a single node when the request can fit on one (rotating
+  // first-fit); fall through to multi-node placement otherwise.
+  if (gpus_needed <= 8) {
+    for (std::int32_t k = 0; k < n_nodes; ++k) {
+      const std::int32_t n = (alloc_cursor_ + k) % n_nodes;
+      auto& res = nodes_[static_cast<std::size_t>(n)];
+      if (!res.schedulable || res.free < gpus_needed) continue;
+      if (gpus_needed > topo_.gpus_on_node(n)) continue;
+      for (std::int32_t s = 0;
+           s < topo_.gpus_on_node(n) &&
+           static_cast<std::int32_t>(picked.size()) < gpus_needed;
+           ++s) {
+        if (res.slot[static_cast<std::size_t>(s)] == 0) picked.push_back({n, s});
+      }
+      alloc_cursor_ = (n + 1) % n_nodes;
+      return picked;
+    }
+    // No single node can host it right now (either too large for any node
+    // type or fragmentation); spread it across nodes below.
+  }
+
+  // Multi-node request: greedily take the freest schedulable nodes.
+  std::vector<std::pair<std::int32_t, std::int32_t>> by_free;  // (-free, node)
+  for (std::int32_t n = 0; n < n_nodes; ++n) {
+    const auto& res = nodes_[static_cast<std::size_t>(n)];
+    if (res.schedulable && res.free > 0) {
+      by_free.emplace_back(-static_cast<std::int32_t>(res.free), n);
+    }
+  }
+  std::sort(by_free.begin(), by_free.end());
+  std::int32_t remaining = gpus_needed;
+  for (const auto& [neg_free, n] : by_free) {
+    if (remaining <= 0) break;
+    const auto& res = nodes_[static_cast<std::size_t>(n)];
+    for (std::int32_t s = 0; s < topo_.gpus_on_node(n) && remaining > 0; ++s) {
+      if (res.slot[static_cast<std::size_t>(s)] == 0) {
+        picked.push_back({n, s});
+        --remaining;
+      }
+    }
+  }
+  if (remaining > 0) return {};  // cannot satisfy now
+  return picked;
+}
+
+bool Scheduler::try_start(const Pending& p) {
+  auto gpus = allocate(p.req.gpus);
+  if (gpus.empty()) return false;
+
+  Running r;
+  r.rec.id = p.id;
+  r.rec.name = p.req.name;
+  r.rec.submit = p.req.submit;
+  r.rec.start = engine_.now();
+  r.rec.gpus = p.req.gpus;
+  r.rec.is_ml = p.req.is_ml;
+  r.duration_s = p.req.duration_s;
+  r.hit_walltime = p.req.duration_s >= p.req.walltime_s - 0.5;
+  r.gpus = std::move(gpus);
+
+  // Mark ownership.
+  for (const auto& g : r.gpus) {
+    auto& res = nodes_[static_cast<std::size_t>(g.node)];
+    res.slot[static_cast<std::size_t>(g.slot)] = p.id;
+    --res.free;
+    --total_free_;
+  }
+  std::vector<std::int32_t> node_list;
+  for (const auto& g : r.gpus) {
+    if (node_list.empty() || node_list.back() != g.node) {
+      if (std::find(node_list.begin(), node_list.end(), g.node) ==
+          node_list.end()) {
+        node_list.push_back(g.node);
+      }
+    }
+  }
+  std::sort(node_list.begin(), node_list.end());
+  r.rec.node_list = std::move(node_list);
+  r.rec.nodes = static_cast<std::int32_t>(r.rec.node_list.size());
+  r.rec.gpu_list = r.gpus;
+
+  const auto end_at =
+      engine_.now() + std::max<common::Duration>(
+                          1, static_cast<common::Duration>(r.duration_s));
+  const JobId id = p.id;
+  r.end_event = engine_.schedule_at(end_at, [this, id] { complete_natural(id); });
+  running_.emplace(id, std::move(r));
+  ++started_;
+  return true;
+}
+
+void Scheduler::release(const Running& r) {
+  for (const auto& g : r.gpus) {
+    auto& res = nodes_[static_cast<std::size_t>(g.node)];
+    if (res.slot[static_cast<std::size_t>(g.slot)] == r.rec.id) {
+      res.slot[static_cast<std::size_t>(g.slot)] = 0;
+      ++res.free;
+      ++total_free_;
+    }
+  }
+}
+
+JobState Scheduler::natural_state(const Running& r) {
+  if (r.hit_walltime) return JobState::kTimeout;
+  const double u = rng_.uniform();
+  if (u < cfg_.p_user_failed) return JobState::kFailed;
+  if (u < cfg_.p_user_failed + cfg_.p_cancelled) return JobState::kCancelled;
+  return JobState::kCompleted;
+}
+
+void Scheduler::complete_natural(JobId id) {
+  auto it = running_.find(id);
+  if (it == running_.end()) return;
+  Running r = std::move(it->second);
+  running_.erase(it);
+  const JobState state = natural_state(r);
+  finish(std::move(r), engine_.now(), state);
+}
+
+void Scheduler::finish(Running r, common::TimePoint end, JobState state) {
+  release(r);
+  r.rec.end = end;
+  r.rec.state = state;
+  r.rec.exit_code = state == JobState::kCompleted ? 0 : 1;
+  records_.push_back(std::move(r.rec));
+  try_dispatch();
+}
+
+void Scheduler::finalize(common::TimePoint study_end) {
+  // Jobs still running at the snapshot boundary: truncate as CANCELLED.
+  std::vector<JobId> ids;
+  ids.reserve(running_.size());
+  for (const auto& [id, r] : running_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (const JobId id : ids) {
+    auto it = running_.find(id);
+    engine_.cancel(it->second.end_event);
+    Running r = std::move(it->second);
+    running_.erase(it);
+    release(r);
+    r.rec.end = study_end;
+    r.rec.state = JobState::kCancelled;
+    r.rec.exit_code = 1;
+    records_.push_back(std::move(r.rec));
+  }
+  queue_.clear();
+}
+
+}  // namespace gpures::slurm

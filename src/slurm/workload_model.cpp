@@ -1,0 +1,207 @@
+#include "slurm/workload_model.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gpures::slurm {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMlStems = {
+    "train_resnet50",   "bert_finetune",  "llm_train",      "gpt_pretrain",
+    "model_eval",       "torch_ddp_train", "vit_train",     "diffusion_model",
+    "gnn_training",     "rl_train",       "tensorflow_fit", "train_unet"};
+
+constexpr std::array<const char*, 14> kHpcStems = {
+    "namd_md",     "vasp_relax",   "lammps_eq",   "gromacs_npt",
+    "cfd_sweep",   "wrf_forecast", "qe_scf",      "amber_prod",
+    "cp2k_aimd",   "openfoam_run", "hoomd_sim",   "quantum_espresso",
+    "galaxy_nbody", "mcnp_transport"};
+
+}  // namespace
+
+WorkloadConfig WorkloadConfig::delta_a100() {
+  WorkloadConfig c;
+  // Bucket parameters fitted to Table III: share, GPU mix, duration mixture
+  // (lognormal body + walltime-cap mass) hitting the published mean/P50/P99,
+  // and the ML share of GPU-hours.
+  c.buckets = {
+      {"1", 0.6986, {1}, {1.0}, 10.15, 2.0, 0.0392, 2400, 2880, 0.081},
+      {"2-4", 0.2731, {2, 3, 4}, {0.55, 0.1, 0.35}, 4.75, 2.0, 0.0422, 2400,
+       2880, 0.100},
+      {"4-8", 0.0155, {5, 6, 7, 8}, {0.15, 0.15, 0.1, 0.6}, 2.70, 2.0, 0.0435,
+       2400, 2880, 0.146},
+      {"8-32", 0.0107, {12, 16, 24, 32}, {0.25, 0.4, 0.15, 0.2}, 73.73, 1.4,
+       0.0303, 2300, 2880, 0.074},
+      {"32-64", 0.0014, {48, 64}, {0.4, 0.6}, 10.25, 2.0, 0.0502, 2300, 2880,
+       0.417},
+      {"64-128", 0.00063, {96, 128}, {0.4, 0.6}, 0.32, 2.5, 0.0900, 2000,
+       2880, 0.072},
+      {"128-256", 0.00006, {160, 192, 256}, {0.4, 0.3, 0.3}, 9.19, 2.2,
+       0.0485, 2300, 2880, 0.0},
+      {"256+", 0.00002, {288, 320, 384}, {0.5, 0.3, 0.2}, 20.40, 0.85, 0.0,
+       2400, 2880, 0.0},
+  };
+  // The cap-mass component sits entirely above the median, which shifts the
+  // mixture's P50 above the lognormal body's median.  Deflate each body
+  // median so the *mixture* P50 lands on the published value:
+  // P(X <= p50) = (1-c) * F_body(p50) = 0.5 => F_body(p50) = 0.5/(1-c), and
+  // for small c, Phi^-1(0.5/(1-c)) ~= sqrt(2*pi)/2 * c.
+  for (auto& b : c.buckets) {
+    const double z = 1.2533 * b.cap_mass / (1.0 - b.cap_mass);
+    b.median_min *= std::exp(-b.sigma * z);
+  }
+  c.validate();
+  return c;
+}
+
+void WorkloadConfig::validate() const {
+  if (buckets.empty()) throw std::invalid_argument("WorkloadConfig: no buckets");
+  double share = 0.0;
+  for (const auto& b : buckets) {
+    share += b.share;
+    if (b.gpu_choices.empty() || b.gpu_choices.size() != b.gpu_weights.size()) {
+      throw std::invalid_argument("WorkloadConfig: bad GPU choices in bucket " + b.label);
+    }
+    if (b.median_min <= 0.0 || b.sigma <= 0.0 || b.cap_mass < 0.0 ||
+        b.cap_mass > 1.0 || b.cap_lo_min > b.cap_hi_min ||
+        b.ml_fraction < 0.0 || b.ml_fraction > 1.0) {
+      throw std::invalid_argument("WorkloadConfig: bad duration model in bucket " + b.label);
+    }
+  }
+  if (share < 0.95 || share > 1.05) {
+    throw std::invalid_argument("WorkloadConfig: bucket shares must sum to ~1");
+  }
+  if (op_jobs <= 0.0 || preop_intensity < 0.0 || walltime_cap_min <= 0.0) {
+    throw std::invalid_argument("WorkloadConfig: bad global parameters");
+  }
+  if (diurnal_amplitude < 0.0 || diurnal_amplitude >= 1.0 ||
+      diurnal_peak_hour < 0 || diurnal_peak_hour > 23 ||
+      weekend_intensity <= 0.0) {
+    throw std::invalid_argument("WorkloadConfig: bad modulation parameters");
+  }
+  if (p_user_failed + p_cancelled + p_timeout_extra >= 1.0) {
+    throw std::invalid_argument("WorkloadConfig: failure mix exceeds 1");
+  }
+}
+
+WorkloadModel::WorkloadModel(WorkloadConfig cfg, common::Rng rng)
+    : cfg_(std::move(cfg)), rng_(rng.fork("workload")) {
+  cfg_.validate();
+  std::vector<double> shares;
+  shares.reserve(cfg_.buckets.size());
+  for (const auto& b : cfg_.buckets) shares.push_back(b.share);
+  bucket_sampler_ = common::CategoricalSampler(shares);
+  gpu_samplers_.reserve(cfg_.buckets.size());
+  for (const auto& b : cfg_.buckets) {
+    gpu_samplers_.emplace_back(b.gpu_weights);
+  }
+}
+
+namespace {
+
+// 1970-01-01 was a Thursday; Saturday and Sunday are offsets 2 and 3.
+bool is_weekend(common::TimePoint t) {
+  const auto dow = ((common::day_index(t) % 7) + 7) % 7;
+  return dow == 2 || dow == 3;
+}
+
+}  // namespace
+
+double WorkloadModel::arrival_rate(common::TimePoint t,
+                                   common::TimePoint study_begin,
+                                   common::TimePoint op_begin,
+                                   common::TimePoint study_end) const {
+  if (t < study_begin || t >= study_end) return 0.0;
+  const double op_seconds = static_cast<double>(study_end - op_begin);
+  double rate = cfg_.op_jobs / op_seconds;  // jobs per second in op
+  if (t < op_begin) rate *= cfg_.preop_intensity;
+
+  // Weekly pattern, normalized so the weekly average factor is 1.
+  const double week_avg = (5.0 + 2.0 * cfg_.weekend_intensity) / 7.0;
+  rate *= (is_weekend(t) ? cfg_.weekend_intensity : 1.0) / week_avg;
+
+  // Diurnal pattern (zero-mean cosine, so daily totals are preserved).
+  const double hour =
+      static_cast<double>(t - common::start_of_day(t)) / 3600.0;
+  rate *= 1.0 + cfg_.diurnal_amplitude *
+                    std::cos(2.0 * M_PI * (hour - cfg_.diurnal_peak_hour) / 24.0);
+  return std::max(rate, 0.0);
+}
+
+double WorkloadModel::peak_rate(common::TimePoint study_begin,
+                                common::TimePoint op_begin,
+                                common::TimePoint study_end) const {
+  (void)study_begin;
+  const double op_seconds = static_cast<double>(study_end - op_begin);
+  const double base =
+      cfg_.op_jobs / op_seconds * std::max(1.0, cfg_.preop_intensity);
+  const double week_avg = (5.0 + 2.0 * cfg_.weekend_intensity) / 7.0;
+  const double week_peak = std::max(1.0, cfg_.weekend_intensity) / week_avg;
+  return base * week_peak * (1.0 + std::fabs(cfg_.diurnal_amplitude));
+}
+
+common::TimePoint WorkloadModel::next_arrival(common::TimePoint t,
+                                              common::TimePoint study_begin,
+                                              common::TimePoint op_begin,
+                                              common::TimePoint study_end) {
+  // Lewis–Shedler thinning: draw candidates at the peak rate, accept each
+  // with probability rate(t)/peak — exact for any bounded rate function.
+  common::TimePoint cur = std::max(t, study_begin);
+  const double lambda_max = peak_rate(study_begin, op_begin, study_end);
+  if (lambda_max <= 0.0) return study_end;
+  while (cur < study_end) {
+    const double gap = rng_.exponential(lambda_max);
+    cur += std::max<common::TimePoint>(
+        1, static_cast<common::TimePoint>(std::llround(gap)));
+    if (cur >= study_end) return study_end;
+    const double rate = arrival_rate(cur, study_begin, op_begin, study_end);
+    if (rate > 0.0 && rng_.uniform() < rate / lambda_max) return cur;
+  }
+  return study_end;
+}
+
+JobRequest WorkloadModel::draw_job(common::TimePoint submit) {
+  JobRequest req;
+  req.submit = submit;
+  req.bucket = static_cast<std::int32_t>(bucket_sampler_.sample(rng_));
+  const auto& b = cfg_.buckets[static_cast<std::size_t>(req.bucket)];
+  req.gpus = b.gpu_choices[gpu_samplers_[static_cast<std::size_t>(req.bucket)]
+                               .sample(rng_)];
+  req.duration_s = draw_duration_s(b);
+  req.walltime_s = cfg_.walltime_cap_min * 60.0;
+  req.is_ml = rng_.bernoulli(b.ml_fraction);
+  req.name = draw_name(req.is_ml, req.bucket);
+  return req;
+}
+
+double WorkloadModel::draw_duration_s(const BucketSpec& b) {
+  double minutes;
+  if (rng_.bernoulli(b.cap_mass)) {
+    // Half the walltime-bound jobs run into the kill deadline exactly and
+    // are reported TIMEOUT; the rest finish just under it.  This pile-up is
+    // what the published P99 ~= 2880 min reflects.
+    minutes = rng_.bernoulli(0.5) ? cfg_.walltime_cap_min
+                                  : rng_.uniform(b.cap_lo_min, b.cap_hi_min);
+  } else {
+    minutes = rng_.lognormal(std::log(b.median_min), b.sigma);
+    minutes = std::min(minutes, b.cap_hi_min);
+  }
+  return std::max(1.0, minutes * 60.0);
+}
+
+std::string WorkloadModel::draw_name(bool is_ml, std::int32_t bucket) {
+  const char* stem =
+      is_ml ? kMlStems[rng_.uniform_u64(kMlStems.size())]
+            : kHpcStems[rng_.uniform_u64(kHpcStems.size())];
+  // Suffix with a small run index so names repeat realistically.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s_b%d_%03d", stem, bucket,
+                static_cast<int>(rng_.uniform_u64(500)));
+  return buf;
+}
+
+}  // namespace gpures::slurm

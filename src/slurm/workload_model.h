@@ -1,0 +1,118 @@
+// Synthetic GPU-job workload calibrated to the reproduced study's Table III.
+//
+// Each generated job draws (a) a GPU-count bucket from the published bucket
+// shares, (b) a concrete GPU count inside the bucket, (c) a duration from a
+// capped-lognormal mixture fitted to the bucket's published mean/P50/P99
+// (the 48-hour walltime limit produces the pile-up at ~2880 minutes the
+// paper's P99 column shows), and (d) an ML/non-ML identity that drives the
+// job-name vocabulary (the pipeline later re-derives the ML share from names
+// alone, mirroring the paper's keyword methodology).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "slurm/job.h"
+
+namespace gpures::slurm {
+
+/// One GPU-count bucket of Table III.
+struct BucketSpec {
+  std::string label;           ///< e.g. "2-4"
+  double share = 0.0;          ///< fraction of jobs
+  std::vector<std::int32_t> gpu_choices;
+  std::vector<double> gpu_weights;
+  // Duration model: with prob cap_mass, uniform in [cap_lo, cap_hi] minutes
+  // (walltime-bound jobs); otherwise lognormal(median, sigma) minutes,
+  // truncated at cap_hi.
+  double median_min = 10.0;
+  double sigma = 2.0;
+  double cap_mass = 0.04;
+  double cap_lo_min = 2400.0;
+  double cap_hi_min = 2880.0;
+  double ml_fraction = 0.1;    ///< probability the job is ML
+};
+
+struct WorkloadConfig {
+  std::vector<BucketSpec> buckets;
+  /// Expected job submissions in the operational period (system-wide).
+  double op_jobs = 1'445'119.0;
+  /// Pre-op submission intensity relative to op (bring-up traffic).
+  double preop_intensity = 0.3;
+  /// Diurnal modulation: submissions peak in working hours.  The rate is
+  /// multiplied by 1 + diurnal_amplitude * cos(2*pi*(hour-peak)/24); 0
+  /// disables the pattern.  Totals are preserved (the modulation averages
+  /// to 1 over a day).
+  double diurnal_amplitude = 0.45;
+  int diurnal_peak_hour = 15;  ///< mid-afternoon UTC-ish peak
+  /// Weekend submission intensity relative to weekdays (1 disables).
+  double weekend_intensity = 0.55;
+  /// Walltime request = max(duration, this) rounded up; jobs that hit their
+  /// duration cap are reported TIMEOUT.
+  double walltime_cap_min = 2880.0;
+  /// Baseline unconditional failure mix for jobs not killed by GPU errors
+  /// (paper: 74.68% success on GPU nodes).
+  double p_user_failed = 0.17;
+  double p_cancelled = 0.06;
+  double p_timeout_extra = 0.003;  ///< timeouts beyond natural cap-hitters
+
+  /// Calibrated to the paper's Table III.
+  static WorkloadConfig delta_a100();
+  void validate() const;
+};
+
+/// A job as drawn from the model, before scheduling.
+struct JobRequest {
+  common::TimePoint submit = 0;
+  std::string name;
+  std::int32_t gpus = 1;
+  double duration_s = 60.0;   ///< natural runtime if uninterrupted
+  double walltime_s = 172800; ///< kill deadline after start
+  bool is_ml = false;
+  std::int32_t bucket = 0;
+};
+
+class WorkloadModel {
+ public:
+  WorkloadModel(WorkloadConfig cfg, common::Rng rng);
+
+  const WorkloadConfig& config() const { return cfg_; }
+
+  /// Submission rate (jobs/second) at time t given the study periods,
+  /// including the diurnal/weekly modulation.
+  double arrival_rate(common::TimePoint t, common::TimePoint study_begin,
+                      common::TimePoint op_begin,
+                      common::TimePoint study_end) const;
+
+  /// Upper bound of arrival_rate over any time (for thinning).
+  double peak_rate(common::TimePoint study_begin, common::TimePoint op_begin,
+                   common::TimePoint study_end) const;
+
+  /// Draw the next submission time strictly after `t` (Lewis-Shedler
+  /// thinning against the peak rate, exact across period boundaries);
+  /// returns study_end if none.
+  common::TimePoint next_arrival(common::TimePoint t,
+                                 common::TimePoint study_begin,
+                                 common::TimePoint op_begin,
+                                 common::TimePoint study_end);
+
+  /// Draw one job submitted at `submit`.
+  JobRequest draw_job(common::TimePoint submit);
+
+  /// Draw a duration (seconds) for the given bucket.
+  double draw_duration_s(const BucketSpec& b);
+
+  /// Generate a plausible job name for an ML / non-ML job.
+  std::string draw_name(bool is_ml, std::int32_t bucket);
+
+ private:
+  WorkloadConfig cfg_;
+  common::Rng rng_;
+  common::CategoricalSampler bucket_sampler_;
+  std::vector<common::CategoricalSampler> gpu_samplers_;
+};
+
+}  // namespace gpures::slurm

@@ -1,0 +1,3 @@
+#include "xid/event.h"
+
+// Currently header-only; TU anchors the target.

@@ -1,0 +1,63 @@
+// Event records shared between the simulator (ground truth) and the analysis
+// pipeline (recovered from raw logs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "xid/xid.h"
+
+namespace gpures::xid {
+
+/// Identifies a GPU within the cluster: node index + local GPU slot.
+struct GpuId {
+  std::int32_t node = -1;  ///< index into the cluster's node list
+  std::int32_t slot = -1;  ///< local GPU index within the node (0..7)
+
+  friend auto operator<=>(const GpuId&, const GpuId&) = default;
+};
+
+/// Flat key usable in hash maps.
+constexpr std::uint64_t gpu_key(GpuId id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.node)) << 8) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.slot) & 0xff);
+}
+
+/// One GPU error occurrence.  The simulator produces these as ground truth;
+/// the pipeline reconstructs them from syslog.  `raw_line_count` is how many
+/// duplicated raw log lines this (coalesced) error produced.
+struct GpuErrorEvent {
+  common::TimePoint time = 0;
+  GpuId gpu;
+  Code code = Code::kMmuError;
+  std::uint32_t raw_line_count = 1;
+  /// Free-form detail rendered into the syslog payload (e.g. fault address).
+  std::string detail;
+
+  friend bool operator<(const GpuErrorEvent& a, const GpuErrorEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.gpu != b.gpu) return a.gpu < b.gpu;
+    return to_number(a.code) < to_number(b.code);
+  }
+};
+
+/// A node-level unavailability interval (drain + reboot or replacement).
+struct DowntimeInterval {
+  std::int32_t node = -1;
+  common::TimePoint begin = 0;
+  common::TimePoint end = 0;
+  bool replacement = false;  ///< true when the GPU was physically swapped
+
+  common::Duration duration() const { return end - begin; }
+};
+
+/// Ground-truth trace the simulator produces alongside raw logs, used only
+/// for validating the pipeline (never as pipeline input).
+struct GroundTruth {
+  std::vector<GpuErrorEvent> errors;       ///< coalesced, time-ordered
+  std::vector<DowntimeInterval> downtime;  ///< time-ordered by begin
+};
+
+}  // namespace gpures::xid

@@ -1,0 +1,124 @@
+#include "xid/xid.h"
+
+#include <array>
+
+namespace gpures::xid {
+
+namespace {
+
+constexpr std::array<Descriptor, 14> kCatalog = {{
+    {Code::kGraphicsEngineError, "SW Err.", "Graphics Engine Exception",
+     Category::kSoftware,
+     "Graphics engine exception, typically triggered by user code "
+     "(illegal instruction, out-of-bounds access).",
+     "None; application-level bug.", /*excluded=*/true, /*reset=*/false},
+    {Code::kMmuError, "MMU Err.", "MMU Error", Category::kHardware,
+     "GPU memory management unit (MMU) error.",
+     "MMU error due to invalid memory access or driver/hardware bugs.",
+     /*excluded=*/false, /*reset=*/false},
+    {Code::kResetChannelError, "Reset Chan.", "Reset Channel Verification Error",
+     Category::kSoftware,
+     "Reset channel verification error, typically user-job triggered.",
+     "None; not an indicator of degraded GPU health.",
+     /*excluded=*/true, /*reset=*/false},
+    {Code::kDoubleBitEcc, "DBE", "Double Bit ECC Error", Category::kMemory,
+     "Double bit ECC memory error (DBE), uncorrectable by SECDED.",
+     "Triggers RRE; GPU reset or node reboot needed if RRE failed.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kRowRemapEvent, "RRE", "Row Remapping Event", Category::kMemory,
+     "Row remapping event, triggered by 1 DBE or 2 SBEs at the same address.",
+     "GPU reset needed for row remapping to take effect.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kRowRemapFailure, "RRF", "Row Remapping Failure", Category::kMemory,
+     "Row remapping failure: all spare rows for the bank are exhausted.",
+     "A GPU reset is needed to clear this error; GPU replacement tracked.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kNvlinkError, "NVLink Err.", "NVLink Error", Category::kInterconnect,
+     "NVLink error indicating connection issues between GPUs over NVLink.",
+     "GPU reset or SRE intervention required.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kFallenOffBus, "Off-Bus", "GPU Fallen Off the Bus",
+     Category::kHardware,
+     "GPU has fallen off the system bus and is not reachable.",
+     "GPU reset or SRE intervention required.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kContainedEccError, "Contained", "Contained Memory Error",
+     Category::kMemory,
+     "Uncorrectable contained ECC error; containment terminated the "
+     "affected processes and prevented propagation.",
+     "Not specified.", /*excluded=*/false, /*reset=*/false},
+    {Code::kUncontainedEccError, "Uncontained", "Uncontained Memory Error",
+     Category::kMemory,
+     "Uncontained memory error: uncorrectable error containment failed.",
+     "GPU reset or SRE intervention required.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kGspRpcTimeout, "GSP Err.", "GSP RPC Timeout", Category::kHardware,
+     "GPU System Processor (GSP) RPC timeout; GSP offloads driver tasks "
+     "from the host CPU.",
+     "GPU reset or SRE intervention required.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kGspError, "GSP Err.", "GSP Error", Category::kHardware,
+     "GPU System Processor (GSP) error.",
+     "GPU reset or SRE intervention required.",
+     /*excluded=*/false, /*reset=*/true},
+    {Code::kPmuSpiFailure, "PMU SPI Err.", "PMU SPI RPC Read Failure",
+     Category::kHardware,
+     "PMU SPI RPC read failure, indicating failed communication with the "
+     "Power Management Unit.",
+     "Not specified.", /*excluded=*/false, /*reset=*/false},
+    {Code::kPmuCommunicationError, "PMU SPI Err.", "PMU Communication Error",
+     Category::kHardware,
+     "PMU communication error; can prevent core/memory clock changes and "
+     "propagate to MMU errors.",
+     "Not specified.", /*excluded=*/false, /*reset=*/false},
+}};
+
+constexpr std::array<Code, 10> kReportOrder = {
+    Code::kMmuError,        Code::kDoubleBitEcc,      Code::kRowRemapEvent,
+    Code::kRowRemapFailure, Code::kNvlinkError,       Code::kFallenOffBus,
+    Code::kContainedEccError, Code::kUncontainedEccError,
+    Code::kGspRpcTimeout,   Code::kPmuSpiFailure};
+
+}  // namespace
+
+std::string_view to_string(Category c) {
+  switch (c) {
+    case Category::kHardware: return "Hardware";
+    case Category::kInterconnect: return "Interconnect";
+    case Category::kMemory: return "Memory";
+    case Category::kSoftware: return "Software";
+  }
+  return "Unknown";
+}
+
+std::span<const Descriptor> catalog() { return kCatalog; }
+
+std::optional<Descriptor> describe(Code c) {
+  for (const auto& d : kCatalog) {
+    if (d.code == c) return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<Descriptor> describe(std::uint16_t xid_number) {
+  for (const auto& d : kCatalog) {
+    if (to_number(d.code) == xid_number) return d;
+  }
+  return std::nullopt;
+}
+
+bool is_known(std::uint16_t xid_number) {
+  return describe(xid_number).has_value();
+}
+
+Code merge_key(Code c) {
+  switch (c) {
+    case Code::kGspError: return Code::kGspRpcTimeout;
+    case Code::kPmuCommunicationError: return Code::kPmuSpiFailure;
+    default: return c;
+  }
+}
+
+std::span<const Code> report_order() { return kReportOrder; }
+
+}  // namespace gpures::xid

@@ -1,0 +1,83 @@
+// NVIDIA XID error catalog for the A100 (Ampere) resilience study.
+//
+// This module encodes the error taxonomy of the reproduced paper's Table I:
+// the critical XID codes, their component category (GPU hardware / NVLink
+// interconnect / GPU memory), human-readable descriptions, and the recovery
+// action the NVIDIA deployment guide prescribes.  XID 13 (Graphics Engine
+// Exception) and XID 43 (Reset Channel Verification Error) are present in the
+// catalog but flagged `excluded_from_study` because they are typically
+// triggered by user code and are not indicators of degraded GPU health.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace gpures::xid {
+
+/// Component category an XID error is attributed to (paper Table I).
+enum class Category : std::uint8_t {
+  kHardware,      ///< GSP, PMU, MMU, bus — non-memory GPU hardware
+  kInterconnect,  ///< NVLink GPU-to-GPU fabric
+  kMemory,        ///< HBM2e ECC / row remapping / error containment
+  kSoftware,      ///< user-triggered, excluded from resilience statistics
+};
+
+std::string_view to_string(Category c);
+
+/// The XID codes tracked by the study.  Values match NVIDIA's XID numbers.
+enum class Code : std::uint16_t {
+  kGraphicsEngineError = 13,   // excluded (user-triggered)
+  kMmuError = 31,              // memory management unit fault
+  kResetChannelError = 43,     // excluded (user-triggered)
+  kDoubleBitEcc = 48,          // uncorrectable DBE
+  kRowRemapEvent = 63,         // row remapping recorded (RRE)
+  kRowRemapFailure = 64,       // spare rows exhausted (RRF)
+  kNvlinkError = 74,           // NVLink interconnect error
+  kFallenOffBus = 79,          // GPU no longer reachable on PCIe
+  kContainedEccError = 94,     // uncorrectable error successfully contained
+  kUncontainedEccError = 95,   // containment failed
+  kGspRpcTimeout = 119,        // GSP RPC timeout
+  kGspError = 120,             // GSP error
+  kPmuSpiFailure = 122,        // PMU SPI RPC read failure
+  kPmuCommunicationError = 123 // PMU communication error
+};
+
+/// Stable integer for map keys / logs.
+constexpr std::uint16_t to_number(Code c) { return static_cast<std::uint16_t>(c); }
+
+/// Row-remap / containment outcomes are *recovery events*; true errors are
+/// the rest.  The distinction matters when estimating MTBE: the paper counts
+/// all of Table I's rows as "errors" except where noted.
+struct Descriptor {
+  Code code;
+  std::string_view abbrev;         ///< e.g. "MMU Err.", "GSP Error"
+  std::string_view name;           ///< long name
+  Category category;
+  std::string_view description;    ///< paper Table I description
+  std::string_view recovery;       ///< prescribed recovery action
+  bool excluded_from_study;        ///< XID 13 / 43
+  bool requires_reset;             ///< GPU reset or node reboot to clear
+};
+
+/// Full catalog (all codes above, in XID order).
+std::span<const Descriptor> catalog();
+
+/// Catalog lookup by code; nullopt for codes the study does not track.
+std::optional<Descriptor> describe(Code c);
+std::optional<Descriptor> describe(std::uint16_t xid_number);
+
+/// True if the given raw XID number is one the study tracks (including the
+/// excluded software codes, which Stage I still parses and then filters).
+bool is_known(std::uint16_t xid_number);
+
+/// Paper reporting rows merge the two GSP codes (119/120) and the two PMU
+/// codes (122/123).  `merge_key` maps a code to its canonical reporting code.
+Code merge_key(Code c);
+
+/// The canonical reporting codes, in the paper's Table I row order:
+/// 31, 48, 63, 64, 74, 79, 94, 95, 119(+120), 122(+123).
+std::span<const Code> report_order();
+
+}  // namespace gpures::xid

@@ -1,0 +1,149 @@
+// Slurm accounting serialization: exact round trip + malformed input.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "slurm/accounting.h"
+
+namespace sl = gpures::slurm;
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+
+namespace {
+
+cl::Topology topo() { return cl::Topology(cl::ClusterSpec::delta_a100()); }
+
+sl::JobRecord sample_record() {
+  sl::JobRecord r;
+  r.id = 12345;
+  r.name = "train_resnet50_b0_017";
+  r.submit = ct::make_date(2023, 4, 1) + 3600;
+  r.start = r.submit + 120;
+  r.end = r.start + 5400;
+  r.gpus = 4;
+  r.nodes = 1;
+  r.state = sl::JobState::kCompleted;
+  r.exit_code = 0;
+  r.node_list = {7};
+  r.gpu_list = {{7, 0}, {7, 1}, {7, 2}, {7, 3}};
+  return r;
+}
+
+}  // namespace
+
+TEST(Accounting, HeaderShape) {
+  const auto h = sl::accounting_header();
+  EXPECT_EQ(ct::split(h, '|').size(), 11u);
+  EXPECT_TRUE(ct::starts_with(h, "JobID|JobName|Submit|Start|End|State"));
+}
+
+TEST(Accounting, RenderKnownRecord) {
+  const auto t = topo();
+  const auto line = sl::to_accounting_line(sample_record(), t);
+  EXPECT_NE(line.find("12345|train_resnet50_b0_017|2023-04-01T01:00:00|"),
+            std::string::npos);
+  EXPECT_NE(line.find("|COMPLETED|0:0|1|4|gpua008|"), std::string::npos);
+  EXPECT_NE(line.find("gpua008:0;gpua008:1;gpua008:2;gpua008:3"),
+            std::string::npos);
+}
+
+TEST(Accounting, RoundTripExact) {
+  const auto t = topo();
+  const auto rec = sample_record();
+  const auto parsed = sl::parse_accounting_line(sl::to_accounting_line(rec, t), t);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const auto& p = parsed.value();
+  EXPECT_EQ(p.id, rec.id);
+  EXPECT_EQ(p.name, rec.name);
+  EXPECT_EQ(p.submit, rec.submit);
+  EXPECT_EQ(p.start, rec.start);
+  EXPECT_EQ(p.end, rec.end);
+  EXPECT_EQ(p.state, rec.state);
+  EXPECT_EQ(p.exit_code, rec.exit_code);
+  EXPECT_EQ(p.nodes, rec.nodes);
+  EXPECT_EQ(p.gpus, rec.gpus);
+  EXPECT_EQ(p.node_list, rec.node_list);
+  ASSERT_EQ(p.gpu_list.size(), rec.gpu_list.size());
+  for (std::size_t i = 0; i < p.gpu_list.size(); ++i) {
+    EXPECT_EQ(p.gpu_list[i], rec.gpu_list[i]);
+  }
+}
+
+TEST(Accounting, RoundTripRandomizedProperty) {
+  const auto t = topo();
+  ct::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    sl::JobRecord r;
+    r.id = rng.next_u64() % 1000000;
+    r.name = "job_" + std::to_string(rng.uniform_u64(1000));
+    r.submit = ct::make_date(2022, 1, 1) +
+               static_cast<ct::TimePoint>(rng.uniform_u64(86400ull * 1000));
+    r.start = r.submit + static_cast<ct::TimePoint>(rng.uniform_u64(3600));
+    r.end = r.start + 1 + static_cast<ct::TimePoint>(rng.uniform_u64(86400));
+    const int nodes = 1 + static_cast<int>(rng.uniform_u64(3));
+    for (int n = 0; n < nodes; ++n) {
+      const auto node = static_cast<std::int32_t>(rng.uniform_u64(100));
+      if (std::find(r.node_list.begin(), r.node_list.end(), node) !=
+          r.node_list.end()) {
+        continue;
+      }
+      r.node_list.push_back(node);
+      for (std::int32_t s = 0; s < 2; ++s) r.gpu_list.push_back({node, s});
+    }
+    r.nodes = static_cast<std::int32_t>(r.node_list.size());
+    r.gpus = static_cast<std::int32_t>(r.gpu_list.size());
+    r.state = static_cast<sl::JobState>(rng.uniform_u64(5));
+    r.exit_code = r.state == sl::JobState::kCompleted ? 0 : 1;
+
+    const auto parsed =
+        sl::parse_accounting_line(sl::to_accounting_line(r, t), t);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+    EXPECT_EQ(parsed.value().id, r.id);
+    EXPECT_EQ(parsed.value().state, r.state);
+    EXPECT_EQ(parsed.value().node_list, r.node_list);
+    EXPECT_EQ(parsed.value().gpu_list.size(), r.gpu_list.size());
+  }
+}
+
+TEST(Accounting, MalformedLinesRejected) {
+  const auto t = topo();
+  const auto good = sl::to_accounting_line(sample_record(), t);
+
+  EXPECT_FALSE(sl::parse_accounting_line("", t).ok());
+  EXPECT_FALSE(sl::parse_accounting_line("a|b|c", t).ok());
+
+  // Corrupt each field in turn.
+  auto corrupt = [&](int field, const std::string& value) {
+    auto parts = ct::split(good, '|');
+    std::string line;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+      if (i) line += '|';
+      line += (static_cast<int>(i) == field) ? value : std::string(parts[i]);
+    }
+    return sl::parse_accounting_line(line, t);
+  };
+  EXPECT_FALSE(corrupt(0, "notanumber").ok());   // JobID
+  EXPECT_FALSE(corrupt(2, "2023-13-01T00:00:00").ok());  // Submit
+  EXPECT_FALSE(corrupt(3, "whenever").ok());     // Start
+  EXPECT_FALSE(corrupt(5, "EXPLODED").ok());     // State
+  EXPECT_FALSE(corrupt(6, "x:0").ok());          // ExitCode
+  EXPECT_FALSE(corrupt(7, "0").ok());            // NNodes
+  EXPECT_FALSE(corrupt(9, "unknownhost").ok());  // NodeList
+  EXPECT_FALSE(corrupt(10, "gpua008").ok());     // AllocGPUS missing slot
+  EXPECT_FALSE(corrupt(10, "gpua008:9").ok());   // bad slot on 4-way node
+  EXPECT_FALSE(corrupt(10, "gpua008:0").ok());   // length != NGPUs
+}
+
+TEST(Accounting, WriteStream) {
+  const auto t = topo();
+  std::ostringstream os;
+  sl::write_accounting(os, {sample_record(), sample_record()}, t);
+  const std::string dump = os.str();  // keep alive for the string_views
+  const auto lines = ct::split(dump, '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], sl::accounting_header());
+  EXPECT_TRUE(sl::parse_accounting_line(lines[1], t).ok());
+  EXPECT_TRUE(sl::parse_accounting_line(lines[2], t).ok());
+}

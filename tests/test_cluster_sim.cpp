@@ -1,0 +1,284 @@
+// Cluster simulator integration: error emission, recovery workflow,
+// ground-truth consistency.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/cluster_sim.h"
+
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+namespace des = gpures::des;
+
+namespace {
+
+struct Recorder final : cl::RawLineSink, cl::SimListener {
+  struct Raw {
+    ct::TimePoint t;
+    std::int32_t node;
+    std::int32_t slot;
+    gx::Code code;
+  };
+  std::vector<Raw> raw;
+  std::vector<cl::ErrorNotification> notes;
+  std::map<std::int32_t, std::vector<char>> lifecycle;  // 'd','x','u' per node
+
+  void on_xid_record(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                     gx::Code code, const std::string&) override {
+    raw.push_back({t, node, slot, code});
+  }
+  void on_error(const cl::ErrorNotification& n) override { notes.push_back(n); }
+  void on_drain_begin(std::int32_t node, ct::TimePoint) override {
+    lifecycle[node].push_back('d');
+  }
+  void on_node_down(std::int32_t node, ct::TimePoint) override {
+    lifecycle[node].push_back('x');
+  }
+  void on_node_up(std::int32_t node, ct::TimePoint) override {
+    lifecycle[node].push_back('u');
+  }
+};
+
+struct SimHarness {
+  cl::FaultConfig cfg = cl::FaultConfig::test_config();
+  cl::Topology topo{cl::ClusterSpec::delta_a100()};
+  des::Engine engine{cfg.study_begin};
+  cl::ClusterSim sim{engine, topo, cfg, ct::Rng(11)};
+  Recorder rec;
+
+  SimHarness() {
+    sim.set_raw_sink(&rec);
+    sim.set_listener(&rec);
+  }
+  void run() {
+    sim.start();
+    sim.run_to_end();
+  }
+};
+
+}  // namespace
+
+TEST(ClusterSim, EmitsEveryTrackedFamily) {
+  SimHarness h;
+  h.run();
+  std::map<gx::Code, int> by_code;
+  for (const auto& e : h.sim.ground_truth().errors) ++by_code[e.code];
+  EXPECT_GT(by_code[gx::Code::kMmuError], 0);
+  EXPECT_GT(by_code[gx::Code::kNvlinkError], 0);
+  EXPECT_GT(by_code[gx::Code::kRowRemapEvent], 0);
+  EXPECT_GT(by_code[gx::Code::kRowRemapFailure], 0);
+  EXPECT_GT(by_code[gx::Code::kUncontainedEccError], 0);
+  EXPECT_GT(by_code[gx::Code::kGspRpcTimeout] + by_code[gx::Code::kGspError], 0);
+  EXPECT_GT(by_code[gx::Code::kPmuSpiFailure] +
+                by_code[gx::Code::kPmuCommunicationError],
+            0);
+}
+
+TEST(ClusterSim, RawRecordsCoverGroundTruthWithDuplication) {
+  SimHarness h;
+  h.run();
+  std::uint64_t truth_lines = 0;
+  for (const auto& e : h.sim.ground_truth().errors) {
+    truth_lines += e.raw_line_count;
+  }
+  // Duplicates clipped at the study boundary make raw <= declared counts.
+  EXPECT_LE(h.rec.raw.size(), truth_lines);
+  EXPECT_GE(h.rec.raw.size(),
+            h.sim.ground_truth().errors.size());  // at least the leaders
+  EXPECT_EQ(h.sim.raw_records(), h.rec.raw.size());
+}
+
+TEST(ClusterSim, ErrorsInsideStudyWindow) {
+  SimHarness h;
+  h.run();
+  for (const auto& e : h.sim.ground_truth().errors) {
+    EXPECT_GE(e.time, h.cfg.study_begin);
+    EXPECT_LT(e.time, h.cfg.study_end);
+  }
+  for (const auto& r : h.rec.raw) {
+    EXPECT_GE(r.t, h.cfg.study_begin);
+    EXPECT_LT(r.t, h.cfg.study_end);
+  }
+}
+
+TEST(ClusterSim, DowntimeIntervalsWellFormed) {
+  SimHarness h;
+  h.run();
+  std::map<std::int32_t, ct::TimePoint> last_end;
+  ASSERT_FALSE(h.sim.ground_truth().downtime.empty());
+  for (const auto& d : h.sim.ground_truth().downtime) {
+    EXPECT_GE(d.node, 0);
+    EXPECT_LT(d.node, h.topo.node_count());
+    EXPECT_LT(d.begin, d.end);
+    // Intervals on one node never overlap.
+    if (last_end.count(d.node)) EXPECT_GE(d.begin, last_end[d.node]);
+    last_end[d.node] = d.end;
+  }
+}
+
+TEST(ClusterSim, LifecycleSequencesAreDrainDownUp) {
+  SimHarness h;
+  h.run();
+  ASSERT_FALSE(h.rec.lifecycle.empty());
+  for (const auto& [node, seq] : h.rec.lifecycle) {
+    for (std::size_t i = 0; i + 2 < seq.size(); i += 3) {
+      EXPECT_EQ(seq[i], 'd');
+      EXPECT_EQ(seq[i + 1], 'x');
+      EXPECT_EQ(seq[i + 2], 'u');
+    }
+    // A possibly-incomplete trailing cycle is allowed at the study boundary.
+    EXPECT_LE(seq.size() % 3, 2u);
+  }
+}
+
+TEST(ClusterSim, ResetRequiringNotesTriggerRecovery) {
+  SimHarness h;
+  h.run();
+  int reset_notes = 0;
+  for (const auto& n : h.rec.notes) reset_notes += n.reset_required;
+  EXPECT_GT(reset_notes, 0);
+  // Roughly one downtime interval per reset-requiring burst; storms merge
+  // several errors into one recovery, so downtime <= reset-requiring notes.
+  EXPECT_LE(h.sim.ground_truth().downtime.size(),
+            static_cast<std::size_t>(reset_notes));
+}
+
+TEST(ClusterSim, EpisodeErrorsPinnedAndHeavilyDuplicated) {
+  SimHarness h;
+  h.run();
+  const auto& ep = h.cfg.uncontained_episodes[0];
+  std::uint64_t count = 0;
+  double lines = 0;
+  for (const auto& e : h.sim.ground_truth().errors) {
+    if (e.code == gx::Code::kUncontainedEccError && e.gpu == ep.gpu) {
+      ++count;
+      lines += e.raw_line_count;
+    }
+  }
+  ASSERT_GT(count, 1000u);  // 3-day episode at ~38s spacing
+  EXPECT_GT(lines / static_cast<double>(count), 10.0);  // heavy duplication
+}
+
+TEST(ClusterSim, MemoryChainConsistency) {
+  SimHarness h;
+  h.run();
+  // Every memory fault produces exactly one of RRE/RRF; containment events
+  // never exceed the fault count.
+  std::map<gx::Code, int> c;
+  for (const auto& e : h.sim.ground_truth().errors) ++c[e.code];
+  const int faults = c[gx::Code::kRowRemapEvent] + c[gx::Code::kRowRemapFailure];
+  EXPECT_GT(faults, 0);
+  EXPECT_LE(c[gx::Code::kContainedEccError], faults);
+  EXPECT_LE(c[gx::Code::kDoubleBitEcc], faults);
+  // The degraded-GPU bank only has 16 spares: RRFs happen on that GPU.
+  const auto& deg = h.cfg.degraded_memory_episodes[0];
+  for (const auto& e : h.sim.ground_truth().errors) {
+    if (e.code == gx::Code::kRowRemapFailure) {
+      EXPECT_EQ(e.gpu, deg.gpu);
+    }
+  }
+}
+
+TEST(ClusterSim, NodeStateQueriesWork) {
+  SimHarness h;
+  h.run();
+  int up = 0;
+  for (std::int32_t n = 0; n < h.topo.node_count(); ++n) {
+    up += h.sim.node_state(n) == cl::NodeState::kUp;
+  }
+  EXPECT_GT(up, h.topo.node_count() - 10);  // nearly all back in service
+}
+
+TEST(ClusterSim, DeterministicAcrossRuns) {
+  SimHarness a;
+  SimHarness b;
+  a.run();
+  b.run();
+  ASSERT_EQ(a.sim.ground_truth().errors.size(),
+            b.sim.ground_truth().errors.size());
+  for (std::size_t i = 0; i < a.sim.ground_truth().errors.size(); ++i) {
+    const auto& ea = a.sim.ground_truth().errors[i];
+    const auto& eb = b.sim.ground_truth().errors[i];
+    EXPECT_EQ(ea.time, eb.time);
+    EXPECT_EQ(ea.gpu, eb.gpu);
+    EXPECT_EQ(ea.code, eb.code);
+  }
+}
+
+TEST(ClusterSim, ForcedReplacementPathRestoresService) {
+  SimHarness h;
+  h.cfg.recovery.reset_failure_probability = 1.0;  // every reset fails
+  h.cfg.recovery.replacement_lo_h = 1.0;
+  h.cfg.recovery.replacement_hi_h = 2.0;
+  // Rebuild the sim with the modified config.
+  cl::ClusterSim sim(h.engine, h.topo, h.cfg, ct::Rng(5));
+  Recorder rec;
+  sim.set_raw_sink(&rec);
+  sim.set_listener(&rec);
+  sim.start();
+  sim.run_to_end();
+  ASSERT_FALSE(sim.ground_truth().downtime.empty());
+  int replacements = 0;
+  for (const auto& d : sim.ground_truth().downtime) {
+    EXPECT_TRUE(d.replacement);
+    ++replacements;
+    // Replacement adds at least the configured hour to the outage.
+    EXPECT_GE(d.end - d.begin, ct::kHour);
+  }
+  EXPECT_GT(replacements, 10);
+}
+
+TEST(ClusterSim, IdleAffinityRetargetsAwayFromBusyGpus) {
+  SimHarness h;
+  // Make every family fully idle-affine and mark exactly one GPU busy.
+  for (cl::ProcessSpec* p :
+       {&h.cfg.mmu, &h.cfg.mem_fault, &h.cfg.off_bus, &h.cfg.gsp,
+        &h.cfg.pmu}) {
+    p->idle_affinity = 1.0;
+  }
+  cl::ClusterSim sim(h.engine, h.topo, h.cfg, ct::Rng(6));
+  Recorder rec;
+  sim.set_listener(&rec);
+  const gx::GpuId busy{7, 2};
+  sim.set_busy_query([busy](gx::GpuId g) { return g == busy; });
+  sim.start();
+  sim.run_to_end();
+  for (const auto& e : sim.ground_truth().errors) {
+    if (e.code == gx::Code::kUncontainedEccError) continue;  // pinned episode
+    if (e.code == gx::Code::kRowRemapFailure ||
+        e.code == gx::Code::kRowRemapEvent ||
+        e.code == gx::Code::kDoubleBitEcc ||
+        e.code == gx::Code::kContainedEccError) {
+      // Memory chain can be pinned by the degraded episode; skip.
+      continue;
+    }
+    EXPECT_NE(e.gpu, busy) << "XID " << gx::to_number(e.code);
+  }
+}
+
+TEST(ClusterSim, NvlinkStormsPauseDuringReboot) {
+  // Storm error counts should survive recovery interruptions: the expected
+  // NVLink total must land near the configured counts even though the first
+  // storm incident takes its node down for ~an hour.
+  SimHarness h;
+  h.run();
+  std::uint64_t nvlink = 0;
+  for (const auto& e : h.sim.ground_truth().errors) {
+    nvlink += e.code == gx::Code::kNvlinkError;
+  }
+  const double gpi = h.cfg.expected_gpus_per_incident(3);
+  const double expected =
+      (h.cfg.nvlink_incident.pre_count + h.cfg.nvlink_incident.op_count) * gpi;
+  EXPECT_NEAR(static_cast<double>(nvlink), expected, expected * 0.35);
+}
+
+TEST(ClusterSim, GpuMemoryAccessor) {
+  SimHarness h;
+  h.run();
+  const auto& deg = h.cfg.degraded_memory_episodes[0];
+  // The hammered GPU consumed remaps and logged failures.
+  const auto& mem = h.sim.gpu_memory(deg.gpu);
+  EXPECT_GT(mem.remapped_rows() + mem.remap_failures(), 0);
+}

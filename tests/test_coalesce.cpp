@@ -1,0 +1,211 @@
+// Stage II coalescing: window semantics, family merging, filtering, and the
+// properties that make de-duplicated error counts trustworthy.
+#include <gtest/gtest.h>
+
+#include "analysis/coalesce.h"
+#include "common/rng.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+an::XidObservation obs(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                       std::uint16_t xid) {
+  return {t, {node, slot}, xid};
+}
+
+}  // namespace
+
+TEST(Coalescer, MergesWithinWindow) {
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  const auto out = an::coalesce_all(
+      {obs(100, 0, 0, 31), obs(110, 0, 0, 31), obs(130, 0, 0, 31)}, cfg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].time, 100);
+  EXPECT_EQ(out[0].last, 130);
+  EXPECT_EQ(out[0].raw_lines, 3u);
+  EXPECT_EQ(out[0].code, gx::Code::kMmuError);
+}
+
+TEST(Coalescer, WindowIsAnchoredToLeader) {
+  // Leader semantics: the window does NOT slide with each merged record.
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  const auto out = an::coalesce_all(
+      {obs(100, 0, 0, 31), obs(125, 0, 0, 31), obs(145, 0, 0, 31)}, cfg);
+  // 145 > 100+30, so it starts a new error even though 145-125 < 30.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].raw_lines, 2u);
+  EXPECT_EQ(out[1].time, 145);
+}
+
+TEST(Coalescer, BoundaryExactlyAtWindowMerges) {
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  const auto merged =
+      an::coalesce_all({obs(100, 0, 0, 31), obs(130, 0, 0, 31)}, cfg);
+  EXPECT_EQ(merged.size(), 1u);
+  const auto split =
+      an::coalesce_all({obs(100, 0, 0, 31), obs(131, 0, 0, 31)}, cfg);
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(Coalescer, DifferentGpusNeverMerge) {
+  an::CoalescerConfig cfg;
+  cfg.window = 60;
+  const auto out = an::coalesce_all(
+      {obs(100, 0, 0, 31), obs(101, 0, 1, 31), obs(102, 1, 0, 31)}, cfg);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(Coalescer, DifferentCodesNeverMerge) {
+  an::CoalescerConfig cfg;
+  cfg.window = 60;
+  const auto out =
+      an::coalesce_all({obs(100, 0, 0, 31), obs(101, 0, 0, 79)}, cfg);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalescer, FamilyMerging) {
+  an::CoalescerConfig cfg;
+  cfg.window = 60;
+  cfg.merge_families = true;
+  // 119 followed by 120 on the same GPU inside the window: one GSP error.
+  const auto merged =
+      an::coalesce_all({obs(100, 0, 0, 119), obs(110, 0, 0, 120)}, cfg);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].code, gx::Code::kGspRpcTimeout);
+  EXPECT_EQ(merged[0].raw_lines, 2u);
+
+  cfg.merge_families = false;
+  const auto split =
+      an::coalesce_all({obs(100, 0, 0, 119), obs(110, 0, 0, 120)}, cfg);
+  EXPECT_EQ(split.size(), 2u);
+}
+
+TEST(Coalescer, ExcludedAndUnknownCodesFiltered) {
+  an::CoalescerConfig cfg;
+  const auto out = an::coalesce_all(
+      {obs(100, 0, 0, 13), obs(101, 0, 0, 43), obs(102, 0, 0, 777),
+       obs(103, 0, 0, 31)},
+      cfg);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].code, gx::Code::kMmuError);
+}
+
+TEST(Coalescer, FilterDisabledKeepsUnknown) {
+  an::CoalescerConfig cfg;
+  cfg.filter_to_catalog = false;
+  const auto out = an::coalesce_all({obs(100, 0, 0, 777)}, cfg);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(Coalescer, ZeroWindowCountsEveryLine) {
+  an::CoalescerConfig cfg;
+  cfg.window = 0;
+  const auto out = an::coalesce_all(
+      {obs(100, 0, 0, 31), obs(100, 0, 0, 31), obs(101, 0, 0, 31)}, cfg);
+  // t=100 duplicates merge (<= leader + 0), t=101 is a new error.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Coalescer, StreamingMatchesBatch) {
+  ct::Rng rng(5);
+  std::vector<an::XidObservation> observations;
+  ct::TimePoint t = 1000;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<ct::Duration>(rng.uniform_u64(40));
+    observations.push_back(obs(
+        t, static_cast<std::int32_t>(rng.uniform_u64(3)),
+        static_cast<std::int32_t>(rng.uniform_u64(2)),
+        rng.bernoulli(0.5) ? 31 : 74));
+  }
+  an::CoalescerConfig cfg;
+  cfg.window = 25;
+  const auto batch = an::coalesce_all(observations, cfg);
+
+  std::vector<an::CoalescedError> streamed;
+  an::Coalescer c(cfg, [&](const an::CoalescedError& e) {
+    streamed.push_back(e);
+  });
+  for (const auto& o : observations) c.add(o);
+  c.flush();
+  std::sort(streamed.begin(), streamed.end(),
+            [](const an::CoalescedError& a, const an::CoalescedError& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.gpu != b.gpu) return a.gpu < b.gpu;
+              return gx::to_number(a.code) < gx::to_number(b.code);
+            });
+  ASSERT_EQ(streamed.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(streamed[i].time, batch[i].time);
+    EXPECT_EQ(streamed[i].raw_lines, batch[i].raw_lines);
+  }
+  EXPECT_EQ(c.records_in(), observations.size());
+  EXPECT_EQ(c.errors_out(), streamed.size());
+}
+
+TEST(Coalescer, IdempotentOnSpacedInput) {
+  // Property: if consecutive same-key records are farther apart than the
+  // window, coalescing is the identity.
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  std::vector<an::XidObservation> spaced;
+  for (int i = 0; i < 100; ++i) spaced.push_back(obs(i * 31, 0, 0, 31));
+  const auto out = an::coalesce_all(spaced, cfg);
+  EXPECT_EQ(out.size(), spaced.size());
+  for (const auto& e : out) EXPECT_EQ(e.raw_lines, 1u);
+}
+
+class CoalesceWindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoalesceWindowSweep, CountMonotonicallyDecreasesWithWindow) {
+  // Property: a larger window can only merge more, never less.
+  const int w = GetParam();
+  ct::Rng rng(9);
+  std::vector<an::XidObservation> observations;
+  ct::TimePoint t = 0;
+  for (int i = 0; i < 3000; ++i) {
+    t += static_cast<ct::Duration>(1 + rng.uniform_u64(60));
+    observations.push_back(obs(t, 0, 0, 31));
+  }
+  an::CoalescerConfig small;
+  small.window = w;
+  an::CoalescerConfig large;
+  large.window = w * 2 + 10;
+  EXPECT_GE(an::coalesce_all(observations, small).size(),
+            an::coalesce_all(observations, large).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, CoalesceWindowSweep,
+                         ::testing::Values(0, 5, 15, 30, 60, 120));
+
+TEST(Coalescer, RawLineTotalsPreserved) {
+  // Property: every input line is accounted for in exactly one output error.
+  ct::Rng rng(11);
+  std::vector<an::XidObservation> observations;
+  ct::TimePoint t = 0;
+  for (int i = 0; i < 2000; ++i) {
+    t += static_cast<ct::Duration>(rng.uniform_u64(50));
+    observations.push_back(obs(t, static_cast<std::int32_t>(rng.uniform_u64(2)),
+                               0, 31));
+  }
+  an::CoalescerConfig cfg;
+  cfg.window = 40;
+  const auto out = an::coalesce_all(observations, cfg);
+  std::uint64_t total = 0;
+  for (const auto& e : out) total += e.raw_lines;
+  EXPECT_EQ(total, observations.size());
+}
+
+TEST(Coalescer, NullSinkRejected) {
+  EXPECT_THROW(an::Coalescer(an::CoalescerConfig{}, nullptr),
+               std::invalid_argument);
+  an::CoalescerConfig bad;
+  bad.window = -1;
+  EXPECT_THROW(an::Coalescer(bad, [](const an::CoalescedError&) {}),
+               std::invalid_argument);
+}

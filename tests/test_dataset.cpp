@@ -1,0 +1,143 @@
+// On-disk dataset round trip: write with DatasetWriter / campaign tee, read
+// back with load_dataset, compare pipeline results.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "analysis/campaign.h"
+#include "analysis/dataset.h"
+
+namespace an = gpures::analysis;
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+namespace ls = gpures::logsys;
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path temp_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("gpures_test_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(Manifest, SerializeParseRoundTrip) {
+  an::DatasetManifest m;
+  m.name = "test-set";
+  m.spec = cl::ClusterSpec::small(2, 1);
+  m.periods = an::StudyPeriods::make(ct::make_date(2023, 1, 1),
+                                     ct::make_date(2023, 2, 1),
+                                     ct::make_date(2023, 4, 1));
+  const auto parsed = an::DatasetManifest::parse(m.serialize());
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().name, "test-set");
+  EXPECT_EQ(parsed.value().periods.pre.begin, m.periods.pre.begin);
+  EXPECT_EQ(parsed.value().periods.op.end, m.periods.op.end);
+  ASSERT_EQ(parsed.value().spec.nodes.size(), 3u);
+  EXPECT_EQ(parsed.value().spec.nodes[2].name, "gpub001");
+  EXPECT_EQ(parsed.value().spec.nodes[2].gpu_count, 8);
+}
+
+TEST(Manifest, ParseRejectsGarbage) {
+  EXPECT_FALSE(an::DatasetManifest::parse("no equals sign").ok());
+  EXPECT_FALSE(an::DatasetManifest::parse("study_begin=not-a-date\n").ok());
+  EXPECT_FALSE(an::DatasetManifest::parse("unknown_key=1\n").ok());
+  EXPECT_FALSE(an::DatasetManifest::parse("").ok());  // missing boundaries
+  // Missing nodes.
+  EXPECT_FALSE(an::DatasetManifest::parse(
+                   "study_begin=2023-01-01\nop_begin=2023-02-01\n"
+                   "study_end=2023-04-01\n")
+                   .ok());
+  // Bad ordering.
+  EXPECT_FALSE(an::DatasetManifest::parse(
+                   "study_begin=2023-02-01\nop_begin=2023-01-01\n"
+                   "study_end=2023-04-01\nnode=a:4\n")
+                   .ok());
+  // Comments and blanks are fine.
+  EXPECT_TRUE(an::DatasetManifest::parse(
+                  "# comment\n\nstudy_begin=2023-01-01\nop_begin=2023-02-01\n"
+                  "study_end=2023-04-01\nnode=a:4\n")
+                  .ok());
+}
+
+TEST(Dataset, WriterCreatesLayout) {
+  const auto dir = temp_dir("layout");
+  an::DatasetManifest m;
+  m.spec = cl::ClusterSpec::small(1, 0);
+  m.periods = an::StudyPeriods::make(0, ct::kDay, 3 * ct::kDay);
+  {
+    an::DatasetWriter w(dir, m);
+    w.write_day(ct::make_date(2023, 1, 5), {{100, "line one"}, {50, "line two"}});
+    w.write_accounting_line("header");
+    w.write_accounting_line("row1");
+    w.finalize();
+    EXPECT_EQ(w.days_written(), 1u);
+  }
+  EXPECT_TRUE(fs::exists(dir / "manifest.txt"));
+  EXPECT_TRUE(fs::exists(dir / "syslog" / "syslog-2023-01-05.log"));
+  std::ifstream acc(dir / "slurm_accounting.txt");
+  std::string l1;
+  std::string l2;
+  std::getline(acc, l1);
+  std::getline(acc, l2);
+  EXPECT_EQ(l1, "header");
+  EXPECT_EQ(l2, "row1");
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, LoadRejectsMissingPieces) {
+  const auto dir = temp_dir("missing");
+  fs::create_directories(dir);
+  EXPECT_FALSE(an::read_manifest(dir).ok());
+  cl::Topology topo(cl::ClusterSpec::small(1, 0));
+  an::AnalysisPipeline pipe(topo, {});
+  EXPECT_FALSE(an::load_dataset(dir, pipe).ok());  // no syslog/
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, CampaignTeeRoundTrip) {
+  // Run a small campaign teeing to disk, then re-analyze from disk and
+  // compare against the in-memory pipeline: identical results.
+  const auto dir = temp_dir("roundtrip");
+  an::CampaignConfig cfg = an::CampaignConfig::quick();
+  cfg.seed = 31;
+  cfg.workload_scale *= 0.1;
+
+  an::DatasetManifest manifest;
+  manifest.spec = cfg.spec;
+  manifest.periods = an::StudyPeriods::make(
+      cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
+
+  an::DeltaCampaign campaign(cfg);
+  an::DatasetWriter writer(dir, manifest);
+  campaign.set_dataset_writer(&writer);
+  campaign.run();
+  writer.finalize();
+
+  const auto m = an::read_manifest(dir);
+  ASSERT_TRUE(m.ok()) << m.error().message;
+  cl::Topology topo(m.value().spec);
+  an::PipelineConfig pcfg;
+  pcfg.periods = m.value().periods;
+  an::AnalysisPipeline pipe(topo, pcfg);
+  const auto loaded = an::load_dataset(dir, pipe);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_GT(loaded.value(), 80u);  // ~90 day files
+
+  // Disk round trip reproduces the in-memory pipeline exactly.
+  const auto& mem = campaign.pipeline();
+  ASSERT_EQ(pipe.errors().size(), mem.errors().size());
+  for (std::size_t i = 0; i < pipe.errors().size(); ++i) {
+    EXPECT_EQ(pipe.errors()[i].time, mem.errors()[i].time);
+    EXPECT_EQ(pipe.errors()[i].gpu, mem.errors()[i].gpu);
+    EXPECT_EQ(pipe.errors()[i].code, mem.errors()[i].code);
+    EXPECT_EQ(pipe.errors()[i].raw_lines, mem.errors()[i].raw_lines);
+  }
+  EXPECT_EQ(pipe.jobs().jobs.size(), mem.jobs().jobs.size());
+  EXPECT_EQ(pipe.lifecycle().size(), mem.lifecycle().size());
+  EXPECT_EQ(pipe.counters().accounting_errors, 0u);
+  fs::remove_all(dir);
+}

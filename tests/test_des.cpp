@@ -1,0 +1,167 @@
+// Discrete-event engine: ordering, stability, cancellation, windowed runs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "des/event_queue.h"
+
+namespace des = gpures::des;
+
+TEST(Engine, FiresInTimeOrder) {
+  des::Engine e(0);
+  std::vector<int> order;
+  e.schedule_at(30, [&] { order.push_back(3); });
+  e.schedule_at(10, [&] { order.push_back(1); });
+  e.schedule_at(20, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 30);
+}
+
+TEST(Engine, SameTimeIsFifo) {
+  des::Engine e(0);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfter) {
+  des::Engine e(100);
+  int fired = 0;
+  e.schedule_after(50, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(e.now(), 150);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  des::Engine e(100);
+  EXPECT_THROW(e.schedule_at(99, [] {}), std::invalid_argument);
+  EXPECT_THROW(e.schedule_after(-1, [] {}), std::invalid_argument);
+  EXPECT_NO_THROW(e.schedule_at(100, [] {}));  // now is allowed
+}
+
+TEST(Engine, CancelPreventsExecution) {
+  des::Engine e(0);
+  int fired = 0;
+  const auto id = e.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(id));  // double-cancel reports failure
+  e.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Engine, CancelAfterFireReturnsFalse) {
+  des::Engine e(0);
+  const auto id = e.schedule_at(1, [] {});
+  e.run();
+  EXPECT_FALSE(e.cancel(id));
+  EXPECT_FALSE(e.cancel(0));      // invalid id
+  EXPECT_FALSE(e.cancel(999999)); // never issued
+}
+
+TEST(Engine, PendingCountsExcludeCancelled) {
+  des::Engine e(0);
+  const auto a = e.schedule_at(1, [] {});
+  e.schedule_at(2, [] {});
+  EXPECT_EQ(e.pending(), 2u);
+  e.cancel(a);
+  EXPECT_EQ(e.pending(), 1u);
+  EXPECT_FALSE(e.empty());
+  e.run();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, RunUntilStopsAndAdvancesClock) {
+  des::Engine e(0);
+  std::vector<int> fired;
+  e.schedule_at(10, [&] { fired.push_back(10); });
+  e.schedule_at(20, [&] { fired.push_back(20); });
+  e.schedule_at(30, [&] { fired.push_back(30); });
+  const auto n = e.run_until(20);
+  EXPECT_EQ(n, 2u);  // events at exactly `until` run
+  EXPECT_EQ(e.now(), 20);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  // Clock advances even with no events in the window.
+  e.run_until(25);
+  EXPECT_EQ(e.now(), 25);
+  e.run_until(100);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 30}));
+  EXPECT_EQ(e.now(), 100);
+}
+
+TEST(Engine, EventsScheduleEvents) {
+  // The simulator's dominant pattern: each event schedules its successor.
+  des::Engine e(0);
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) e.schedule_after(3, chain);
+  };
+  e.schedule_at(0, chain);
+  e.run();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(e.now(), 99 * 3);
+}
+
+TEST(Engine, StepSingleEvent) {
+  des::Engine e(0);
+  int fired = 0;
+  e.schedule_at(1, [&] { ++fired; });
+  e.schedule_at(2, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, SoakRandomScheduleCancel) {
+  // Property: under random schedule/cancel interleavings, dispatched events
+  // fire in nondecreasing time order and exactly the non-cancelled ones run.
+  gpures::common::Rng rng(99);
+  des::Engine e(0);
+  std::vector<gpures::common::TimePoint> fired_at;
+  std::vector<des::EventId> ids;
+  int scheduled = 0;
+  int cancelled_ok = 0;
+
+  for (int round = 0; round < 200; ++round) {
+    const int burst = 1 + static_cast<int>(rng.uniform_u64(20));
+    for (int i = 0; i < burst; ++i) {
+      const auto delay =
+          static_cast<gpures::common::Duration>(rng.uniform_u64(1000));
+      ids.push_back(e.schedule_after(delay, [&fired_at, &e] {
+        fired_at.push_back(e.now());
+      }));
+      ++scheduled;
+    }
+    // Cancel a random subset of everything ever scheduled.
+    for (int i = 0; i < 3 && !ids.empty(); ++i) {
+      const auto pick = rng.uniform_u64(ids.size());
+      cancelled_ok += e.cancel(ids[pick]);
+    }
+    // Advance part-way.
+    e.run_until(e.now() + static_cast<gpures::common::Duration>(
+                              rng.uniform_u64(300)));
+  }
+  e.run();
+  EXPECT_EQ(fired_at.size(),
+            static_cast<std::size_t>(scheduled - cancelled_ok));
+  for (std::size_t i = 1; i < fired_at.size(); ++i) {
+    ASSERT_LE(fired_at[i - 1], fired_at[i]);
+  }
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, CancelInterleavedWithRunUntil) {
+  des::Engine e(0);
+  int fired = 0;
+  const auto id = e.schedule_at(50, [&] { ++fired; });
+  e.schedule_at(10, [&] { e.cancel(id); });
+  e.run_until(100);
+  EXPECT_EQ(fired, 0);
+  EXPECT_TRUE(e.empty());
+}

@@ -1,0 +1,177 @@
+// Stage II statistics: counts, MTBE, rollups, outlier exclusion, findings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/error_stats.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+an::CoalescedError err(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                       gx::Code code) {
+  an::CoalescedError e;
+  e.time = t;
+  e.gpu = {node, slot};
+  e.code = code;
+  e.raw_lines = 2;
+  return e;
+}
+
+an::StudyPeriods periods() {
+  // 10 days pre-op, 20 days op.
+  return an::StudyPeriods::make(0, 10 * ct::kDay, 30 * ct::kDay);
+}
+
+an::ErrorStatsConfig config() {
+  an::ErrorStatsConfig cfg;
+  cfg.node_count = 10;
+  cfg.outlier_min = 5;
+  cfg.outlier_share = 0.5;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(ErrorStats, CountsAndMtbePerPeriod) {
+  std::vector<an::CoalescedError> errors;
+  // 4 MMU errors pre-op, 6 op.
+  for (int i = 0; i < 4; ++i) {
+    errors.push_back(err(i * ct::kDay, i % 3, 0, gx::Code::kMmuError));
+  }
+  for (int i = 0; i < 6; ++i) {
+    errors.push_back(
+        err((10 + i) * ct::kDay, i % 4, 1, gx::Code::kMmuError));
+  }
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  const auto* mmu = stats.find(gx::Code::kMmuError);
+  ASSERT_NE(mmu, nullptr);
+  EXPECT_EQ(mmu->pre.count, 4u);
+  EXPECT_EQ(mmu->op.count, 6u);
+  EXPECT_DOUBLE_EQ(mmu->pre.mtbe_system_h, 240.0 / 4.0);
+  EXPECT_DOUBLE_EQ(mmu->pre.mtbe_per_node_h, 60.0 * 10);
+  EXPECT_DOUBLE_EQ(mmu->op.mtbe_system_h, 480.0 / 6.0);
+  EXPECT_EQ(stats.raw_lines_pre, 8u);
+  EXPECT_EQ(stats.raw_lines_op, 12u);
+}
+
+TEST(ErrorStats, ZeroCountRowsRenderInfiniteMtbe) {
+  const auto stats = an::compute_error_stats({}, periods(), config());
+  const auto* dbe = stats.find(gx::Code::kDoubleBitEcc);
+  ASSERT_NE(dbe, nullptr);
+  EXPECT_EQ(dbe->pre.count, 0u);
+  EXPECT_TRUE(std::isinf(dbe->pre.mtbe_system_h));
+}
+
+TEST(ErrorStats, EventsOutsidePeriodsIgnored) {
+  std::vector<an::CoalescedError> errors = {
+      err(-5, 0, 0, gx::Code::kMmuError),
+      err(31 * ct::kDay, 0, 0, gx::Code::kMmuError),
+  };
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  EXPECT_EQ(stats.find(gx::Code::kMmuError)->pre.count, 0u);
+  EXPECT_EQ(stats.find(gx::Code::kMmuError)->op.count, 0u);
+}
+
+TEST(ErrorStats, DerivedUncorrectableRowIsRrePlusRrf) {
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 3; ++i) {
+    errors.push_back(err(i * ct::kHour, 0, 0, gx::Code::kRowRemapEvent));
+  }
+  errors.push_back(err(5 * ct::kHour, 0, 0, gx::Code::kRowRemapFailure));
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  EXPECT_EQ(stats.uncorrectable_ecc.pre.count, 4u);
+  EXPECT_EQ(stats.uncorrectable_ecc.op.count, 0u);
+}
+
+TEST(ErrorStats, CategoryRollupsFollowPaperConvention) {
+  std::vector<an::CoalescedError> errors = {
+      err(ct::kHour, 0, 0, gx::Code::kMmuError),          // hardware
+      err(2 * ct::kHour, 0, 0, gx::Code::kGspRpcTimeout), // hardware
+      err(3 * ct::kHour, 0, 0, gx::Code::kNvlinkError),   // interconnect
+      err(4 * ct::kHour, 0, 0, gx::Code::kRowRemapEvent), // memory
+      err(5 * ct::kHour, 0, 0, gx::Code::kContainedEccError),  // memory
+  };
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  EXPECT_EQ(stats.by_category.at(gx::Category::kHardware).pre.count, 2u);
+  EXPECT_EQ(stats.by_category.at(gx::Category::kInterconnect).pre.count, 1u);
+  // Memory = RRE + contained + derived uncorrectable (1 RRE) = 3.
+  EXPECT_EQ(stats.by_category.at(gx::Category::kMemory).pre.count, 3u);
+  EXPECT_EQ(stats.non_memory.pre.count, 3u);
+  // Total includes the derived row once: 5 + 1.
+  EXPECT_EQ(stats.total.pre.count, 6u);
+}
+
+TEST(ErrorStats, OutlierDetectionAndExclusion) {
+  std::vector<an::CoalescedError> errors;
+  // One faulty GPU produces 100 uncontained errors pre-op; background adds 3
+  // from other GPUs.
+  for (int i = 0; i < 100; ++i) {
+    errors.push_back(err(1000 + i * 40, 7, 1, gx::Code::kUncontainedEccError));
+  }
+  for (int i = 0; i < 3; ++i) {
+    errors.push_back(err(2000 + i * 997, i, 0, gx::Code::kUncontainedEccError));
+  }
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  ASSERT_EQ(stats.outliers.size(), 1u);
+  EXPECT_EQ(stats.outliers[0].gpu, (gx::GpuId{7, 1}));
+  EXPECT_EQ(stats.outliers[0].count, 100u);
+  EXPECT_GT(stats.outliers[0].share, 0.9);
+  // The per-code row keeps the raw count; the aggregate excludes the outlier.
+  EXPECT_EQ(stats.find(gx::Code::kUncontainedEccError)->pre.count, 103u);
+  EXPECT_EQ(stats.total.pre.count, 3u);
+  EXPECT_EQ(stats.total_with_outliers.pre.count, 103u);
+}
+
+TEST(ErrorStats, OutlierBelowThresholdNotFlagged) {
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 4; ++i) {  // below outlier_min = 5
+    errors.push_back(err(1000 + i * 40, 7, 1, gx::Code::kUncontainedEccError));
+  }
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  EXPECT_TRUE(stats.outliers.empty());
+  EXPECT_EQ(stats.total.pre.count, 4u);
+}
+
+TEST(ErrorStats, FindingsMath) {
+  std::vector<an::CoalescedError> errors;
+  // Pre: 2 GSP errors; op: 20 GSP errors -> per-node MTBE ratio:
+  // (240h/2*10) / (480h/20*10) = 1200 / 240 = 5x.
+  for (int i = 0; i < 2; ++i) {
+    errors.push_back(err(i * ct::kDay, 0, 0, gx::Code::kGspRpcTimeout));
+  }
+  for (int i = 0; i < 20; ++i) {
+    // Spread across GPUs so the outlier detector (share >= 0.5) stays quiet.
+    errors.push_back(err((10 + i % 19) * ct::kDay + i, i % 7, 0,
+                         gx::Code::kGspRpcTimeout));
+  }
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  EXPECT_NEAR(stats.gsp_degradation_ratio(), 5.0, 1e-9);
+  // MTBE degradation: pre 1200 h vs op 240 h -> 80%.
+  EXPECT_NEAR(stats.mtbe_degradation_fraction(), 0.8, 1e-9);
+}
+
+TEST(ErrorStats, MemoryReliabilityRatio) {
+  std::vector<an::CoalescedError> errors;
+  // Op: 1 memory error, 10 hardware errors -> ratio ~ (with derived row the
+  // memory count doubles: RRE adds uncorrectable too) memory 2, non-mem 10.
+  errors.push_back(err(11 * ct::kDay, 0, 0, gx::Code::kRowRemapEvent));
+  for (int i = 0; i < 10; ++i) {
+    errors.push_back(err((12 + i % 17) * ct::kDay + i, i % 6, 0,
+                         gx::Code::kMmuError));
+  }
+  const auto stats = an::compute_error_stats(errors, periods(), config());
+  // memory MTBE = 480/2*10, hardware = 480/10*10 -> ratio = 5.
+  EXPECT_NEAR(stats.memory_reliability_ratio_op(), 5.0, 1e-9);
+}
+
+TEST(ErrorStats, ReportOrderPreserved) {
+  const auto stats = an::compute_error_stats({}, periods(), config());
+  ASSERT_EQ(stats.by_code.size(), gx::report_order().size());
+  for (std::size_t i = 0; i < stats.by_code.size(); ++i) {
+    EXPECT_EQ(stats.by_code[i].code, gx::report_order()[i]);
+  }
+}

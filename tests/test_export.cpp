@@ -1,0 +1,113 @@
+// CSV / JSON export of analysis artifacts.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analysis/export.h"
+#include "common/strings.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+an::CoalescedError err(ct::TimePoint t, gx::Code code) {
+  an::CoalescedError e;
+  e.time = t;
+  e.gpu = {1, 0};
+  e.code = code;
+  return e;
+}
+
+an::ErrorStats sample_stats() {
+  std::vector<an::CoalescedError> errors = {
+      err(ct::kHour, gx::Code::kMmuError),
+      err(20 * ct::kDay, gx::Code::kGspRpcTimeout),
+  };
+  an::ErrorStatsConfig cfg;
+  cfg.node_count = 10;
+  return an::compute_error_stats(
+      errors, an::StudyPeriods::make(0, 10 * ct::kDay, 30 * ct::kDay), cfg);
+}
+
+}  // namespace
+
+TEST(ExportCsv, Table1ShapeAndContent) {
+  std::ostringstream os;
+  an::write_table1_csv(os, sample_stats());
+  const std::string text = os.str();
+  const auto lines = ct::split(text, '\n');
+  // Header + 10 code rows + derived + >=1 category + non_memory + 2 totals.
+  ASSERT_GE(lines.size(), 15u);
+  EXPECT_TRUE(ct::starts_with(lines[0], "event,category,pre_count"));
+  EXPECT_NE(text.find("MMU Err.,Hardware,1,0"), std::string::npos);
+  EXPECT_NE(text.find("GSP Err.,Hardware,0,1"), std::string::npos);
+  // Infinite MTBE renders as an empty cell, not "inf".
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(ExportCsv, Table2) {
+  an::JobImpact impact;
+  an::ImpactRow row;
+  row.code = gx::Code::kMmuError;
+  row.failed_jobs = 9;
+  row.encountering_jobs = 10;
+  row.failure_probability = 0.9;
+  row.ci = {0.9, 0.57, 0.98};
+  impact.rows.push_back(row);
+  std::ostringstream os;
+  an::write_table2_csv(os, impact);
+  EXPECT_NE(os.str().find("31,MMU Err.,9,10,0.9"), std::string::npos);
+}
+
+TEST(ExportCsv, Table3AndFig2) {
+  an::JobStats stats;
+  an::BucketStats b;
+  b.bucket = {"2-4", 2, 4};
+  b.count = 5;
+  b.share = 0.5;
+  b.mean_minutes = 12.25;
+  stats.buckets.push_back(b);
+  std::ostringstream os;
+  an::write_table3_csv(os, stats);
+  EXPECT_NE(os.str().find("2-4,5,0.5,12.25"), std::string::npos);
+
+  an::AvailabilityStats avail;
+  avail.ecdf = {{0.5, 0.25}, {1.0, 1.0}};
+  std::ostringstream os2;
+  an::write_fig2_csv(os2, avail);
+  const auto lines = ct::split(os2.str(), '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[1], "0.5,0.25");
+  EXPECT_EQ(lines[2], "1,1");
+}
+
+TEST(ExportJson, BundleContainsRequestedSections) {
+  const auto stats = sample_stats();
+  an::ExportBundle bundle;
+  bundle.error_stats = &stats;
+  const std::string json = an::to_json(bundle);
+  EXPECT_NE(json.find("\"error_stats\""), std::string::npos);
+  EXPECT_NE(json.find("\"xid_31\""), std::string::npos);
+  EXPECT_NE(json.find("\"gsp_degradation_ratio\""), std::string::npos);
+  EXPECT_EQ(json.find("\"job_stats\""), std::string::npos);  // omitted
+  EXPECT_EQ(json.find("inf"), std::string::npos);  // no invalid JSON tokens
+}
+
+TEST(ExportJson, EmptyBundle) {
+  EXPECT_EQ(an::to_json({}), "{}");
+}
+
+TEST(ExportJson, AvailabilitySection) {
+  an::AvailabilityStats avail;
+  avail.mttr_h = 0.88;
+  avail.ecdf = {{0.5, 1.0}};
+  an::ExportBundle bundle;
+  bundle.availability = &avail;
+  bundle.mttf_h = 162.0;
+  const auto json = an::to_json(bundle);
+  EXPECT_NE(json.find("\"mttr_h\":0.88"), std::string::npos);
+  EXPECT_NE(json.find("\"mttf_h\":162"), std::string::npos);
+  EXPECT_NE(json.find("[0.5,1]"), std::string::npos);
+}

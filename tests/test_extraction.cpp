@@ -1,0 +1,160 @@
+// Stage I extraction: fast scanner vs std::regex reference, time handling,
+// rejection of noise and near-miss lines.
+#include <gtest/gtest.h>
+
+#include <variant>
+
+#include "analysis/extraction.h"
+#include "common/rng.h"
+#include "logsys/syslog.h"
+
+namespace an = gpures::analysis;
+namespace ls = gpures::logsys;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+const ct::TimePoint kDay = ct::make_date(2022, 5, 5);
+
+}  // namespace
+
+TEST(Extraction, ParsesXidLine) {
+  an::FastLineParser p;
+  const auto t = kDay + 7 * ct::kHour;
+  const auto line = ls::render_xid_line(t, "gpua042", "0000:27:00",
+                                        gx::Code::kMmuError,
+                                        "Ch 00000010, MMU Fault");
+  const auto parsed = p.parse(line, kDay);
+  ASSERT_TRUE(parsed.has_value());
+  const auto* rec = std::get_if<an::XidRecord>(&*parsed);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->time, t);
+  EXPECT_EQ(rec->host, "gpua042");
+  EXPECT_EQ(rec->pci, "0000:27:00");
+  EXPECT_EQ(rec->xid, 31);
+  EXPECT_EQ(rec->detail, "Ch 00000010, MMU Fault");
+}
+
+TEST(Extraction, ParsesLifecycleLines) {
+  an::FastLineParser p;
+  const auto t = kDay + 3600;
+  const auto drain = p.parse(ls::render_drain_line(t, "gpub003"), kDay);
+  ASSERT_TRUE(drain.has_value());
+  const auto* d = std::get_if<an::LifecycleRecord>(&*drain);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->kind, an::LifecycleRecord::Kind::kDrain);
+  EXPECT_EQ(d->host, "gpub003");
+  EXPECT_EQ(d->time, t);
+
+  const auto resume = p.parse(ls::render_resume_line(t, "gpub003"), kDay);
+  ASSERT_TRUE(resume.has_value());
+  EXPECT_EQ(std::get<an::LifecycleRecord>(*resume).kind,
+            an::LifecycleRecord::Kind::kResume);
+}
+
+TEST(Extraction, RejectsNoise) {
+  an::FastLineParser p;
+  ct::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto line = ls::render_noise_line(rng, kDay + i, "gpua001");
+    EXPECT_FALSE(p.parse(line, kDay).has_value()) << line;
+  }
+}
+
+TEST(Extraction, RejectsNearMisses) {
+  an::FastLineParser p;
+  const char* bad[] = {
+      "",
+      "May  5 07:23:01",
+      "May  5 07:23:01 gpua042",
+      "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): ",
+      "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00) 31, x",
+      "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00: 31, x",
+      "Bad  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 31, x",
+      "May 45 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 31, x",
+      "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): no, x",
+      "May  5 07:23:01 gpua042 slurmctld[2112]: update_node: node gpua042 "
+      "state set to: drained",
+  };
+  for (const char* line : bad) {
+    EXPECT_FALSE(p.parse(line, kDay).has_value()) << line;
+  }
+}
+
+TEST(Extraction, XidWithoutDetailAccepted) {
+  an::FastLineParser p;
+  const auto parsed = p.parse(
+      "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 79", kDay);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<an::XidRecord>(*parsed).xid, 79);
+  EXPECT_TRUE(std::get<an::XidRecord>(*parsed).detail.empty());
+}
+
+TEST(Extraction, YearRolloverCorrection) {
+  // A duplicate stamped Jan 1 00:00:05 can sit in the Dec 31 day file.
+  const auto dec31 = ct::make_date(2022, 12, 31);
+  an::FastLineParser p;
+  const auto jan1 = ct::make_date(2023, 1, 1) + 5;
+  const auto line = ls::render_xid_line(jan1, "gpua001", "0000:07:00",
+                                        gx::Code::kMmuError, "x");
+  const auto parsed = p.parse(line, dec31);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(std::get<an::XidRecord>(*parsed).time, jan1);
+}
+
+TEST(Extraction, ParseLineTime) {
+  const auto t = kDay + 12 * ct::kHour + 34 * ct::kMinute + 56;
+  const auto line = ls::render_xid_line(t, "h", "0000:07:00",
+                                        gx::Code::kMmuError, "x");
+  EXPECT_EQ(an::parse_line_time(line, kDay), t);
+  EXPECT_FALSE(an::parse_line_time("short", kDay).has_value());
+}
+
+// ---- property: the fast scanner and the regex reference agree ----
+
+class ParserAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserAgreement, FastMatchesRegexOnGeneratedTraffic) {
+  an::FastLineParser fast;
+  an::RegexLineParser ref;
+  ct::Rng rng(GetParam());
+
+  for (int i = 0; i < 400; ++i) {
+    const auto t = kDay + static_cast<ct::Duration>(rng.uniform_u64(ct::kDay));
+    std::string line;
+    switch (rng.uniform_u64(5)) {
+      case 0:
+        line = ls::render_xid_line(
+            t, "gpua0" + std::to_string(10 + rng.uniform_u64(89)),
+            "0000:27:00",
+            static_cast<gx::Code>(31 + 32 * rng.uniform_u64(3)), "detail, x");
+        break;
+      case 1: line = ls::render_drain_line(t, "gpub001"); break;
+      case 2: line = ls::render_resume_line(t, "gpub001"); break;
+      default: line = ls::render_noise_line(rng, t, "gpua003"); break;
+    }
+    const auto a = fast.parse(line, kDay);
+    const auto b = ref.parse(line, kDay);
+    ASSERT_EQ(a.has_value(), b.has_value()) << line;
+    if (!a) continue;
+    ASSERT_EQ(a->index(), b->index()) << line;
+    if (const auto* xa = std::get_if<an::XidRecord>(&*a)) {
+      const auto& xb = std::get<an::XidRecord>(*b);
+      EXPECT_EQ(xa->time, xb.time);
+      EXPECT_EQ(xa->host, xb.host);
+      EXPECT_EQ(xa->pci, xb.pci);
+      EXPECT_EQ(xa->xid, xb.xid);
+      EXPECT_EQ(xa->detail, xb.detail);
+    } else {
+      const auto& la = std::get<an::LifecycleRecord>(*a);
+      const auto& lb = std::get<an::LifecycleRecord>(*b);
+      EXPECT_EQ(la.time, lb.time);
+      EXPECT_EQ(la.host, lb.host);
+      EXPECT_EQ(la.kind, lb.kind);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserAgreement,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));

@@ -1,0 +1,132 @@
+// Fault configuration: the Table I calibration and its validation.
+#include <gtest/gtest.h>
+
+#include "cluster/fault_config.h"
+
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+
+TEST(FaultConfig, DeltaWindowMatchesPaper) {
+  const auto c = cl::FaultConfig::delta_a100();
+  EXPECT_EQ(c.study_begin, ct::make_date(2022, 1, 1));
+  EXPECT_EQ(c.op_begin, ct::make_date(2022, 10, 1));
+  EXPECT_EQ(c.study_end, ct::make_date(2025, 3, 16));
+  EXPECT_DOUBLE_EQ(c.pre_hours(), 273.0 * 24.0);
+  EXPECT_DOUBLE_EQ(c.op_hours(), 897.0 * 24.0);
+}
+
+TEST(FaultConfig, CalibratedCountsMatchTable1) {
+  const auto c = cl::FaultConfig::delta_a100();
+  // MMU: background + PMU-induced expectation must equal the table counts.
+  const double induced_pre = c.pmu.pre_count *
+                             c.pmu_coupling.trigger_probability *
+                             c.pmu_coupling.burst_mean;
+  const double induced_op = c.pmu.op_count *
+                            c.pmu_coupling.trigger_probability *
+                            c.pmu_coupling.burst_mean;
+  EXPECT_NEAR(c.mmu.pre_count + induced_pre, 1078.0, 1e-6);
+  EXPECT_NEAR(c.mmu.op_count + induced_op, 8863.0, 1e-6);
+  // NVLink: incidents x expected GPUs per incident = table counts.
+  const double gpi = c.expected_gpus_per_incident(3);
+  EXPECT_NEAR(c.nvlink_incident.pre_count * gpi, 2092.0, 1.0);
+  EXPECT_NEAR(c.nvlink_incident.op_count * gpi, 1922.0, 1.0);
+  EXPECT_DOUBLE_EQ(c.gsp.pre_count, 209.0);
+  EXPECT_DOUBLE_EQ(c.gsp.op_count, 3857.0);
+  EXPECT_DOUBLE_EQ(c.pmu.pre_count, 8.0);
+  EXPECT_DOUBLE_EQ(c.pmu.op_count, 77.0);
+  EXPECT_DOUBLE_EQ(c.off_bus.pre_count, 4.0);
+  EXPECT_DOUBLE_EQ(c.off_bus.op_count, 10.0);
+  EXPECT_DOUBLE_EQ(c.mem_fault.op_count, 34.0);
+}
+
+TEST(FaultConfig, PreOpMemoryFaultSplit) {
+  // 15 background + 31 expected episode faults = 46 (the table's
+  // "uncorrectable ECC" row); the episode bank carries 16 spares so the
+  // expected split is 31 RRE / 15 RRF.
+  const auto c = cl::FaultConfig::delta_a100();
+  ASSERT_EQ(c.degraded_memory_episodes.size(), 1u);
+  EXPECT_DOUBLE_EQ(c.mem_fault.pre_count, 15.0);
+  EXPECT_DOUBLE_EQ(c.degraded_memory_episodes[0].expected_faults, 31.0);
+  EXPECT_EQ(c.degraded_memory_episodes[0].bank_spares, 16);
+}
+
+TEST(FaultConfig, UncontainedEpisodeMatchesPaperStory) {
+  const auto c = cl::FaultConfig::delta_a100();
+  ASSERT_EQ(c.uncontained_episodes.size(), 1u);
+  const auto& ep = c.uncontained_episodes[0];
+  EXPECT_EQ(ep.begin, ct::make_date(2022, 5, 5));
+  EXPECT_EQ(ep.end, ct::make_date(2022, 5, 22));  // "May 5th to May 21st"
+  // Expected coalesced errors ~38,900 over the 17 days.
+  const double seconds = static_cast<double>(ep.end - ep.begin);
+  EXPECT_NEAR(seconds / ep.gap_s, 38900.0, 400.0);
+  // Expected raw lines > 1M ("over a million duplicated log entries").
+  EXPECT_GT((seconds / ep.gap_s) * (1.0 + ep.dup_extra_mean), 1.0e6);
+}
+
+TEST(FaultConfig, MemoryBehaviourPerPeriod) {
+  const auto c = cl::FaultConfig::delta_a100();
+  // Pre-op: all attempted containments succeeded (no background XID 95).
+  EXPECT_DOUBLE_EQ(c.memory_pre.containment_success, 1.0);
+  EXPECT_DOUBLE_EQ(c.memory_pre.dbe_log_probability, 0.0);
+  // Op: 13 contained / 11 uncontained of 24 attempts; a single DBE logged.
+  EXPECT_NEAR(c.memory_op.containment_success, 13.0 / 24.0, 1e-9);
+  EXPECT_NEAR(c.memory_op.touch_probability, 24.0 / 34.0, 1e-9);
+  EXPECT_NEAR(c.memory_op.dbe_log_probability, 1.0 / 34.0, 1e-9);
+}
+
+TEST(FaultConfig, ExpectedGpusPerIncident) {
+  cl::FaultConfig c = cl::FaultConfig::delta_a100();
+  EXPECT_DOUBLE_EQ(c.expected_gpus_per_incident(0), 1.0);
+  // With p_multi = 0 no propagation.
+  c.nvlink.multi_gpu_probability = 0.0;
+  EXPECT_DOUBLE_EQ(c.expected_gpus_per_incident(3), 1.0);
+  // With p_multi = 1 and continuation 0: exactly one extra peer.
+  c.nvlink.multi_gpu_probability = 1.0;
+  c.nvlink.extra_peer_probability = 0.0;
+  EXPECT_DOUBLE_EQ(c.expected_gpus_per_incident(3), 2.0);
+}
+
+TEST(FaultConfig, ValidationCatchesBadConfigs) {
+  auto c = cl::FaultConfig::delta_a100();
+  c.op_begin = c.study_begin;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.gsp.pre_count = -1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.gsp_119_fraction = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.uncontained_episodes[0].end = c.study_end + 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.uncontained_episodes[0].gap_jitter_s = c.uncontained_episodes[0].gap_s;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.scale = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  c = cl::FaultConfig::delta_a100();
+  c.mmu.idle_affinity = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+
+  EXPECT_NO_THROW(cl::FaultConfig::delta_a100().validate());
+  EXPECT_NO_THROW(cl::FaultConfig::test_config().validate());
+}
+
+TEST(FaultConfig, TestConfigIsSmallButComplete) {
+  const auto c = cl::FaultConfig::test_config();
+  EXPECT_LT(ct::to_days(c.study_end - c.study_begin), 120.0);
+  EXPECT_EQ(c.uncontained_episodes.size(), 1u);
+  EXPECT_EQ(c.degraded_memory_episodes.size(), 1u);
+  // Every family still expects at least one event.
+  for (const cl::ProcessSpec* p :
+       {&c.mmu, &c.mem_fault, &c.off_bus, &c.gsp, &c.pmu}) {
+    EXPECT_GT(p->pre_count + p->op_count, 1.0);
+  }
+}

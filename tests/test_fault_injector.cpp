@@ -1,0 +1,143 @@
+// Fault arrival generation: rates, period switching, episodes.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cluster/fault_injector.h"
+#include "des/event_queue.h"
+
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+namespace des = gpures::des;
+
+namespace {
+
+struct Harness {
+  cl::FaultConfig cfg = cl::FaultConfig::test_config();
+  cl::Topology topo{cl::ClusterSpec::delta_a100()};
+  des::Engine engine;
+  std::vector<cl::Fault> faults;
+
+  explicit Harness(std::uint64_t seed = 1) : engine(cfg.study_begin) {
+    injector = std::make_unique<cl::FaultInjector>(
+        engine, topo, cfg, ct::Rng(seed),
+        [this](const cl::Fault& f) { faults.push_back(f); });
+  }
+  void run() {
+    injector->start();
+    engine.run_until(cfg.study_end);
+  }
+  std::unique_ptr<cl::FaultInjector> injector;
+};
+
+}  // namespace
+
+TEST(FaultInjector, DeliversAllFamilies) {
+  Harness h;
+  h.run();
+  std::map<cl::Fault::Kind, int> by_kind;
+  for (const auto& f : h.faults) ++by_kind[f.kind];
+  EXPECT_GT(by_kind[cl::Fault::Kind::kMmu], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kGsp], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kNvlinkStorm], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kPmu], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kMemFault], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kMemFaultDegraded], 0);
+  EXPECT_GT(by_kind[cl::Fault::Kind::kUncontainedEpisode], 0);
+  EXPECT_EQ(h.injector->faults_delivered(), h.faults.size());
+}
+
+TEST(FaultInjector, CountsNearExpectation) {
+  // Aggregate over several seeds so Poisson noise averages out.
+  double mmu_total = 0.0;
+  double gsp_total = 0.0;
+  const int seeds = 5;
+  cl::FaultConfig cfg = cl::FaultConfig::test_config();
+  for (int s = 0; s < seeds; ++s) {
+    Harness h(static_cast<std::uint64_t>(s) + 100);
+    h.run();
+    for (const auto& f : h.faults) {
+      if (f.kind == cl::Fault::Kind::kMmu) mmu_total += 1.0;
+      if (f.kind == cl::Fault::Kind::kGsp) gsp_total += 1.0;
+    }
+  }
+  const double mmu_expected = cfg.mmu.pre_count + cfg.mmu.op_count;
+  const double gsp_expected = cfg.gsp.pre_count + cfg.gsp.op_count;
+  EXPECT_NEAR(mmu_total / seeds, mmu_expected, mmu_expected * 0.15);
+  EXPECT_NEAR(gsp_total / seeds, gsp_expected, gsp_expected * 0.25);
+}
+
+TEST(FaultInjector, EpisodeFaultsPinnedToConfiguredGpu) {
+  Harness h;
+  h.run();
+  for (const auto& f : h.faults) {
+    if (f.kind == cl::Fault::Kind::kUncontainedEpisode) {
+      EXPECT_EQ(f.gpu, h.cfg.uncontained_episodes[0].gpu);
+      EXPECT_EQ(f.episode_index, 0);
+    }
+    if (f.kind == cl::Fault::Kind::kMemFaultDegraded) {
+      EXPECT_EQ(f.gpu, h.cfg.degraded_memory_episodes[0].gpu);
+    }
+  }
+}
+
+TEST(FaultInjector, EpisodeCountNearExpectation) {
+  Harness h;
+  h.run();
+  int episode = 0;
+  int degraded = 0;
+  for (const auto& f : h.faults) {
+    episode += f.kind == cl::Fault::Kind::kUncontainedEpisode;
+    degraded += f.kind == cl::Fault::Kind::kMemFaultDegraded;
+  }
+  const auto& ep = h.cfg.uncontained_episodes[0];
+  const double expected =
+      static_cast<double>(ep.end - ep.begin) / ep.gap_s;
+  EXPECT_NEAR(episode, expected, expected * 0.05);
+  EXPECT_NEAR(degraded, h.cfg.degraded_memory_episodes[0].expected_faults,
+              20.0);  // Poisson(31): 3+ sigma
+}
+
+TEST(FaultInjector, GpusWithinTopology) {
+  Harness h;
+  h.run();
+  for (const auto& f : h.faults) {
+    ASSERT_GE(f.gpu.node, 0);
+    ASSERT_LT(f.gpu.node, h.topo.node_count());
+    ASSERT_GE(f.gpu.slot, 0);
+    ASSERT_LT(f.gpu.slot, h.topo.gpus_on_node(f.gpu.node));
+  }
+}
+
+TEST(FaultInjector, Deterministic) {
+  Harness a(7);
+  Harness b(7);
+  a.run();
+  b.run();
+  ASSERT_EQ(a.faults.size(), b.faults.size());
+  for (std::size_t i = 0; i < a.faults.size(); ++i) {
+    EXPECT_EQ(a.faults[i].kind, b.faults[i].kind);
+    EXPECT_EQ(a.faults[i].gpu, b.faults[i].gpu);
+  }
+}
+
+TEST(FaultInjector, ZeroRateFamilyNeverFires) {
+  Harness h;
+  h.cfg.gsp.pre_count = 0.0;
+  h.cfg.gsp.op_count = 0.0;
+  // Rebuild the injector with the zeroed config.
+  h.injector = std::make_unique<cl::FaultInjector>(
+      h.engine, h.topo, h.cfg, ct::Rng(1),
+      [&h](const cl::Fault& f) { h.faults.push_back(f); });
+  h.run();
+  for (const auto& f : h.faults) {
+    EXPECT_NE(f.kind, cl::Fault::Kind::kGsp);
+  }
+}
+
+TEST(FaultInjector, KindNames) {
+  EXPECT_EQ(cl::to_string(cl::Fault::Kind::kGsp), "gsp");
+  EXPECT_EQ(cl::to_string(cl::Fault::Kind::kNvlinkStorm), "nvlink_storm");
+  EXPECT_EQ(cl::to_string(cl::Fault::Kind::kUncontainedEpisode),
+            "uncontained_episode");
+}

@@ -1,0 +1,82 @@
+// GPU / node health state machine.
+#include <gtest/gtest.h>
+
+#include "cluster/gpu_state.h"
+
+namespace cl = gpures::cluster;
+
+TEST(NodeHealth, StartsUp) {
+  cl::NodeHealth n(4);
+  EXPECT_EQ(n.state(), cl::NodeState::kUp);
+  EXPECT_TRUE(n.available());
+  EXPECT_EQ(n.gpu_count(), 4);
+  EXPECT_FALSE(n.any_error_pending());
+}
+
+TEST(NodeHealth, FullRecoveryCycle) {
+  cl::NodeHealth n(4);
+  n.gpu(2).error_pending = true;
+  EXPECT_TRUE(n.any_error_pending());
+
+  n.begin_drain(100);
+  EXPECT_EQ(n.state(), cl::NodeState::kDraining);
+  EXPECT_FALSE(n.available());
+  EXPECT_EQ(n.state_since(), 100);
+
+  n.begin_reboot(200);
+  EXPECT_EQ(n.state(), cl::NodeState::kRebooting);
+
+  n.return_to_service(300, /*was_replacement=*/false);
+  EXPECT_EQ(n.state(), cl::NodeState::kUp);
+  EXPECT_FALSE(n.any_error_pending());
+  EXPECT_EQ(n.gpu(2).resets, 1u);
+  EXPECT_EQ(n.gpu(2).replacements, 0u);
+  EXPECT_EQ(n.gpu(0).resets, 0u);  // only erroring GPUs count resets
+}
+
+TEST(NodeHealth, ReplacementPath) {
+  cl::NodeHealth n(4);
+  n.gpu(0).error_pending = true;
+  n.begin_drain(1);
+  n.begin_reboot(2);
+  n.begin_replacement(3);
+  EXPECT_EQ(n.state(), cl::NodeState::kAwaitingReplacement);
+  n.return_to_service(4, /*was_replacement=*/true);
+  EXPECT_EQ(n.gpu(0).resets, 1u);
+  EXPECT_EQ(n.gpu(0).replacements, 1u);
+}
+
+TEST(NodeHealth, RebootDirectlyFromUpAllowed) {
+  // Urgent reboots can skip the drain phase.
+  cl::NodeHealth n(4);
+  EXPECT_NO_THROW(n.begin_reboot(10));
+}
+
+TEST(NodeHealth, IllegalTransitionsThrow) {
+  cl::NodeHealth n(4);
+  EXPECT_THROW(n.return_to_service(1, false), std::logic_error);
+  EXPECT_THROW(n.begin_replacement(1), std::logic_error);
+  n.begin_drain(1);
+  EXPECT_THROW(n.begin_drain(2), std::logic_error);  // already draining
+  n.begin_reboot(3);
+  EXPECT_THROW(n.begin_reboot(4), std::logic_error);
+  EXPECT_THROW(n.begin_drain(5), std::logic_error);
+  n.begin_replacement(6);
+  EXPECT_THROW(n.begin_reboot(7), std::logic_error);
+  n.return_to_service(8, true);
+  EXPECT_EQ(n.state(), cl::NodeState::kUp);
+}
+
+TEST(NodeHealth, StateNames) {
+  EXPECT_EQ(cl::to_string(cl::NodeState::kUp), "UP");
+  EXPECT_EQ(cl::to_string(cl::NodeState::kDraining), "DRAINING");
+  EXPECT_EQ(cl::to_string(cl::NodeState::kRebooting), "REBOOTING");
+  EXPECT_EQ(cl::to_string(cl::NodeState::kAwaitingReplacement),
+            "AWAITING_REPLACEMENT");
+}
+
+TEST(NodeHealth, GpuIndexBounds) {
+  cl::NodeHealth n(2);
+  EXPECT_NO_THROW(n.gpu(1));
+  EXPECT_THROW(n.gpu(2), std::out_of_range);
+}

@@ -1,0 +1,103 @@
+// Histograms and ECDF series (Fig. 2 machinery).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace ct = gpures::common;
+
+TEST(Histogram, BinningAndEdges) {
+  ct::Histogram h(0.0, 10.0, 10);
+  EXPECT_EQ(h.bins(), 10u);
+  h.add(0.0);    // first bin
+  h.add(0.999);  // first bin
+  h.add(1.0);    // second bin
+  h.add(9.999);  // last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(3), 3.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 4.0);
+}
+
+TEST(Histogram, UnderOverflow) {
+  ct::Histogram h(0.0, 1.0, 4);
+  h.add(-0.1);
+  h.add(1.0);  // hi edge is exclusive -> overflow
+  h.add(55.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, FractionsIncludeOutliers) {
+  ct::Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.25);
+  h.add(5.0);  // overflow
+  EXPECT_DOUBLE_EQ(h.fraction(0), 2.0 / 3.0);
+}
+
+TEST(Histogram, AddNWeights) {
+  ct::Histogram h(0.0, 10.0, 10);
+  h.add_n(5.0, 7);
+  EXPECT_EQ(h.count(5), 7u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, BadConstruction) {
+  EXPECT_THROW(ct::Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(ct::Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  ct::Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string s = h.render(10);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find("%"), std::string::npos);
+}
+
+TEST(LogHistogram, BinsCoverDecades) {
+  ct::LogHistogram h(0.01, 100.0, 1);  // one bin per decade -> 4 bins
+  EXPECT_EQ(h.bins(), 4u);
+  h.add(0.05);   // decade [0.01, 0.1)
+  h.add(0.5);    // [0.1, 1)
+  h.add(5.0);    // [1, 10)
+  h.add(50.0);   // [10, 100)
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(h.count(i), 1u) << i;
+  }
+  EXPECT_NEAR(h.bin_lo(1), 0.1, 1e-9);
+  EXPECT_NEAR(h.bin_hi(1), 1.0, 1e-9);
+}
+
+TEST(LogHistogram, NonPositiveDropped) {
+  ct::LogHistogram h(1.0, 10.0, 2);
+  h.add(0.0);
+  h.add(-5.0);
+  EXPECT_EQ(h.total(), 2u);
+  std::uint64_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.count(i);
+  EXPECT_EQ(binned, 0u);
+}
+
+TEST(Ecdf, MonotoneAndEndsAtOne) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back((i * 37) % 101);
+  const auto pts = ct::make_ecdf(xs, 50);
+  ASSERT_FALSE(pts.empty());
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_GE(pts[i].x, pts[i - 1].x);
+    EXPECT_GE(pts[i].p, pts[i - 1].p);
+  }
+  EXPECT_DOUBLE_EQ(pts.back().p, 1.0);
+  EXPECT_LE(pts.size(), 52u);
+}
+
+TEST(Ecdf, EmptyInput) {
+  EXPECT_TRUE(ct::make_ecdf({}, 10).empty());
+}

@@ -1,0 +1,222 @@
+// Stage III job-impact correlation (Table II machinery): attribution window,
+// GPU- vs node-level granularity, failure probabilities.
+#include <gtest/gtest.h>
+
+#include "analysis/job_impact.h"
+
+namespace an = gpures::analysis;
+namespace sl = gpures::slurm;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+sl::JobRecord job(std::uint64_t id, ct::TimePoint start, ct::TimePoint end,
+                  std::vector<gx::GpuId> gpus, sl::JobState state) {
+  sl::JobRecord r;
+  r.id = id;
+  r.name = "j" + std::to_string(id);
+  r.submit = start;
+  r.start = start;
+  r.end = end;
+  r.state = state;
+  r.gpu_list = std::move(gpus);
+  r.gpus = static_cast<std::int32_t>(r.gpu_list.size());
+  for (const auto& g : r.gpu_list) {
+    if (std::find(r.node_list.begin(), r.node_list.end(), g.node) ==
+        r.node_list.end()) {
+      r.node_list.push_back(g.node);
+    }
+  }
+  r.nodes = static_cast<std::int32_t>(r.node_list.size());
+  return r;
+}
+
+an::CoalescedError error_at(ct::TimePoint t, gx::GpuId gpu, gx::Code code) {
+  an::CoalescedError e;
+  e.time = t;
+  e.gpu = gpu;
+  e.code = code;
+  return e;
+}
+
+an::JobImpactConfig config() {
+  an::JobImpactConfig cfg;
+  cfg.window = 20;
+  cfg.period = {0, 1000000};
+  cfg.attribution = an::Attribution::kGpuLevel;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(JobImpact, ErrorInWindowOnFailedJobIsAttributed) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  const auto impact = an::compute_job_impact(
+      table, {error_at(1990, {0, 0}, gx::Code::kGspRpcTimeout)}, config());
+  const auto* row = impact.find(gx::Code::kGspRpcTimeout);
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->encountering_jobs, 1u);
+  EXPECT_EQ(row->failed_jobs, 1u);
+  EXPECT_DOUBLE_EQ(row->failure_probability, 1.0);
+  EXPECT_EQ(impact.gpu_failed_jobs, 1u);
+}
+
+TEST(JobImpact, ErrorOutsideWindowIsEncounterOnly) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  // Error mid-run, 500 s before the end: encountered, but the failure is not
+  // attributed to it (no error in the final 20 s).
+  const auto impact = an::compute_job_impact(
+      table, {error_at(1500, {0, 0}, gx::Code::kMmuError)}, config());
+  const auto* row = impact.find(gx::Code::kMmuError);
+  EXPECT_EQ(row->encountering_jobs, 1u);
+  EXPECT_EQ(row->failed_jobs, 0u);
+  EXPECT_EQ(impact.gpu_failed_jobs, 0u);
+}
+
+TEST(JobImpact, WindowBoundaryExactlyTwentySeconds) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  table.add(job(2, 1000, 2000, {{1, 0}}, sl::JobState::kFailed));
+  const auto impact = an::compute_job_impact(
+      table,
+      {error_at(1980, {0, 0}, gx::Code::kMmuError),    // exactly end-window
+       error_at(1979, {1, 0}, gx::Code::kMmuError)},   // just outside
+      config());
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->failed_jobs, 1u);
+}
+
+TEST(JobImpact, CompletedJobNeverGpuFailed) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kCompleted));
+  const auto impact = an::compute_job_impact(
+      table, {error_at(1995, {0, 0}, gx::Code::kNvlinkError)}, config());
+  const auto* row = impact.find(gx::Code::kNvlinkError);
+  EXPECT_EQ(row->encountering_jobs, 1u);  // the 46% NVLink survivors
+  EXPECT_EQ(row->failed_jobs, 0u);
+  EXPECT_EQ(impact.gpu_failed_jobs, 0u);
+}
+
+TEST(JobImpact, GpuLevelIgnoresOtherGpusOnNode) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  // Error on a *different* slot of the same node.
+  const auto impact = an::compute_job_impact(
+      table, {error_at(1995, {0, 1}, gx::Code::kMmuError)}, config());
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->encountering_jobs, 0u);
+  EXPECT_EQ(impact.gpu_failed_jobs, 0u);
+}
+
+TEST(JobImpact, NodeLevelCountsWholeNode) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  auto cfg = config();
+  cfg.attribution = an::Attribution::kNodeLevel;
+  const auto impact = an::compute_job_impact(
+      table, {error_at(1995, {0, 1}, gx::Code::kMmuError)}, cfg);
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->encountering_jobs, 1u);
+  EXPECT_EQ(impact.gpu_failed_jobs, 1u);
+}
+
+TEST(JobImpact, ErrorAtExactStartBelongsToPreviousTenant) {
+  an::JobTable table;
+  table.add(job(1, 2000, 3000, {{0, 0}}, sl::JobState::kCompleted));
+  const auto impact = an::compute_job_impact(
+      table, {error_at(2000, {0, 0}, gx::Code::kGspRpcTimeout)}, config());
+  EXPECT_EQ(impact.find(gx::Code::kGspRpcTimeout)->encountering_jobs, 0u);
+}
+
+TEST(JobImpact, MultipleCodesAttributedIndependently) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}, {0, 1}}, sl::JobState::kFailed));
+  const auto impact = an::compute_job_impact(
+      table,
+      {error_at(1500, {0, 0}, gx::Code::kNvlinkError),
+       error_at(1990, {0, 1}, gx::Code::kGspRpcTimeout),
+       error_at(1991, {0, 0}, gx::Code::kMmuError)},
+      config());
+  // NVLink: encountered but not in window.
+  EXPECT_EQ(impact.find(gx::Code::kNvlinkError)->failed_jobs, 0u);
+  EXPECT_EQ(impact.find(gx::Code::kNvlinkError)->encountering_jobs, 1u);
+  // GSP and MMU both in window on a failed job: both attributed (the paper
+  // counts every error in the window as a potential contributor).
+  EXPECT_EQ(impact.find(gx::Code::kGspRpcTimeout)->failed_jobs, 1u);
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->failed_jobs, 1u);
+  // The job itself counts once.
+  EXPECT_EQ(impact.gpu_failed_jobs, 1u);
+}
+
+TEST(JobImpact, PeriodFiltersJobsAndErrors) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));   // inside
+  table.add(job(2, 900000, 999999, {{0, 0}}, sl::JobState::kFailed));
+  auto cfg = config();
+  cfg.period = {0, 10000};
+  const auto impact = an::compute_job_impact(
+      table,
+      {error_at(1990, {0, 0}, gx::Code::kMmuError),
+       error_at(999990, {0, 0}, gx::Code::kMmuError)},  // outside period
+      cfg);
+  EXPECT_EQ(impact.jobs_analyzed, 1u);
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->failed_jobs, 1u);
+  EXPECT_EQ(impact.find(gx::Code::kMmuError)->encountering_jobs, 1u);
+}
+
+TEST(JobImpact, ProbabilityAndConfidenceInterval) {
+  an::JobTable table;
+  for (int i = 0; i < 10; ++i) {
+    const auto state =
+        i < 9 ? sl::JobState::kFailed : sl::JobState::kCompleted;
+    table.add(job(static_cast<std::uint64_t>(i), 1000, 2000 + i,
+                  {{i, 0}}, state));
+  }
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 10; ++i) {
+    errors.push_back(error_at(1995 + i, {i, 0}, gx::Code::kMmuError));
+  }
+  const auto impact = an::compute_job_impact(table, errors, config());
+  const auto* row = impact.find(gx::Code::kMmuError);
+  EXPECT_EQ(row->encountering_jobs, 10u);
+  EXPECT_EQ(row->failed_jobs, 9u);
+  EXPECT_DOUBLE_EQ(row->failure_probability, 0.9);
+  EXPECT_GT(row->ci.lo, 0.5);
+  EXPECT_LT(row->ci.hi, 1.0);
+}
+
+TEST(JobImpact, FailedJobsTotalCountsAllFailureStates) {
+  an::JobTable table;
+  table.add(job(1, 1000, 2000, {{0, 0}}, sl::JobState::kFailed));
+  table.add(job(2, 1000, 2000, {{1, 0}}, sl::JobState::kCancelled));
+  table.add(job(3, 1000, 2000, {{2, 0}}, sl::JobState::kCompleted));
+  const auto impact = an::compute_job_impact(table, {}, config());
+  EXPECT_EQ(impact.failed_jobs_total, 2u);
+  EXPECT_EQ(impact.jobs_analyzed, 3u);
+  EXPECT_EQ(impact.gpu_failed_jobs, 0u);
+}
+
+class WindowSweep : public ::testing::TestWithParam<ct::Duration> {};
+
+TEST_P(WindowSweep, WiderWindowsAttributeMoreFailures) {
+  // Property: the set of GPU-failed jobs grows monotonically in the window.
+  an::JobTable table;
+  for (int i = 0; i < 50; ++i) {
+    table.add(job(static_cast<std::uint64_t>(i), 1000, 2000,
+                  {{i % 8, 0}}, sl::JobState::kFailed));
+  }
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 8; ++i) {
+    errors.push_back(
+        error_at(2000 - 10 * i - 1, {i, 0}, gx::Code::kMmuError));
+  }
+  auto narrow = config();
+  narrow.window = GetParam();
+  auto wide = config();
+  wide.window = GetParam() * 2 + 5;
+  EXPECT_LE(an::compute_job_impact(table, errors, narrow).gpu_failed_jobs,
+            an::compute_job_impact(table, errors, wide).gpu_failed_jobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep,
+                         ::testing::Values(1, 5, 10, 20, 40, 80));

@@ -1,0 +1,90 @@
+// JSON writer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/json.h"
+
+namespace ct = gpures::common;
+
+TEST(Json, FlatObject) {
+  ct::JsonWriter w;
+  w.begin_object();
+  w.kv("a", 1);
+  w.kv("b", "two");
+  w.kv("c", 2.5);
+  w.kv("d", true);
+  w.key("e");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(),
+            R"({"a":1,"b":"two","c":2.5,"d":true,"e":null})");
+}
+
+TEST(Json, NestedContainers) {
+  ct::JsonWriter w;
+  w.begin_object();
+  w.key("arr");
+  w.begin_array();
+  w.value(1);
+  w.begin_object();
+  w.kv("x", 2);
+  w.end_object();
+  w.begin_array();
+  w.end_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(std::move(w).str(), R"({"arr":[1,{"x":2},[]]})");
+}
+
+TEST(Json, Escaping) {
+  EXPECT_EQ(ct::JsonWriter::escape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(ct::JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  ct::JsonWriter w;
+  w.value("say \"hi\"\n");
+  EXPECT_EQ(std::move(w).str(), "\"say \\\"hi\\\"\\n\"");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull) {
+  ct::JsonWriter w;
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[null,null,1.5]");
+}
+
+TEST(Json, LargeIntegersExact) {
+  ct::JsonWriter w;
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ull});
+  w.value(std::int64_t{-9223372036854775807ll});
+  w.end_array();
+  EXPECT_EQ(std::move(w).str(), "[18446744073709551615,-9223372036854775807]");
+}
+
+TEST(Json, UnbalancedDetected) {
+  {
+    ct::JsonWriter w;
+    w.begin_object();
+    EXPECT_THROW(std::move(w).str(), std::logic_error);
+  }
+  {
+    ct::JsonWriter w;
+    EXPECT_THROW(w.end_object(), std::logic_error);
+  }
+  {
+    ct::JsonWriter w;
+    w.begin_object();
+    w.key("a");
+    EXPECT_THROW(w.key("b"), std::logic_error);
+  }
+}
+
+TEST(Json, TopLevelScalar) {
+  ct::JsonWriter w;
+  w.value(42);
+  EXPECT_EQ(std::move(w).str(), "42");
+}

@@ -1,0 +1,107 @@
+// Syslog rendering and the day-bucketed log stream.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "logsys/log_store.h"
+#include "logsys/syslog.h"
+
+namespace ls = gpures::logsys;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+TEST(Syslog, XidLineFormat) {
+  const auto t = ct::to_timepoint({2022, 5, 5, 7, 23, 1});
+  const auto line = ls::render_xid_line(t, "gpua042", "0000:27:00",
+                                        gx::Code::kUncontainedEccError,
+                                        "Uncontained ECC error.");
+  EXPECT_EQ(line,
+            "May  5 07:23:01 gpua042 kernel: NVRM: Xid (PCI:0000:27:00): 95, "
+            "Uncontained ECC error.");
+}
+
+TEST(Syslog, DrainAndResumeLines) {
+  const auto t = ct::to_timepoint({2022, 10, 12, 8, 11, 2});
+  EXPECT_EQ(ls::render_drain_line(t, "gpua042"),
+            "Oct 12 08:11:02 gpua042 slurmctld[2112]: update_node: node "
+            "gpua042 reason set to: gpu_health_check_failed [drain]");
+  EXPECT_EQ(ls::render_resume_line(t, "gpua042"),
+            "Oct 12 08:11:02 gpua042 slurmctld[2112]: update_node: node "
+            "gpua042 state set to: resume");
+}
+
+TEST(Syslog, NoiseLinesNeverLookLikeXid) {
+  ct::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto line = ls::render_noise_line(rng, 1000000 + i, "gpua001");
+    EXPECT_EQ(line.find("NVRM: Xid"), std::string::npos);
+    EXPECT_EQ(line.find("update_node"), std::string::npos);
+    EXPECT_FALSE(line.empty());
+  }
+}
+
+TEST(DayLogStream, FlushesWholeSortedDays) {
+  std::vector<std::pair<ct::TimePoint, std::vector<ls::RawLine>>> flushed;
+  ls::DayLogStream stream([&](ct::TimePoint day, std::vector<ls::RawLine>&& v) {
+    flushed.emplace_back(day, std::move(v));
+  });
+  const auto d0 = ct::make_date(2022, 5, 5);
+  stream.append(d0 + 100, "b");
+  stream.append(d0 + 50, "a");          // out of order within the day
+  stream.append(d0 + ct::kDay + 5, "c"); // next day
+  EXPECT_EQ(stream.lines_appended(), 3u);
+
+  stream.flush_through(d0 + ct::kDay);  // completes day 0 only
+  ASSERT_EQ(flushed.size(), 1u);
+  EXPECT_EQ(flushed[0].first, d0);
+  ASSERT_EQ(flushed[0].second.size(), 2u);
+  EXPECT_EQ(flushed[0].second[0].text, "a");  // sorted by time
+  EXPECT_EQ(flushed[0].second[1].text, "b");
+
+  stream.finalize();
+  ASSERT_EQ(flushed.size(), 2u);
+  EXPECT_EQ(flushed[1].second[0].text, "c");
+  EXPECT_EQ(stream.days_flushed(), 2u);
+}
+
+TEST(DayLogStream, RejectsAppendsToFlushedDays) {
+  ls::DayLogStream stream([](ct::TimePoint, std::vector<ls::RawLine>&&) {});
+  const auto d0 = ct::make_date(2022, 5, 5);
+  stream.append(d0 + 10, "x");
+  stream.flush_through(d0 + ct::kDay);
+  EXPECT_THROW(stream.append(d0 + 20, "y"), std::logic_error);
+  EXPECT_NO_THROW(stream.append(d0 + ct::kDay + 1, "z"));
+}
+
+TEST(DayLogStream, SkipsEmptyDays) {
+  int flushes = 0;
+  ls::DayLogStream stream(
+      [&](ct::TimePoint, std::vector<ls::RawLine>&&) { ++flushes; });
+  const auto d0 = ct::make_date(2022, 5, 5);
+  stream.append(d0 + 10, "x");
+  stream.append(d0 + 10 * ct::kDay, "y");  // 9-day gap
+  stream.finalize();
+  EXPECT_EQ(flushes, 2);  // no empty-day callbacks
+}
+
+TEST(DayLogStream, NullConsumerRejected) {
+  EXPECT_THROW(ls::DayLogStream(nullptr), std::invalid_argument);
+}
+
+TEST(DayLogStream, StableSortKeepsEqualTimesInOrder) {
+  std::vector<std::string> texts;
+  ls::DayLogStream stream([&](ct::TimePoint, std::vector<ls::RawLine>&& v) {
+    for (auto& l : v) texts.push_back(l.text);
+  });
+  const auto d0 = ct::make_date(2022, 5, 5);
+  stream.append(d0 + 100, "first");
+  stream.append(d0 + 100, "second");
+  stream.append(d0 + 100, "third");
+  stream.finalize();
+  EXPECT_EQ(texts, (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST(RenderDay, JoinsWithNewlines) {
+  std::vector<ls::RawLine> lines = {{1, "a"}, {2, "b"}};
+  EXPECT_EQ(ls::render_day(lines), "a\nb\n");
+  EXPECT_EQ(ls::render_day({}), "");
+}

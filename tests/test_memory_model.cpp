@@ -1,0 +1,134 @@
+// A100 memory error-management chain: remapping, spares, containment.
+#include <gtest/gtest.h>
+
+#include "cluster/memory_model.h"
+#include "common/rng.h"
+
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+
+namespace {
+
+cl::MemoryModelConfig small_config() {
+  cl::MemoryModelConfig cfg;
+  cfg.banks_per_gpu = 2;
+  cfg.spare_rows_per_bank = 3;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(GpuMemory, FreshInventory) {
+  cl::GpuMemory mem(small_config());
+  EXPECT_EQ(mem.spares_remaining(), 6);
+  EXPECT_EQ(mem.remapped_rows(), 0);
+  EXPECT_EQ(mem.remap_failures(), 0);
+  EXPECT_EQ(mem.offlined_pages(), 0);
+}
+
+TEST(GpuMemory, A100DefaultSupports512Remaps) {
+  const cl::MemoryModelConfig cfg;  // defaults
+  cl::GpuMemory mem(cfg);
+  EXPECT_EQ(mem.spares_remaining(), 512);
+}
+
+TEST(GpuMemory, RemapConsumesSpareOfHitBank) {
+  cl::GpuMemory mem(small_config());
+  ct::Rng rng(1);
+  const auto out = mem.on_uncorrectable_fault_in_bank(rng, small_config(), 0);
+  EXPECT_TRUE(out.remap_succeeded);
+  EXPECT_EQ(out.bank, 0);
+  EXPECT_EQ(mem.spares_remaining(), 5);
+  EXPECT_EQ(mem.remapped_rows(), 1);
+  EXPECT_EQ(mem.offlined_pages(), 1);  // page offlining always happens
+}
+
+TEST(GpuMemory, ExhaustionProducesRrf) {
+  // Hammering one bank exhausts its spares and produces RRFs even though the
+  // other bank still has inventory — exactly how field RRFs arise.
+  cl::GpuMemory mem(small_config());
+  ct::Rng rng(2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(mem.on_uncorrectable_fault_in_bank(rng, small_config(), 1)
+                    .remap_succeeded);
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(mem.on_uncorrectable_fault_in_bank(rng, small_config(), 1)
+                     .remap_succeeded);
+  }
+  EXPECT_EQ(mem.remap_failures(), 4);
+  EXPECT_EQ(mem.spares_remaining(), 3);  // bank 0 untouched
+}
+
+TEST(GpuMemory, SetBankSpares) {
+  cl::GpuMemory mem(small_config());
+  mem.set_bank_spares(0, 0);
+  ct::Rng rng(3);
+  EXPECT_FALSE(
+      mem.on_uncorrectable_fault_in_bank(rng, small_config(), 0).remap_succeeded);
+  EXPECT_THROW(mem.set_bank_spares(5, 1), std::out_of_range);
+  EXPECT_THROW(mem.set_bank_spares(0, -1), std::out_of_range);
+}
+
+TEST(GpuMemory, ReplaceRestoresInventory) {
+  cl::GpuMemory mem(small_config());
+  ct::Rng rng(4);
+  for (int i = 0; i < 5; ++i) mem.on_uncorrectable_fault(rng, small_config());
+  mem.replace(small_config());
+  EXPECT_EQ(mem.spares_remaining(), 6);
+  EXPECT_EQ(mem.remapped_rows(), 0);
+  EXPECT_EQ(mem.remap_failures(), 0);
+  EXPECT_EQ(mem.offlined_pages(), 0);
+}
+
+TEST(GpuMemory, ContainmentProbabilitiesRespected) {
+  cl::MemoryModelConfig cfg = small_config();
+  cfg.spare_rows_per_bank = 100000;
+  cl::GpuMemory mem(cfg);
+  ct::Rng rng(5);
+
+  cl::MemoryModelConfig probs = cfg;
+  probs.touch_probability = 1.0;
+  probs.containment_success = 1.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto out = mem.on_uncorrectable_fault(rng, probs);
+    EXPECT_TRUE(out.containment_attempted);
+    EXPECT_TRUE(out.contained);
+  }
+  probs.touch_probability = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(mem.on_uncorrectable_fault(rng, probs).containment_attempted);
+  }
+  probs.touch_probability = 1.0;
+  probs.containment_success = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto out = mem.on_uncorrectable_fault(rng, probs);
+    EXPECT_TRUE(out.containment_attempted);
+    EXPECT_FALSE(out.contained);
+  }
+}
+
+TEST(GpuMemory, DbeLoggingRate) {
+  cl::MemoryModelConfig cfg = small_config();
+  cfg.spare_rows_per_bank = 1000000;
+  cl::GpuMemory mem(cfg);
+  ct::Rng rng(6);
+  cl::MemoryModelConfig probs = cfg;
+  probs.dbe_log_probability = 0.25;
+  int dbes = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    dbes += mem.on_uncorrectable_fault(rng, probs).dbe_logged;
+  }
+  EXPECT_NEAR(static_cast<double>(dbes) / n, 0.25, 0.02);
+}
+
+TEST(GpuMemory, BadConfigRejected) {
+  cl::MemoryModelConfig cfg;
+  cfg.banks_per_gpu = 0;
+  EXPECT_THROW(cl::GpuMemory{cfg}, std::invalid_argument);
+  cl::GpuMemory ok{small_config()};
+  ct::Rng rng(7);
+  EXPECT_THROW(ok.on_uncorrectable_fault_in_bank(rng, small_config(), 99),
+               std::out_of_range);
+}

@@ -1,0 +1,112 @@
+// NVLink incident expansion: propagation, retry recovery, offsets.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/nvlink_model.h"
+#include "common/rng.h"
+
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+
+TEST(Nvlink, OriginAlwaysFirstAndAffected) {
+  cl::NvlinkModel model(cl::NvlinkModelConfig{});
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto inc = model.on_link_fault(rng, topo, {3, 2});
+    ASSERT_FALSE(inc.affected.empty());
+    EXPECT_EQ(inc.affected[0], (gpures::xid::GpuId{3, 2}));
+    EXPECT_DOUBLE_EQ(inc.offsets_s[0], 0.0);
+    EXPECT_EQ(inc.affected.size(), inc.offsets_s.size());
+  }
+}
+
+TEST(Nvlink, PropagationStaysOnNode) {
+  cl::NvlinkModelConfig cfg;
+  cfg.multi_gpu_probability = 1.0;
+  cfg.extra_peer_probability = 0.9;
+  cl::NvlinkModel model(cfg);
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto inc = model.on_link_fault(rng, topo, {5, 0});
+    std::set<std::int32_t> slots;
+    for (const auto& g : inc.affected) {
+      EXPECT_EQ(g.node, 5);
+      EXPECT_TRUE(slots.insert(g.slot).second) << "duplicate slot";
+    }
+    EXPECT_GE(inc.affected.size(), 2u);   // forced propagation
+    EXPECT_LE(inc.affected.size(), 4u);   // 4-way node bound
+  }
+}
+
+TEST(Nvlink, MultiGpuFractionMatchesConfig) {
+  cl::NvlinkModelConfig cfg;
+  cfg.multi_gpu_probability = 0.42;
+  cl::NvlinkModel model(cfg);
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(3);
+  int multi = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (model.on_link_fault(rng, topo, {1, 1}).affected.size() >= 2) ++multi;
+  }
+  EXPECT_NEAR(static_cast<double>(multi) / n, 0.42, 0.015);
+}
+
+TEST(Nvlink, RetryRecoveryFractionMatchesConfig) {
+  cl::NvlinkModelConfig cfg;
+  cfg.retry_recovers = 0.85;
+  cl::NvlinkModel model(cfg);
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(4);
+  int recovered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    recovered += model.on_link_fault(rng, topo, {0, 0}).recovered_by_retry;
+  }
+  EXPECT_NEAR(static_cast<double>(recovered) / n, 0.85, 0.01);
+}
+
+TEST(Nvlink, NoPropagationWithoutPeers) {
+  cl::ClusterSpec spec;
+  spec.nodes.push_back({"solo", 1});
+  cl::Topology topo(spec);
+  cl::NvlinkModelConfig cfg;
+  cfg.multi_gpu_probability = 1.0;
+  cl::NvlinkModel model(cfg);
+  ct::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(model.on_link_fault(rng, topo, {0, 0}).affected.size(), 1u);
+  }
+}
+
+TEST(Nvlink, OffsetsNonNegative) {
+  cl::NvlinkModelConfig cfg;
+  cfg.multi_gpu_probability = 1.0;
+  cl::NvlinkModel model(cfg);
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    for (const double off : model.on_link_fault(rng, topo, {2, 3}).offsets_s) {
+      EXPECT_GE(off, 0.0);
+    }
+  }
+}
+
+TEST(Nvlink, EightWayNodesCanPropagateWide) {
+  cl::NvlinkModelConfig cfg;
+  cfg.multi_gpu_probability = 1.0;
+  cfg.extra_peer_probability = 0.95;
+  cl::NvlinkModel model(cfg);
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  ct::Rng rng(7);
+  std::size_t widest = 0;
+  for (int i = 0; i < 500; ++i) {
+    widest = std::max(widest,
+                      model.on_link_fault(rng, topo, {100, 0}).affected.size());
+  }
+  EXPECT_GT(widest, 4u);  // beyond what a 4-way node allows
+  EXPECT_LE(widest, 8u);
+}

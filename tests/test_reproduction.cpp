@@ -1,0 +1,91 @@
+// Reproduction scorecard math and construction.
+#include <gtest/gtest.h>
+
+#include "analysis/paper_reference.h"
+#include "analysis/reproduction.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+TEST(ScoreRow, RatioAndBands) {
+  an::ScoreRow r{"m", 100.0, 120.0, 1.25};
+  EXPECT_DOUBLE_EQ(r.ratio(), 1.2);
+  EXPECT_TRUE(r.matches());
+  r.ours = 130.0;
+  EXPECT_FALSE(r.matches());
+  r.ours = 81.0;  // 0.81 > 1/1.25 = 0.8
+  EXPECT_TRUE(r.matches());
+  r.ours = 79.0;
+  EXPECT_FALSE(r.matches());
+}
+
+TEST(ScoreRow, ZeroPaperValue) {
+  an::ScoreRow r{"m", 0.0, 0.0, 2.0};
+  EXPECT_TRUE(r.matches());
+  r.ours = 1.0;
+  EXPECT_FALSE(r.matches());
+}
+
+TEST(Scorecard, CountsAndRender) {
+  an::Scorecard card;
+  card.rows.push_back({"a", 10.0, 10.0, 1.5});
+  card.rows.push_back({"b", 10.0, 100.0, 1.5});
+  EXPECT_EQ(card.matched(), 1u);
+  EXPECT_EQ(card.total(), 2u);
+  EXPECT_DOUBLE_EQ(card.score(), 0.5);
+  const auto s = card.render();
+  EXPECT_NE(s.find("shape match: 1/2"), std::string::npos);
+  EXPECT_NE(s.find("NO"), std::string::npos);
+}
+
+TEST(Scorecard, PerfectErrorStatsScoreFull) {
+  // Synthesize error counts that match the paper exactly; every error-stat
+  // metric must land in band.
+  std::vector<an::CoalescedError> errors;
+  const auto periods = an::StudyPeriods::delta();
+  auto emit = [&](gx::Code code, std::uint64_t n, bool pre) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      an::CoalescedError e;
+      e.time = (pre ? periods.pre.begin : periods.op.begin) +
+               static_cast<ct::TimePoint>(
+                   i * 997 % static_cast<std::uint64_t>(
+                                 pre ? periods.pre.end - periods.pre.begin - 1
+                                     : periods.op.end - periods.op.begin - 1));
+      // Spread over GPUs except the uncontained episode's faulty device.
+      e.gpu = code == gx::Code::kUncontainedEccError && pre
+                  ? gx::GpuId{52, 1}
+                  : gx::GpuId{static_cast<std::int32_t>(i % 100),
+                              static_cast<std::int32_t>(i % 4)};
+      e.code = code;
+      errors.push_back(e);
+    }
+  };
+  for (const auto& ref : gpures::paper::kTable1) {
+    emit(ref.code, ref.pre_count, true);
+    emit(ref.code, ref.op_count, false);
+  }
+  an::ErrorStatsConfig cfg;
+  cfg.node_count = 106;
+  const auto stats = an::compute_error_stats(errors, periods, cfg);
+  const auto card =
+      an::score_reproduction(&stats, nullptr, nullptr, nullptr, 0.0);
+  EXPECT_GT(card.total(), 15u);
+  EXPECT_EQ(card.matched(), card.total()) << card.render();
+}
+
+TEST(Scorecard, AvailabilitySection) {
+  an::AvailabilityStats avail;
+  avail.mttr_h = 0.88;
+  const auto card =
+      an::score_reproduction(nullptr, nullptr, nullptr, &avail, 162.0);
+  ASSERT_EQ(card.total(), 3u);
+  EXPECT_EQ(card.matched(), 3u) << card.render();
+}
+
+TEST(Scorecard, EmptyInputsEmptyCard) {
+  const auto card =
+      an::score_reproduction(nullptr, nullptr, nullptr, nullptr, 0.0);
+  EXPECT_EQ(card.total(), 0u);
+  EXPECT_DOUBLE_EQ(card.score(), 0.0);
+}

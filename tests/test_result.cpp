@@ -1,0 +1,53 @@
+// Result<T> error-handling utility.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.h"
+
+namespace ct = gpures::common;
+
+namespace {
+
+ct::Result<int> parse_positive(int x) {
+  if (x <= 0) return ct::Error::make("not positive");
+  return x;
+}
+
+}  // namespace
+
+TEST(Result, ValuePath) {
+  const auto r = parse_positive(5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 5);
+}
+
+TEST(Result, ErrorPath) {
+  const auto r = parse_positive(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().message, "not positive");
+  EXPECT_THROW((void)r.value(), std::runtime_error);
+}
+
+TEST(Result, TakeMovesValue) {
+  ct::Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, TakeOnErrorThrows) {
+  ct::Result<std::string> r(ct::Error::make("nope"));
+  EXPECT_THROW((void)std::move(r).take(), std::runtime_error);
+}
+
+TEST(Result, MutableValue) {
+  ct::Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+TEST(Check, ThrowsOnViolation) {
+  EXPECT_NO_THROW(ct::check(true, "fine"));
+  EXPECT_THROW(ct::check(false, "violated"), std::logic_error);
+}

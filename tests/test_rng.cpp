@@ -1,0 +1,223 @@
+// Deterministic RNG: reproducibility, stream independence, and the
+// statistical sanity of every distribution the simulator draws from.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ct = gpures::common;
+
+TEST(Rng, SameSeedSameStream) {
+  ct::Rng a(123);
+  ct::Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  ct::Rng a(1);
+  ct::Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  ct::Rng root(42);
+  ct::Rng f1 = root.fork("alpha");
+  ct::Rng f2 = root.fork("alpha");
+  ct::Rng f3 = root.fork("beta");
+  EXPECT_EQ(f1.next_u64(), f2.next_u64());
+  // Forking does not consume parent entropy.
+  ct::Rng root2(42);
+  root2.fork("x");
+  root2.fork("y");
+  ct::Rng root3(42);
+  EXPECT_EQ(root2.next_u64(), root3.next_u64());
+  // Different names give different streams.
+  ct::Rng f1b = root.fork("alpha");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1b.next_u64() == f3.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInRange) {
+  ct::Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 6.5);
+    ASSERT_GE(u, 5.0);
+    ASSERT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformU64Bounds) {
+  ct::Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const auto v = r.uniform_u64(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, UniformIntInclusive) {
+  ct::Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BernoulliEdges) {
+  ct::Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += r.bernoulli(0.3);
+  EXPECT_NEAR(heads / 20000.0, 0.3, 0.02);
+}
+
+namespace {
+
+template <typename Draw>
+std::pair<double, double> sample_mean_sd(Draw draw, int n) {
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = draw();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  return {mean, std::sqrt(std::max(0.0, sum2 / n - mean * mean))};
+}
+
+}  // namespace
+
+TEST(Rng, ExponentialMean) {
+  ct::Rng r(17);
+  const auto [mean, sd] = sample_mean_sd([&] { return r.exponential(0.25); },
+                                         50000);
+  EXPECT_NEAR(mean, 4.0, 0.1);
+  EXPECT_NEAR(sd, 4.0, 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  ct::Rng r(19);
+  const auto [mean, sd] =
+      sample_mean_sd([&] { return r.normal(10.0, 3.0); }, 50000);
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sd, 3.0, 0.1);
+}
+
+TEST(Rng, LognormalMean) {
+  ct::Rng r(23);
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2).
+  const double mu = 0.5;
+  const double sigma = 0.75;
+  const auto [mean, sd] =
+      sample_mean_sd([&] { return r.lognormal(mu, sigma); }, 100000);
+  (void)sd;
+  EXPECT_NEAR(mean, std::exp(mu + sigma * sigma / 2.0), 0.06);
+}
+
+TEST(Rng, WeibullMean) {
+  ct::Rng r(29);
+  // E[Weibull(k=2, lambda=3)] = 3 * Gamma(1.5) = 3 * 0.8862.
+  const auto [mean, sd] =
+      sample_mean_sd([&] { return r.weibull(2.0, 3.0); }, 50000);
+  (void)sd;
+  EXPECT_NEAR(mean, 3.0 * 0.8862269, 0.05);
+}
+
+class RngPoisson : public ::testing::TestWithParam<double> {};
+
+TEST_P(RngPoisson, MeanAndVarianceMatch) {
+  const double lambda = GetParam();
+  ct::Rng r(31);
+  const auto [mean, sd] = sample_mean_sd(
+      [&] { return static_cast<double>(r.poisson(lambda)); }, 40000);
+  EXPECT_NEAR(mean, lambda, std::max(0.05, lambda * 0.03));
+  EXPECT_NEAR(sd * sd, lambda, std::max(0.1, lambda * 0.08));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, RngPoisson,
+                         ::testing::Values(0.1, 1.0, 5.0, 20.0, 100.0, 400.0));
+
+TEST(Rng, PoissonZeroMean) {
+  ct::Rng r(37);
+  EXPECT_EQ(r.poisson(0.0), 0u);
+  EXPECT_EQ(r.poisson(-1.0), 0u);
+}
+
+TEST(Rng, GeometricMean) {
+  ct::Rng r(41);
+  // E[failures before first success] = (1-p)/p.
+  const double p = 0.2;
+  const auto [mean, sd] = sample_mean_sd(
+      [&] { return static_cast<double>(r.geometric(p)); }, 50000);
+  (void)sd;
+  EXPECT_NEAR(mean, (1.0 - p) / p, 0.1);
+  EXPECT_EQ(ct::Rng(1).geometric(1.0), 0u);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  ct::Rng r(43);
+  const std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) ++counts[r.categorical(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[0] / 40000.0, 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.75, 0.02);
+  const std::vector<double> bad = {0.0, -1.0};
+  EXPECT_THROW((void)r.categorical(bad), std::invalid_argument);
+}
+
+TEST(Rng, CategoricalSamplerMatchesDirect) {
+  const std::vector<double> w = {2.0, 1.0, 1.0, 4.0};
+  ct::CategoricalSampler s(w);
+  ct::Rng r(47);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[s.sample(r)];
+  EXPECT_NEAR(counts[0] / 80000.0, 0.25, 0.015);
+  EXPECT_NEAR(counts[3] / 80000.0, 0.50, 0.015);
+}
+
+TEST(Rng, ParetoSupport) {
+  ct::Rng r(53);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(r.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  ct::Rng r(59);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<std::size_t>(i)] = i;
+  auto copy = v;
+  r.shuffle(copy);
+  EXPECT_NE(copy, v);  // astronomically unlikely to be identity
+  std::sort(copy.begin(), copy.end());
+  EXPECT_EQ(copy, v);
+}

@@ -1,0 +1,123 @@
+// Descriptive statistics: running moments, quantiles, MTBE, proportions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace ct = gpures::common;
+
+TEST(RunningStats, Empty) {
+  ct::RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  ct::RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 31.0 / 8.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  // Sample variance computed by hand.
+  double m = 31.0 / 8.0;
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  EXPECT_NEAR(s.variance(), ss / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(ss / 7.0), 1e-12);
+  EXPECT_NEAR(s.sum(), 31.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  // Property: merging partitions gives the same moments as one pass.
+  ct::RunningStats all;
+  ct::RunningStats a;
+  ct::RunningStats b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i * 0.7) * 10 + i * 0.1;
+    all.add(x);
+    (i % 3 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  // Merging an empty accumulator is a no-op.
+  ct::RunningStats empty;
+  const double before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), before);
+}
+
+TEST(Quantile, KnownValues) {
+  const std::vector<double> xs = {15.0, 20.0, 35.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(ct::quantile(xs, 0.0), 15.0);
+  EXPECT_DOUBLE_EQ(ct::quantile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(ct::quantile(xs, 0.5), 35.0);
+  // Type-7 interpolation: q=0.4 -> pos 1.6 -> 20 + 0.6*(35-20) = 29.
+  EXPECT_DOUBLE_EQ(ct::quantile(xs, 0.4), 29.0);
+  EXPECT_DOUBLE_EQ(ct::median(xs), 35.0);
+}
+
+TEST(Quantile, SingleAndEmpty) {
+  const std::vector<double> one = {7.0};
+  EXPECT_DOUBLE_EQ(ct::quantile(one, 0.99), 7.0);
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(ct::quantile(none, 0.5), 0.0);
+}
+
+TEST(Quantile, UnsortedInputHandled) {
+  const std::vector<double> xs = {9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(ct::median(xs), 5.0);
+}
+
+TEST(Ecdf, Fractions) {
+  const std::vector<double> sorted = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ct::ecdf(sorted, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ct::ecdf(sorted, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ct::ecdf(sorted, 10.0), 1.0);
+}
+
+TEST(Summarize, AllFields) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const auto s = ct::summarize(xs);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 1e-9);
+  EXPECT_NEAR(s.p99, 99.01, 1e-9);
+  EXPECT_NEAR(s.p90, 90.1, 1e-9);
+}
+
+TEST(Mtbe, Basics) {
+  EXPECT_DOUBLE_EQ(ct::mtbe(21528.0, 8863), 21528.0 / 8863.0);
+  EXPECT_TRUE(std::isinf(ct::mtbe(100.0, 0)));
+}
+
+TEST(Wilson, KnownInterval) {
+  // 90/100 successes: Wilson 95% CI ~ [0.825, 0.944].
+  const auto p = ct::wilson_interval(90, 100);
+  EXPECT_DOUBLE_EQ(p.p, 0.9);
+  EXPECT_NEAR(p.lo, 0.825, 0.005);
+  EXPECT_NEAR(p.hi, 0.944, 0.005);
+}
+
+TEST(Wilson, Edges) {
+  const auto zero = ct::wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(zero.p, 0.0);
+  const auto all = ct::wilson_interval(5, 5);
+  EXPECT_DOUBLE_EQ(all.p, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const auto none = ct::wilson_interval(0, 5);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);
+}

@@ -1,0 +1,148 @@
+// Survival extensions: Kaplan-Meier and Weibull MLE.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/survival.h"
+#include "common/rng.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+an::CoalescedError err(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                       gx::Code code = gx::Code::kMmuError) {
+  an::CoalescedError e;
+  e.time = t;
+  e.gpu = {node, slot};
+  e.code = code;
+  return e;
+}
+
+}  // namespace
+
+TEST(KaplanMeier, NoCensoringMatchesEmpirical) {
+  // 4 GPUs, all err: survival steps 0.75, 0.5, 0.25, 0.
+  std::vector<an::CoalescedError> errors = {
+      err(1 * ct::kHour, 0, 0), err(2 * ct::kHour, 0, 1),
+      err(3 * ct::kHour, 0, 2), err(4 * ct::kHour, 0, 3)};
+  const an::Period window{0, ct::kDay};
+  const auto km = an::km_time_to_first_error(errors, window, 4);
+  EXPECT_EQ(km.subjects, 4u);
+  EXPECT_EQ(km.observed_events, 4u);
+  EXPECT_EQ(km.censored, 0u);
+  ASSERT_EQ(km.curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(km.curve[0].survival, 0.75);
+  EXPECT_DOUBLE_EQ(km.curve[1].survival, 0.5);
+  EXPECT_DOUBLE_EQ(km.curve[3].survival, 0.0);
+  EXPECT_DOUBLE_EQ(km.median_h, 2.0);
+}
+
+TEST(KaplanMeier, CensoringKeepsSurvivalHigh) {
+  // 10 GPUs, only 2 err: S stays at 0.8 after both events.
+  std::vector<an::CoalescedError> errors = {err(1 * ct::kHour, 0, 0),
+                                            err(2 * ct::kHour, 0, 1)};
+  const auto km = an::km_time_to_first_error(errors, {0, ct::kDay}, 10);
+  EXPECT_EQ(km.censored, 8u);
+  EXPECT_DOUBLE_EQ(km.curve.back().survival, 0.8);
+  EXPECT_TRUE(std::isinf(km.median_h));
+  EXPECT_DOUBLE_EQ(km.survival_at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(km.survival_at(1.5), 0.9);
+  EXPECT_DOUBLE_EQ(km.survival_at(100.0), 0.8);
+}
+
+TEST(KaplanMeier, OnlyFirstErrorPerGpuCounts) {
+  std::vector<an::CoalescedError> errors = {
+      err(2 * ct::kHour, 0, 0), err(1 * ct::kHour, 0, 0),
+      err(5 * ct::kHour, 0, 0)};
+  const auto km = an::km_time_to_first_error(errors, {0, ct::kDay}, 2);
+  EXPECT_EQ(km.observed_events, 1u);
+  ASSERT_EQ(km.curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(km.curve[0].time_h, 1.0);  // earliest wins
+}
+
+TEST(KaplanMeier, TiesHandled) {
+  std::vector<an::CoalescedError> errors = {err(ct::kHour, 0, 0),
+                                            err(ct::kHour, 0, 1)};
+  const auto km = an::km_time_to_first_error(errors, {0, ct::kDay}, 4);
+  ASSERT_EQ(km.curve.size(), 1u);
+  EXPECT_EQ(km.curve[0].events, 2u);
+  EXPECT_DOUBLE_EQ(km.curve[0].survival, 0.5);
+}
+
+TEST(WeibullMle, RecoversExponential) {
+  // Exponential = Weibull(k=1, lambda=1/rate).
+  ct::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.exponential(0.5));
+  const auto fit = an::fit_weibull_mle(xs);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.shape, 1.0, 0.03);
+  EXPECT_NEAR(fit.scale, 2.0, 0.06);
+}
+
+TEST(WeibullMle, RecoversKnownShape) {
+  ct::Rng rng(6);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.weibull(2.5, 7.0));
+  const auto fit = an::fit_weibull_mle(xs);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.shape, 2.5, 0.08);
+  EXPECT_NEAR(fit.scale, 7.0, 0.15);
+}
+
+TEST(WeibullMle, ShapeBelowOneForClustered) {
+  // Mixture of very short and very long gaps: decreasing hazard, k < 1.
+  ct::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(rng.bernoulli(0.7) ? rng.exponential(20.0)
+                                    : rng.exponential(0.02));
+  }
+  const auto fit = an::fit_weibull_mle(xs);
+  EXPECT_TRUE(fit.converged);
+  EXPECT_LT(fit.shape, 0.7);
+}
+
+TEST(WeibullMle, DegenerateInputsSafe) {
+  EXPECT_FALSE(an::fit_weibull_mle({}).converged);
+  EXPECT_FALSE(an::fit_weibull_mle({1.0, 2.0}).converged);
+  EXPECT_FALSE(an::fit_weibull_mle({1.0, 0.0, 2.0}).converged);  // zero
+  EXPECT_FALSE(an::fit_weibull_mle({1.0, -2.0, 3.0}).converged);
+}
+
+TEST(Interarrival, PerGpuGaps) {
+  std::vector<an::CoalescedError> errors = {
+      err(0 * ct::kHour, 0, 0), err(2 * ct::kHour, 0, 0),
+      err(6 * ct::kHour, 0, 0),
+      // Other GPU: its own series, no cross-GPU gap.
+      err(100 * ct::kHour, 1, 0)};
+  const auto gaps =
+      an::interarrival_hours(errors, {0, 1000 * ct::kHour},
+                             gx::Code::kMmuError);
+  ASSERT_EQ(gaps.size(), 2u);
+  std::vector<double> sorted = gaps;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(sorted[0], 2.0);
+  EXPECT_DOUBLE_EQ(sorted[1], 4.0);
+}
+
+TEST(Survival, RenderReport) {
+  ct::Rng rng(8);
+  std::vector<an::CoalescedError> errors;
+  ct::TimePoint t = ct::make_date(2023, 2, 1);
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<ct::Duration>(rng.exponential(1.0 / 7200.0));
+    errors.push_back(err(t, i % 10, i % 4,
+                         i % 3 ? gx::Code::kMmuError
+                               : gx::Code::kGspRpcTimeout));
+  }
+  const auto periods = an::StudyPeriods::make(ct::make_date(2023, 1, 1),
+                                              ct::make_date(2023, 1, 31),
+                                              ct::make_date(2023, 12, 31));
+  const auto report = an::render_survival(errors, periods, 448);
+  EXPECT_NE(report.find("Kaplan-Meier"), std::string::npos);
+  EXPECT_NE(report.find("Weibull"), std::string::npos);
+}

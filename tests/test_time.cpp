@@ -1,0 +1,119 @@
+// Calendar/time utilities: conversions, parsing, formatting, day math.
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace ct = gpures::common;
+
+TEST(Time, EpochIsZero) {
+  EXPECT_EQ(ct::make_date(1970, 1, 1), 0);
+  const ct::CalendarTime c = ct::to_calendar(0);
+  EXPECT_EQ(c, (ct::CalendarTime{1970, 1, 1, 0, 0, 0}));
+}
+
+TEST(Time, KnownDates) {
+  // Independently verified epoch values.
+  EXPECT_EQ(ct::make_date(2022, 1, 1), 1640995200);
+  EXPECT_EQ(ct::make_date(2022, 10, 1), 1664582400);
+  EXPECT_EQ(ct::make_date(2025, 3, 16), 1742083200);
+  EXPECT_EQ(ct::to_timepoint({2022, 5, 5, 7, 23, 1}), 1651735381);
+}
+
+TEST(Time, StudyWindowLengths) {
+  // The paper's 1170-day window: 273 pre-op days + 897 op days.
+  const auto begin = ct::make_date(2022, 1, 1);
+  const auto op = ct::make_date(2022, 10, 1);
+  const auto end = ct::make_date(2025, 3, 16);
+  EXPECT_EQ((op - begin) / ct::kDay, 273);
+  EXPECT_EQ((end - op) / ct::kDay, 897);
+  EXPECT_EQ((end - begin) / ct::kDay, 1170);
+}
+
+TEST(Time, LeapYears) {
+  EXPECT_TRUE(ct::is_leap_year(2000));
+  EXPECT_TRUE(ct::is_leap_year(2024));
+  EXPECT_FALSE(ct::is_leap_year(1900));
+  EXPECT_FALSE(ct::is_leap_year(2023));
+  EXPECT_EQ(ct::days_in_month(2024, 2), 29);
+  EXPECT_EQ(ct::days_in_month(2023, 2), 28);
+  EXPECT_EQ(ct::days_in_month(2023, 4), 30);
+  EXPECT_EQ(ct::days_in_month(2023, 12), 31);
+  EXPECT_EQ(ct::days_in_month(2023, 13), 0);
+}
+
+TEST(Time, RoundTripAcrossYears) {
+  // Property: to_calendar(to_timepoint(c)) == c for every day 2020..2026 at
+  // varied times of day.
+  for (ct::TimePoint tp = ct::make_date(2020, 1, 1);
+       tp < ct::make_date(2026, 1, 1); tp += ct::kDay + 3671) {
+    const ct::CalendarTime c = ct::to_calendar(tp);
+    EXPECT_EQ(ct::to_timepoint(c), tp);
+  }
+}
+
+TEST(Time, FormatIso) {
+  EXPECT_EQ(ct::format_iso(ct::to_timepoint({2022, 5, 5, 7, 23, 1})),
+            "2022-05-05 07:23:01");
+  EXPECT_EQ(ct::format_date(ct::make_date(2025, 3, 16)), "2025-03-16");
+}
+
+TEST(Time, FormatSyslogPadsDayWithSpace) {
+  EXPECT_EQ(ct::format_syslog(ct::to_timepoint({2022, 5, 5, 7, 23, 1})),
+            "May  5 07:23:01");
+  EXPECT_EQ(ct::format_syslog(ct::to_timepoint({2022, 10, 12, 23, 59, 59})),
+            "Oct 12 23:59:59");
+}
+
+TEST(Time, ParseIsoValid) {
+  EXPECT_EQ(ct::parse_iso("2022-05-05 07:23:01"),
+            ct::to_timepoint({2022, 5, 5, 7, 23, 1}));
+  EXPECT_EQ(ct::parse_iso("2022-05-05T07:23:01"),
+            ct::to_timepoint({2022, 5, 5, 7, 23, 1}));
+  EXPECT_EQ(ct::parse_iso("2022-05-05"), ct::make_date(2022, 5, 5));
+}
+
+TEST(Time, ParseIsoInvalid) {
+  EXPECT_FALSE(ct::parse_iso(""));
+  EXPECT_FALSE(ct::parse_iso("2022-13-01"));
+  EXPECT_FALSE(ct::parse_iso("2022-02-30"));
+  EXPECT_FALSE(ct::parse_iso("2022-05-05 25:00:00"));
+  EXPECT_FALSE(ct::parse_iso("2022/05/05"));
+  EXPECT_FALSE(ct::parse_iso("2022-05-05 07:23"));
+  EXPECT_FALSE(ct::parse_iso("garbage-in-here"));
+}
+
+TEST(Time, ParseSyslogRoundTrip) {
+  // Property: parse(format(t)) == t for timestamps all over a year.
+  for (ct::TimePoint tp = ct::make_date(2022, 1, 1);
+       tp < ct::make_date(2023, 1, 1); tp += ct::kDay * 3 + 7919) {
+    const auto parsed = ct::parse_syslog(ct::format_syslog(tp), 2022);
+    ASSERT_TRUE(parsed.has_value()) << ct::format_syslog(tp);
+    EXPECT_EQ(*parsed, tp);
+  }
+}
+
+TEST(Time, ParseSyslogInvalid) {
+  EXPECT_FALSE(ct::parse_syslog("Xxx  5 07:23:01", 2022));
+  EXPECT_FALSE(ct::parse_syslog("May 32 07:23:01", 2022));
+  EXPECT_FALSE(ct::parse_syslog("May  5 07:23", 2022));
+  EXPECT_FALSE(ct::parse_syslog("", 2022));
+}
+
+TEST(Time, DayIndexAndStartOfDay) {
+  const auto tp = ct::to_timepoint({2022, 5, 5, 7, 23, 1});
+  EXPECT_EQ(ct::start_of_day(tp), ct::make_date(2022, 5, 5));
+  EXPECT_EQ(ct::day_index(tp), ct::make_date(2022, 5, 5) / ct::kDay);
+  // Negative times floor correctly.
+  EXPECT_EQ(ct::day_index(-1), -1);
+  EXPECT_EQ(ct::start_of_day(-1), -ct::kDay);
+}
+
+TEST(Time, DurationHelpers) {
+  EXPECT_DOUBLE_EQ(ct::to_hours(7200), 2.0);
+  EXPECT_DOUBLE_EQ(ct::to_days(ct::kDay * 3), 3.0);
+  EXPECT_EQ(ct::format_duration(0), "00:00:00");
+  EXPECT_EQ(ct::format_duration(3 * ct::kHour + 15 * ct::kMinute + 7),
+            "03:15:07");
+  EXPECT_EQ(ct::format_duration(2 * ct::kDay + 3 * ct::kHour), "2d 03:00:00");
+  EXPECT_EQ(ct::format_duration(-61), "-00:01:01");
+}

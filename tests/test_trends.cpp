@@ -1,0 +1,198 @@
+// Trend extensions: monthly series, burstiness, spatial concentration.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/trends.h"
+#include "common/rng.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+
+namespace {
+
+an::CoalescedError err(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                       gx::Code code) {
+  an::CoalescedError e;
+  e.time = t;
+  e.gpu = {node, slot};
+  e.code = code;
+  return e;
+}
+
+}  // namespace
+
+TEST(MonthlySeries, CountsPerCalendarMonth) {
+  std::vector<an::CoalescedError> errors;
+  // 3 in Jan 2023, 0 in Feb, 2 in Mar.
+  for (int i = 0; i < 3; ++i) {
+    errors.push_back(err(ct::make_date(2023, 1, 5 + i), 0, 0,
+                         gx::Code::kGspRpcTimeout));
+  }
+  errors.push_back(err(ct::make_date(2023, 3, 1), 0, 0, gx::Code::kGspRpcTimeout));
+  errors.push_back(err(ct::make_date(2023, 3, 20), 0, 0, gx::Code::kGspRpcTimeout));
+
+  const an::Period window{ct::make_date(2023, 1, 1), ct::make_date(2023, 4, 1)};
+  const auto series = an::monthly_series(errors, window, gx::Code::kGspRpcTimeout);
+  ASSERT_EQ(series.size(), 3u);  // empty February included
+  EXPECT_EQ(series[0].label(), "2023-01");
+  EXPECT_EQ(series[0].count, 3u);
+  EXPECT_NEAR(series[0].errors_per_day, 3.0 / 31.0, 1e-9);
+  EXPECT_EQ(series[1].label(), "2023-02");
+  EXPECT_EQ(series[1].count, 0u);
+  EXPECT_EQ(series[2].count, 2u);
+}
+
+TEST(MonthlySeries, FamilyFilterAndWindow) {
+  std::vector<an::CoalescedError> errors = {
+      err(ct::make_date(2023, 1, 5), 0, 0, gx::Code::kMmuError),
+      err(ct::make_date(2023, 1, 6), 0, 0, gx::Code::kGspRpcTimeout),
+      err(ct::make_date(2024, 1, 6), 0, 0, gx::Code::kMmuError),  // outside
+  };
+  const an::Period window{ct::make_date(2023, 1, 1), ct::make_date(2023, 2, 1)};
+  EXPECT_EQ(an::monthly_series(errors, window, gx::Code::kMmuError)[0].count, 1u);
+  EXPECT_EQ(an::monthly_series(errors, window)[0].count, 2u);  // all families
+  EXPECT_TRUE(an::monthly_series({}, window).empty());
+}
+
+TEST(Burstiness, PoissonProcessScoresNearZero) {
+  ct::Rng rng(1);
+  std::vector<an::CoalescedError> errors;
+  ct::TimePoint t = 0;
+  for (int i = 0; i < 5000; ++i) {
+    t += static_cast<ct::Duration>(rng.exponential(1.0 / 3600.0));
+    errors.push_back(err(t, i % 50, 0, gx::Code::kMmuError));
+  }
+  const an::Period window{0, t + 1};
+  const auto b = an::compute_burstiness(errors, window, gx::Code::kMmuError);
+  EXPECT_EQ(b.events, 5000u);
+  EXPECT_NEAR(b.mean_interarrival_h, 1.0, 0.05);
+  EXPECT_NEAR(b.interarrival_cv, 1.0, 0.08);
+  EXPECT_NEAR(b.daily_fano, 1.0, 0.35);
+  EXPECT_NEAR(b.burstiness_index, 0.0, 0.05);
+}
+
+TEST(Burstiness, StormProcessScoresHigh) {
+  // 20 storms of 50 errors each, 60 s apart inside a storm, days apart
+  // between storms.
+  std::vector<an::CoalescedError> errors;
+  ct::TimePoint t = 0;
+  for (int storm = 0; storm < 20; ++storm) {
+    t += 3 * ct::kDay;
+    for (int i = 0; i < 50; ++i) {
+      errors.push_back(err(t + i * 60, storm % 10, 0, gx::Code::kNvlinkError));
+    }
+  }
+  const an::Period window{0, t + ct::kDay};
+  const auto b = an::compute_burstiness(errors, window, gx::Code::kNvlinkError);
+  EXPECT_GT(b.interarrival_cv, 3.0);
+  EXPECT_GT(b.daily_fano, 5.0);
+  EXPECT_GT(b.burstiness_index, 0.5);
+}
+
+TEST(Burstiness, TooFewEventsSafe) {
+  const an::Period window{0, ct::kDay};
+  const auto b = an::compute_burstiness(
+      {err(5, 0, 0, gx::Code::kMmuError)}, window, gx::Code::kMmuError);
+  EXPECT_EQ(b.events, 1u);
+  EXPECT_DOUBLE_EQ(b.interarrival_cv, 0.0);
+}
+
+TEST(Concentration, UniformVsConcentrated) {
+  const an::Period window{0, 100 * ct::kDay};
+  // Uniform: 100 GPUs x 2 errors.
+  std::vector<an::CoalescedError> uniform;
+  for (int g = 0; g < 100; ++g) {
+    for (int k = 0; k < 2; ++k) {
+      uniform.push_back(err(1000 + g * 97 + k, g / 4, g % 4,
+                            gx::Code::kMmuError));
+    }
+  }
+  const auto u = an::compute_concentration(uniform, window);
+  EXPECT_EQ(u.gpus_affected, 100u);
+  EXPECT_NEAR(u.top1_share, 0.01, 1e-9);
+  EXPECT_NEAR(u.gini, 0.0, 1e-9);
+  EXPECT_EQ(u.gpus_for_80pct, 80u);
+
+  // Concentrated: one GPU with 1000 errors plus 10 GPUs with 1 each.
+  std::vector<an::CoalescedError> skewed;
+  for (int k = 0; k < 1000; ++k) {
+    skewed.push_back(err(1000 + k * 40, 7, 1, gx::Code::kUncontainedEccError));
+  }
+  for (int g = 0; g < 10; ++g) {
+    skewed.push_back(err(5000 + g * 997, g, 0, gx::Code::kUncontainedEccError));
+  }
+  const auto s = an::compute_concentration(skewed, window);
+  EXPECT_EQ(s.gpus_affected, 11u);
+  EXPECT_GT(s.top1_share, 0.98);
+  EXPECT_GT(s.gini, 0.85);
+  EXPECT_EQ(s.gpus_for_80pct, 1u);
+}
+
+TEST(Concentration, EmptyInputSafe) {
+  const auto s = an::compute_concentration({}, {0, ct::kDay});
+  EXPECT_EQ(s.events, 0u);
+  EXPECT_EQ(s.gpus_affected, 0u);
+}
+
+TEST(Propagation, DetectsInjectedCoupling) {
+  // PMU errors each followed by an MMU error on the same GPU within minutes;
+  // unrelated MMU errors elsewhere at a low background rate.
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 40; ++i) {
+    const ct::TimePoint t = 1000 + i * 5 * ct::kDay;
+    errors.push_back(err(t, i % 8, 0, gx::Code::kPmuSpiFailure));
+    errors.push_back(err(t + 300, i % 8, 0, gx::Code::kMmuError));
+  }
+  for (int i = 0; i < 100; ++i) {
+    errors.push_back(err(2000 + i * 2 * ct::kDay, 50 + i % 10, 0,
+                         gx::Code::kMmuError));
+  }
+  const an::Period window{0, 210 * ct::kDay};
+  const auto prop = an::compute_propagation(
+      errors, window, gx::Code::kPmuSpiFailure, gx::Code::kMmuError, 1800);
+  EXPECT_EQ(prop.trigger_events, 40u);
+  EXPECT_EQ(prop.followed, 40u);
+  EXPECT_DOUBLE_EQ(prop.p_follow, 1.0);
+  EXPECT_GT(prop.lift, 100.0);  // vastly above the rate baseline
+}
+
+TEST(Propagation, NoCouplingScoresNearBaseline) {
+  // Independent processes on disjoint GPUs: zero follow-ups.
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 30; ++i) {
+    errors.push_back(err(1000 + i * ct::kDay, 0, 0, gx::Code::kPmuSpiFailure));
+    errors.push_back(err(5000 + i * ct::kDay, 1, 0, gx::Code::kMmuError));
+  }
+  const an::Period window{0, 40 * ct::kDay};
+  const auto prop = an::compute_propagation(
+      errors, window, gx::Code::kPmuSpiFailure, gx::Code::kMmuError, 1800);
+  EXPECT_EQ(prop.followed, 0u);
+  EXPECT_DOUBLE_EQ(prop.p_follow, 0.0);
+}
+
+TEST(Propagation, EmptyInputSafe) {
+  const auto prop = an::compute_propagation({}, {0, ct::kDay},
+                                            gx::Code::kPmuSpiFailure,
+                                            gx::Code::kMmuError);
+  EXPECT_EQ(prop.trigger_events, 0u);
+  EXPECT_DOUBLE_EQ(prop.lift, 0.0);
+}
+
+TEST(Trends, RenderProducesReport) {
+  std::vector<an::CoalescedError> errors;
+  for (int i = 0; i < 100; ++i) {
+    errors.push_back(err(ct::make_date(2023, 1 + i % 3, 1 + i % 25), i % 8,
+                         i % 4,
+                         i % 2 ? gx::Code::kGspRpcTimeout
+                               : gx::Code::kMmuError));
+  }
+  const auto periods = an::StudyPeriods::make(ct::make_date(2023, 1, 1),
+                                              ct::make_date(2023, 2, 1),
+                                              ct::make_date(2023, 4, 1));
+  const auto report = an::render_trends(errors, periods);
+  EXPECT_NE(report.find("GSP errors per month"), std::string::npos);
+  EXPECT_NE(report.find("burstiness"), std::string::npos);
+  EXPECT_NE(report.find("Spatial concentration"), std::string::npos);
+}

@@ -1,0 +1,250 @@
+// Workload model: Table III calibration, arrival process, job drawing.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.h"
+#include "slurm/workload_model.h"
+
+namespace sl = gpures::slurm;
+namespace ct = gpures::common;
+
+TEST(JobState, StringRoundTrip) {
+  for (const auto s :
+       {sl::JobState::kCompleted, sl::JobState::kFailed,
+        sl::JobState::kCancelled, sl::JobState::kTimeout,
+        sl::JobState::kNodeFail}) {
+    sl::JobState parsed{};
+    ASSERT_TRUE(sl::parse_state(sl::to_string(s), parsed));
+    EXPECT_EQ(parsed, s);
+  }
+  sl::JobState out{};
+  EXPECT_FALSE(sl::parse_state("RUNNING", out));
+  EXPECT_FALSE(sl::parse_state("", out));
+}
+
+TEST(JobState, FailureClassification) {
+  EXPECT_FALSE(sl::is_failure(sl::JobState::kCompleted));
+  EXPECT_TRUE(sl::is_failure(sl::JobState::kFailed));
+  EXPECT_TRUE(sl::is_failure(sl::JobState::kTimeout));
+  EXPECT_TRUE(sl::is_failure(sl::JobState::kNodeFail));
+  EXPECT_TRUE(sl::is_failure(sl::JobState::kCancelled));
+}
+
+TEST(JobRecord, DerivedQuantities) {
+  sl::JobRecord r;
+  r.start = 1000;
+  r.end = 1000 + 7200;
+  r.gpus = 4;
+  EXPECT_EQ(r.elapsed(), 7200);
+  EXPECT_DOUBLE_EQ(r.elapsed_minutes(), 120.0);
+  EXPECT_DOUBLE_EQ(r.gpu_hours(), 8.0);
+}
+
+TEST(WorkloadConfig, DeltaBucketSharesSumToOne) {
+  const auto cfg = sl::WorkloadConfig::delta_a100();
+  double share = 0.0;
+  for (const auto& b : cfg.buckets) share += b.share;
+  EXPECT_NEAR(share, 1.0, 0.001);
+  ASSERT_EQ(cfg.buckets.size(), 8u);
+  EXPECT_NEAR(cfg.buckets[0].share, 0.6986, 1e-6);  // single-GPU share
+  EXPECT_NEAR(cfg.buckets[1].share, 0.2731, 1e-6);
+}
+
+TEST(WorkloadConfig, ValidationCatchesErrors) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  cfg.buckets[0].gpu_weights.pop_back();
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = sl::WorkloadConfig::delta_a100();
+  cfg.buckets[0].median_min = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = sl::WorkloadConfig::delta_a100();
+  cfg.buckets[0].share = 5.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+
+  cfg = sl::WorkloadConfig::delta_a100();
+  cfg.p_user_failed = 0.9;
+  cfg.p_cancelled = 0.2;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadModel, BucketSharesRealized) {
+  sl::WorkloadModel model(sl::WorkloadConfig::delta_a100(), ct::Rng(1));
+  std::map<std::int32_t, int> by_bucket;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++by_bucket[model.draw_job(0).bucket];
+  EXPECT_NEAR(by_bucket[0] / static_cast<double>(n), 0.6986, 0.01);
+  EXPECT_NEAR(by_bucket[1] / static_cast<double>(n), 0.2731, 0.01);
+}
+
+TEST(WorkloadModel, GpuCountsRespectBuckets) {
+  const auto cfg = sl::WorkloadConfig::delta_a100();
+  sl::WorkloadModel model(cfg, ct::Rng(2));
+  for (int i = 0; i < 20000; ++i) {
+    const auto req = model.draw_job(0);
+    const auto& b = cfg.buckets[static_cast<std::size_t>(req.bucket)];
+    bool found = false;
+    for (const auto g : b.gpu_choices) found |= g == req.gpus;
+    ASSERT_TRUE(found) << "bucket " << b.label << " gpus " << req.gpus;
+  }
+}
+
+TEST(WorkloadModel, DurationShapeSingleGpuBucket) {
+  // Check the fitted duration mixture against Table III's bucket-1 targets:
+  // P50 ~ 10.15 min, mean ~ 175 min, P99 pinned near the walltime cap.
+  const auto cfg = sl::WorkloadConfig::delta_a100();
+  sl::WorkloadModel model(cfg, ct::Rng(3));
+  std::vector<double> minutes;
+  for (int i = 0; i < 200000; ++i) {
+    minutes.push_back(model.draw_duration_s(cfg.buckets[0]) / 60.0);
+  }
+  const auto s = ct::summarize(minutes);
+  EXPECT_NEAR(s.p50, 10.15, 1.0);
+  EXPECT_NEAR(s.mean, 175.0, 15.0);
+  EXPECT_GT(s.p99, 2300.0);
+  EXPECT_LE(s.max, 2880.0 + 1e-9);
+}
+
+TEST(WorkloadModel, DurationsPositiveAndCapped) {
+  const auto cfg = sl::WorkloadConfig::delta_a100();
+  sl::WorkloadModel model(cfg, ct::Rng(4));
+  for (const auto& b : cfg.buckets) {
+    for (int i = 0; i < 2000; ++i) {
+      const double s = model.draw_duration_s(b);
+      ASSERT_GE(s, 1.0);
+      ASSERT_LE(s, cfg.walltime_cap_min * 60.0 + 1e-6);
+    }
+  }
+}
+
+TEST(WorkloadModel, MlNamesClassifiable) {
+  sl::WorkloadModel model(sl::WorkloadConfig::delta_a100(), ct::Rng(5));
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(model.draw_name(true, 0).empty());
+    EXPECT_FALSE(model.draw_name(false, 0).empty());
+  }
+}
+
+TEST(WorkloadModel, ArrivalRatePiecewise) {
+  const auto cfg = sl::WorkloadConfig::delta_a100();
+  sl::WorkloadModel model(cfg, ct::Rng(6));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = 5 * ct::kDay;
+  const ct::TimePoint e = 30 * ct::kDay;
+  // Compare points exactly one week apart so the diurnal/weekly modulation
+  // has the same phase; only the period factor differs.
+  const ct::TimePoint t_pre = 2 * ct::kDay + 3600;
+  const ct::TimePoint t_op = t_pre + 7 * ct::kDay;
+  const double rate_pre = model.arrival_rate(t_pre, b, op, e);
+  const double rate_op = model.arrival_rate(t_op, b, op, e);
+  EXPECT_NEAR(rate_pre, rate_op * cfg.preop_intensity, 1e-12);
+  EXPECT_DOUBLE_EQ(model.arrival_rate(-5, b, op, e), 0.0);
+  EXPECT_DOUBLE_EQ(model.arrival_rate(e, b, op, e), 0.0);
+  // Rates never exceed the thinning bound.
+  for (ct::TimePoint t = 0; t < e; t += 3601) {
+    ASSERT_LE(model.arrival_rate(t, b, op, e), model.peak_rate(b, op, e));
+  }
+}
+
+TEST(WorkloadModel, DiurnalAndWeeklyShape) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  cfg.diurnal_amplitude = 0.5;
+  cfg.diurnal_peak_hour = 15;
+  cfg.weekend_intensity = 0.5;
+  sl::WorkloadModel model(cfg, ct::Rng(60));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = ct::kDay;
+  const ct::TimePoint e = 100 * ct::kDay;
+  // 1970-01-05 was a Monday (day index 4).
+  const ct::TimePoint monday = 4 * ct::kDay;
+  const ct::TimePoint saturday = 2 * ct::kDay + 7 * ct::kDay;
+  const double peak = model.arrival_rate(monday + 15 * ct::kHour, b, op, e);
+  const double trough = model.arrival_rate(monday + 3 * ct::kHour, b, op, e);
+  EXPECT_NEAR(peak / trough, 1.5 / 0.5, 1e-9);
+  const double weekday = model.arrival_rate(monday + 15 * ct::kHour, b, op, e);
+  const double weekend = model.arrival_rate(saturday + 15 * ct::kHour, b, op, e);
+  EXPECT_NEAR(weekend / weekday, 0.5, 1e-9);
+}
+
+TEST(WorkloadModel, ModulationPreservesTotals) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  cfg.op_jobs = 20000.0;
+  cfg.preop_intensity = 0.0;
+  cfg.diurnal_amplitude = 0.45;
+  cfg.weekend_intensity = 0.55;
+  sl::WorkloadModel model(cfg, ct::Rng(61));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = ct::kDay;
+  const ct::TimePoint e = op + 70 * ct::kDay;  // whole weeks keep the average
+  ct::TimePoint t = 0;
+  int count = 0;
+  while (true) {
+    t = model.next_arrival(t, b, op, e);
+    if (t >= e) break;
+    ++count;
+  }
+  EXPECT_NEAR(count, 20000, 600);  // ~4 sigma
+}
+
+TEST(WorkloadModel, ZeroModulationIsHomogeneous) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  cfg.diurnal_amplitude = 0.0;
+  cfg.weekend_intensity = 1.0;
+  sl::WorkloadModel model(cfg, ct::Rng(62));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = ct::kDay;
+  const ct::TimePoint e = 30 * ct::kDay;
+  const double r1 = model.arrival_rate(op + 3600, b, op, e);
+  const double r2 = model.arrival_rate(op + 5 * ct::kDay + 50000, b, op, e);
+  EXPECT_DOUBLE_EQ(r1, r2);
+}
+
+TEST(WorkloadConfig, ModulationValidation) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  cfg.diurnal_amplitude = 1.5;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = sl::WorkloadConfig::delta_a100();
+  cfg.weekend_intensity = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = sl::WorkloadConfig::delta_a100();
+  cfg.diurnal_peak_hour = 24;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(WorkloadModel, ArrivalsMonotoneAndBounded) {
+  sl::WorkloadModel model(sl::WorkloadConfig::delta_a100(), ct::Rng(7));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = ct::kDay;
+  const ct::TimePoint e = 10 * ct::kDay;
+  ct::TimePoint t = 0;
+  int count = 0;
+  while (t < e && count < 2000000) {
+    const auto next = model.next_arrival(t, b, op, e);
+    ASSERT_GT(next, t);
+    ASSERT_LE(next, e);
+    t = next;
+    ++count;
+  }
+  EXPECT_GT(count, 1000);  // plenty of arrivals in 10 days
+}
+
+TEST(WorkloadModel, ArrivalCountMatchesConfiguredVolume) {
+  auto cfg = sl::WorkloadConfig::delta_a100();
+  // `op_jobs` is the expected count over whatever op window is passed in.
+  cfg.op_jobs = 5000.0;
+  cfg.preop_intensity = 0.0;  // isolate the op period
+  sl::WorkloadModel model(cfg, ct::Rng(8));
+  const ct::TimePoint b = 0;
+  const ct::TimePoint op = ct::kDay;
+  const ct::TimePoint e = op + 30 * ct::kDay;
+  ct::TimePoint t = 0;
+  int count = 0;
+  while (true) {
+    t = model.next_arrival(t, b, op, e);
+    if (t >= e) break;
+    ++count;
+  }
+  EXPECT_NEAR(count, 5000, 300);  // > 4 sigma for Poisson(5000)
+}

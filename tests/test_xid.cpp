@@ -1,0 +1,120 @@
+// XID catalog: the error taxonomy of the study.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "xid/event.h"
+#include "xid/xid.h"
+
+namespace gx = gpures::xid;
+
+TEST(Xid, CatalogCoversStudyCodes) {
+  for (const std::uint16_t n :
+       {13, 31, 43, 48, 63, 64, 74, 79, 94, 95, 119, 120, 122, 123}) {
+    EXPECT_TRUE(gx::is_known(n)) << "XID " << n;
+  }
+  EXPECT_FALSE(gx::is_known(999));
+  EXPECT_FALSE(gx::is_known(0));
+}
+
+TEST(Xid, NumbersMatchEnum) {
+  EXPECT_EQ(gx::to_number(gx::Code::kMmuError), 31);
+  EXPECT_EQ(gx::to_number(gx::Code::kGspRpcTimeout), 119);
+  EXPECT_EQ(gx::to_number(gx::Code::kUncontainedEccError), 95);
+}
+
+TEST(Xid, SoftwareCodesExcluded) {
+  EXPECT_TRUE(gx::describe(gx::Code::kGraphicsEngineError)->excluded_from_study);
+  EXPECT_TRUE(gx::describe(gx::Code::kResetChannelError)->excluded_from_study);
+  for (const auto& d : gx::catalog()) {
+    EXPECT_EQ(d.excluded_from_study, d.category == gx::Category::kSoftware);
+  }
+}
+
+TEST(Xid, CategoriesMatchPaperTable) {
+  using C = gx::Category;
+  EXPECT_EQ(gx::describe(gx::Code::kMmuError)->category, C::kHardware);
+  EXPECT_EQ(gx::describe(gx::Code::kGspError)->category, C::kHardware);
+  EXPECT_EQ(gx::describe(gx::Code::kPmuSpiFailure)->category, C::kHardware);
+  EXPECT_EQ(gx::describe(gx::Code::kFallenOffBus)->category, C::kHardware);
+  EXPECT_EQ(gx::describe(gx::Code::kNvlinkError)->category, C::kInterconnect);
+  for (const auto code :
+       {gx::Code::kDoubleBitEcc, gx::Code::kRowRemapEvent,
+        gx::Code::kRowRemapFailure, gx::Code::kContainedEccError,
+        gx::Code::kUncontainedEccError}) {
+    EXPECT_EQ(gx::describe(code)->category, C::kMemory);
+  }
+}
+
+TEST(Xid, MergeFamilies) {
+  EXPECT_EQ(gx::merge_key(gx::Code::kGspError), gx::Code::kGspRpcTimeout);
+  EXPECT_EQ(gx::merge_key(gx::Code::kGspRpcTimeout), gx::Code::kGspRpcTimeout);
+  EXPECT_EQ(gx::merge_key(gx::Code::kPmuCommunicationError),
+            gx::Code::kPmuSpiFailure);
+  EXPECT_EQ(gx::merge_key(gx::Code::kMmuError), gx::Code::kMmuError);
+}
+
+TEST(Xid, ReportOrderMatchesPaperRows) {
+  const auto order = gx::report_order();
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_EQ(order[0], gx::Code::kMmuError);
+  EXPECT_EQ(order[1], gx::Code::kDoubleBitEcc);
+  EXPECT_EQ(order.back(), gx::Code::kPmuSpiFailure);
+  // Every reported code is its own merge key.
+  for (const auto c : order) EXPECT_EQ(gx::merge_key(c), c);
+}
+
+TEST(Xid, DescriptorsNonEmpty) {
+  for (const auto& d : gx::catalog()) {
+    EXPECT_FALSE(d.abbrev.empty());
+    EXPECT_FALSE(d.name.empty());
+    EXPECT_FALSE(d.description.empty());
+    EXPECT_FALSE(d.recovery.empty());
+  }
+}
+
+TEST(Xid, ResetRequiringCodes) {
+  EXPECT_TRUE(gx::describe(gx::Code::kGspRpcTimeout)->requires_reset);
+  EXPECT_TRUE(gx::describe(gx::Code::kUncontainedEccError)->requires_reset);
+  EXPECT_TRUE(gx::describe(gx::Code::kNvlinkError)->requires_reset);
+  EXPECT_FALSE(gx::describe(gx::Code::kMmuError)->requires_reset);
+  EXPECT_FALSE(gx::describe(gx::Code::kContainedEccError)->requires_reset);
+}
+
+TEST(Xid, ToStringCategories) {
+  EXPECT_EQ(gx::to_string(gx::Category::kHardware), "Hardware");
+  EXPECT_EQ(gx::to_string(gx::Category::kInterconnect), "Interconnect");
+  EXPECT_EQ(gx::to_string(gx::Category::kMemory), "Memory");
+  EXPECT_EQ(gx::to_string(gx::Category::kSoftware), "Software");
+}
+
+TEST(GpuId, OrderingAndKey) {
+  const gx::GpuId a{1, 2};
+  const gx::GpuId b{1, 3};
+  const gx::GpuId c{2, 0};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(a, (gx::GpuId{1, 2}));
+  std::set<std::uint64_t> keys;
+  for (int n = 0; n < 10; ++n) {
+    for (int s = 0; s < 8; ++s) keys.insert(gx::gpu_key({n, s}));
+  }
+  EXPECT_EQ(keys.size(), 80u);  // injective
+}
+
+TEST(Events, DowntimeDuration) {
+  const gx::DowntimeInterval d{3, 100, 4600, false};
+  EXPECT_EQ(d.duration(), 4500);
+}
+
+TEST(Events, ErrorOrdering) {
+  gx::GpuErrorEvent a;
+  a.time = 10;
+  gx::GpuErrorEvent b;
+  b.time = 10;
+  b.gpu = {0, 1};
+  gx::GpuErrorEvent c;
+  c.time = 11;
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+}

@@ -1,0 +1,37 @@
+# Drives the CLI pair end to end: gpures-simulate writes a dataset,
+# gpures-analyze consumes it and must print every report section.
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+
+execute_process(
+  COMMAND "${SIMULATE}" --out "${WORKDIR}/ds" --quick --seed 5 --scale 0.1
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpures-simulate failed (${rc}): ${out} ${err}")
+endif()
+
+execute_process(
+  COMMAND "${ANALYZE}" --data "${WORKDIR}/ds"
+          --export-csv "${WORKDIR}/csv" --export-json "${WORKDIR}/out.json"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpures-analyze failed (${rc}): ${out} ${err}")
+endif()
+
+foreach(needle "XID 119/120" "TOTAL" "Unavailability" "Kaplan-Meier"
+        "Checkpoint-interval sweep" "GSP errors per month")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "analyze output missing '${needle}'")
+  endif()
+endforeach()
+
+foreach(f table1.csv table2.csv table3.csv fig2.csv)
+  if(NOT EXISTS "${WORKDIR}/csv/${f}")
+    message(FATAL_ERROR "missing export ${f}")
+  endif()
+endforeach()
+if(NOT EXISTS "${WORKDIR}/out.json")
+  message(FATAL_ERROR "missing JSON export")
+endif()
+file(REMOVE_RECURSE "${WORKDIR}")

@@ -1,0 +1,209 @@
+// gpures-analyze: run the analysis pipeline over a dataset directory.
+//
+//   gpures-analyze --data DIR [--report all|table1|table2|table3|fig2|
+//                              findings|trends|survival]
+//                  [--export-csv DIR] [--export-json FILE]
+//                  [--coalesce-window SECONDS] [--window SECONDS]
+//                  [--node-level] [--regex]
+//
+// The dataset can come from gpures-simulate or from a site's own logs laid
+// out in the same format (see src/analysis/dataset.h).  This is the
+// command-line face of the paper's Fig. 1 pipeline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analysis/dataset.h"
+#include "analysis/export.h"
+#include "analysis/markdown_report.h"
+#include "analysis/mitigation.h"
+#include "analysis/reports.h"
+#include "analysis/survival.h"
+#include "analysis/trends.h"
+
+using namespace gpures;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: gpures-analyze --data DIR [options]\n"
+      "  --data DIR             dataset directory (required)\n"
+      "  --report WHAT          all|table1|table2|table3|fig2|findings|\n"
+      "                         trends|survival|mitigation   (default all)\n"
+      "  --export-csv DIR       write table1..3 + fig2 CSV files\n"
+      "  --export-json FILE     write everything as one JSON document\n"
+      "  --report-md FILE       write a self-contained markdown report\n"
+      "  --coalesce-window S    Stage II window (default 30)\n"
+      "  --window S             job-failure attribution window (default 20)\n"
+      "  --node-level           node-level attribution (default: device)\n"
+      "  --regex                use the std::regex Stage-I matcher\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string data_dir;
+  std::string report = "all";
+  std::string csv_dir;
+  std::string json_file;
+  std::string md_file;
+  analysis::PipelineConfig pcfg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "gpures-analyze: %s needs a value\n", what);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--data") {
+      data_dir = next("--data");
+    } else if (arg == "--report") {
+      report = next("--report");
+    } else if (arg == "--export-csv") {
+      csv_dir = next("--export-csv");
+    } else if (arg == "--export-json") {
+      json_file = next("--export-json");
+    } else if (arg == "--report-md") {
+      md_file = next("--report-md");
+    } else if (arg == "--coalesce-window") {
+      pcfg.coalescer.window = std::atoll(next("--coalesce-window"));
+    } else if (arg == "--window") {
+      pcfg.attribution_window = std::atoll(next("--window"));
+    } else if (arg == "--node-level") {
+      pcfg.attribution = analysis::Attribution::kNodeLevel;
+    } else if (arg == "--regex") {
+      pcfg.use_regex_parser = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "gpures-analyze: unknown argument '%s'\n",
+                   arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (data_dir.empty()) {
+    usage();
+    return 2;
+  }
+
+  const auto manifest = analysis::read_manifest(data_dir);
+  if (!manifest.ok()) {
+    std::fprintf(stderr, "gpures-analyze: %s\n",
+                 manifest.error().message.c_str());
+    return 1;
+  }
+  pcfg.periods = manifest.value().periods;
+  cluster::Topology topo(manifest.value().spec);
+  analysis::AnalysisPipeline pipe(topo, pcfg);
+
+  const auto loaded = analysis::load_dataset(data_dir, pipe);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "gpures-analyze: %s\n", loaded.error().message.c_str());
+    return 1;
+  }
+  const auto& c = pipe.counters();
+  std::fprintf(stderr,
+               "ingested %llu day files: %llu lines -> %llu XID records, "
+               "%llu lifecycle, %llu jobs (%llu accounting errors)\n",
+               static_cast<unsigned long long>(loaded.value()),
+               static_cast<unsigned long long>(c.log_lines),
+               static_cast<unsigned long long>(c.xid_records),
+               static_cast<unsigned long long>(c.lifecycle_records),
+               static_cast<unsigned long long>(pipe.jobs().jobs.size()),
+               static_cast<unsigned long long>(c.accounting_errors));
+
+  const auto stats = pipe.error_stats();
+  const bool all = report == "all";
+  if (all || report == "table1") {
+    std::printf("%s\n", analysis::render_table1(stats).c_str());
+  }
+  if (all || report == "findings") {
+    std::printf("%s\n", analysis::render_findings(stats).c_str());
+  }
+  if ((all || report == "table2") && !pipe.jobs().jobs.empty()) {
+    std::printf("%s\n", analysis::render_table2(pipe.job_impact()).c_str());
+  }
+  if ((all || report == "table3") && !pipe.jobs().jobs.empty()) {
+    std::printf("%s\n", analysis::render_table3(pipe.job_stats()).c_str());
+  }
+  if (all || report == "fig2") {
+    std::printf("%s\n",
+                analysis::render_fig2(pipe.availability(), pipe.mttf_estimate_h())
+                    .c_str());
+  }
+  if (all || report == "trends") {
+    std::printf("%s\n",
+                analysis::render_trends(pipe.errors(), pcfg.periods).c_str());
+  }
+  if ((all || report == "mitigation") && !pipe.jobs().jobs.empty()) {
+    analysis::JobImpactConfig icfg;
+    icfg.window = pcfg.attribution_window;
+    icfg.period = pcfg.periods.op;
+    icfg.attribution = pcfg.attribution;
+    std::printf("%s\n", analysis::render_mitigation(pipe.jobs(), pipe.errors(),
+                                                    icfg)
+                            .c_str());
+  }
+  if (all || report == "survival") {
+    std::printf("%s\n",
+                analysis::render_survival(pipe.errors(), pcfg.periods,
+                                          topo.total_gpus())
+                    .c_str());
+  }
+
+  if (!csv_dir.empty()) {
+    namespace fs = std::filesystem;
+    fs::create_directories(csv_dir);
+    const auto impact = pipe.job_impact();
+    const auto jobs = pipe.job_stats();
+    const auto avail = pipe.availability();
+    {
+      std::ofstream os(fs::path(csv_dir) / "table1.csv");
+      analysis::write_table1_csv(os, stats);
+    }
+    {
+      std::ofstream os(fs::path(csv_dir) / "table2.csv");
+      analysis::write_table2_csv(os, impact);
+    }
+    {
+      std::ofstream os(fs::path(csv_dir) / "table3.csv");
+      analysis::write_table3_csv(os, jobs);
+    }
+    {
+      std::ofstream os(fs::path(csv_dir) / "fig2.csv");
+      analysis::write_fig2_csv(os, avail);
+    }
+    std::fprintf(stderr, "wrote CSVs to %s\n", csv_dir.c_str());
+  }
+
+  if (!md_file.empty()) {
+    std::ofstream os(md_file, std::ios::trunc | std::ios::binary);
+    os << analysis::render_markdown_report(pipe, topo);
+    std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
+  }
+
+  if (!json_file.empty()) {
+    const auto impact = pipe.job_impact();
+    const auto jobs = pipe.job_stats();
+    const auto avail = pipe.availability();
+    analysis::ExportBundle bundle;
+    bundle.error_stats = &stats;
+    bundle.job_stats = &jobs;
+    bundle.job_impact = &impact;
+    bundle.availability = &avail;
+    bundle.mttf_h = pipe.mttf_estimate_h();
+    std::ofstream os(json_file, std::ios::trunc | std::ios::binary);
+    os << analysis::to_json(bundle) << '\n';
+    std::fprintf(stderr, "wrote JSON to %s\n", json_file.c_str());
+  }
+  return 0;
+}
