@@ -2,7 +2,9 @@
 //  * Stage I throughput: fast hand-rolled matcher vs std::regex reference
 //    (ablation A3 in DESIGN.md) over a realistic log mix;
 //  * Stage II coalescing throughput;
-//  * end-to-end day ingestion.
+//  * end-to-end day ingestion;
+//  * Stage I+II over a multi-day campaign, serial vs 2/4/8 worker threads
+//    (the deterministic sharded mode; speedup requires a multi-core host).
 #include <benchmark/benchmark.h>
 
 #include <string>
@@ -21,10 +23,11 @@ using namespace gpures;
 
 // A realistic day of log traffic: ~70% XID lines (with duplicates), a few
 // lifecycle lines, the rest noise.
-std::vector<std::string> make_day_lines(std::size_t n, std::uint64_t seed) {
+std::vector<std::string> make_day_lines(
+    std::size_t n, std::uint64_t seed,
+    common::TimePoint day = common::make_date(2023, 6, 1)) {
   common::Rng rng(seed);
   cluster::Topology topo(cluster::ClusterSpec::delta_a100());
-  const auto day = common::make_date(2023, 6, 1);
   std::vector<std::string> lines;
   lines.reserve(n);
   constexpr std::uint16_t kCodes[] = {31, 48, 63, 64, 74, 79, 94, 95,
@@ -139,6 +142,52 @@ void BM_EndToEnd_DayIngestion(benchmark::State& state) {
                           static_cast<std::int64_t>(raw.size()));
 }
 BENCHMARK(BM_EndToEnd_DayIngestion)->Unit(benchmark::kMillisecond);
+
+// Stage I+II over a standard multi-day campaign slice: 8 consolidated days of
+// 50k lines each through the full parse -> resolve -> coalesce -> merge path.
+// Arg 0 is the serial reference; 2/4/8 run the day-sharded / GPU-sharded
+// parallel mode, whose output is byte-identical to serial by construction.
+void BM_StageI_II_MultiDay(benchmark::State& state) {
+  constexpr int kDays = 8;
+  constexpr std::size_t kLinesPerDay = 50000;
+  cluster::Topology topo(cluster::ClusterSpec::delta_a100());
+  const auto day0 = common::make_date(2023, 6, 1);
+  static std::vector<std::vector<logsys::RawLine>>* days = [] {
+    auto* out = new std::vector<std::vector<logsys::RawLine>>;
+    for (int d = 0; d < kDays; ++d) {
+      const auto start = common::make_date(2023, 6, 1) + d * common::kDay;
+      std::vector<logsys::RawLine> raw;
+      for (auto& l : make_day_lines(kLinesPerDay,
+                                    42 + static_cast<std::uint64_t>(d), start)) {
+        raw.push_back({start, std::move(l)});
+      }
+      out->push_back(std::move(raw));
+    }
+    return out;
+  }();
+  std::size_t errors = 0;
+  for (auto _ : state) {
+    analysis::PipelineConfig cfg;
+    cfg.num_threads = static_cast<std::uint32_t>(state.range(0));
+    analysis::AnalysisPipeline pipe(topo, cfg);
+    for (int d = 0; d < kDays; ++d) {
+      pipe.ingest_log_day(day0 + d * common::kDay, (*days)[static_cast<std::size_t>(d)]);
+    }
+    pipe.finish();
+    errors = pipe.errors().size();
+    benchmark::DoNotOptimize(errors);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kDays * kLinesPerDay));
+  state.counters["errors"] =
+      benchmark::Counter(static_cast<double>(errors));
+}
+BENCHMARK(BM_StageI_II_MultiDay)
+    ->Arg(0)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SyslogRendering(benchmark::State& state) {
   cluster::Topology topo(cluster::ClusterSpec::delta_a100());

@@ -36,14 +36,29 @@ void Coalescer::add(const XidObservation& obs) {
     auto& cur = it->second.err;
     if (obs.time <= cur.time + cfg_.window) {
       // Merge into the open error; keep the first occurrence as the error.
+      // A record stamped before the latest merged record violates the
+      // nondecreasing-time input contract (any record older than an already
+      // *emitted* window would land here too, since the merge condition is
+      // only an upper bound) — count it, and in debug mode fail loudly.
+      if (obs.time < cur.last) {
+        ++out_of_order_;
+        if (cfg_.enforce_order) {
+          throw std::logic_error(
+              "Coalescer: out-of-order observation for open (GPU, code) key");
+        }
+      }
       ++cur.raw_lines;
       cur.last = std::max(cur.last, obs.time);
       return;
     }
-    // Window expired: emit and start a new error.
+    // Window expired: emit and start a new error in place.
     ++out_;
     sink_(cur);
-    open_.erase(it);
+    cur.time = obs.time;
+    cur.last = obs.time;
+    cur.raw_xid = obs.xid;
+    cur.raw_lines = 1;
+    return;
   }
   CoalescedError err;
   err.time = obs.time;

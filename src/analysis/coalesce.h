@@ -44,6 +44,10 @@ struct CoalescerConfig {
   /// Merge family codes (119/120 -> GSP, 122/123 -> PMU) before keying, so a
   /// 119 followed by a 120 on the same GPU within the window is one error.
   bool merge_families = true;
+  /// Debug-mode enforcement of the input contract (see class comment): throw
+  /// std::logic_error on an out-of-order observation instead of only counting
+  /// it in out_of_order().
+  bool enforce_order = false;
 };
 
 /// Streaming coalescer.  Feed observations in (approximately) nondecreasing
@@ -60,6 +64,11 @@ class Coalescer {
 
   std::uint64_t records_in() const { return in_; }
   std::uint64_t errors_out() const { return out_; }
+  /// Observations that violated the per-(GPU, code) nondecreasing-time input
+  /// contract.  They are still merged (the window math tolerates them), but a
+  /// nonzero count means upstream ordering is broken and coalesced leader
+  /// times are suspect.
+  std::uint64_t out_of_order() const { return out_of_order_; }
 
  private:
   struct Open {
@@ -71,6 +80,7 @@ class Coalescer {
   std::unordered_map<std::uint64_t, Open> open_;  ///< by (gpu, code) key
   std::uint64_t in_ = 0;
   std::uint64_t out_ = 0;
+  std::uint64_t out_of_order_ = 0;
 };
 
 /// Convenience: coalesce a whole batch (sorts a copy by time first).

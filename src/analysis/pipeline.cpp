@@ -8,55 +8,152 @@
 
 namespace gpures::analysis {
 
+namespace {
+
+// Deterministic total order on coalesced errors: two distinct errors can
+// never tie (same (gpu, code) errors are > window apart by construction).
+bool error_before(const CoalescedError& a, const CoalescedError& b) {
+  if (a.time != b.time) return a.time < b.time;
+  if (a.gpu != b.gpu) return a.gpu < b.gpu;
+  return xid::to_number(a.code) < xid::to_number(b.code);
+}
+
+void accumulate(AnalysisPipeline::Counters& into,
+                const AnalysisPipeline::Counters& delta) {
+  into.log_lines += delta.log_lines;
+  into.xid_records += delta.xid_records;
+  into.lifecycle_records += delta.lifecycle_records;
+  into.rejected_lines += delta.rejected_lines;
+  into.unknown_hosts += delta.unknown_hosts;
+  into.accounting_lines += delta.accounting_lines;
+  into.accounting_errors += delta.accounting_errors;
+  into.out_of_order_observations += delta.out_of_order_observations;
+}
+
+std::unique_ptr<LineParser> make_parser(const PipelineConfig& cfg) {
+  if (cfg.use_regex_parser) return std::make_unique<RegexLineParser>();
+  return std::make_unique<FastLineParser>();
+}
+
+}  // namespace
+
 AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
                                    PipelineConfig cfg)
     : topo_(topo), cfg_(cfg) {
-  if (cfg_.use_regex_parser) {
-    parser_ = std::make_unique<RegexLineParser>();
-  } else {
-    parser_ = std::make_unique<FastLineParser>();
+  if (cfg_.num_threads == 0) {
+    parser_ = make_parser(cfg_);
+    coalescer_ = std::make_unique<Coalescer>(
+        cfg_.coalescer,
+        [this](const CoalescedError& e) { errors_.push_back(e); });
+    return;
   }
-  coalescer_ = std::make_unique<Coalescer>(
-      cfg_.coalescer,
-      [this](const CoalescedError& e) { errors_.push_back(e); });
+  // Parallel mode: N workers, each with a private Stage-I parser; N Stage-II
+  // shards, each owning a private coalescer over a disjoint set of GPUs.
+  const std::size_t n = cfg_.num_threads;
+  pool_ = std::make_unique<common::ThreadPool>(n);
+  worker_parsers_.reserve(n);
+  shard_coalescers_.reserve(n);
+  shard_errors_.resize(n);
+  shard_feed_.resize(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    worker_parsers_.push_back(make_parser(cfg_));
+    auto* sink = &shard_errors_[s];
+    shard_coalescers_.push_back(std::make_unique<Coalescer>(
+        cfg_.coalescer,
+        [sink](const CoalescedError& e) { sink->push_back(e); }));
+  }
+  batch_days_ = cfg_.stage1_batch_days > 0
+                    ? cfg_.stage1_batch_days
+                    : 4 * static_cast<std::size_t>(cfg_.num_threads);
 }
 
-void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
-                                      std::span<const logsys::RawLine> lines) {
-  if (finished_) throw std::logic_error("pipeline: ingest after finish()");
+AnalysisPipeline::~AnalysisPipeline() = default;
+
+AnalysisPipeline::DayParse AnalysisPipeline::parse_day(
+    const LineParser& parser, common::TimePoint day_start,
+    std::span<const logsys::RawLine> lines) const {
+  DayParse out;
   for (const auto& l : lines) {
-    ++counters_.log_lines;
-    auto parsed = parser_->parse(l.text, day_start);
+    ++out.delta.log_lines;
+    auto parsed = parser.parse(l.text, day_start);
     if (!parsed) {
-      ++counters_.rejected_lines;
+      ++out.delta.rejected_lines;
       continue;
     }
     if (auto* xrec = std::get_if<XidRecord>(&*parsed)) {
       const auto node = topo_.node_index(xrec->host);
       if (!node) {
-        ++counters_.unknown_hosts;
+        ++out.delta.unknown_hosts;
         continue;
       }
       const auto slot = topo_.slot_for_pci(*node, xrec->pci);
       if (!slot) {
-        ++counters_.unknown_hosts;
+        ++out.delta.unknown_hosts;
         continue;
       }
-      ++counters_.xid_records;
+      ++out.delta.xid_records;
       XidObservation obs;
       obs.time = xrec->time;
       obs.gpu = {*node, *slot};
       obs.xid = xrec->xid;
-      coalescer_->add(obs);
+      out.obs.push_back(obs);
     } else if (auto* lrec = std::get_if<LifecycleRecord>(&*parsed)) {
       if (!topo_.node_index(lrec->host)) {
-        ++counters_.unknown_hosts;
+        ++out.delta.unknown_hosts;
         continue;
       }
-      ++counters_.lifecycle_records;
-      lifecycle_.push_back(std::move(*lrec));
+      ++out.delta.lifecycle_records;
+      out.lifecycle.push_back(std::move(*lrec));
     }
   }
+  return out;
+}
+
+std::size_t AnalysisPipeline::shard_of(xid::GpuId gpu) const {
+  return static_cast<std::size_t>(xid::gpu_key(gpu)) %
+         shard_coalescers_.size();
+}
+
+void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
+                                      std::span<const logsys::RawLine> lines) {
+  if (finished_) throw std::logic_error("pipeline: ingest after finish()");
+  if (pool_) {
+    pending_days_.push_back(
+        PendingDay{day_start, {lines.begin(), lines.end()}});
+    if (pending_days_.size() >= batch_days_) flush_pending_days();
+    return;
+  }
+  auto day = parse_day(*parser_, day_start, lines);
+  accumulate(counters_, day.delta);
+  for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
+  for (const auto& o : day.obs) coalescer_->add(o);
+}
+
+void AnalysisPipeline::flush_pending_days() {
+  if (pending_days_.empty()) return;
+  // Stage I: each worker parses a contiguous chunk of days with its private
+  // parser; outputs are indexed by day, so merge order is ingestion order
+  // regardless of which worker parsed what.
+  std::vector<DayParse> parsed(pending_days_.size());
+  pool_->parallel_for(
+      pending_days_.size(), [&](std::size_t i, std::size_t w) {
+        parsed[i] = parse_day(*worker_parsers_[w], pending_days_[i].day_start,
+                              pending_days_[i].lines);
+      });
+  // Deterministic ordered merge: day index order, stable within-day order —
+  // exactly the sequence the serial path would have produced.
+  for (auto& day : parsed) {
+    accumulate(counters_, day.delta);
+    for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
+    for (const auto& o : day.obs) shard_feed_[shard_of(o.gpu)].push_back(o);
+  }
+  pending_days_.clear();
+  // Stage II: shard s owns a disjoint set of (GPU, code) keys, so its
+  // coalescer sees the same per-key subsequence as the serial coalescer.
+  pool_->parallel_for(shard_feed_.size(), [&](std::size_t s, std::size_t) {
+    for (const auto& o : shard_feed_[s]) shard_coalescers_[s]->add(o);
+    shard_feed_[s].clear();
+  });
 }
 
 void AnalysisPipeline::ingest_log_text(common::TimePoint day_start,
@@ -92,17 +189,35 @@ void AnalysisPipeline::ingest_accounting_line(std::string_view line) {
 void AnalysisPipeline::finish() {
   if (finished_) return;
   finished_ = true;
-  coalescer_->flush();
-  std::sort(errors_.begin(), errors_.end(),
-            [](const CoalescedError& a, const CoalescedError& b) {
-              if (a.time != b.time) return a.time < b.time;
-              if (a.gpu != b.gpu) return a.gpu < b.gpu;
-              return xid::to_number(a.code) < xid::to_number(b.code);
-            });
-  std::sort(lifecycle_.begin(), lifecycle_.end(),
-            [](const LifecycleRecord& a, const LifecycleRecord& b) {
-              return a.time < b.time;
-            });
+  if (pool_) {
+    flush_pending_days();
+    pool_->parallel_for(shard_coalescers_.size(),
+                        [&](std::size_t s, std::size_t) {
+                          shard_coalescers_[s]->flush();
+                        });
+    for (std::size_t s = 0; s < shard_coalescers_.size(); ++s) {
+      errors_.insert(errors_.end(), shard_errors_[s].begin(),
+                     shard_errors_[s].end());
+      counters_.out_of_order_observations +=
+          shard_coalescers_[s]->out_of_order();
+      shard_errors_[s].clear();
+      shard_errors_[s].shrink_to_fit();
+    }
+  } else {
+    coalescer_->flush();
+    counters_.out_of_order_observations = coalescer_->out_of_order();
+  }
+  // error_before is a total order on the data (no distinct errors tie), so
+  // the sorted sequence — and every downstream artifact — is identical no
+  // matter how the errors were produced or interleaved upstream.
+  std::sort(errors_.begin(), errors_.end(), error_before);
+  // Lifecycle ties (same second) keep ingestion order in both modes: the
+  // pre-sort sequence is identical (day order, within-day order) and
+  // stable_sort preserves it.
+  std::stable_sort(lifecycle_.begin(), lifecycle_.end(),
+                   [](const LifecycleRecord& a, const LifecycleRecord& b) {
+                     return a.time < b.time;
+                   });
 }
 
 ErrorStats AnalysisPipeline::error_stats() const {

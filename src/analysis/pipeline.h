@@ -10,6 +10,10 @@
 // The pipeline consumes raw artifacts only — never simulator ground truth —
 // so validating its outputs against ground truth is a genuine end-to-end
 // test of the measurement methodology.
+//
+// Parallel mode (PipelineConfig::num_threads > 0) shards Stage I by day and
+// Stage II by GPU, then merges deterministically; the output is byte-
+// identical to a serial run (see DESIGN.md "Parallel pipeline determinism").
 #pragma once
 
 #include <cstdint>
@@ -26,6 +30,7 @@
 #include "analysis/job_stats.h"
 #include "analysis/periods.h"
 #include "cluster/topology.h"
+#include "common/thread_pool.h"
 #include "logsys/log_store.h"
 
 namespace gpures::analysis {
@@ -42,11 +47,23 @@ struct PipelineConfig {
   Attribution attribution = Attribution::kGpuLevel;
   /// Use the std::regex Stage-I matcher instead of the fast scanner.
   bool use_regex_parser = false;
+  /// Stage I/II worker threads.  0 (the default) runs fully serial; N > 0
+  /// runs Stage I day-sharded and Stage II GPU-sharded on N workers with a
+  /// deterministic ordered merge — results are byte-identical to serial for
+  /// any N.
+  std::uint32_t num_threads = 0;
+  /// Days buffered per parallel Stage-I batch (bounds memory when streaming
+  /// a long campaign).  0 picks 4 * num_threads.  Has no effect on results.
+  std::uint32_t stage1_batch_days = 0;
 };
 
 class AnalysisPipeline {
  public:
   AnalysisPipeline(const cluster::Topology& topo, PipelineConfig cfg);
+  ~AnalysisPipeline();
+
+  AnalysisPipeline(const AnalysisPipeline&) = delete;
+  AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;
 
   // ---- Stage I ingestion ----
   /// Ingest one consolidated day of raw log lines.
@@ -71,7 +88,6 @@ class AnalysisPipeline {
   JobStats job_stats(const Period& w) const;  ///< custom window
   JobImpact job_impact() const;               ///< operational period
   AvailabilityStats availability() const;     ///< operational period
-
   /// Conservative MTTF estimate: the all-error per-node MTBE in op (the
   /// paper assumes every GPU error interrupts the node).
   double mttf_estimate_h() const;
@@ -85,15 +101,48 @@ class AnalysisPipeline {
     std::uint64_t unknown_hosts = 0;      ///< matched but unresolvable
     std::uint64_t accounting_lines = 0;
     std::uint64_t accounting_errors = 0;
+    /// Observations violating the coalescer's per-(GPU, code) nondecreasing-
+    /// time contract (valid after finish(); see Coalescer::out_of_order()).
+    std::uint64_t out_of_order_observations = 0;
   };
   const Counters& counters() const { return counters_; }
   const PipelineConfig& config() const { return cfg_; }
 
  private:
+  /// Pure Stage-I output of one day: records in line order plus counter
+  /// deltas.  Built per worker in parallel mode, then merged in day order.
+  struct DayParse {
+    std::vector<XidObservation> obs;
+    std::vector<LifecycleRecord> lifecycle;
+    Counters delta;
+  };
+  struct PendingDay {
+    common::TimePoint day_start = 0;
+    std::vector<logsys::RawLine> lines;
+  };
+
+  DayParse parse_day(const LineParser& parser, common::TimePoint day_start,
+                     std::span<const logsys::RawLine> lines) const;
+  std::size_t shard_of(xid::GpuId gpu) const;
+  /// Parallel mode: Stage-I parse all pending days on the pool, merge the
+  /// per-day batches in day order, and drain each Stage-II shard.
+  void flush_pending_days();
+
   const cluster::Topology& topo_;
   PipelineConfig cfg_;
+
+  // Serial mode.
   std::unique_ptr<LineParser> parser_;
   std::unique_ptr<Coalescer> coalescer_;
+
+  // Parallel mode (num_threads > 0).
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::vector<std::unique_ptr<LineParser>> worker_parsers_;
+  std::vector<std::unique_ptr<Coalescer>> shard_coalescers_;
+  std::vector<std::vector<CoalescedError>> shard_errors_;
+  std::vector<std::vector<XidObservation>> shard_feed_;
+  std::vector<PendingDay> pending_days_;
+  std::size_t batch_days_ = 0;
 
   std::vector<CoalescedError> errors_;
   std::vector<LifecycleRecord> lifecycle_;

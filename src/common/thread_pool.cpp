@@ -1,0 +1,78 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gpures::common {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = std::max<std::size_t>(1, workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> packaged(std::move(task));
+  auto future = packaged.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(packaged));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(size(), n);
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks);
+  // Static contiguous partition: chunk w owns [w*n/chunks, (w+1)*n/chunks).
+  for (std::size_t w = 0; w < chunks; ++w) {
+    const std::size_t begin = w * n / chunks;
+    const std::size_t end = (w + 1) * n / chunks;
+    pending.push_back(submit([&fn, begin, end, w] {
+      for (std::size_t i = begin; i < end; ++i) fn(i, w);
+    }));
+  }
+  // Every chunk must be joined before returning (they capture fn by
+  // reference); the first failure is rethrown after all have finished.
+  std::exception_ptr first_error;
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // exceptions land in the task's future
+  }
+}
+
+}  // namespace gpures::common

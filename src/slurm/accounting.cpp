@@ -81,6 +81,12 @@ common::Result<JobRecord> parse_accounting_line(
   rec.submit = *submit;
   rec.start = *start;
   rec.end = *end;
+  // A job cannot end before it starts (or start before submission); such
+  // records would poison elapsed-time statistics (Table III) with negative
+  // durations, so they are malformed, not data.
+  if (rec.end < rec.start || rec.start < rec.submit) {
+    return common::Error::make("accounting: non-monotonic Submit/Start/End");
+  }
 
   if (!parse_state(fields[5], rec.state)) {
     return common::Error::make("accounting: unknown state '" +

@@ -136,6 +136,23 @@ TEST(Accounting, MalformedLinesRejected) {
   EXPECT_FALSE(corrupt(10, "gpua008:0").ok());   // length != NGPUs
 }
 
+TEST(Accounting, NonMonotonicTimestampsRejected) {
+  // End < Start (or Start < Submit) would inject negative elapsed times into
+  // the Table III statistics; such records are malformed, not data.
+  const auto t = topo();
+  const auto rec = sample_record();
+  auto with = [&](ct::TimePoint submit, ct::TimePoint start, ct::TimePoint end) {
+    auto r = rec;
+    r.submit = submit;
+    r.start = start;
+    r.end = end;
+    return sl::parse_accounting_line(sl::to_accounting_line(r, t), t);
+  };
+  EXPECT_FALSE(with(rec.submit, rec.start, rec.start - 1).ok());  // End<Start
+  EXPECT_FALSE(with(rec.start + 60, rec.start, rec.end).ok());  // Start<Submit
+  EXPECT_TRUE(with(rec.start, rec.start, rec.start).ok());  // zero-length ok
+}
+
 TEST(Accounting, WriteStream) {
   const auto t = topo();
   std::ostringstream os;

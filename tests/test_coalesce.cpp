@@ -201,6 +201,51 @@ TEST(Coalescer, RawLineTotalsPreserved) {
   EXPECT_EQ(total, observations.size());
 }
 
+TEST(Coalescer, OutOfOrderObservationsCounted) {
+  // An observation older than the last one merged into an open window is a
+  // violation of the per-(GPU, code) ordering contract; the coalescer still
+  // merges it (the window test is an upper bound only) but counts it.
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  an::Coalescer c(cfg, [](const an::CoalescedError&) {});
+  c.add(obs(100, 0, 0, 31));
+  c.add(obs(110, 0, 0, 31));
+  EXPECT_EQ(c.out_of_order(), 0u);
+  c.add(obs(105, 0, 0, 31));  // behind last=110
+  EXPECT_EQ(c.out_of_order(), 1u);
+  // Equal to last is NOT out of order (duplicate lines share a timestamp).
+  c.add(obs(110, 0, 0, 31));
+  EXPECT_EQ(c.out_of_order(), 1u);
+  // A different key is unaffected by GPU 0's clock.
+  c.add(obs(50, 1, 0, 31));
+  EXPECT_EQ(c.out_of_order(), 1u);
+  c.flush();
+}
+
+TEST(Coalescer, OutOfOrderAcrossExpiredWindowCounted) {
+  // After a window expires, the open slot is overwritten in place; a
+  // straggler older than the *emitted* window's last merge still trips the
+  // check because the merge condition is only an upper bound.
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  std::vector<an::CoalescedError> out;
+  an::Coalescer c(cfg, [&](const an::CoalescedError& e) { out.push_back(e); });
+  c.add(obs(100, 0, 0, 31));
+  c.add(obs(200, 0, 0, 31));  // expires the first window
+  c.add(obs(120, 0, 0, 31));  // straggler: merges into leader=200? no — older
+  EXPECT_EQ(c.out_of_order(), 1u);
+  c.flush();
+}
+
+TEST(Coalescer, EnforceOrderThrows) {
+  an::CoalescerConfig cfg;
+  cfg.window = 30;
+  cfg.enforce_order = true;
+  an::Coalescer c(cfg, [](const an::CoalescedError&) {});
+  c.add(obs(100, 0, 0, 31));
+  EXPECT_THROW(c.add(obs(90, 0, 0, 31)), std::logic_error);
+}
+
 TEST(Coalescer, NullSinkRejected) {
   EXPECT_THROW(an::Coalescer(an::CoalescerConfig{}, nullptr),
                std::invalid_argument);

@@ -158,3 +158,76 @@ TEST_P(ParserAgreement, FastMatchesRegexOnGeneratedTraffic) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserAgreement,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+namespace {
+
+// Assert the two Stage-I matchers fully agree on one (possibly garbage) line.
+void expect_parsers_agree(an::FastLineParser& fast, an::RegexLineParser& ref,
+                          const std::string& line) {
+  const auto a = fast.parse(line, kDay);
+  const auto b = ref.parse(line, kDay);
+  ASSERT_EQ(a.has_value(), b.has_value()) << '"' << line << '"';
+  if (!a) return;
+  ASSERT_EQ(a->index(), b->index()) << '"' << line << '"';
+  if (const auto* xa = std::get_if<an::XidRecord>(&*a)) {
+    const auto& xb = std::get<an::XidRecord>(*b);
+    EXPECT_EQ(xa->time, xb.time) << '"' << line << '"';
+    EXPECT_EQ(xa->host, xb.host) << '"' << line << '"';
+    EXPECT_EQ(xa->pci, xb.pci) << '"' << line << '"';
+    EXPECT_EQ(xa->xid, xb.xid) << '"' << line << '"';
+    EXPECT_EQ(xa->detail, xb.detail) << '"' << line << '"';
+  } else {
+    const auto& la = std::get<an::LifecycleRecord>(*a);
+    const auto& lb = std::get<an::LifecycleRecord>(*b);
+    EXPECT_EQ(la.time, lb.time) << '"' << line << '"';
+    EXPECT_EQ(la.host, lb.host) << '"' << line << '"';
+    EXPECT_EQ(la.kind, lb.kind) << '"' << line << '"';
+  }
+}
+
+std::vector<std::string> agreement_base_lines() {
+  const auto t = kDay + 7 * ct::kHour + 23 * ct::kMinute + 1;
+  return {
+      ls::render_xid_line(t, "gpua042", "0000:27:00", gx::Code::kMmuError,
+                          "Ch 00000010, MMU Fault"),
+      ls::render_xid_line(t, "gpub021", "0000:a3:00", gx::Code::kFallenOffBus,
+                          ""),
+      ls::render_drain_line(t, "gpua042"),
+      ls::render_resume_line(t, "gpub003"),
+  };
+}
+
+}  // namespace
+
+// Truncated lines (log rotation mid-write) must never produce a record from
+// one matcher and a reject from the other — every prefix length is checked.
+TEST(ParserAgreement, TruncatedCorporaAgree) {
+  an::FastLineParser fast;
+  an::RegexLineParser ref;
+  for (const auto& base : agreement_base_lines()) {
+    for (std::size_t len = 0; len <= base.size(); ++len) {
+      expect_parsers_agree(fast, ref, base.substr(0, len));
+      if (HasFatalFailure()) return;
+    }
+  }
+}
+
+// Single-byte corruption (including control characters) anywhere in the line:
+// the matchers must agree on accept/reject and, when accepting, on fields.
+TEST(ParserAgreement, MutatedCorporaAgree) {
+  an::FastLineParser fast;
+  an::RegexLineParser ref;
+  ct::Rng rng(99);
+  constexpr char kBytes[] = {'\0', '\t', '\n', ' ', '0', '9', ':', '(',
+                             ')',  ',',  'X',  'x', 'Z', '|', '\x7f',
+                             '\x80'};
+  for (const auto& base : agreement_base_lines()) {
+    for (int trial = 0; trial < 400; ++trial) {
+      std::string line = base;
+      const auto pos = rng.uniform_u64(line.size());
+      line[pos] = kBytes[rng.uniform_u64(std::size(kBytes))];
+      expect_parsers_agree(fast, ref, line);
+      if (HasFatalFailure()) return;
+    }
+  }
+}

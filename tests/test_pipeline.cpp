@@ -103,6 +103,63 @@ TEST(Pipeline, AccountingIngestion) {
   EXPECT_EQ(pipe.counters().accounting_errors, 1u);
 }
 
+TEST(Pipeline, AccountingIngestEdgeCases) {
+  // Real sacct dumps are messy: concatenated exports repeat the header
+  // mid-stream, Windows tooling leaves CRLF endings, and corrupt rows carry
+  // impossible timestamps or states.  None of that may poison the job table.
+  Fixture f;
+  an::AnalysisPipeline pipe(f.topo, f.cfg);
+  sl::JobRecord rec;
+  rec.id = 1;
+  rec.name = "train_model";
+  rec.submit = ct::make_date(2023, 2, 1);
+  rec.start = rec.submit + 10;
+  rec.end = rec.start + 3600;
+  rec.gpus = 1;
+  rec.nodes = 1;
+  rec.node_list = {3};
+  rec.gpu_list = {{3, 2}};
+  rec.state = sl::JobState::kCompleted;
+  const auto good = sl::to_accounting_line(rec, f.topo);
+
+  pipe.ingest_accounting_line(sl::accounting_header());
+  pipe.ingest_accounting_line(good);
+  // Duplicated header mid-stream (concatenated dumps): skipped, not an error.
+  pipe.ingest_accounting_line(sl::accounting_header());
+  // CRLF line ending: trimmed, parsed normally.
+  auto crlf = rec;
+  crlf.id = 2;
+  pipe.ingest_accounting_line(sl::to_accounting_line(crlf, f.topo) + "\r");
+  // End before Start: malformed, counted, skipped.
+  auto backwards = rec;
+  backwards.id = 3;
+  backwards.end = backwards.start - 100;
+  pipe.ingest_accounting_line(sl::to_accounting_line(backwards, f.topo));
+  // Unknown state string: malformed, counted, skipped.
+  std::string exploded = good;
+  const auto pos = exploded.find("|COMPLETED|");
+  ASSERT_NE(pos, std::string::npos);
+  exploded.replace(pos, 11, "|EXPLODED|");
+  pipe.ingest_accounting_line(exploded);
+  // Blank and whitespace-only lines: ignored entirely.
+  pipe.ingest_accounting_line("");
+  pipe.ingest_accounting_line("   \r");
+  pipe.finish();
+
+  EXPECT_EQ(pipe.jobs().jobs.size(), 2u);  // ids 1 and 2 only
+  EXPECT_EQ(pipe.counters().accounting_errors, 2u);
+  // accounting_lines counts everything non-blank, headers included.
+  EXPECT_EQ(pipe.counters().accounting_lines, 6u);
+
+  // Table III over the surviving jobs is well-formed: both jobs completed
+  // with identical 60-minute elapsed, and the corrupt rows left no trace.
+  const auto stats = pipe.job_stats();
+  EXPECT_EQ(stats.total_jobs, 2u);
+  const auto rendered = an::render_table3(stats);
+  EXPECT_NE(rendered.find("60.00"), std::string::npos);
+  EXPECT_NE(rendered.find("success rate 100.00%"), std::string::npos);
+}
+
 TEST(Pipeline, RegexAndFastParsersGiveSameResults) {
   Fixture f;
   auto cfg_regex = f.cfg;

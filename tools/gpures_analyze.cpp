@@ -4,7 +4,7 @@
 //                              findings|trends|survival]
 //                  [--export-csv DIR] [--export-json FILE]
 //                  [--coalesce-window SECONDS] [--window SECONDS]
-//                  [--node-level] [--regex]
+//                  [--node-level] [--regex] [--threads N]
 //
 // The dataset can come from gpures-simulate or from a site's own logs laid
 // out in the same format (see src/analysis/dataset.h).  This is the
@@ -40,7 +40,9 @@ void usage() {
       "  --coalesce-window S    Stage II window (default 30)\n"
       "  --window S             job-failure attribution window (default 20)\n"
       "  --node-level           node-level attribution (default: device)\n"
-      "  --regex                use the std::regex Stage-I matcher\n");
+      "  --regex                use the std::regex Stage-I matcher\n"
+      "  --threads N            Stage I/II worker threads (0 = serial;\n"
+      "                         output is byte-identical either way)\n");
 }
 
 }  // namespace
@@ -80,6 +82,13 @@ int main(int argc, char** argv) {
       pcfg.attribution = analysis::Attribution::kNodeLevel;
     } else if (arg == "--regex") {
       pcfg.use_regex_parser = true;
+    } else if (arg == "--threads") {
+      const long long n = std::atoll(next("--threads"));
+      if (n < 0 || n > 256) {
+        std::fprintf(stderr, "gpures-analyze: --threads must be in [0, 256]\n");
+        return 2;
+      }
+      pcfg.num_threads = static_cast<std::uint32_t>(n);
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
