@@ -166,6 +166,11 @@ void BM_StageI_II_MultiDay(benchmark::State& state) {
     return out;
   }();
   std::size_t errors = 0;
+  // Per-stage totals come from the pipeline's own obs registry (the same
+  // counters the CLIs export with --metrics), accumulated across iterations.
+  std::uint64_t lines_parsed = 0;
+  std::uint64_t observations = 0;
+  std::uint64_t coalesced = 0;
   for (auto _ : state) {
     analysis::PipelineConfig cfg;
     cfg.num_threads = static_cast<std::uint32_t>(state.range(0));
@@ -176,11 +181,22 @@ void BM_StageI_II_MultiDay(benchmark::State& state) {
     pipe.finish();
     errors = pipe.errors().size();
     benchmark::DoNotOptimize(errors);
+    const auto& reg = pipe.metrics();
+    lines_parsed += reg.counter_value("pipe.log_lines");
+    observations += reg.counter_value("pipe.xid_records");
+    coalesced += reg.counter_value("pipe.errors_coalesced");
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(kDays * kLinesPerDay));
   state.counters["errors"] =
       benchmark::Counter(static_cast<double>(errors));
+  // Stage-I and Stage-II throughput as rates (per wall second of the loop).
+  state.counters["lines/s"] = benchmark::Counter(
+      static_cast<double>(lines_parsed), benchmark::Counter::kIsRate);
+  state.counters["obs/s"] = benchmark::Counter(
+      static_cast<double>(observations), benchmark::Counter::kIsRate);
+  state.counters["coalesced/s"] = benchmark::Counter(
+      static_cast<double>(coalesced), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_StageI_II_MultiDay)
     ->Arg(0)

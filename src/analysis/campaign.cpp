@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "logsys/syslog.h"
+#include "obs/trace.h"
 #include "slurm/accounting.h"
 
 namespace gpures::analysis {
@@ -70,7 +71,9 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
   common::Rng root(cfg_.seed);
 
   cfg_.pipeline.periods = periods_;
+  if (cfg_.pipeline.metrics == nullptr) cfg_.pipeline.metrics = cfg_.metrics;
   pipeline_ = std::make_unique<AnalysisPipeline>(topo_, cfg_.pipeline);
+  engine_.set_metrics(cfg_.metrics);
 
   log_stream_ = std::make_unique<logsys::DayLogStream>(
       [this](common::TimePoint day_start, std::vector<logsys::RawLine>&& lines) {
@@ -80,6 +83,7 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
 
   sim_ = std::make_unique<cluster::ClusterSim>(engine_, topo_, cfg_.faults,
                                                root.fork("sim"));
+  sim_->set_metrics(cfg_.metrics);
   glue_ = std::make_unique<Glue>(*this);
   sim_->set_raw_sink(glue_.get());
   sim_->set_listener(glue_.get());
@@ -90,6 +94,7 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
     sched_cfg.p_cancelled = cfg_.workload.p_cancelled;
     scheduler_ = std::make_unique<slurm::Scheduler>(engine_, topo_, sched_cfg,
                                                     root.fork("sched"));
+    scheduler_->set_metrics(cfg_.metrics);
     auto wl_cfg = cfg_.workload;
     wl_cfg.op_jobs *= cfg_.workload_scale;
     workload_ = std::make_unique<slurm::WorkloadModel>(wl_cfg,
@@ -107,6 +112,17 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
 }
 
 DeltaCampaign::~DeltaCampaign() = default;
+
+void DeltaCampaign::set_progress_reporter(obs::ProgressReporter* reporter) {
+  if (reporter == nullptr) {
+    progress_ = nullptr;
+    return;
+  }
+  progress_ = [reporter](int done, int total) {
+    reporter->update(static_cast<std::size_t>(done),
+                     static_cast<std::size_t>(total));
+  };
+}
 
 const std::vector<slurm::JobRecord>& DeltaCampaign::job_records() const {
   static const std::vector<slurm::JobRecord> kEmpty;
@@ -144,6 +160,7 @@ void DeltaCampaign::emit_noise_for_day(common::TimePoint day_start) {
 void DeltaCampaign::run() {
   if (ran_) return;
   ran_ = true;
+  OBS_SPAN("campaign.run");
 
   sim_->start();
   if (workload_) schedule_next_arrival(cfg_.faults.study_begin);
@@ -167,6 +184,7 @@ void DeltaCampaign::run() {
   log_stream_->finalize();
 
   if (scheduler_) {
+    OBS_SPAN("campaign.ingest_accounting");
     const auto header = slurm::accounting_header();
     if (dataset_ != nullptr) dataset_->write_accounting_line(header);
     pipeline_->ingest_accounting_line(header);

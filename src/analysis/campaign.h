@@ -20,6 +20,8 @@
 #include "cluster/topology.h"
 #include "des/event_queue.h"
 #include "logsys/log_store.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "slurm/failure_model.h"
 #include "slurm/scheduler.h"
 #include "slurm/workload_model.h"
@@ -39,6 +41,12 @@ struct CampaignConfig {
   double noise_lines_per_day = 200.0;
   /// Multiplies the workload's expected job count (quick runs use << 1).
   double workload_scale = 1.0;
+  /// Observability registry shared by every layer of the campaign (DES
+  /// engine, cluster sim, fault injector, scheduler, pipeline).  Null runs
+  /// with the same code paths but no metric emission from the sim layers;
+  /// the pipeline still keeps its private registry.  Metrics never feed
+  /// back into simulation or analysis results.
+  obs::MetricsRegistry* metrics = nullptr;
 
   /// Full paper-scale campaign (1170 days, 106 nodes, ~1.4M jobs).
   static CampaignConfig delta_a100();
@@ -53,6 +61,11 @@ class DeltaCampaign {
 
   /// Optional progress hook: (days simulated, total days).
   void set_progress(std::function<void(int, int)> cb) { progress_ = std::move(cb); }
+
+  /// Route day-level progress to an obs reporter (preferred over the raw
+  /// callback; throttling and terminal handling live in the reporter).
+  /// Must outlive run().
+  void set_progress_reporter(obs::ProgressReporter* reporter);
 
   /// Optional: tee every raw artifact (day logs, accounting dump) to a
   /// dataset directory while the campaign runs.  Must outlive run().

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 
 namespace gpures::analysis {
 
@@ -140,7 +141,9 @@ common::Result<DatasetManifest> read_manifest(const fs::path& dir) {
 }
 
 common::Result<std::uint64_t> load_dataset(const fs::path& dir,
-                                           AnalysisPipeline& pipeline) {
+                                           AnalysisPipeline& pipeline,
+                                           obs::ProgressReporter* progress) {
+  OBS_SPAN("dataset.load");
   const auto syslog_dir = dir / "syslog";
   if (!fs::is_directory(syslog_dir)) {
     return common::Error::make("dataset: missing syslog/ in " + dir.string());
@@ -171,6 +174,9 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
                      std::istreambuf_iterator<char>());
     pipeline.ingest_log_text(*date, text);
     ++ingested;
+    if (progress != nullptr) {
+      progress->update(static_cast<std::size_t>(ingested), days.size());
+    }
   }
 
   std::ifstream acc(dir / "slurm_accounting.txt", std::ios::binary);

@@ -22,6 +22,7 @@
 #include "cluster/topology.h"
 #include "common/error.h"
 #include "logsys/log_store.h"
+#include "obs/progress.h"
 
 namespace gpures::analysis {
 
@@ -71,8 +72,11 @@ common::Result<DatasetManifest> read_manifest(const std::filesystem::path& dir);
 
 /// Stream a dataset directory through a pipeline: every syslog day file in
 /// date order, then the accounting dump; finishes the pipeline.  Returns the
-/// number of day files ingested or an error.
+/// number of day files ingested or an error.  An optional progress reporter
+/// receives (days ingested, total day files).
 common::Result<std::uint64_t> load_dataset(const std::filesystem::path& dir,
-                                           AnalysisPipeline& pipeline);
+                                           AnalysisPipeline& pipeline,
+                                           obs::ProgressReporter* progress =
+                                               nullptr);
 
 }  // namespace gpures::analysis

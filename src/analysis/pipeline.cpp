@@ -1,9 +1,11 @@
 #include "analysis/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "common/strings.h"
+#include "obs/trace.h"
 #include "slurm/accounting.h"
 
 namespace gpures::analysis {
@@ -18,18 +20,6 @@ bool error_before(const CoalescedError& a, const CoalescedError& b) {
   return xid::to_number(a.code) < xid::to_number(b.code);
 }
 
-void accumulate(AnalysisPipeline::Counters& into,
-                const AnalysisPipeline::Counters& delta) {
-  into.log_lines += delta.log_lines;
-  into.xid_records += delta.xid_records;
-  into.lifecycle_records += delta.lifecycle_records;
-  into.rejected_lines += delta.rejected_lines;
-  into.unknown_hosts += delta.unknown_hosts;
-  into.accounting_lines += delta.accounting_lines;
-  into.accounting_errors += delta.accounting_errors;
-  into.out_of_order_observations += delta.out_of_order_observations;
-}
-
 std::unique_ptr<LineParser> make_parser(const PipelineConfig& cfg) {
   if (cfg.use_regex_parser) return std::make_unique<RegexLineParser>();
   return std::make_unique<FastLineParser>();
@@ -40,11 +30,41 @@ std::unique_ptr<LineParser> make_parser(const PipelineConfig& cfg) {
 AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
                                    PipelineConfig cfg)
     : topo_(topo), cfg_(cfg) {
+  if (cfg_.metrics != nullptr) {
+    metrics_ = cfg_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_.log_lines = &metrics_->counter("pipe.log_lines");
+  m_.xid_records = &metrics_->counter("pipe.xid_records");
+  m_.lifecycle_records = &metrics_->counter("pipe.lifecycle_records");
+  m_.rejected_lines = &metrics_->counter("pipe.rejected_lines");
+  m_.unknown_hosts = &metrics_->counter("pipe.unknown_hosts");
+  m_.accounting_lines = &metrics_->counter("pipe.accounting_lines");
+  m_.accounting_errors = &metrics_->counter("pipe.accounting_errors");
+  m_.out_of_order = &metrics_->counter("pipe.out_of_order_observations");
+  m_.errors_coalesced = &metrics_->counter("pipe.errors_coalesced");
+  m_.day_parse_us =
+      &metrics_->histogram("pipe.stage1.day_parse_us", obs::latency_buckets_us());
+  const std::size_t worker_slots =
+      cfg_.num_threads == 0 ? 1 : cfg_.num_threads;
+  worker_metrics_.resize(worker_slots);
+  for (std::size_t w = 0; w < worker_slots; ++w) {
+    const std::string prefix = "pipe.worker." + std::to_string(w) + ".";
+    worker_metrics_[w].days_parsed = &metrics_->counter(prefix + "days_parsed");
+    worker_metrics_[w].lines = &metrics_->counter(prefix + "lines");
+    worker_metrics_[w].parse_time_ns =
+        &metrics_->counter(prefix + "parse_time_ns");
+  }
+
   if (cfg_.num_threads == 0) {
     parser_ = make_parser(cfg_);
     coalescer_ = std::make_unique<Coalescer>(
-        cfg_.coalescer,
-        [this](const CoalescedError& e) { errors_.push_back(e); });
+        cfg_.coalescer, [this](const CoalescedError& e) {
+          errors_.push_back(e);
+          m_.errors_coalesced->inc();
+        });
     return;
   }
   // Parallel mode: N workers, each with a private Stage-I parser; N Stage-II
@@ -58,9 +78,12 @@ AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
   for (std::size_t s = 0; s < n; ++s) {
     worker_parsers_.push_back(make_parser(cfg_));
     auto* sink = &shard_errors_[s];
+    auto* coalesced = m_.errors_coalesced;
     shard_coalescers_.push_back(std::make_unique<Coalescer>(
-        cfg_.coalescer,
-        [sink](const CoalescedError& e) { sink->push_back(e); }));
+        cfg_.coalescer, [sink, coalesced](const CoalescedError& e) {
+          sink->push_back(e);
+          coalesced->inc();
+        }));
   }
   batch_days_ = cfg_.stage1_batch_days > 0
                     ? cfg_.stage1_batch_days
@@ -70,28 +93,35 @@ AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
 AnalysisPipeline::~AnalysisPipeline() = default;
 
 AnalysisPipeline::DayParse AnalysisPipeline::parse_day(
-    const LineParser& parser, common::TimePoint day_start,
+    const LineParser& parser, std::size_t worker, common::TimePoint day_start,
     std::span<const logsys::RawLine> lines) const {
+  OBS_SPAN("stage1.parse_day");
+  const auto t0 = std::chrono::steady_clock::now();
   DayParse out;
+  // Plain local tallies flushed to the registry once per day: the hot loop
+  // touches no atomics, and per-day sums are order-independent so the
+  // parallel schedule cannot change any metric value.
+  std::uint64_t log_lines = 0, rejected = 0, unknown = 0;
+  std::uint64_t xids = 0, lifecycles = 0;
   for (const auto& l : lines) {
-    ++out.delta.log_lines;
+    ++log_lines;
     auto parsed = parser.parse(l.text, day_start);
     if (!parsed) {
-      ++out.delta.rejected_lines;
+      ++rejected;
       continue;
     }
     if (auto* xrec = std::get_if<XidRecord>(&*parsed)) {
       const auto node = topo_.node_index(xrec->host);
       if (!node) {
-        ++out.delta.unknown_hosts;
+        ++unknown;
         continue;
       }
       const auto slot = topo_.slot_for_pci(*node, xrec->pci);
       if (!slot) {
-        ++out.delta.unknown_hosts;
+        ++unknown;
         continue;
       }
-      ++out.delta.xid_records;
+      ++xids;
       XidObservation obs;
       obs.time = xrec->time;
       obs.gpu = {*node, *slot};
@@ -99,13 +129,26 @@ AnalysisPipeline::DayParse AnalysisPipeline::parse_day(
       out.obs.push_back(obs);
     } else if (auto* lrec = std::get_if<LifecycleRecord>(&*parsed)) {
       if (!topo_.node_index(lrec->host)) {
-        ++out.delta.unknown_hosts;
+        ++unknown;
         continue;
       }
-      ++out.delta.lifecycle_records;
+      ++lifecycles;
       out.lifecycle.push_back(std::move(*lrec));
     }
   }
+  m_.log_lines->add(log_lines);
+  m_.rejected_lines->add(rejected);
+  m_.unknown_hosts->add(unknown);
+  m_.xid_records->add(xids);
+  m_.lifecycle_records->add(lifecycles);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  m_.day_parse_us->observe(static_cast<double>(ns) / 1000.0);
+  const auto& wm = worker_metrics_[worker % worker_metrics_.size()];
+  wm.days_parsed->inc();
+  wm.lines->add(log_lines);
+  wm.parse_time_ns->add(ns);
   return out;
 }
 
@@ -123,8 +166,7 @@ void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
     if (pending_days_.size() >= batch_days_) flush_pending_days();
     return;
   }
-  auto day = parse_day(*parser_, day_start, lines);
-  accumulate(counters_, day.delta);
+  auto day = parse_day(*parser_, 0, day_start, lines);
   for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
   for (const auto& o : day.obs) coalescer_->add(o);
 }
@@ -137,20 +179,24 @@ void AnalysisPipeline::flush_pending_days() {
   std::vector<DayParse> parsed(pending_days_.size());
   pool_->parallel_for(
       pending_days_.size(), [&](std::size_t i, std::size_t w) {
-        parsed[i] = parse_day(*worker_parsers_[w], pending_days_[i].day_start,
-                              pending_days_[i].lines);
+        parsed[i] =
+            parse_day(*worker_parsers_[w], w, pending_days_[i].day_start,
+                      pending_days_[i].lines);
       });
   // Deterministic ordered merge: day index order, stable within-day order —
   // exactly the sequence the serial path would have produced.
-  for (auto& day : parsed) {
-    accumulate(counters_, day.delta);
-    for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
-    for (const auto& o : day.obs) shard_feed_[shard_of(o.gpu)].push_back(o);
+  {
+    OBS_SPAN("stage1.merge_days");
+    for (auto& day : parsed) {
+      for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
+      for (const auto& o : day.obs) shard_feed_[shard_of(o.gpu)].push_back(o);
+    }
   }
   pending_days_.clear();
   // Stage II: shard s owns a disjoint set of (GPU, code) keys, so its
   // coalescer sees the same per-key subsequence as the serial coalescer.
   pool_->parallel_for(shard_feed_.size(), [&](std::size_t s, std::size_t) {
+    OBS_SPAN("stage2.coalesce_shard");
     for (const auto& o : shard_feed_[s]) shard_coalescers_[s]->add(o);
     shard_feed_[s].clear();
   });
@@ -176,11 +222,11 @@ void AnalysisPipeline::ingest_accounting_line(std::string_view line) {
   if (finished_) throw std::logic_error("pipeline: ingest after finish()");
   const auto trimmed = common::trim(line);
   if (trimmed.empty()) return;
-  ++counters_.accounting_lines;
+  m_.accounting_lines->inc();
   if (trimmed == slurm::accounting_header()) return;
   auto rec = slurm::parse_accounting_line(trimmed, topo_);
   if (!rec.ok()) {
-    ++counters_.accounting_errors;
+    m_.accounting_errors->inc();
     return;
   }
   jobs_.add(rec.value());
@@ -189,6 +235,7 @@ void AnalysisPipeline::ingest_accounting_line(std::string_view line) {
 void AnalysisPipeline::finish() {
   if (finished_) return;
   finished_ = true;
+  OBS_SPAN("pipeline.finish");
   if (pool_) {
     flush_pending_days();
     pool_->parallel_for(shard_coalescers_.size(),
@@ -198,14 +245,13 @@ void AnalysisPipeline::finish() {
     for (std::size_t s = 0; s < shard_coalescers_.size(); ++s) {
       errors_.insert(errors_.end(), shard_errors_[s].begin(),
                      shard_errors_[s].end());
-      counters_.out_of_order_observations +=
-          shard_coalescers_[s]->out_of_order();
+      m_.out_of_order->add(shard_coalescers_[s]->out_of_order());
       shard_errors_[s].clear();
       shard_errors_[s].shrink_to_fit();
     }
   } else {
     coalescer_->flush();
-    counters_.out_of_order_observations = coalescer_->out_of_order();
+    m_.out_of_order->add(coalescer_->out_of_order());
   }
   // error_before is a total order on the data (no distinct errors tie), so
   // the sorted sequence — and every downstream artifact — is identical no
@@ -220,7 +266,21 @@ void AnalysisPipeline::finish() {
                    });
 }
 
+AnalysisPipeline::Counters AnalysisPipeline::counters() const {
+  Counters c;
+  c.log_lines = m_.log_lines->value();
+  c.xid_records = m_.xid_records->value();
+  c.lifecycle_records = m_.lifecycle_records->value();
+  c.rejected_lines = m_.rejected_lines->value();
+  c.unknown_hosts = m_.unknown_hosts->value();
+  c.accounting_lines = m_.accounting_lines->value();
+  c.accounting_errors = m_.accounting_errors->value();
+  c.out_of_order_observations = m_.out_of_order->value();
+  return c;
+}
+
 ErrorStats AnalysisPipeline::error_stats() const {
+  OBS_SPAN("stage3.error_stats");
   ErrorStatsConfig cfg;
   cfg.node_count = topo_.node_count();
   cfg.outlier_share = cfg_.outlier_share;
@@ -229,14 +289,17 @@ ErrorStats AnalysisPipeline::error_stats() const {
 }
 
 JobStats AnalysisPipeline::job_stats() const {
+  OBS_SPAN("stage3.job_stats");
   return compute_job_stats(jobs_, cfg_.periods.whole());
 }
 
 JobStats AnalysisPipeline::job_stats(const Period& w) const {
+  OBS_SPAN("stage3.job_stats");
   return compute_job_stats(jobs_, w);
 }
 
 JobImpact AnalysisPipeline::job_impact() const {
+  OBS_SPAN("stage3.job_impact");
   JobImpactConfig cfg;
   cfg.window = cfg_.attribution_window;
   cfg.period = cfg_.periods.op;
@@ -245,6 +308,7 @@ JobImpact AnalysisPipeline::job_impact() const {
 }
 
 AvailabilityStats AnalysisPipeline::availability() const {
+  OBS_SPAN("stage3.availability");
   AvailabilityConfig cfg;
   cfg.period = cfg_.periods.op;
   cfg.node_count = topo_.node_count();

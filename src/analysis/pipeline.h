@@ -32,6 +32,7 @@
 #include "cluster/topology.h"
 #include "common/thread_pool.h"
 #include "logsys/log_store.h"
+#include "obs/metrics.h"
 
 namespace gpures::analysis {
 
@@ -55,6 +56,13 @@ struct PipelineConfig {
   /// Days buffered per parallel Stage-I batch (bounds memory when streaming
   /// a long campaign).  0 picks 4 * num_threads.  Has no effect on results.
   std::uint32_t stage1_batch_days = 0;
+  /// Observability registry for the pipe.* metrics (stage counters,
+  /// per-worker parse totals, day-parse latency histogram).  When null the
+  /// pipeline owns a private registry, so metrics are always collected;
+  /// the flag only controls where they can be read from.  Give each
+  /// pipeline its own registry unless aggregate counts are wanted.
+  /// Metrics never feed back into analysis results.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class AnalysisPipeline {
@@ -93,6 +101,9 @@ class AnalysisPipeline {
   double mttf_estimate_h() const;
 
   // ---- diagnostics ----
+  /// Snapshot view of the pipe.* metrics, kept as a plain struct for API
+  /// compatibility.  The values themselves live on the obs metrics
+  /// registry (PipelineConfig::metrics or the pipeline's private one).
   struct Counters {
     std::uint64_t log_lines = 0;
     std::uint64_t xid_records = 0;
@@ -105,23 +116,45 @@ class AnalysisPipeline {
     /// time contract (valid after finish(); see Coalescer::out_of_order()).
     std::uint64_t out_of_order_observations = 0;
   };
-  const Counters& counters() const { return counters_; }
+  Counters counters() const;
+  /// The registry collecting this pipeline's metrics (never null).
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
   const PipelineConfig& config() const { return cfg_; }
 
  private:
-  /// Pure Stage-I output of one day: records in line order plus counter
-  /// deltas.  Built per worker in parallel mode, then merged in day order.
+  /// Pure Stage-I output of one day: records in line order.  Counter deltas
+  /// go straight to the metrics registry (sharded per-thread cells; sums
+  /// are order-independent, so parallel parsing stays deterministic).
   struct DayParse {
     std::vector<XidObservation> obs;
     std::vector<LifecycleRecord> lifecycle;
-    Counters delta;
   };
   struct PendingDay {
     common::TimePoint day_start = 0;
     std::vector<logsys::RawLine> lines;
   };
+  /// Handles into the registry, resolved once at construction.
+  struct StageMetrics {
+    obs::Counter* log_lines = nullptr;
+    obs::Counter* xid_records = nullptr;
+    obs::Counter* lifecycle_records = nullptr;
+    obs::Counter* rejected_lines = nullptr;
+    obs::Counter* unknown_hosts = nullptr;
+    obs::Counter* accounting_lines = nullptr;
+    obs::Counter* accounting_errors = nullptr;
+    obs::Counter* out_of_order = nullptr;
+    obs::Counter* errors_coalesced = nullptr;
+    obs::Histogram* day_parse_us = nullptr;
+  };
+  /// Per-worker-slot Stage-I totals (slot 0 in serial mode).
+  struct WorkerMetrics {
+    obs::Counter* days_parsed = nullptr;
+    obs::Counter* lines = nullptr;
+    obs::Counter* parse_time_ns = nullptr;
+  };
 
-  DayParse parse_day(const LineParser& parser, common::TimePoint day_start,
+  DayParse parse_day(const LineParser& parser, std::size_t worker,
+                     common::TimePoint day_start,
                      std::span<const logsys::RawLine> lines) const;
   std::size_t shard_of(xid::GpuId gpu) const;
   /// Parallel mode: Stage-I parse all pending days on the pool, merge the
@@ -147,7 +180,12 @@ class AnalysisPipeline {
   std::vector<CoalescedError> errors_;
   std::vector<LifecycleRecord> lifecycle_;
   JobTable jobs_;
-  Counters counters_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;  ///< effective registry
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  StageMetrics m_;
+  std::vector<WorkerMetrics> worker_metrics_;
+
   bool finished_ = false;
 };
 

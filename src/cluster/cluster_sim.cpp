@@ -40,6 +40,36 @@ ClusterSim::ClusterSim(des::Engine& engine, const Topology& topo,
       [this](const Fault& f) { handle_fault(f); });
 }
 
+void ClusterSim::set_metrics(obs::MetricsRegistry* m) {
+  metrics_ = m;
+  code_metrics_.clear();
+  if (m == nullptr) {
+    errors_metric_ = nullptr;
+    raw_lines_metric_ = nullptr;
+    dup_lines_metric_ = nullptr;
+    recoveries_metric_ = nullptr;
+  } else {
+    errors_metric_ = &m->counter("sim.errors_emitted");
+    raw_lines_metric_ = &m->counter("sim.raw_xid_lines");
+    dup_lines_metric_ = &m->counter("sim.dup_xid_lines");
+    recoveries_metric_ = &m->counter("sim.recoveries");
+  }
+  injector_->set_metrics(m);
+}
+
+obs::Counter* ClusterSim::code_metric(xid::Code code) {
+  if (metrics_ == nullptr) return nullptr;
+  const auto num = xid::to_number(code);
+  auto it = code_metrics_.find(num);
+  if (it == code_metrics_.end()) {
+    it = code_metrics_
+             .emplace(num, &metrics_->counter("sim.xid_lines." +
+                                              std::to_string(num)))
+             .first;
+  }
+  return it->second;
+}
+
 void ClusterSim::start() { injector_->start(); }
 
 void ClusterSim::run_to_end() { engine_.run_until(cfg_.study_end); }
@@ -334,10 +364,14 @@ void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
   ev.raw_line_count = 1 + extra;
   ev.detail = detail;
   truth_.errors.push_back(ev);
+  if (errors_metric_ != nullptr) errors_metric_->inc();
+  obs::Counter* per_code = code_metric(code);
 
   if (raw_sink_ != nullptr) {
     raw_sink_->on_xid_record(t, gpu.node, gpu.slot, code, detail);
     ++raw_records_;
+    if (raw_lines_metric_ != nullptr) raw_lines_metric_->inc();
+    if (per_code != nullptr) per_code->inc();
     for (std::uint32_t i = 0; i < extra; ++i) {
       // Offsets are drawn independently from the leader line and capped to
       // dup_max_span_s, which keeps every duplicate inside the pipeline's
@@ -351,6 +385,11 @@ void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
       if (dup_t >= cfg_.study_end) continue;
       raw_sink_->on_xid_record(dup_t, gpu.node, gpu.slot, code, detail);
       ++raw_records_;
+      if (raw_lines_metric_ != nullptr) {
+        raw_lines_metric_->inc();
+        dup_lines_metric_->inc();
+      }
+      if (per_code != nullptr) per_code->inc();
     }
   }
 
@@ -373,6 +412,7 @@ void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
 void ClusterSim::begin_recovery(std::int32_t node) {
   auto& nh = nodes_[static_cast<std::size_t>(node)];
   if (nh.state() != NodeState::kUp) return;  // recovery already in progress
+  if (recoveries_metric_ != nullptr) recoveries_metric_->inc();
 
   const common::Duration detect = recovery_.detection_latency(rng_);
   engine_.schedule_after(detect, [this, node] {

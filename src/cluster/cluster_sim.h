@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/fault_config.h"
@@ -77,6 +78,12 @@ class ClusterSim {
   /// Optional listeners (may be set before start()).
   void set_raw_sink(RawLineSink* sink) { raw_sink_ = sink; }
   void set_listener(SimListener* l) { listener_ = l; }
+
+  /// Attach observability counters: sim.errors_emitted, sim.raw_xid_lines,
+  /// sim.dup_xid_lines, per-code sim.xid_lines.<code>, sim.recoveries, and
+  /// the fault injector's per-kind counters.  Counts only — the simulation
+  /// itself (RNG draws, event order) is unaffected.
+  void set_metrics(obs::MetricsRegistry* m);
   void set_drain_query(DrainQuery q) { drain_query_ = std::move(q); }
   void set_busy_query(GpuBusyQuery q) { busy_query_ = std::move(q); }
 
@@ -141,6 +148,16 @@ class ClusterSim {
 
   xid::GroundTruth truth_;
   std::uint64_t raw_records_ = 0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* errors_metric_ = nullptr;
+  obs::Counter* raw_lines_metric_ = nullptr;
+  obs::Counter* dup_lines_metric_ = nullptr;
+  obs::Counter* recoveries_metric_ = nullptr;
+  std::unordered_map<std::uint16_t, obs::Counter*> code_metrics_;
+
+  /// Lazily-resolved per-XID-code raw-line counter.
+  obs::Counter* code_metric(xid::Code code);
 };
 
 }  // namespace gpures::cluster

@@ -33,6 +33,23 @@ FaultInjector::FaultInjector(des::Engine& engine, const Topology& topo,
   if (!sink_) throw std::invalid_argument("FaultInjector: null sink");
 }
 
+void FaultInjector::set_metrics(obs::MetricsRegistry* m) {
+  if (m == nullptr) {
+    kind_metrics_.fill(nullptr);
+    return;
+  }
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    kind_metrics_[k] = &m->counter(
+        "sim.faults." + std::string(to_string(static_cast<Fault::Kind>(k))));
+  }
+}
+
+void FaultInjector::deliver(const Fault& f) {
+  ++delivered_;
+  if (auto* c = kind_metrics_[static_cast<std::size_t>(f.kind)]) c->inc();
+  sink_(f);
+}
+
 double FaultInjector::rate_at(const ProcessSpec& spec,
                               common::TimePoint t) const {
   if (t < cfg_.study_begin || t >= cfg_.study_end) return 0.0;
@@ -99,8 +116,7 @@ void FaultInjector::schedule_next(const Process& proc, common::TimePoint from) {
       Fault f;
       f.kind = proc_copy.kind;
       f.gpu = random_gpu();
-      ++delivered_;
-      sink_(f);
+      deliver(f);
       schedule_next(proc_copy, engine_.now());
     });
     return;
@@ -121,8 +137,7 @@ void FaultInjector::schedule_uncontained(std::int32_t idx,
     f.kind = Fault::Kind::kUncontainedEpisode;
     f.gpu = e.gpu;
     f.episode_index = idx;
-    ++delivered_;
-    sink_(f);
+    deliver(f);
     schedule_uncontained(idx, engine_.now());
   });
 }
@@ -145,8 +160,7 @@ void FaultInjector::schedule_degraded(std::int32_t idx,
     f.kind = Fault::Kind::kMemFaultDegraded;
     f.gpu = e.gpu;
     f.episode_index = idx;
-    ++delivered_;
-    sink_(f);
+    deliver(f);
     schedule_degraded(idx, engine_.now());
   });
 }

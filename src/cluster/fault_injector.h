@@ -7,6 +7,7 @@
 // jobs — the ClusterSim interprets each fault.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string_view>
@@ -15,6 +16,7 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "des/event_queue.h"
+#include "obs/metrics.h"
 #include "xid/event.h"
 
 namespace gpures::cluster {
@@ -51,10 +53,19 @@ class FaultInjector {
   /// Schedule the first arrival of every process and episode.  Call once.
   void start();
 
+  /// Attach observability counters (sim.faults.<kind>); counts only, so
+  /// arrivals are unaffected.  Pass nullptr to detach.
+  void set_metrics(obs::MetricsRegistry* m);
+
   /// Faults delivered so far (diagnostics).
   std::uint64_t faults_delivered() const { return delivered_; }
 
  private:
+  static constexpr std::size_t kKinds =
+      static_cast<std::size_t>(Fault::Kind::kUncontainedEpisode) + 1;
+
+  /// Count + hand one fault to the sink.
+  void deliver(const Fault& f);
   struct Process {
     Fault::Kind kind;
     const ProcessSpec* spec;
@@ -78,6 +89,7 @@ class FaultInjector {
   Sink sink_;
   ProcessSpec storm_spec_;  ///< NVLink storm arrival rates (from config)
   std::uint64_t delivered_ = 0;
+  std::array<obs::Counter*, kKinds> kind_metrics_{};
 };
 
 }  // namespace gpures::cluster

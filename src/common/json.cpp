@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace gpures::common {
@@ -118,6 +119,377 @@ std::string JsonWriter::escape(std::string_view s) {
     }
   }
   return out;
+}
+
+// ---- JsonValue ----
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.num_ = d;
+  return v;
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.str_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.arr_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object(std::vector<Member> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (!is_bool()) throw std::logic_error("JsonValue: not a bool");
+  return bool_;
+}
+
+double JsonValue::as_number() const {
+  if (!is_number()) throw std::logic_error("JsonValue: not a number");
+  return num_;
+}
+
+const std::string& JsonValue::as_string() const {
+  if (!is_string()) throw std::logic_error("JsonValue: not a string");
+  return str_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (!is_array()) throw std::logic_error("JsonValue: not an array");
+  return arr_;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (!is_object()) throw std::logic_error("JsonValue: not an object");
+  return obj_;
+}
+
+std::size_t JsonValue::size() const {
+  if (is_array()) return arr_.size();
+  if (is_object()) return obj_.size();
+  return 0;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const auto* v = find(key);
+  if (v == nullptr) {
+    throw std::out_of_range("JsonValue: missing key '" + std::string(key) +
+                            "'");
+  }
+  return *v;
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  const auto& a = items();
+  if (index >= a.size()) throw std::out_of_range("JsonValue: index");
+  return a[index];
+}
+
+// ---- parser ----
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v, 0)) return fail();
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  Result<JsonValue> fail() const { return Error::make(err_); }
+  bool error_at(std::string msg) {
+    if (err_.empty()) {
+      err_ = "json parse error at offset " + std::to_string(pos_) + ": " +
+             std::move(msg);
+    }
+    return false;
+  }
+  Result<JsonValue> error(std::string msg) {
+    error_at(std::move(msg));
+    return fail();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return error_at("invalid literal");
+    }
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool parse_value(JsonValue& out, int depth) {
+    if (depth > kMaxDepth) return error_at("nesting too deep");
+    if (eof()) return error_at("unexpected end of input");
+    switch (peek()) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = JsonValue::make_string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!consume_literal("true")) return false;
+        out = JsonValue::make_bool(true);
+        return true;
+      case 'f':
+        if (!consume_literal("false")) return false;
+        out = JsonValue::make_bool(false);
+        return true;
+      case 'n':
+        if (!consume_literal("null")) return false;
+        out = JsonValue::make_null();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out, int depth) {
+    ++pos_;  // '{'
+    std::vector<JsonValue::Member> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      out = JsonValue::make_object(std::move(members));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (eof() || peek() != '"') return error_at("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (eof() || peek() != ':') return error_at("expected ':'");
+      ++pos_;
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      members.emplace_back(std::move(key), std::move(v));
+      skip_ws();
+      if (eof()) return error_at("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        out = JsonValue::make_object(std::move(members));
+        return true;
+      }
+      return error_at("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(JsonValue& out, int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      out = JsonValue::make_array(std::move(items));
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v, depth + 1)) return false;
+      items.push_back(std::move(v));
+      skip_ws();
+      if (eof()) return error_at("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        out = JsonValue::make_array(std::move(items));
+        return true;
+      }
+      return error_at("expected ',' or ']'");
+    }
+  }
+
+  static void append_utf8(std::string& s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xF0 | (cp >> 18));
+      s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return error_at("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return error_at("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (true) {
+      if (eof()) return error_at("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return error_at("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (eof()) return error_at("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require an immediately following low one.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return error_at("lone high surrogate");
+            }
+            pos_ += 2;
+            std::uint32_t lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return error_at("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return error_at("lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return error_at("invalid escape character");
+      }
+    }
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    if (eof() || peek() < '0' || peek() > '9') {
+      pos_ = start;
+      return error_at("invalid value");
+    }
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return error_at("digit expected after decimal point");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || peek() < '0' || peek() > '9') {
+        return error_at("digit expected in exponent");
+      }
+      while (!eof() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    out = JsonValue::make_number(std::strtod(token.c_str(), nullptr));
+    return true;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+Result<JsonValue> parse_json(std::string_view text) {
+  return Parser(text).run();
 }
 
 }  // namespace gpures::common

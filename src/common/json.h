@@ -1,13 +1,18 @@
-// Minimal JSON writer (no DOM, no parsing): enough to export analysis
-// artifacts for external plotting/tooling.  Values are written eagerly to a
-// growing string; objects/arrays nest via RAII-free begin/end calls with
-// validation in debug builds.
+// Minimal JSON support: a streaming writer for exporting analysis artifacts
+// and a small DOM + recursive-descent parser for reading them back
+// (round-trip validation of metrics/trace/manifest artifacts, config-ish
+// inputs).  The writer emits values eagerly to a growing string;
+// objects/arrays nest via RAII-free begin/end calls.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/error.h"
 
 namespace gpures::common {
 
@@ -62,5 +67,68 @@ class JsonWriter {
   bool pending_key_ = false;
   std::int32_t depth_ = 0;
 };
+
+/// Parsed JSON document node.  Numbers are kept as double (adequate for the
+/// artifacts we round-trip; 2^53 covers every counter this library emits).
+/// Object members preserve input order; lookup is linear — documents here
+/// are small.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() = default;
+
+  static JsonValue make_null() { return JsonValue(); }
+  static JsonValue make_bool(bool b);
+  static JsonValue make_number(double d);
+  static JsonValue make_string(std::string s);
+  static JsonValue make_array(std::vector<JsonValue> items);
+  static JsonValue make_object(std::vector<Member> members);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw std::logic_error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;   ///< array elements
+  const std::vector<Member>& members() const;    ///< object members
+
+  /// Array or object element count (0 for scalars).
+  std::size_t size() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const;
+  /// Like find(), but throws std::out_of_range when the key is absent.
+  const JsonValue& at(std::string_view key) const;
+  /// Array indexing; throws std::out_of_range when out of bounds.
+  const JsonValue& at(std::size_t index) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parse a complete JSON document (RFC 8259; rejects trailing garbage).
+/// Errors carry a byte offset.  Nesting is capped at 256 levels.
+Result<JsonValue> parse_json(std::string_view text);
 
 }  // namespace gpures::common

@@ -4,6 +4,20 @@
 
 namespace gpures::des {
 
+void Engine::set_metrics(obs::MetricsRegistry* m) {
+  if (m == nullptr) {
+    scheduled_metric_ = nullptr;
+    dispatched_metric_ = nullptr;
+    cancelled_metric_ = nullptr;
+    depth_metric_ = nullptr;
+    return;
+  }
+  scheduled_metric_ = &m->counter("des.events_scheduled");
+  dispatched_metric_ = &m->counter("des.events_dispatched");
+  cancelled_metric_ = &m->counter("des.events_cancelled");
+  depth_metric_ = &m->gauge("des.queue_depth");
+}
+
 EventId Engine::schedule_at(common::TimePoint t, Callback cb) {
   if (t < now_) {
     throw std::invalid_argument("Engine::schedule_at: time in the past");
@@ -11,6 +25,10 @@ EventId Engine::schedule_at(common::TimePoint t, Callback cb) {
   const EventId id = next_id_++;
   queue_.push(Entry{t, next_seq_++, id, std::move(cb)});
   pending_.insert(id);
+  if (scheduled_metric_ != nullptr) {
+    scheduled_metric_->inc();
+    depth_metric_->set(static_cast<std::int64_t>(pending_.size()));
+  }
   return id;
 }
 
@@ -24,6 +42,10 @@ EventId Engine::schedule_after(common::Duration delay, Callback cb) {
 bool Engine::cancel(EventId id) {
   if (pending_.erase(id) == 0) return false;  // already fired or cancelled
   cancelled_.insert(id);                      // tombstone until popped
+  if (cancelled_metric_ != nullptr) {
+    cancelled_metric_->inc();
+    depth_metric_->set(static_cast<std::int64_t>(pending_.size()));
+  }
   return true;
 }
 
@@ -36,6 +58,10 @@ bool Engine::step() {
     if (cancelled_.erase(e.id) > 0) continue;  // skip cancelled tombstone
     now_ = e.time;
     pending_.erase(e.id);
+    if (dispatched_metric_ != nullptr) {
+      dispatched_metric_->inc();
+      depth_metric_->set(static_cast<std::int64_t>(pending_.size()));
+    }
     e.cb();
     return true;
   }

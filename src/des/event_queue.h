@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/metrics.h"
 
 namespace gpures::des {
 
@@ -30,6 +31,12 @@ class Engine {
   explicit Engine(common::TimePoint start = 0) : now_(start) {}
 
   common::TimePoint now() const { return now_; }
+
+  /// Attach observability counters (des.events_scheduled/dispatched/
+  /// cancelled, des.queue_depth gauge).  Pass nullptr to detach.  Metrics
+  /// record only event counts and queue depth — never time — so attaching
+  /// a registry cannot change simulation results.
+  void set_metrics(obs::MetricsRegistry* m);
 
   /// Schedule `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(common::TimePoint t, Callback cb);
@@ -75,6 +82,10 @@ class Engine {
   common::TimePoint now_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  obs::Counter* scheduled_metric_ = nullptr;
+  obs::Counter* dispatched_metric_ = nullptr;
+  obs::Counter* cancelled_metric_ = nullptr;
+  obs::Gauge* depth_metric_ = nullptr;
   std::priority_queue<Entry> queue_;
   std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
   std::unordered_set<EventId> cancelled_;  ///< cancelled, tombstone until popped

@@ -1,0 +1,82 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/time.h"
+#include "obs/metrics.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace gpures::obs {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string version_string() {
+#ifdef GPURES_GIT_DESCRIBE
+  return GPURES_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+std::string hostname_string() {
+#if defined(__unix__) || defined(__APPLE__)
+  char buf[256] = {0};
+  if (::gethostname(buf, sizeof(buf) - 1) == 0 && buf[0] != '\0') return buf;
+#endif
+  return "unknown";
+}
+
+std::string wall_clock_iso() {
+  const auto now = std::chrono::system_clock::now();
+  const auto secs = std::chrono::duration_cast<std::chrono::seconds>(
+                        now.time_since_epoch())
+                        .count();
+  return common::format_iso(static_cast<common::TimePoint>(secs));
+}
+
+std::string RunManifest::to_json(const MetricsRegistry* metrics) const {
+  common::JsonWriter w;
+  w.begin_object();
+  w.kv("tool", tool);
+  w.kv("dataset", dataset);
+  w.kv("seed", seed);
+  w.kv("config_hash", config_hash);
+  w.kv("version", version);
+  w.kv("host", host);
+  w.kv("threads", static_cast<std::uint64_t>(threads));
+  w.kv("started_at", started_at);
+  w.kv("finished_at", finished_at);
+  if (!extra.empty()) {
+    w.key("extra");
+    w.begin_object();
+    for (const auto& [k, v] : extra) w.kv(k, v);
+    w.end_object();
+  }
+  if (metrics != nullptr) {
+    w.key("metrics");
+    metrics->write_json(w);
+  }
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace gpures::obs

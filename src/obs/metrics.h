@@ -1,0 +1,140 @@
+// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+//
+// Built to be cheap enough for the pipeline's hot loops while staying
+// deterministic-safe: counters accumulate into cache-line-padded per-thread
+// cells (one relaxed atomic add, no shared-line contention under the
+// no-work-stealing thread pool) and are merged by summation on read.
+// Integer sums are commutative and associative, so a metric's value is
+// independent of thread scheduling — instrumentation can be left on without
+// weakening the pipeline's byte-identical-output guarantee (timing-valued
+// metrics live only in obs artifacts, never in golden-compared tables).
+//
+// Handles returned by the registry are stable for the registry's lifetime;
+// hot paths resolve a Counter*/Gauge*/Histogram* once and update through it.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpures::common {
+class JsonWriter;
+}
+
+namespace gpures::obs {
+
+/// Small dense id for the calling thread (assigned on first use, never
+/// reused).  Shared by the metric cell sharding and the tracer's tid labels.
+std::size_t thread_slot();
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  static constexpr std::size_t kCells = 16;
+
+  void add(std::uint64_t n) {
+    cells_[thread_slot() % kCells].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Merged value: the sum over all thread cells.
+  std::uint64_t value() const {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kCells> cells_{};
+};
+
+/// Last-set value plus the maximum ever set (e.g. peak queue depth).
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    v_.store(v, std::memory_order_relaxed);
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+  void add(std::int64_t d) { set(v_.load(std::memory_order_relaxed) + d); }
+
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+/// Fixed-bucket histogram: counts per upper bound plus an implicit +inf
+/// bucket, with total count and sum.  Bounds are fixed at registration.
+class Histogram {
+ public:
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket i (i == bounds().size() is the overflow bucket).
+  std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;  ///< sorted, strictly increasing
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_storage_;
+  std::span<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bucket bounds in microseconds (roughly log-spaced from
+/// 10 us to 100 s) for parse/stage timing histograms.
+std::span<const double> latency_buckets_us();
+
+/// Owns every metric; lookups are mutex-protected (resolve handles once),
+/// updates through handles are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Find-or-create by name.  Returned references stay valid for the
+  /// registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is used only on first registration of `name`.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds);
+
+  /// Snapshot value of a counter, or 0 when never registered.
+  std::uint64_t counter_value(std::string_view name) const;
+
+  /// Serialize every metric, sorted by name (deterministic output):
+  /// {"counters":{..},"gauges":{..:{"value":..,"max":..}},"histograms":{..}}.
+  void write_json(common::JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace gpures::obs

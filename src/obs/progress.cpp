@@ -1,0 +1,39 @@
+#include "obs/progress.h"
+
+#include <cinttypes>
+
+namespace gpures::obs {
+
+void ProgressReporter::update(std::uint64_t done, std::uint64_t total) {
+  if (!enabled_) return;
+  const auto now = std::chrono::steady_clock::now();
+  const bool final = total != 0 && done >= total;
+  if (drew_ && !final &&
+      now - last_draw_ < std::chrono::milliseconds(100)) {
+    return;
+  }
+  std::fprintf(out_, "\r%s %" PRIu64 "/%" PRIu64, label_.c_str(), done, total);
+  std::fflush(out_);
+  drew_ = true;
+  dirty_ = true;
+  last_draw_ = now;
+  if (final) finish();
+}
+
+void ProgressReporter::note(const std::string& message) {
+  if (!enabled_) return;
+  if (dirty_) {
+    std::fputc('\n', out_);
+    dirty_ = false;
+  }
+  std::fprintf(out_, "%s\n", message.c_str());
+}
+
+void ProgressReporter::finish() {
+  if (!enabled_ || !dirty_) return;
+  std::fputc('\n', out_);
+  std::fflush(out_);
+  dirty_ = false;
+}
+
+}  // namespace gpures::obs

@@ -1,0 +1,50 @@
+// Progress/heartbeat reporting for long campaigns and dataset loads.
+//
+// Replaces the ad-hoc progress lambdas in the CLIs: a reporter draws a
+// single self-overwriting "\rlabel done/total" line on stderr, throttled by
+// wall time so callers can report every unit of work without flooding the
+// terminal.  Progress always goes to stderr (never stdout), keeping stdout
+// clean for machine-readable output; --quiet maps to enabled == false,
+// which turns every call into a no-op.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace gpures::obs {
+
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(std::string label, bool enabled = true,
+                            std::FILE* out = stderr)
+      : label_(std::move(label)), out_(out), enabled_(enabled) {}
+  ~ProgressReporter() { finish(); }
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Report `done` of `total` units; redraws at most every ~100 ms (and
+  /// always on completion).
+  void update(std::uint64_t done, std::uint64_t total);
+
+  /// One-off heartbeat message on its own line (e.g. a stage transition).
+  void note(const std::string& message);
+
+  /// Terminate the progress line with a newline.  Idempotent; also called
+  /// by the destructor.
+  void finish();
+
+ private:
+  std::string label_;
+  std::FILE* out_;
+  bool enabled_;
+  bool dirty_ = false;  ///< an unterminated \r line is on screen
+  bool drew_ = false;
+  std::chrono::steady_clock::time_point last_draw_{};
+};
+
+}  // namespace gpures::obs

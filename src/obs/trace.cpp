@@ -1,0 +1,73 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+
+namespace gpures::obs {
+
+namespace {
+std::atomic<Tracer*> g_current{nullptr};
+}  // namespace
+
+void Tracer::install(Tracer* t) { g_current.store(t, std::memory_order_release); }
+
+Tracer* Tracer::current() { return g_current.load(std::memory_order_acquire); }
+
+std::uint64_t Tracer::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void Tracer::record(std::string name, std::uint64_t ts_us,
+                    std::uint64_t dur_us) {
+  Event e;
+  e.name = std::move(name);
+  e.ts_us = ts_us;
+  e.dur_us = dur_us;
+  e.tid = static_cast<std::uint64_t>(thread_slot());
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<Event> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sorted = events_;
+  }
+  std::sort(sorted.begin(), sorted.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.name < b.name;
+  });
+  common::JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const auto& e : sorted) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", "gpures");
+    w.kv("ph", "X");
+    w.kv("ts", e.ts_us);
+    w.kv("dur", e.dur_us);
+    w.kv("pid", 1);
+    w.kv("tid", e.tid);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.end_object();
+  return std::move(w).str();
+}
+
+}  // namespace gpures::obs

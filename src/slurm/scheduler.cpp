@@ -17,10 +17,36 @@ Scheduler::Scheduler(des::Engine& engine, const cluster::Topology& topo,
   }
 }
 
+void Scheduler::set_metrics(obs::MetricsRegistry* m) {
+  if (m == nullptr) {
+    submitted_metric_ = nullptr;
+    started_metric_ = nullptr;
+    failed_metric_ = nullptr;
+    completed_metric_ = nullptr;
+    queue_metric_ = nullptr;
+    running_metric_ = nullptr;
+    return;
+  }
+  submitted_metric_ = &m->counter("slurm.jobs_submitted");
+  started_metric_ = &m->counter("slurm.jobs_started");
+  failed_metric_ = &m->counter("slurm.jobs_failed");
+  completed_metric_ = &m->counter("slurm.jobs_completed");
+  queue_metric_ = &m->gauge("slurm.queue_depth");
+  running_metric_ = &m->gauge("slurm.running_jobs");
+}
+
+void Scheduler::update_gauges() {
+  if (queue_metric_ == nullptr) return;
+  queue_metric_->set(static_cast<std::int64_t>(queue_.size()));
+  running_metric_->set(static_cast<std::int64_t>(running_.size()));
+}
+
 JobId Scheduler::submit(const JobRequest& req) {
   const JobId id = next_id_++;
   queue_.push_back({id, req});
+  if (submitted_metric_ != nullptr) submitted_metric_->inc();
   try_dispatch();
+  update_gauges();
   return id;
 }
 
@@ -212,6 +238,7 @@ bool Scheduler::try_start(const Pending& p) {
   r.end_event = engine_.schedule_at(end_at, [this, id] { complete_natural(id); });
   running_.emplace(id, std::move(r));
   ++started_;
+  if (started_metric_ != nullptr) started_metric_->inc();
   return true;
 }
 
@@ -249,7 +276,15 @@ void Scheduler::finish(Running r, common::TimePoint end, JobState state) {
   r.rec.state = state;
   r.rec.exit_code = state == JobState::kCompleted ? 0 : 1;
   records_.push_back(std::move(r.rec));
+  if (failed_metric_ != nullptr) {
+    if (is_failure(state)) {
+      failed_metric_->inc();
+    } else if (state == JobState::kCompleted) {
+      completed_metric_->inc();
+    }
+  }
   try_dispatch();
+  update_gauges();
 }
 
 void Scheduler::finalize(common::TimePoint study_end) {

@@ -19,6 +19,7 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "des/event_queue.h"
+#include "obs/metrics.h"
 #include "slurm/job.h"
 #include "slurm/workload_model.h"
 #include "xid/event.h"
@@ -43,6 +44,11 @@ class Scheduler {
  public:
   Scheduler(des::Engine& engine, const cluster::Topology& topo,
             SchedulerConfig cfg, common::Rng rng);
+
+  /// Attach observability counters (slurm.jobs_submitted/started/failed/
+  /// completed) and gauges (slurm.queue_depth, slurm.running_jobs).  Counts
+  /// only — scheduling decisions and RNG draws are unaffected.
+  void set_metrics(obs::MetricsRegistry* m);
 
   // ---- job intake ----
   /// Enqueue a job drawn from the workload model. Returns its JobId.
@@ -126,6 +132,16 @@ class Scheduler {
   std::vector<JobRecord> records_;
   JobId next_id_ = 1;
   std::uint64_t started_ = 0;
+
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* started_metric_ = nullptr;
+  obs::Counter* failed_metric_ = nullptr;
+  obs::Counter* completed_metric_ = nullptr;
+  obs::Gauge* queue_metric_ = nullptr;
+  obs::Gauge* running_metric_ = nullptr;
+
+  /// Refresh the queue/running gauges after a state change.
+  void update_gauges();
 };
 
 }  // namespace gpures::slurm

@@ -88,3 +88,104 @@ TEST(Json, TopLevelScalar) {
   w.value(42);
   EXPECT_EQ(std::move(w).str(), "42");
 }
+
+// ---- parser ----
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ct::parse_json("null").value().is_null());
+  EXPECT_EQ(ct::parse_json("true").value().as_bool(), true);
+  EXPECT_EQ(ct::parse_json("false").value().as_bool(), false);
+  EXPECT_DOUBLE_EQ(ct::parse_json("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(ct::parse_json("-2.5e3").value().as_number(), -2500.0);
+  EXPECT_EQ(ct::parse_json("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(JsonParse, NestedContainers) {
+  auto doc = ct::parse_json(R"({"a":[1,2,{"b":null}],"c":{"d":false}})");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& root = doc.value();
+  EXPECT_EQ(root.size(), 2u);
+  const auto& a = root.at("a");
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_DOUBLE_EQ(a.at(1).as_number(), 2.0);
+  EXPECT_TRUE(a.at(2).at("b").is_null());
+  EXPECT_EQ(root.at("c").at("d").as_bool(), false);
+  EXPECT_EQ(root.find("missing"), nullptr);
+  EXPECT_THROW(root.at("missing"), std::out_of_range);
+  EXPECT_THROW(a.at(3), std::out_of_range);
+}
+
+TEST(JsonParse, ObjectMembersPreserveInputOrder) {
+  auto doc = ct::parse_json(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(doc.ok());
+  const auto& m = doc.value().members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].first, "z");
+  EXPECT_EQ(m[1].first, "a");
+  EXPECT_EQ(m[2].first, "m");
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto doc = ct::parse_json(R"("tab\t nl\n quote\" back\\ u\u0041")");
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().as_string(), "tab\t nl\n quote\" back\\ uA");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  auto emoji = ct::parse_json(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(emoji.ok()) << emoji.error().message;
+  EXPECT_EQ(emoji.value().as_string(), "\xF0\x9F\x98\x80");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(ct::parse_json("").ok());
+  EXPECT_FALSE(ct::parse_json("{").ok());
+  EXPECT_FALSE(ct::parse_json("[1,]").ok());
+  EXPECT_FALSE(ct::parse_json("{\"a\":}").ok());
+  EXPECT_FALSE(ct::parse_json("{\"a\" 1}").ok());
+  EXPECT_FALSE(ct::parse_json("{a:1}").ok());        // unquoted key
+  EXPECT_FALSE(ct::parse_json("01").ok());           // leading zero
+  EXPECT_FALSE(ct::parse_json("1. ").ok());          // bare decimal point
+  EXPECT_FALSE(ct::parse_json("nul").ok());
+  EXPECT_FALSE(ct::parse_json("\"unterminated").ok());
+  EXPECT_FALSE(ct::parse_json("\"bad \\x escape\"").ok());
+  EXPECT_FALSE(ct::parse_json("\"\\uD83D\"").ok());  // lone high surrogate
+  EXPECT_FALSE(ct::parse_json("1 trailing").ok());   // trailing garbage
+}
+
+TEST(JsonParse, DepthCapStopsRunawayNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(ct::parse_json(deep).ok());
+  std::string fine(100, '[');
+  fine += std::string(100, ']');
+  EXPECT_TRUE(ct::parse_json(fine).ok());
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  ct::JsonWriter w;
+  w.begin_object();
+  w.kv("name", "gpu\"res\n");
+  w.key("values");
+  w.begin_array();
+  w.value(std::uint64_t{9007199254740992ull});  // 2^53, exact in double
+  w.value(-1.5);
+  w.value(false);
+  w.null();
+  w.end_array();
+  w.end_object();
+  const auto text = std::move(w).str();
+  auto doc = ct::parse_json(text);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().at("name").as_string(), "gpu\"res\n");
+  const auto& vals = doc.value().at("values");
+  EXPECT_DOUBLE_EQ(vals.at(0).as_number(), 9007199254740992.0);
+  EXPECT_DOUBLE_EQ(vals.at(1).as_number(), -1.5);
+  EXPECT_EQ(vals.at(2).as_bool(), false);
+  EXPECT_TRUE(vals.at(3).is_null());
+}
+
+TEST(JsonParse, ErrorsCarryByteOffset) {
+  const auto r = ct::parse_json("{\"a\": ??}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("6"), std::string::npos)
+      << r.error().message;
+}

@@ -1,0 +1,154 @@
+// Metrics registry semantics: counter/gauge/histogram behaviour, handle
+// stability, deterministic merged values under the thread pool, and JSON
+// round-trip of the registry snapshot through the common JSON parser.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace ob = gpures::obs;
+namespace ct = gpures::common;
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  ob::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, TracksLastValueAndMax) {
+  ob::Gauge g;
+  g.set(5);
+  g.set(17);
+  g.set(3);
+  EXPECT_EQ(g.value(), 3);
+  EXPECT_EQ(g.max(), 17);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -7);
+  EXPECT_EQ(g.max(), 17);
+}
+
+TEST(Histogram, BucketsObservations) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  ob::Histogram h{bounds};
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (upper bound inclusive)
+  h.observe(7.0);    // bucket 1
+  h.observe(99.0);   // bucket 2
+  h.observe(5000.0); // overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +inf
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 7.0 + 99.0 + 5000.0);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  const double empty[] = {0.0};
+  EXPECT_NO_THROW(ob::Histogram{std::span<const double>(empty, 1)});
+  const double unsorted[] = {10.0, 1.0};
+  EXPECT_THROW(ob::Histogram{std::span<const double>(unsorted, 2)},
+               std::invalid_argument);
+  EXPECT_THROW(ob::Histogram{std::span<const double>()}, std::invalid_argument);
+}
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableHandles) {
+  ob::MetricsRegistry reg;
+  ob::Counter& a = reg.counter("x");
+  ob::Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  EXPECT_EQ(reg.counter_value("x"), 7u);
+  EXPECT_EQ(reg.counter_value("never-registered"), 0u);
+  // Histogram bounds are fixed on first registration.
+  const double b1[] = {1.0, 2.0};
+  const double b2[] = {5.0};
+  ob::Histogram& h1 = reg.histogram("h", b1);
+  ob::Histogram& h2 = reg.histogram("h", b2);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h1.bounds().size(), 2u);
+}
+
+TEST(MetricsRegistry, MergedCounterValueIsScheduleIndependent) {
+  // The same logical work distributed over different worker counts must
+  // produce the same merged counter value — the property that lets the
+  // pipeline leave instrumentation on without breaking determinism.
+  constexpr std::size_t kItems = 10000;
+  std::vector<std::uint64_t> expected_total{0};
+  for (std::size_t i = 0; i < kItems; ++i) expected_total[0] += i % 7;
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    ob::MetricsRegistry reg;
+    ob::Counter& c = reg.counter("work.items");
+    ob::Counter& sum = reg.counter("work.sum");
+    ct::ThreadPool pool(workers);
+    pool.parallel_for(kItems, [&](std::size_t i, std::size_t) {
+      c.inc();
+      sum.add(i % 7);
+    });
+    EXPECT_EQ(c.value(), kItems) << workers << " workers";
+    EXPECT_EQ(sum.value(), expected_total[0]) << workers << " workers";
+  }
+}
+
+TEST(MetricsRegistry, ConcurrentRegistrationIsSafe) {
+  ob::MetricsRegistry reg;
+  ct::ThreadPool pool(4);
+  pool.parallel_for(1000, [&](std::size_t i, std::size_t) {
+    // All threads race to find-or-create a small set of names.
+    reg.counter("shared." + std::to_string(i % 8)).inc();
+  });
+  std::uint64_t total = 0;
+  for (int k = 0; k < 8; ++k) {
+    total += reg.counter_value("shared." + std::to_string(k));
+  }
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(MetricsRegistry, JsonSnapshotParsesBackWithCommonJson) {
+  ob::MetricsRegistry reg;
+  reg.counter("b.second").add(2);
+  reg.counter("a.first").add(1);
+  reg.gauge("depth").set(12);
+  reg.gauge("depth").set(5);
+  const double bounds[] = {10.0, 100.0};
+  reg.histogram("lat", bounds).observe(42.0);
+
+  const std::string json = reg.to_json();
+  auto doc = ct::parse_json(json);
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& root = doc.value();
+
+  const auto& counters = root.at("counters");
+  ASSERT_TRUE(counters.is_object());
+  EXPECT_DOUBLE_EQ(counters.at("a.first").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(counters.at("b.second").as_number(), 2.0);
+  // Sorted-by-name output: "a.first" precedes "b.second".
+  EXPECT_EQ(counters.members()[0].first, "a.first");
+
+  const auto& depth = root.at("gauges").at("depth");
+  EXPECT_DOUBLE_EQ(depth.at("value").as_number(), 5.0);
+  EXPECT_DOUBLE_EQ(depth.at("max").as_number(), 12.0);
+
+  const auto& lat = root.at("histograms").at("lat");
+  ASSERT_EQ(lat.at("bounds").size(), 2u);
+  ASSERT_EQ(lat.at("counts").size(), 3u);  // 2 bounds + overflow
+  EXPECT_DOUBLE_EQ(lat.at("counts").at(1).as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(lat.at("count").as_number(), 1.0);
+  EXPECT_DOUBLE_EQ(lat.at("sum").as_number(), 42.0);
+}
+
+TEST(MetricsRegistry, SnapshotIsByteStableAcrossSerializations) {
+  ob::MetricsRegistry reg;
+  reg.counter("z").add(3);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(9);
+  EXPECT_EQ(reg.to_json(), reg.to_json());
+}

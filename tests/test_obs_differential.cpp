@@ -1,0 +1,204 @@
+// The observability hard requirement: running with metrics collection and
+// tracing enabled must yield byte-identical analysis artifacts to running
+// with them disabled — in serial mode and under the parallel pipeline.
+// Instrumentation observes; it must never perturb.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "analysis/campaign.h"
+#include "analysis/dataset.h"
+#include "analysis/export.h"
+#include "analysis/markdown_report.h"
+#include "analysis/reports.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace an = gpures::analysis;
+namespace cl = gpures::cluster;
+namespace ob = gpures::obs;
+namespace fs = std::filesystem;
+
+namespace {
+
+struct TracerGuard {
+  explicit TracerGuard(ob::Tracer* t) { ob::Tracer::install(t); }
+  ~TracerGuard() { ob::Tracer::install(nullptr); }
+};
+
+an::CampaignConfig small_campaign(std::uint64_t seed) {
+  an::CampaignConfig cfg = an::CampaignConfig::quick();
+  cfg.seed = seed;
+  cfg.workload_scale *= 0.1;
+  cfg.noise_lines_per_day = 30.0;
+  return cfg;
+}
+
+/// Everything the CLIs can emit on stdout or to export files.
+std::string rendered_artifacts(const an::AnalysisPipeline& pipe,
+                               const cl::Topology& topo) {
+  const auto stats = pipe.error_stats();
+  const auto impact = pipe.job_impact();
+  const auto jobs = pipe.job_stats();
+  const auto avail = pipe.availability();
+  std::ostringstream os;
+  os << an::render_table1(stats);
+  os << an::render_table2(impact);
+  os << an::render_table3(jobs);
+  os << an::render_fig2(avail, pipe.mttf_estimate_h());
+  an::write_table1_csv(os, stats);
+  an::write_table2_csv(os, impact);
+  an::write_table3_csv(os, jobs);
+  an::write_fig2_csv(os, avail);
+  an::ExportBundle bundle;
+  bundle.error_stats = &stats;
+  bundle.job_stats = &jobs;
+  bundle.job_impact = &impact;
+  bundle.availability = &avail;
+  bundle.mttf_h = pipe.mttf_estimate_h();
+  os << an::to_json(bundle);
+  os << an::render_markdown_report(pipe, topo);
+  return os.str();
+}
+
+fs::path temp_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("gpures_obs_diff_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+}  // namespace
+
+TEST(ObsDifferential, CampaignWithMetricsAndTraceMatchesPlainRun) {
+  // Baseline: no shared registry, no tracer.
+  an::DeltaCampaign plain(small_campaign(11));
+  plain.run();
+  const auto baseline = rendered_artifacts(plain.pipeline(), plain.topology());
+  ASSERT_FALSE(plain.pipeline().errors().empty());
+
+  // Instrumented: shared registry across every layer + installed tracer.
+  ob::MetricsRegistry registry;
+  ob::Tracer tracer;
+  auto cfg = small_campaign(11);
+  cfg.metrics = &registry;
+  std::string instrumented;
+  std::size_t instrumented_errors = 0;
+  {
+    TracerGuard guard(&tracer);
+    an::DeltaCampaign obs(cfg);
+    obs.run();
+    instrumented = rendered_artifacts(obs.pipeline(), obs.topology());
+    instrumented_errors = obs.pipeline().errors().size();
+  }
+  EXPECT_EQ(baseline, instrumented);
+  EXPECT_GT(tracer.event_count(), 0u);
+  // The instrumented run actually counted the work it did.
+  EXPECT_EQ(registry.counter_value("pipe.errors_coalesced"),
+            instrumented_errors);
+  EXPECT_GT(registry.counter_value("des.events_dispatched"), 0u);
+  EXPECT_GT(registry.counter_value("slurm.jobs_submitted"), 0u);
+  EXPECT_GT(registry.counter_value("sim.errors_emitted"), 0u);
+}
+
+TEST(ObsDifferential, DatasetAnalysisIdenticalAcrossObsAndThreadModes) {
+  // Materialize one small dataset, then analyze it four ways: {obs off, obs
+  // on} x {serial, --threads 4}.  All four artifact sets must be identical.
+  const auto dir = temp_dir("dataset");
+  {
+    an::DatasetManifest manifest;
+    manifest.name = "obs-diff";
+    auto cfg = small_campaign(23);
+    manifest.spec = cfg.spec;
+    manifest.periods = an::StudyPeriods::make(
+        cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
+    an::DatasetWriter writer(dir, manifest);
+    an::DeltaCampaign campaign(cfg);
+    campaign.set_dataset_writer(&writer);
+    campaign.run();
+    writer.finalize();
+  }
+
+  const auto manifest = an::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  cl::Topology topo(manifest.value().spec);
+
+  auto analyze = [&](std::uint32_t threads, bool instrumented) {
+    an::PipelineConfig pcfg;
+    pcfg.periods = manifest.value().periods;
+    pcfg.num_threads = threads;
+    ob::MetricsRegistry registry;
+    ob::Tracer tracer;
+    if (instrumented) {
+      pcfg.metrics = &registry;
+      ob::Tracer::install(&tracer);
+    }
+    an::AnalysisPipeline pipe(topo, pcfg);
+    const auto loaded = an::load_dataset(dir, pipe);
+    ob::Tracer::install(nullptr);
+    EXPECT_TRUE(loaded.ok());
+    if (instrumented) {
+      EXPECT_GT(tracer.event_count(), 0u);
+      EXPECT_GT(registry.counter_value("pipe.log_lines"), 0u);
+    }
+    return rendered_artifacts(pipe, topo);
+  };
+
+  const auto serial_off = analyze(0, false);
+  EXPECT_EQ(serial_off, analyze(0, true));
+  EXPECT_EQ(serial_off, analyze(4, false));
+  EXPECT_EQ(serial_off, analyze(4, true));
+
+  fs::remove_all(dir);
+}
+
+TEST(ObsDifferential, PerWorkerCountersPartitionTheTotals) {
+  // The per-worker Stage-I counters must sum to the stage totals — in serial
+  // mode (one slot) and in parallel mode (num_threads slots).
+  const auto dir = temp_dir("workers");
+  {
+    an::DatasetManifest manifest;
+    manifest.name = "obs-workers";
+    auto cfg = small_campaign(31);
+    manifest.spec = cfg.spec;
+    manifest.periods = an::StudyPeriods::make(
+        cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
+    an::DatasetWriter writer(dir, manifest);
+    an::DeltaCampaign campaign(cfg);
+    campaign.set_dataset_writer(&writer);
+    campaign.run();
+    writer.finalize();
+  }
+  const auto manifest = an::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  cl::Topology topo(manifest.value().spec);
+
+  for (const std::uint32_t threads : {0u, 4u}) {
+    an::PipelineConfig pcfg;
+    pcfg.periods = manifest.value().periods;
+    pcfg.num_threads = threads;
+    an::AnalysisPipeline pipe(topo, pcfg);
+    ASSERT_TRUE(an::load_dataset(dir, pipe).ok());
+
+    const auto& reg = pipe.metrics();
+    const std::uint32_t slots = threads == 0 ? 1 : threads;
+    std::uint64_t worker_lines = 0;
+    std::uint64_t worker_days = 0;
+    for (std::uint32_t w = 0; w < slots; ++w) {
+      const std::string p = "pipe.worker." + std::to_string(w) + ".";
+      worker_lines += reg.counter_value(p + "lines");
+      worker_days += reg.counter_value(p + "days_parsed");
+    }
+    EXPECT_EQ(worker_lines, reg.counter_value("pipe.log_lines"))
+        << threads << " threads";
+    EXPECT_EQ(worker_days, 90u) << threads << " threads";
+    // No counts leak past the configured worker slots.
+    EXPECT_EQ(reg.counter_value("pipe.worker." + std::to_string(slots) +
+                                ".lines"),
+              0u);
+    // The struct view matches the registry.
+    EXPECT_EQ(pipe.counters().log_lines, reg.counter_value("pipe.log_lines"));
+  }
+  fs::remove_all(dir);
+}

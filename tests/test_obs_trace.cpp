@@ -1,0 +1,144 @@
+// Tracing spans and run-provenance manifests: Chrome Trace Event JSON shape
+// (validated by parsing it back with common::json), multi-threaded span
+// recording, the OBS_SPAN no-op path, and manifest serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "common/thread_pool.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ob = gpures::obs;
+namespace ct = gpures::common;
+
+namespace {
+
+/// Uninstall the process tracer when a test scope ends, even on failure.
+struct TracerGuard {
+  explicit TracerGuard(ob::Tracer* t) { ob::Tracer::install(t); }
+  ~TracerGuard() { ob::Tracer::install(nullptr); }
+};
+
+}  // namespace
+
+TEST(Trace, SpanRecordsOntoInstalledTracer) {
+  ob::Tracer tracer;
+  {
+    TracerGuard guard(&tracer);
+    OBS_SPAN("outer");
+    { OBS_SPAN("inner"); }
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+}
+
+TEST(Trace, SpanIsNoOpWithoutTracer) {
+  ASSERT_EQ(ob::Tracer::current(), nullptr);
+  { OBS_SPAN("nobody-listening"); }
+  // Nothing to assert beyond "does not crash"; also cover the explicit-
+  // tracer constructor with null.
+  { ob::ScopedSpan span("explicit-null", nullptr); }
+}
+
+TEST(Trace, ChromeJsonParsesAndHasRequiredFields) {
+  ob::Tracer tracer;
+  {
+    TracerGuard guard(&tracer);
+    OBS_SPAN("stage1.parse_day");
+    { OBS_SPAN("stage2.coalesce_shard"); }
+  }
+  auto doc = ct::parse_json(tracer.to_chrome_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& root = doc.value();
+  EXPECT_EQ(root.at("displayTimeUnit").as_string(), "ms");
+  const auto& events = root.at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& e : events.items()) {
+    names.insert(e.at("name").as_string());
+    EXPECT_EQ(e.at("ph").as_string(), "X");
+    EXPECT_EQ(e.at("cat").as_string(), "gpures");
+    EXPECT_DOUBLE_EQ(e.at("pid").as_number(), 1.0);
+    EXPECT_GE(e.at("dur").as_number(), 0.0);
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+  }
+  EXPECT_TRUE(names.count("stage1.parse_day"));
+  EXPECT_TRUE(names.count("stage2.coalesce_shard"));
+}
+
+TEST(Trace, MultiThreadedSpansAllLand) {
+  ob::Tracer tracer;
+  {
+    TracerGuard guard(&tracer);
+    ct::ThreadPool pool(4);
+    pool.parallel_for(64, [&](std::size_t, std::size_t) {
+      OBS_SPAN("worker.item");
+    });
+  }
+  EXPECT_EQ(tracer.event_count(), 64u);
+  // Export is sorted, hence byte-stable for a given set of events.
+  EXPECT_EQ(tracer.to_chrome_json(), tracer.to_chrome_json());
+  auto doc = ct::parse_json(tracer.to_chrome_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().at("traceEvents").size(), 64u);
+}
+
+TEST(Manifest, Fnv1a64MatchesReference) {
+  // Reference values for the 64-bit FNV-1a offset basis and a known vector.
+  EXPECT_EQ(ob::fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(ob::fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_NE(ob::fnv1a64("seed=1"), ob::fnv1a64("seed=2"));
+  EXPECT_EQ(ob::hex64(0), "0000000000000000");
+  EXPECT_EQ(ob::hex64(0xdeadbeefull), "00000000deadbeef");
+}
+
+TEST(Manifest, ToJsonRoundTripsWithMetrics) {
+  ob::MetricsRegistry reg;
+  reg.counter("pipe.log_lines").add(123);
+
+  ob::RunManifest run;
+  run.tool = "gpures-test";
+  run.dataset = "/tmp/ds";
+  run.seed = 7;
+  run.config_hash = ob::hex64(ob::fnv1a64("cfg"));
+  run.threads = 4;
+  run.started_at = "2026-01-01 00:00:00";
+  run.finished_at = "2026-01-01 00:05:00";
+  run.extra.emplace_back("day_files", "90");
+
+  auto doc = ct::parse_json(run.to_json(&reg));
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& root = doc.value();
+  EXPECT_EQ(root.at("tool").as_string(), "gpures-test");
+  EXPECT_EQ(root.at("dataset").as_string(), "/tmp/ds");
+  EXPECT_DOUBLE_EQ(root.at("seed").as_number(), 7.0);
+  EXPECT_EQ(root.at("config_hash").as_string().size(), 16u);
+  EXPECT_DOUBLE_EQ(root.at("threads").as_number(), 4.0);
+  EXPECT_FALSE(root.at("version").as_string().empty());
+  EXPECT_FALSE(root.at("host").as_string().empty());
+  EXPECT_EQ(root.at("extra").at("day_files").as_string(), "90");
+  // Per-stage totals ride in via the embedded metrics snapshot.
+  EXPECT_DOUBLE_EQ(
+      root.at("metrics").at("counters").at("pipe.log_lines").as_number(),
+      123.0);
+}
+
+TEST(Manifest, ToJsonWithoutMetricsOmitsSnapshot) {
+  ob::RunManifest run;
+  run.tool = "t";
+  auto doc = ct::parse_json(run.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  EXPECT_EQ(doc.value().find("metrics"), nullptr);
+}
+
+TEST(Manifest, WallClockIsoShape) {
+  const auto s = ob::wall_clock_iso();
+  ASSERT_EQ(s.size(), 19u) << s;
+  EXPECT_EQ(s[4], '-');
+  EXPECT_EQ(s[10], ' ');
+  EXPECT_EQ(s[13], ':');
+}

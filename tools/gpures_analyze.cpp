@@ -5,13 +5,19 @@
 //                  [--export-csv DIR] [--export-json FILE]
 //                  [--coalesce-window SECONDS] [--window SECONDS]
 //                  [--node-level] [--regex] [--threads N]
+//                  [--metrics FILE] [--trace FILE] [--quiet]
 //
 // The dataset can come from gpures-simulate or from a site's own logs laid
 // out in the same format (see src/analysis/dataset.h).  This is the
 // command-line face of the paper's Fig. 1 pipeline.
+//
+// stdout carries the reports only; progress and ingest summaries go to
+// stderr, observability artifacts to the requested files.  Metrics and
+// tracing never change the analysis output (see tests/test_obs_differential).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 
@@ -22,6 +28,10 @@
 #include "analysis/reports.h"
 #include "analysis/survival.h"
 #include "analysis/trends.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 using namespace gpures;
 
@@ -34,7 +44,8 @@ void usage() {
       "  --data DIR             dataset directory (required)\n"
       "  --report WHAT          all|table1|table2|table3|fig2|findings|\n"
       "                         trends|survival|mitigation   (default all)\n"
-      "  --export-csv DIR       write table1..3 + fig2 CSV files\n"
+      "  --export-csv DIR       write table1..3 + fig2 CSV files (plus a\n"
+      "                         run_manifest.json provenance record)\n"
       "  --export-json FILE     write everything as one JSON document\n"
       "  --report-md FILE       write a self-contained markdown report\n"
       "  --coalesce-window S    Stage II window (default 30)\n"
@@ -42,7 +53,36 @@ void usage() {
       "  --node-level           node-level attribution (default: device)\n"
       "  --regex                use the std::regex Stage-I matcher\n"
       "  --threads N            Stage I/II worker threads (0 = serial;\n"
-      "                         output is byte-identical either way)\n");
+      "                         output is byte-identical either way)\n"
+      "  --metrics FILE         write the metrics registry snapshot as JSON\n"
+      "  --trace FILE           write a Chrome Trace Event JSON timeline\n"
+      "  --quiet                suppress progress and summaries on stderr\n");
+}
+
+/// Write `text` to `path`, creating parent directories as needed.
+bool write_text_file(const std::filesystem::path& path, std::string_view text) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  if (!os) return false;
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(os);
+}
+
+/// Stable fingerprint of the effective pipeline configuration.
+std::string config_fingerprint(const analysis::PipelineConfig& cfg) {
+  std::string s;
+  s += "coalesce_window=" + std::to_string(cfg.coalescer.window) + ";";
+  s += "attribution_window=" + std::to_string(cfg.attribution_window) + ";";
+  s += "attribution=" +
+       std::to_string(static_cast<int>(cfg.attribution)) + ";";
+  s += "regex=" + std::to_string(cfg.use_regex_parser ? 1 : 0) + ";";
+  s += "threads=" + std::to_string(cfg.num_threads) + ";";
+  s += "outlier_share=" + std::to_string(cfg.outlier_share) + ";";
+  s += "outlier_min=" + std::to_string(cfg.outlier_min);
+  return obs::hex64(obs::fnv1a64(s));
 }
 
 }  // namespace
@@ -53,6 +93,9 @@ int main(int argc, char** argv) {
   std::string csv_dir;
   std::string json_file;
   std::string md_file;
+  std::string metrics_file;
+  std::string trace_file;
+  bool quiet = false;
   analysis::PipelineConfig pcfg;
 
   for (int i = 1; i < argc; ++i) {
@@ -89,6 +132,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       pcfg.num_threads = static_cast<std::uint32_t>(n);
+    } else if (arg == "--metrics") {
+      metrics_file = next("--metrics");
+    } else if (arg == "--trace") {
+      trace_file = next("--trace");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--progress") {
+      quiet = false;
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -112,23 +163,41 @@ int main(int argc, char** argv) {
   }
   pcfg.periods = manifest.value().periods;
   cluster::Topology topo(manifest.value().spec);
+
+  obs::MetricsRegistry registry;
+  pcfg.metrics = &registry;
+  obs::Tracer tracer;
+  if (!trace_file.empty()) obs::Tracer::install(&tracer);
+
+  obs::RunManifest run;
+  run.tool = "gpures-analyze";
+  run.dataset = data_dir;
+  run.config_hash = config_fingerprint(pcfg);
+  run.threads = pcfg.num_threads;
+  run.started_at = obs::wall_clock_iso();
+
   analysis::AnalysisPipeline pipe(topo, pcfg);
 
-  const auto loaded = analysis::load_dataset(data_dir, pipe);
+  obs::ProgressReporter progress("ingesting day", !quiet);
+  const auto loaded = analysis::load_dataset(data_dir, pipe, &progress);
+  progress.finish();
   if (!loaded.ok()) {
+    obs::Tracer::install(nullptr);
     std::fprintf(stderr, "gpures-analyze: %s\n", loaded.error().message.c_str());
     return 1;
   }
-  const auto& c = pipe.counters();
-  std::fprintf(stderr,
-               "ingested %llu day files: %llu lines -> %llu XID records, "
-               "%llu lifecycle, %llu jobs (%llu accounting errors)\n",
-               static_cast<unsigned long long>(loaded.value()),
-               static_cast<unsigned long long>(c.log_lines),
-               static_cast<unsigned long long>(c.xid_records),
-               static_cast<unsigned long long>(c.lifecycle_records),
-               static_cast<unsigned long long>(pipe.jobs().jobs.size()),
-               static_cast<unsigned long long>(c.accounting_errors));
+  const auto c = pipe.counters();
+  if (!quiet) {
+    std::fprintf(stderr,
+                 "ingested %llu day files: %llu lines -> %llu XID records, "
+                 "%llu lifecycle, %llu jobs (%llu accounting errors)\n",
+                 static_cast<unsigned long long>(loaded.value()),
+                 static_cast<unsigned long long>(c.log_lines),
+                 static_cast<unsigned long long>(c.xid_records),
+                 static_cast<unsigned long long>(c.lifecycle_records),
+                 static_cast<unsigned long long>(pipe.jobs().jobs.size()),
+                 static_cast<unsigned long long>(c.accounting_errors));
+  }
 
   const auto stats = pipe.error_stats();
   const bool all = report == "all";
@@ -191,13 +260,15 @@ int main(int argc, char** argv) {
       std::ofstream os(fs::path(csv_dir) / "fig2.csv");
       analysis::write_fig2_csv(os, avail);
     }
-    std::fprintf(stderr, "wrote CSVs to %s\n", csv_dir.c_str());
+    if (!quiet) std::fprintf(stderr, "wrote CSVs to %s\n", csv_dir.c_str());
   }
 
   if (!md_file.empty()) {
     std::ofstream os(md_file, std::ios::trunc | std::ios::binary);
     os << analysis::render_markdown_report(pipe, topo);
-    std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
+    if (!quiet) {
+      std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
+    }
   }
 
   if (!json_file.empty()) {
@@ -212,7 +283,36 @@ int main(int argc, char** argv) {
     bundle.mttf_h = pipe.mttf_estimate_h();
     std::ofstream os(json_file, std::ios::trunc | std::ios::binary);
     os << analysis::to_json(bundle) << '\n';
-    std::fprintf(stderr, "wrote JSON to %s\n", json_file.c_str());
+    if (!quiet) std::fprintf(stderr, "wrote JSON to %s\n", json_file.c_str());
+  }
+
+  obs::Tracer::install(nullptr);
+  run.finished_at = obs::wall_clock_iso();
+  run.extra.emplace_back("day_files", std::to_string(loaded.value()));
+  run.extra.emplace_back("errors",
+                         std::to_string(pipe.errors().size()));
+  run.extra.emplace_back("jobs", std::to_string(pipe.jobs().jobs.size()));
+
+  if (!csv_dir.empty()) {
+    const auto run_path =
+        std::filesystem::path(csv_dir) / "run_manifest.json";
+    if (!write_text_file(run_path, run.to_json(&registry))) {
+      std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
+                   run_path.string().c_str());
+      return 1;
+    }
+  }
+  if (!metrics_file.empty() &&
+      !write_text_file(metrics_file, registry.to_json())) {
+    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
+                 metrics_file.c_str());
+    return 1;
+  }
+  if (!trace_file.empty() &&
+      !write_text_file(trace_file, tracer.to_chrome_json())) {
+    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
+                 trace_file.c_str());
+    return 1;
   }
   return 0;
 }

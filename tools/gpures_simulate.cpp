@@ -1,20 +1,30 @@
 // gpures-simulate: generate a synthetic Delta-style dataset on disk.
 //
 //   gpures-simulate --out DIR [--seed N] [--quick] [--no-jobs]
-//                   [--noise N] [--scale F]
+//                   [--noise N] [--scale F] [--metrics FILE] [--trace FILE]
+//                   [--quiet]
 //
 // Produces a dataset directory (manifest.txt, syslog/syslog-YYYY-MM-DD.log,
 // slurm_accounting.txt) that gpures-analyze — or any external tooling — can
-// consume.  The full campaign writes ~1170 day files with ~3M lines and a
-// ~1.5M-row accounting dump.
+// consume, plus a run_manifest.json provenance record.  The full campaign
+// writes ~1170 day files with ~3M lines and a ~1.5M-row accounting dump.
+//
+// stdout stays clean (nothing is written to it); progress and summaries go
+// to stderr, observability artifacts to the requested files.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "analysis/campaign.h"
 #include "analysis/config_file.h"
 #include "analysis/dataset.h"
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 
 using namespace gpures;
 
@@ -24,6 +34,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: gpures-simulate --out DIR [--seed N] [--quick] "
                "[--no-jobs] [--noise N] [--scale F] [--config FILE]\n"
+               "                       [--metrics FILE] [--trace FILE] "
+               "[--quiet]\n"
                "  --out DIR      dataset directory to create (required)\n"
                "  --seed N       campaign seed (default 42)\n"
                "  --quick        90-day campaign instead of the 1170-day one\n"
@@ -32,7 +44,38 @@ void usage() {
                "  --scale F      workload scale factor (default 1.0)\n"
                "  --config FILE  key=value scenario overrides (applied last;\n"
                "                 see --list-config-keys)\n"
+               "  --metrics FILE write the metrics registry snapshot as JSON\n"
+               "  --trace FILE   write a Chrome Trace Event JSON timeline\n"
+               "  --quiet        suppress progress and summary on stderr\n"
                "  --list-config-keys\n");
+}
+
+/// Write `text` to `path`, creating parent directories as needed.
+bool write_text_file(const std::filesystem::path& path, std::string_view text) {
+  std::error_code ec;
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path(), ec);
+  }
+  std::ofstream os(path, std::ios::trunc | std::ios::binary);
+  if (!os) return false;
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(os);
+}
+
+/// Stable fingerprint of the effective campaign configuration.
+std::string config_fingerprint(const analysis::CampaignConfig& cfg,
+                               const std::string& config_text) {
+  std::string s;
+  s += "seed=" + std::to_string(cfg.seed) + ";";
+  s += "with_jobs=" + std::to_string(cfg.with_jobs ? 1 : 0) + ";";
+  s += "noise=" + std::to_string(cfg.noise_lines_per_day) + ";";
+  s += "scale=" + std::to_string(cfg.workload_scale) + ";";
+  s += "study_begin=" + std::to_string(cfg.faults.study_begin) + ";";
+  s += "op_begin=" + std::to_string(cfg.faults.op_begin) + ";";
+  s += "study_end=" + std::to_string(cfg.faults.study_end) + ";";
+  s += "nodes=" + std::to_string(cfg.spec.node_count()) + ";";
+  s += "config_file=" + config_text;
+  return obs::hex64(obs::fnv1a64(s));
 }
 
 }  // namespace
@@ -40,6 +83,9 @@ void usage() {
 int main(int argc, char** argv) {
   std::string out_dir;
   std::string config_file;
+  std::string metrics_file;
+  std::string trace_file;
+  bool quiet = false;
   analysis::CampaignConfig cfg = analysis::CampaignConfig::delta_a100();
   bool quick = false;
 
@@ -66,6 +112,14 @@ int main(int argc, char** argv) {
       cfg.workload_scale = std::strtod(next("--scale"), nullptr);
     } else if (arg == "--config") {
       config_file = next("--config");
+    } else if (arg == "--metrics") {
+      metrics_file = next("--metrics");
+    } else if (arg == "--trace") {
+      trace_file = next("--trace");
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--progress") {
+      quiet = false;
     } else if (arg == "--list-config-keys") {
       for (const auto& k : analysis::supported_config_keys()) {
         std::printf("%s\n", k.c_str());
@@ -96,6 +150,7 @@ int main(int argc, char** argv) {
     cfg.with_jobs = with_jobs;
     cfg.workload_scale *= scale_mult;
   }
+  std::string config_text;
   if (!config_file.empty()) {
     auto loaded = analysis::load_config_file(config_file, cfg);
     if (!loaded.ok()) {
@@ -104,6 +159,9 @@ int main(int argc, char** argv) {
       return 1;
     }
     cfg = std::move(loaded).take();
+    std::ifstream is(config_file, std::ios::binary);
+    config_text.assign(std::istreambuf_iterator<char>(is),
+                       std::istreambuf_iterator<char>());
   }
 
   analysis::DatasetManifest manifest;
@@ -112,27 +170,71 @@ int main(int argc, char** argv) {
   manifest.periods = analysis::StudyPeriods::make(
       cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
 
+  obs::MetricsRegistry registry;
+  cfg.metrics = &registry;
+  obs::Tracer tracer;
+  if (!trace_file.empty()) obs::Tracer::install(&tracer);
+
+  obs::RunManifest run;
+  run.tool = "gpures-simulate";
+  run.dataset = out_dir;
+  run.seed = cfg.seed;
+  run.config_hash = config_fingerprint(cfg, config_text);
+  run.threads = cfg.pipeline.num_threads;
+  run.started_at = obs::wall_clock_iso();
+
+  int rc = 0;
   try {
     analysis::DatasetWriter writer(out_dir, manifest);
     analysis::DeltaCampaign campaign(cfg);
     campaign.set_dataset_writer(&writer);
-    campaign.set_progress([](int day, int total) {
-      if (day % 100 == 0 || day == total) {
-        std::fprintf(stderr, "\rsimulating day %d/%d", day, total);
-      }
-      if (day == total) std::fprintf(stderr, "\n");
-    });
+    obs::ProgressReporter progress("simulating day", !quiet);
+    campaign.set_progress_reporter(&progress);
     campaign.run();
+    progress.finish();
     writer.finalize();
 
-    std::printf("wrote dataset to %s: %llu day files, %llu raw lines, "
-                "%zu accounting rows\n",
-                out_dir.c_str(),
-                static_cast<unsigned long long>(writer.days_written()),
-                static_cast<unsigned long long>(campaign.raw_log_lines()),
-                campaign.job_records().size());
+    run.finished_at = obs::wall_clock_iso();
+    run.extra.emplace_back("day_files", std::to_string(writer.days_written()));
+    run.extra.emplace_back("raw_lines", std::to_string(campaign.raw_log_lines()));
+    run.extra.emplace_back("accounting_rows",
+                           std::to_string(campaign.job_records().size()));
+    if (quick) run.extra.emplace_back("mode", "quick");
+
+    if (!quiet) {
+      std::fprintf(stderr,
+                   "wrote dataset to %s: %llu day files, %llu raw lines, "
+                   "%zu accounting rows\n",
+                   out_dir.c_str(),
+                   static_cast<unsigned long long>(writer.days_written()),
+                   static_cast<unsigned long long>(campaign.raw_log_lines()),
+                   campaign.job_records().size());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "gpures-simulate: %s\n", e.what());
+    rc = 1;
+  }
+  obs::Tracer::install(nullptr);
+  if (rc != 0) return rc;
+
+  // Provenance manifest rides along with the dataset (per-stage totals come
+  // from the embedded metrics snapshot).
+  const auto run_path = std::filesystem::path(out_dir) / "run_manifest.json";
+  if (!write_text_file(run_path, run.to_json(&registry))) {
+    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
+                 run_path.string().c_str());
+    return 1;
+  }
+  if (!metrics_file.empty() &&
+      !write_text_file(metrics_file, registry.to_json())) {
+    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
+                 metrics_file.c_str());
+    return 1;
+  }
+  if (!trace_file.empty() &&
+      !write_text_file(trace_file, tracer.to_chrome_json())) {
+    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
+                 trace_file.c_str());
     return 1;
   }
   return 0;
