@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_coalesce"
+  "../bench/bench_ablation_coalesce.pdb"
+  "CMakeFiles/bench_ablation_coalesce.dir/bench_ablation_coalesce.cpp.o"
+  "CMakeFiles/bench_ablation_coalesce.dir/bench_ablation_coalesce.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

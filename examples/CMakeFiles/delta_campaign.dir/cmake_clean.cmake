@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_campaign.dir/delta_campaign.cpp.o"
+  "CMakeFiles/delta_campaign.dir/delta_campaign.cpp.o.d"
+  "delta_campaign"
+  "delta_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

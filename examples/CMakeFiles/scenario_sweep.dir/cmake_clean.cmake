@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_sweep.dir/scenario_sweep.cpp.o"
+  "CMakeFiles/scenario_sweep.dir/scenario_sweep.cpp.o.d"
+  "scenario_sweep"
+  "scenario_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_gsp.dir/whatif_gsp.cpp.o"
+  "CMakeFiles/whatif_gsp.dir/whatif_gsp.cpp.o.d"
+  "whatif_gsp"
+  "whatif_gsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_gsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

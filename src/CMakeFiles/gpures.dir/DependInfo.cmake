@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/availability.cpp" "src/CMakeFiles/gpures.dir/analysis/availability.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/availability.cpp.o.d"
+  "/root/repo/src/analysis/campaign.cpp" "src/CMakeFiles/gpures.dir/analysis/campaign.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/campaign.cpp.o.d"
+  "/root/repo/src/analysis/coalesce.cpp" "src/CMakeFiles/gpures.dir/analysis/coalesce.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/coalesce.cpp.o.d"
+  "/root/repo/src/analysis/config_file.cpp" "src/CMakeFiles/gpures.dir/analysis/config_file.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/config_file.cpp.o.d"
+  "/root/repo/src/analysis/dataset.cpp" "src/CMakeFiles/gpures.dir/analysis/dataset.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/dataset.cpp.o.d"
+  "/root/repo/src/analysis/error_stats.cpp" "src/CMakeFiles/gpures.dir/analysis/error_stats.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/error_stats.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/CMakeFiles/gpures.dir/analysis/export.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/export.cpp.o.d"
+  "/root/repo/src/analysis/extraction.cpp" "src/CMakeFiles/gpures.dir/analysis/extraction.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/extraction.cpp.o.d"
+  "/root/repo/src/analysis/job_impact.cpp" "src/CMakeFiles/gpures.dir/analysis/job_impact.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/job_impact.cpp.o.d"
+  "/root/repo/src/analysis/job_stats.cpp" "src/CMakeFiles/gpures.dir/analysis/job_stats.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/job_stats.cpp.o.d"
+  "/root/repo/src/analysis/markdown_report.cpp" "src/CMakeFiles/gpures.dir/analysis/markdown_report.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/markdown_report.cpp.o.d"
+  "/root/repo/src/analysis/mitigation.cpp" "src/CMakeFiles/gpures.dir/analysis/mitigation.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/mitigation.cpp.o.d"
+  "/root/repo/src/analysis/periods.cpp" "src/CMakeFiles/gpures.dir/analysis/periods.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/periods.cpp.o.d"
+  "/root/repo/src/analysis/pipeline.cpp" "src/CMakeFiles/gpures.dir/analysis/pipeline.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/pipeline.cpp.o.d"
+  "/root/repo/src/analysis/reports.cpp" "src/CMakeFiles/gpures.dir/analysis/reports.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/reports.cpp.o.d"
+  "/root/repo/src/analysis/reproduction.cpp" "src/CMakeFiles/gpures.dir/analysis/reproduction.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/reproduction.cpp.o.d"
+  "/root/repo/src/analysis/survival.cpp" "src/CMakeFiles/gpures.dir/analysis/survival.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/survival.cpp.o.d"
+  "/root/repo/src/analysis/trends.cpp" "src/CMakeFiles/gpures.dir/analysis/trends.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/analysis/trends.cpp.o.d"
+  "/root/repo/src/cluster/cluster_sim.cpp" "src/CMakeFiles/gpures.dir/cluster/cluster_sim.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/cluster_sim.cpp.o.d"
+  "/root/repo/src/cluster/fault_config.cpp" "src/CMakeFiles/gpures.dir/cluster/fault_config.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/fault_config.cpp.o.d"
+  "/root/repo/src/cluster/fault_injector.cpp" "src/CMakeFiles/gpures.dir/cluster/fault_injector.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/fault_injector.cpp.o.d"
+  "/root/repo/src/cluster/gpu_state.cpp" "src/CMakeFiles/gpures.dir/cluster/gpu_state.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/gpu_state.cpp.o.d"
+  "/root/repo/src/cluster/health_check.cpp" "src/CMakeFiles/gpures.dir/cluster/health_check.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/health_check.cpp.o.d"
+  "/root/repo/src/cluster/memory_model.cpp" "src/CMakeFiles/gpures.dir/cluster/memory_model.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/memory_model.cpp.o.d"
+  "/root/repo/src/cluster/nvlink_model.cpp" "src/CMakeFiles/gpures.dir/cluster/nvlink_model.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/nvlink_model.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/gpures.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/cluster/topology.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/gpures.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/gpures.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/gpures.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/json.cpp" "src/CMakeFiles/gpures.dir/common/json.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/json.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gpures.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/gpures.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/CMakeFiles/gpures.dir/common/strings.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/gpures.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/CMakeFiles/gpures.dir/common/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/thread_pool.cpp.o.d"
+  "/root/repo/src/common/time.cpp" "src/CMakeFiles/gpures.dir/common/time.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/common/time.cpp.o.d"
+  "/root/repo/src/des/event_queue.cpp" "src/CMakeFiles/gpures.dir/des/event_queue.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/des/event_queue.cpp.o.d"
+  "/root/repo/src/logsys/log_store.cpp" "src/CMakeFiles/gpures.dir/logsys/log_store.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/logsys/log_store.cpp.o.d"
+  "/root/repo/src/logsys/syslog.cpp" "src/CMakeFiles/gpures.dir/logsys/syslog.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/logsys/syslog.cpp.o.d"
+  "/root/repo/src/obs/manifest.cpp" "src/CMakeFiles/gpures.dir/obs/manifest.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/obs/manifest.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/CMakeFiles/gpures.dir/obs/metrics.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/obs/metrics.cpp.o.d"
+  "/root/repo/src/obs/progress.cpp" "src/CMakeFiles/gpures.dir/obs/progress.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/obs/progress.cpp.o.d"
+  "/root/repo/src/obs/trace.cpp" "src/CMakeFiles/gpures.dir/obs/trace.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/obs/trace.cpp.o.d"
+  "/root/repo/src/slurm/accounting.cpp" "src/CMakeFiles/gpures.dir/slurm/accounting.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/slurm/accounting.cpp.o.d"
+  "/root/repo/src/slurm/failure_model.cpp" "src/CMakeFiles/gpures.dir/slurm/failure_model.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/slurm/failure_model.cpp.o.d"
+  "/root/repo/src/slurm/job.cpp" "src/CMakeFiles/gpures.dir/slurm/job.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/slurm/job.cpp.o.d"
+  "/root/repo/src/slurm/scheduler.cpp" "src/CMakeFiles/gpures.dir/slurm/scheduler.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/slurm/scheduler.cpp.o.d"
+  "/root/repo/src/slurm/workload_model.cpp" "src/CMakeFiles/gpures.dir/slurm/workload_model.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/slurm/workload_model.cpp.o.d"
+  "/root/repo/src/xid/event.cpp" "src/CMakeFiles/gpures.dir/xid/event.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/xid/event.cpp.o.d"
+  "/root/repo/src/xid/xid.cpp" "src/CMakeFiles/gpures.dir/xid/xid.cpp.o" "gcc" "src/CMakeFiles/gpures.dir/xid/xid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coalesce.dir/test_coalesce.cpp.o"
+  "CMakeFiles/test_coalesce.dir/test_coalesce.cpp.o.d"
+  "test_coalesce"
+  "test_coalesce.pdb"
+  "test_coalesce[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coalesce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_config_file.dir/test_config_file.cpp.o"
+  "CMakeFiles/test_config_file.dir/test_config_file.cpp.o.d"
+  "test_config_file"
+  "test_config_file.pdb"
+  "test_config_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_config_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

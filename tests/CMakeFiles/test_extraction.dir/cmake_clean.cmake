@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_extraction.dir/test_extraction.cpp.o"
+  "CMakeFiles/test_extraction.dir/test_extraction.cpp.o.d"
+  "test_extraction"
+  "test_extraction.pdb"
+  "test_extraction[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_config.dir/test_fault_config.cpp.o"
+  "CMakeFiles/test_fault_config.dir/test_fault_config.cpp.o.d"
+  "test_fault_config"
+  "test_fault_config.pdb"
+  "test_fault_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu_state.dir/test_gpu_state.cpp.o"
+  "CMakeFiles/test_gpu_state.dir/test_gpu_state.cpp.o.d"
+  "test_gpu_state"
+  "test_gpu_state.pdb"
+  "test_gpu_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_health_check.dir/test_health_check.cpp.o"
+  "CMakeFiles/test_health_check.dir/test_health_check.cpp.o.d"
+  "test_health_check"
+  "test_health_check.pdb"
+  "test_health_check[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_health_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

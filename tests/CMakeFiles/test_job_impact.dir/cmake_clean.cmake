@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_impact.dir/test_job_impact.cpp.o"
+  "CMakeFiles/test_job_impact.dir/test_job_impact.cpp.o.d"
+  "test_job_impact"
+  "test_job_impact.pdb"
+  "test_job_impact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

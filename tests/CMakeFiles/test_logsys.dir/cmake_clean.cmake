@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_logsys.dir/test_logsys.cpp.o"
+  "CMakeFiles/test_logsys.dir/test_logsys.cpp.o.d"
+  "test_logsys"
+  "test_logsys.pdb"
+  "test_logsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_logsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_markdown_report.dir/test_markdown_report.cpp.o"
+  "CMakeFiles/test_markdown_report.dir/test_markdown_report.cpp.o.d"
+  "test_markdown_report"
+  "test_markdown_report.pdb"
+  "test_markdown_report[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_markdown_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvlink_model.dir/test_nvlink_model.cpp.o"
+  "CMakeFiles/test_nvlink_model.dir/test_nvlink_model.cpp.o.d"
+  "test_nvlink_model"
+  "test_nvlink_model.pdb"
+  "test_nvlink_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvlink_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_differential.dir/test_obs_differential.cpp.o"
+  "CMakeFiles/test_obs_differential.dir/test_obs_differential.cpp.o.d"
+  "test_obs_differential"
+  "test_obs_differential.pdb"
+  "test_obs_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reports.dir/test_reports.cpp.o"
+  "CMakeFiles/test_reports.dir/test_reports.cpp.o.d"
+  "test_reports"
+  "test_reports.pdb"
+  "test_reports[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_chaos.dir/test_scheduler_chaos.cpp.o"
+  "CMakeFiles/test_scheduler_chaos.dir/test_scheduler_chaos.cpp.o.d"
+  "test_scheduler_chaos"
+  "test_scheduler_chaos.pdb"
+  "test_scheduler_chaos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_chaos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xid.dir/test_xid.cpp.o"
+  "CMakeFiles/test_xid.dir/test_xid.cpp.o.d"
+  "test_xid"
+  "test_xid.pdb"
+  "test_xid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpures_analyze.dir/gpures_analyze.cpp.o"
+  "CMakeFiles/gpures_analyze.dir/gpures_analyze.cpp.o.d"
+  "gpures-analyze"
+  "gpures-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpures_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpures_simulate.dir/gpures_simulate.cpp.o"
+  "CMakeFiles/gpures_simulate.dir/gpures_simulate.cpp.o.d"
+  "gpures-simulate"
+  "gpures-simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpures_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
