@@ -13,6 +13,7 @@
 #include "analysis/periods.h"
 #include "common/histogram.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace gpures::analysis {
 
@@ -48,9 +49,13 @@ struct AvailabilityStats {
   static double downtime_minutes_per_day(double availability);
 };
 
-/// Pair lifecycle records (any order) into intervals and summarize.
+/// Pair lifecycle records (any order) into intervals and summarize.  With a
+/// pool, hosts are sharded into contiguous ranges of the sorted host list
+/// and paired concurrently; shard outputs merge in fixed shard order, so the
+/// result (including every floating-point aggregate) is bit-identical to a
+/// serial run for any worker count.
 AvailabilityStats compute_availability(
     const std::vector<LifecycleRecord>& lifecycle,
-    const AvailabilityConfig& cfg);
+    const AvailabilityConfig& cfg, common::ThreadPool* pool = nullptr);
 
 }  // namespace gpures::analysis

@@ -1,10 +1,71 @@
 #include "analysis/job_impact.h"
 
 #include <algorithm>
-#include <map>
-#include <unordered_map>
 
 namespace gpures::analysis {
+
+namespace {
+
+/// Contiguous shard bounds: shard s of n covers [lo, hi) with the ranges
+/// partitioning [0, total).  Purely a function of (total, n, s), so the
+/// job -> shard assignment never depends on thread timing.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t total,
+                                                std::size_t shards,
+                                                std::size_t s) {
+  return {total * s / shards, total * (s + 1) / shards};
+}
+
+/// Scan jobs [lo, hi) against the index, invoking emit(exposure) for each
+/// job that encountered at least one error, in job-index order.  Returns the
+/// number of jobs in the range that end inside the period.
+template <typename Emit>
+std::uint64_t scan_job_range(const JobTable& table, const ErrorIndex& index,
+                             const JobImpactConfig& cfg, std::size_t lo,
+                             std::size_t hi, Emit&& emit) {
+  std::uint64_t scanned = 0;
+  std::vector<std::int32_t> node_scratch;
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const auto& j = table.jobs[idx];
+    if (!cfg.period.contains(j.end)) continue;
+    ++scanned;
+
+    std::uint32_t run_mask = 0;
+    std::uint32_t window_mask = 0;
+    const auto scan_loc = [&](std::int64_t key) {
+      const auto v = index.at(key);
+      // Strictly after start: an error stamped at the exact second a job
+      // started belongs to the GPU's previous tenant (the scheduler can hand
+      // a freed GPU to a queued job within the same second the error killed
+      // its former owner).
+      auto it = std::lower_bound(
+          v.begin(), v.end(), j.start + 1,
+          [](const ErrorIndex::Entry& e, common::TimePoint t) {
+            return e.time < t;
+          });
+      for (; it != v.end() && it->time <= j.end; ++it) {
+        run_mask |= 1u << it->bit;
+        if (it->time >= j.end - cfg.window) window_mask |= 1u << it->bit;
+      }
+    };
+    if (index.gpu_level()) {
+      for (const PackedGpu g : table.gpus_of(j)) scan_loc(g);
+    } else {
+      table.nodes_of(j, node_scratch);
+      for (const std::int32_t node : node_scratch) scan_loc(node);
+    }
+    if (run_mask == 0) continue;
+
+    JobExposure exp;
+    exp.job_index = idx;
+    exp.run_mask = run_mask;
+    exp.window_mask = window_mask;
+    exp.gpu_failed = slurm::is_failure(j.state) && window_mask != 0;
+    emit(exp);
+  }
+  return scanned;
+}
+
+}  // namespace
 
 const ImpactRow* JobImpact::find(xid::Code code) const {
   for (const auto& r : rows) {
@@ -21,95 +82,166 @@ int exposure_bit(xid::Code code) {
   return -1;
 }
 
-std::vector<JobExposure> compute_exposures(
-    const JobTable& table, const std::vector<CoalescedError>& errors,
-    const JobImpactConfig& cfg) {
-  // Per-location, time-sorted error list.  Location key is a packed GPU for
-  // device-level attribution or a node index for node-level attribution.
-  struct LocError {
-    common::TimePoint time;
-    std::uint32_t bit;
+std::uint64_t ExposureJoinStats::total_exposed() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards) sum += s.jobs_exposed;
+  return sum;
+}
+
+std::span<const ErrorIndex::Entry> ErrorIndex::at(std::int64_t key) const {
+  const auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  if (it == keys_.end() || *it != key) return {};
+  const auto i = static_cast<std::size_t>(it - keys_.begin());
+  return {entries_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+ErrorIndex build_error_index(const std::vector<CoalescedError>& errors,
+                             const JobImpactConfig& cfg) {
+  ErrorIndex index;
+  index.gpu_level_ = cfg.attribution == Attribution::kGpuLevel;
+
+  struct Keyed {
+    std::int64_t key;
+    ErrorIndex::Entry entry;
   };
-  const bool gpu_level = cfg.attribution == Attribution::kGpuLevel;
-  std::unordered_map<std::int64_t, std::vector<LocError>> by_loc;
+  std::vector<Keyed> keyed;
+  keyed.reserve(errors.size());
   for (const auto& e : errors) {
     if (!cfg.period.contains(e.time)) continue;
     const int bit = exposure_bit(e.code);
     if (bit < 0) continue;
     const std::int64_t key =
-        gpu_level ? pack_gpu(e.gpu.node, e.gpu.slot) : e.gpu.node;
-    by_loc[key].push_back({e.time, static_cast<std::uint32_t>(bit)});
+        index.gpu_level_ ? pack_gpu(e.gpu.node, e.gpu.slot) : e.gpu.node;
+    keyed.push_back({key, {e.time, static_cast<std::uint32_t>(bit)}});
   }
-  for (auto& [loc, v] : by_loc) {
-    std::sort(v.begin(), v.end(), [](const LocError& a, const LocError& b) {
-      return a.time < b.time;
-    });
-  }
+  // Full (key, time, bit) order: the per-key groups come out time-sorted and
+  // the build is deterministic for any input order.  Masks OR over a time
+  // range, so tie order inside a group cannot change any downstream value.
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.entry.time != b.entry.time) return a.entry.time < b.entry.time;
+    return a.entry.bit < b.entry.bit;
+  });
 
-  std::vector<JobExposure> out;
-  std::vector<std::int32_t> node_scratch;
-  for (std::size_t idx = 0; idx < table.jobs.size(); ++idx) {
-    const auto& j = table.jobs[idx];
-    if (!cfg.period.contains(j.end)) continue;
-
-    std::uint32_t run_mask = 0;
-    std::uint32_t window_mask = 0;
-    const auto scan_loc = [&](std::int64_t key) {
-      const auto it = by_loc.find(key);
-      if (it == by_loc.end()) return;
-      const auto& v = it->second;
-      // Strictly after start: an error stamped at the exact second a job
-      // started belongs to the GPU's previous tenant (the scheduler can hand
-      // a freed GPU to a queued job within the same second the error killed
-      // its former owner).
-      auto lo = std::lower_bound(
-          v.begin(), v.end(), j.start + 1,
-          [](const LocError& e, common::TimePoint t) { return e.time < t; });
-      for (; lo != v.end() && lo->time <= j.end; ++lo) {
-        run_mask |= 1u << lo->bit;
-        if (lo->time >= j.end - cfg.window) window_mask |= 1u << lo->bit;
-      }
-    };
-    if (gpu_level) {
-      for (const PackedGpu g : table.gpus_of(j)) scan_loc(g);
-    } else {
-      table.nodes_of(j, node_scratch);
-      for (const std::int32_t node : node_scratch) scan_loc(node);
+  index.entries_.reserve(keyed.size());
+  for (const auto& k : keyed) {
+    if (index.keys_.empty() || index.keys_.back() != k.key) {
+      index.keys_.push_back(k.key);
+      index.offsets_.push_back(index.entries_.size());
     }
-    if (run_mask == 0) continue;
-
-    JobExposure exp;
-    exp.job_index = idx;
-    exp.run_mask = run_mask;
-    exp.window_mask = window_mask;
-    exp.gpu_failed = slurm::is_failure(j.state) && window_mask != 0;
-    out.push_back(exp);
+    index.entries_.push_back(k.entry);
   }
+  index.offsets_.push_back(index.entries_.size());
+  return index;
+}
+
+std::vector<JobExposure> compute_exposures(
+    const JobTable& table, const ErrorIndex& index, const JobImpactConfig& cfg,
+    common::ThreadPool* pool, ExposureJoinStats* stats) {
+  const std::size_t shards = pool != nullptr ? pool->size() : 1;
+  std::vector<std::vector<JobExposure>> shard_out(shards);
+  std::vector<ExposureJoinStats::Shard> shard_stats(shards);
+
+  const auto run_shard = [&](std::size_t s) {
+    const auto [lo, hi] = shard_range(table.jobs.size(), shards, s);
+    auto& out = shard_out[s];
+    shard_stats[s].jobs_scanned = scan_job_range(
+        table, index, cfg, lo, hi,
+        [&out](const JobExposure& exp) { out.push_back(exp); });
+    shard_stats[s].jobs_exposed = out.size();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(shards, [&](std::size_t s, std::size_t) {
+      run_shard(s);
+    });
+  } else {
+    run_shard(0);
+  }
+
+  // Shards cover contiguous job ranges, so concatenating them in shard order
+  // reproduces the serial job-index order exactly.
+  std::size_t total = 0;
+  for (const auto& v : shard_out) total += v.size();
+  std::vector<JobExposure> out;
+  out.reserve(total);
+  for (auto& v : shard_out) out.insert(out.end(), v.begin(), v.end());
+  if (stats != nullptr) stats->shards = std::move(shard_stats);
   return out;
+}
+
+std::vector<JobExposure> compute_exposures(
+    const JobTable& table, const std::vector<CoalescedError>& errors,
+    const JobImpactConfig& cfg) {
+  return compute_exposures(table, build_error_index(errors, cfg), cfg);
 }
 
 JobImpact compute_job_impact(const JobTable& table,
                              const std::vector<CoalescedError>& errors,
-                             const JobImpactConfig& cfg) {
+                             const JobImpactConfig& cfg,
+                             common::ThreadPool* pool,
+                             ExposureJoinStats* stats) {
   JobImpact out;
   out.cfg = cfg;
 
   const auto order = xid::report_order();
-  std::vector<std::uint64_t> encountering(order.size(), 0);
-  std::vector<std::uint64_t> failed(order.size(), 0);
+  const auto index = build_error_index(errors, cfg);
 
-  for (const auto& j : table.jobs) {
-    if (!cfg.period.contains(j.end)) continue;
-    ++out.jobs_analyzed;
-    if (slurm::is_failure(j.state)) ++out.failed_jobs_total;
+  /// Pure per-shard tallies; merged by summation in fixed shard order, so
+  /// every count is exactly what the serial loop produces.
+  struct ShardAccum {
+    std::uint64_t jobs_analyzed = 0;
+    std::uint64_t failed_jobs_total = 0;
+    std::uint64_t gpu_failed = 0;
+    std::vector<std::uint64_t> encountering;
+    std::vector<std::uint64_t> failed;
+    ExposureJoinStats::Shard join;
+  };
+  const std::size_t shards = pool != nullptr ? pool->size() : 1;
+  std::vector<ShardAccum> accum(shards);
+
+  const auto run_shard = [&](std::size_t s) {
+    auto& a = accum[s];
+    a.encountering.assign(order.size(), 0);
+    a.failed.assign(order.size(), 0);
+    const auto [lo, hi] = shard_range(table.jobs.size(), shards, s);
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      const auto& j = table.jobs[idx];
+      if (!cfg.period.contains(j.end)) continue;
+      if (slurm::is_failure(j.state)) ++a.failed_jobs_total;
+    }
+    a.join.jobs_scanned = scan_job_range(
+        table, index, cfg, lo, hi, [&](const JobExposure& exp) {
+          ++a.join.jobs_exposed;
+          if (exp.gpu_failed) ++a.gpu_failed;
+          for (std::size_t b = 0; b < order.size(); ++b) {
+            if (exp.run_mask & (1u << b)) ++a.encountering[b];
+            if (exp.gpu_failed && (exp.window_mask & (1u << b))) ++a.failed[b];
+          }
+        });
+    a.jobs_analyzed = a.join.jobs_scanned;
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(shards, [&](std::size_t s, std::size_t) {
+      run_shard(s);
+    });
+  } else {
+    run_shard(0);
   }
 
-  for (const auto& exp : compute_exposures(table, errors, cfg)) {
-    if (exp.gpu_failed) ++out.gpu_failed_jobs;
+  std::vector<std::uint64_t> encountering(order.size(), 0);
+  std::vector<std::uint64_t> failed(order.size(), 0);
+  for (const auto& a : accum) {
+    out.jobs_analyzed += a.jobs_analyzed;
+    out.failed_jobs_total += a.failed_jobs_total;
+    out.gpu_failed_jobs += a.gpu_failed;
     for (std::size_t b = 0; b < order.size(); ++b) {
-      if (exp.run_mask & (1u << b)) ++encountering[b];
-      if (exp.gpu_failed && (exp.window_mask & (1u << b))) ++failed[b];
+      encountering[b] += a.encountering[b];
+      failed[b] += a.failed[b];
     }
+  }
+  if (stats != nullptr) {
+    stats->shards.clear();
+    for (const auto& a : accum) stats->shards.push_back(a.join);
   }
 
   for (std::size_t b = 0; b < order.size(); ++b) {

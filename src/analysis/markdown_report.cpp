@@ -68,11 +68,12 @@ std::string render_markdown_report(const AnalysisPipeline& pipe,
   }
   if (opts.include_trends) {
     section(out, "Trends, burstiness, concentration",
-            render_trends(pipe.errors(), periods));
+            render_trends(pipe.errors(), periods, pipe.pool()));
   }
   if (opts.include_survival) {
     section(out, "Survival analysis",
-            render_survival(pipe.errors(), periods, topo.total_gpus()));
+            render_survival(pipe.errors(), periods, topo.total_gpus(),
+                            pipe.pool()));
   }
   if (opts.include_mitigation && have_jobs) {
     JobImpactConfig icfg;
@@ -80,7 +81,7 @@ std::string render_markdown_report(const AnalysisPipeline& pipe,
     icfg.period = periods.op;
     icfg.attribution = pipe.config().attribution;
     section(out, "Mitigation what-ifs",
-            render_mitigation(pipe.jobs(), pipe.errors(), icfg));
+            render_mitigation(pipe.jobs(), pipe.errors(), icfg, pipe.pool()));
   }
   if (opts.include_scorecard) {
     const auto impact = have_jobs ? pipe.job_impact() : JobImpact{};

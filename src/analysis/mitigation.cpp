@@ -10,14 +10,14 @@
 namespace gpures::analysis {
 
 LostWork compute_lost_work(const JobTable& table,
-                           const std::vector<CoalescedError>& errors,
+                           std::span<const JobExposure> exposures,
                            const JobImpactConfig& cfg) {
   LostWork out;
   for (const auto& j : table.jobs) {
     if (!cfg.period.contains(j.end)) continue;
     out.total_gpu_hours += j.gpu_hours();
   }
-  for (const auto& exp : compute_exposures(table, errors, cfg)) {
+  for (const auto& exp : exposures) {
     if (!exp.gpu_failed) continue;
     ++out.gpu_failed_jobs;
     out.lost_gpu_hours += table.jobs[exp.job_index].gpu_hours();
@@ -28,8 +28,14 @@ LostWork compute_lost_work(const JobTable& table,
   return out;
 }
 
+LostWork compute_lost_work(const JobTable& table,
+                           const std::vector<CoalescedError>& errors,
+                           const JobImpactConfig& cfg) {
+  return compute_lost_work(table, compute_exposures(table, errors, cfg), cfg);
+}
+
 CheckpointSweep sweep_checkpoint_interval(
-    const JobTable& table, const std::vector<CoalescedError>& errors,
+    const JobTable& table, std::span<const JobExposure> exposures,
     const JobImpactConfig& cfg, const std::vector<double>& intervals_h,
     double checkpoint_cost_h, double restore_cost_h) {
   CheckpointSweep sweep;
@@ -48,7 +54,7 @@ CheckpointSweep sweep_checkpoint_interval(
     all_jobs_gpu_weighted_runtime_h +=
         common::to_hours(j.end - j.start) * static_cast<double>(j.gpus);
   }
-  for (const auto& exp : compute_exposures(table, errors, cfg)) {
+  for (const auto& exp : exposures) {
     if (!exp.gpu_failed) continue;
     const auto& j = table.jobs[exp.job_index];
     failures.push_back({common::to_hours(j.end - j.start),
@@ -81,9 +87,18 @@ CheckpointSweep sweep_checkpoint_interval(
   return sweep;
 }
 
+CheckpointSweep sweep_checkpoint_interval(
+    const JobTable& table, const std::vector<CoalescedError>& errors,
+    const JobImpactConfig& cfg, const std::vector<double>& intervals_h,
+    double checkpoint_cost_h, double restore_cost_h) {
+  return sweep_checkpoint_interval(table, compute_exposures(table, errors, cfg),
+                                   cfg, intervals_h, checkpoint_cost_h,
+                                   restore_cost_h);
+}
+
 MaskingWhatIf compute_masking_whatif(const JobTable& table,
-                                     const std::vector<CoalescedError>& errors,
-                                     const JobImpactConfig& cfg,
+                                     std::span<const JobExposure> exposures,
+                                     const JobImpactConfig& /*cfg*/,
                                      const std::vector<xid::Code>& maskable) {
   std::uint32_t maskable_mask = 0;
   for (const auto code : maskable) {
@@ -91,7 +106,7 @@ MaskingWhatIf compute_masking_whatif(const JobTable& table,
     if (bit >= 0) maskable_mask |= 1u << static_cast<std::uint32_t>(bit);
   }
   MaskingWhatIf out;
-  for (const auto& exp : compute_exposures(table, errors, cfg)) {
+  for (const auto& exp : exposures) {
     if (!exp.gpu_failed) continue;
     ++out.gpu_failed_jobs;
     // Maskable iff every error family in the attribution window could have
@@ -108,13 +123,27 @@ MaskingWhatIf compute_masking_whatif(const JobTable& table,
   return out;
 }
 
+MaskingWhatIf compute_masking_whatif(const JobTable& table,
+                                     const std::vector<CoalescedError>& errors,
+                                     const JobImpactConfig& cfg,
+                                     const std::vector<xid::Code>& maskable) {
+  return compute_masking_whatif(table, compute_exposures(table, errors, cfg),
+                                cfg, maskable);
+}
+
 std::string render_mitigation(const JobTable& table,
                               const std::vector<CoalescedError>& errors,
-                              const JobImpactConfig& cfg) {
+                              const JobImpactConfig& cfg,
+                              common::ThreadPool* pool) {
   std::string out;
   char buf[256];
 
-  const auto lost = compute_lost_work(table, errors, cfg);
+  // One sharded join feeds all three what-ifs; each consumes the exposure
+  // list in order, so results are independent of the worker count.
+  const auto index = build_error_index(errors, cfg);
+  const auto exposures = compute_exposures(table, index, cfg, pool);
+
+  const auto lost = compute_lost_work(table, exposures, cfg);
   std::snprintf(buf, sizeof(buf),
                 "Lost work: %s GPU-failed jobs wasted %.0f GPU-hours "
                 "(%.3f%% of %.0f total GPU-hours)\n",
@@ -124,7 +153,7 @@ std::string render_mitigation(const JobTable& table,
   out += buf;
 
   const auto sweep = sweep_checkpoint_interval(
-      table, errors, cfg, {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 24.0});
+      table, exposures, cfg, {0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 24.0});
   common::AsciiTable t({"checkpoint interval (h)", "recompute (GPU-h)",
                         "overhead (GPU-h)", "total waste (GPU-h)"});
   for (const auto& p : sweep.points) {
@@ -147,7 +176,7 @@ std::string render_mitigation(const JobTable& table,
                     : 0.0);
   out += buf;
 
-  const auto mask = compute_masking_whatif(table, errors, cfg);
+  const auto mask = compute_masking_whatif(table, exposures, cfg);
   std::snprintf(buf, sizeof(buf),
                 "\nException-handling what-if: %s of %s GPU-failed jobs "
                 "(%.0f%%) saw only MMU errors in the window — the upper "

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,11 @@ struct LostWork {
 /// GPU-hours.
 LostWork compute_lost_work(const JobTable& table,
                            const std::vector<CoalescedError>& errors,
+                           const JobImpactConfig& cfg);
+/// Same, over a precomputed exposure join (compute_exposures output for the
+/// same table/cfg) — lets callers run the join once and share it.
+LostWork compute_lost_work(const JobTable& table,
+                           std::span<const JobExposure> exposures,
                            const JobImpactConfig& cfg);
 
 /// Expected waste under an interval-C checkpoint scheme:
@@ -62,6 +68,10 @@ CheckpointSweep sweep_checkpoint_interval(
     const JobTable& table, const std::vector<CoalescedError>& errors,
     const JobImpactConfig& cfg, const std::vector<double>& intervals_h,
     double checkpoint_cost_h = 0.05, double restore_cost_h = 0.1);
+CheckpointSweep sweep_checkpoint_interval(
+    const JobTable& table, std::span<const JobExposure> exposures,
+    const JobImpactConfig& cfg, const std::vector<double>& intervals_h,
+    double checkpoint_cost_h = 0.05, double restore_cost_h = 0.1);
 
 /// Exception-handling what-if: fraction of GPU-failed jobs whose window
 /// errors were exclusively maskable families (MMU by default) — the upper
@@ -77,10 +87,17 @@ MaskingWhatIf compute_masking_whatif(
     const JobTable& table, const std::vector<CoalescedError>& errors,
     const JobImpactConfig& cfg,
     const std::vector<xid::Code>& maskable = {xid::Code::kMmuError});
+MaskingWhatIf compute_masking_whatif(
+    const JobTable& table, std::span<const JobExposure> exposures,
+    const JobImpactConfig& cfg,
+    const std::vector<xid::Code>& maskable = {xid::Code::kMmuError});
 
-/// Render the mitigation report.
+/// Render the mitigation report.  Runs the exposure join once (sharded over
+/// `pool` when given — same deterministic merge as compute_exposures) and
+/// feeds all three what-ifs from it.
 std::string render_mitigation(const JobTable& table,
                               const std::vector<CoalescedError>& errors,
-                              const JobImpactConfig& cfg);
+                              const JobImpactConfig& cfg,
+                              common::ThreadPool* pool = nullptr);
 
 }  // namespace gpures::analysis

@@ -47,15 +47,22 @@ AnalysisPipeline::AnalysisPipeline(const cluster::Topology& topo,
   m_.errors_coalesced = &metrics_->counter("pipe.errors_coalesced");
   m_.day_parse_us =
       &metrics_->histogram("pipe.stage1.day_parse_us", obs::latency_buckets_us());
+  m_.stage3_exposures = &metrics_->counter("pipe.stage3.exposures");
+  m_.stage3_join_us = &metrics_->histogram("pipe.stage3.exposure_join_us",
+                                           obs::latency_buckets_us());
   const std::size_t worker_slots =
       cfg_.num_threads == 0 ? 1 : cfg_.num_threads;
   worker_metrics_.resize(worker_slots);
+  stage3_shard_metrics_.resize(worker_slots);
   for (std::size_t w = 0; w < worker_slots; ++w) {
     const std::string prefix = "pipe.worker." + std::to_string(w) + ".";
     worker_metrics_[w].days_parsed = &metrics_->counter(prefix + "days_parsed");
     worker_metrics_[w].lines = &metrics_->counter(prefix + "lines");
     worker_metrics_[w].parse_time_ns =
         &metrics_->counter(prefix + "parse_time_ns");
+    const std::string s3 = "pipe.stage3.shard." + std::to_string(w) + ".";
+    stage3_shard_metrics_[w].jobs = &metrics_->counter(s3 + "jobs");
+    stage3_shard_metrics_[w].exposed = &metrics_->counter(s3 + "exposed");
   }
 
   if (cfg_.num_threads == 0) {
@@ -304,7 +311,22 @@ JobImpact AnalysisPipeline::job_impact() const {
   cfg.window = cfg_.attribution_window;
   cfg.period = cfg_.periods.op;
   cfg.attribution = cfg_.attribution;
-  return compute_job_impact(jobs_, errors_, cfg);
+  const auto t0 = std::chrono::steady_clock::now();
+  ExposureJoinStats join;
+  auto out = compute_job_impact(jobs_, errors_, cfg, pool_.get(), &join);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  m_.stage3_join_us->observe(
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              elapsed)
+                              .count()) /
+      1000.0);
+  m_.stage3_exposures->add(join.total_exposed());
+  for (std::size_t s = 0; s < join.shards.size(); ++s) {
+    const auto& sm = stage3_shard_metrics_[s % stage3_shard_metrics_.size()];
+    sm.jobs->add(join.shards[s].jobs_scanned);
+    sm.exposed->add(join.shards[s].jobs_exposed);
+  }
+  return out;
 }
 
 AvailabilityStats AnalysisPipeline::availability() const {
@@ -312,7 +334,7 @@ AvailabilityStats AnalysisPipeline::availability() const {
   AvailabilityConfig cfg;
   cfg.period = cfg_.periods.op;
   cfg.node_count = topo_.node_count();
-  return compute_availability(lifecycle_, cfg);
+  return compute_availability(lifecycle_, cfg, pool_.get());
 }
 
 double AnalysisPipeline::mttf_estimate_h() const {

@@ -11,9 +11,11 @@
 // so validating its outputs against ground truth is a genuine end-to-end
 // test of the measurement methodology.
 //
-// Parallel mode (PipelineConfig::num_threads > 0) shards Stage I by day and
-// Stage II by GPU, then merges deterministically; the output is byte-
-// identical to a serial run (see DESIGN.md "Parallel pipeline determinism").
+// Parallel mode (PipelineConfig::num_threads > 0) shards Stage I by day,
+// Stage II by GPU, and Stage III by job range (the exposure join runs
+// against a read-only per-location error index) and by host for
+// availability, then merges deterministically; the output is byte-identical
+// to a serial run (see DESIGN.md "Parallel pipeline determinism").
 #pragma once
 
 #include <cstdint>
@@ -48,10 +50,10 @@ struct PipelineConfig {
   Attribution attribution = Attribution::kGpuLevel;
   /// Use the std::regex Stage-I matcher instead of the fast scanner.
   bool use_regex_parser = false;
-  /// Stage I/II worker threads.  0 (the default) runs fully serial; N > 0
-  /// runs Stage I day-sharded and Stage II GPU-sharded on N workers with a
-  /// deterministic ordered merge — results are byte-identical to serial for
-  /// any N.
+  /// Worker threads for every stage.  0 (the default) runs fully serial;
+  /// N > 0 runs Stage I day-sharded, Stage II GPU-sharded, and Stage III
+  /// job-/host-sharded on N workers with a deterministic ordered merge —
+  /// results are byte-identical to serial for any N.
   std::uint32_t num_threads = 0;
   /// Days buffered per parallel Stage-I batch (bounds memory when streaming
   /// a long campaign).  0 picks 4 * num_threads.  Has no effect on results.
@@ -120,6 +122,10 @@ class AnalysisPipeline {
   /// The registry collecting this pipeline's metrics (never null).
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
   const PipelineConfig& config() const { return cfg_; }
+  /// The worker pool shared by every stage; null in serial mode.  Callers
+  /// running Stage-III renders outside the pipeline (trends, survival,
+  /// mitigation) pass this through so --threads governs them too.
+  common::ThreadPool* pool() const { return pool_.get(); }
 
  private:
   /// Pure Stage-I output of one day: records in line order.  Counter deltas
@@ -145,12 +151,19 @@ class AnalysisPipeline {
     obs::Counter* out_of_order = nullptr;
     obs::Counter* errors_coalesced = nullptr;
     obs::Histogram* day_parse_us = nullptr;
+    obs::Counter* stage3_exposures = nullptr;   ///< exposed jobs, all joins
+    obs::Histogram* stage3_join_us = nullptr;   ///< exposure-join latency
   };
   /// Per-worker-slot Stage-I totals (slot 0 in serial mode).
   struct WorkerMetrics {
     obs::Counter* days_parsed = nullptr;
     obs::Counter* lines = nullptr;
     obs::Counter* parse_time_ns = nullptr;
+  };
+  /// Per-shard Stage-III exposure-join totals (shard 0 in serial mode).
+  struct Stage3ShardMetrics {
+    obs::Counter* jobs = nullptr;     ///< jobs scanned by this shard
+    obs::Counter* exposed = nullptr;  ///< of those, jobs with >= 1 error
   };
 
   DayParse parse_day(const LineParser& parser, std::size_t worker,
@@ -185,6 +198,7 @@ class AnalysisPipeline {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   StageMetrics m_;
   std::vector<WorkerMetrics> worker_metrics_;
+  std::vector<Stage3ShardMetrics> stage3_shard_metrics_;
 
   bool finished_ = false;
 };

@@ -1,6 +1,7 @@
 #include "analysis/survival.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -21,14 +22,40 @@ double KaplanMeier::survival_at(double time_h) const {
 
 KaplanMeier km_time_to_first_error(const std::vector<CoalescedError>& errors,
                                    const Period& window,
-                                   std::int32_t total_gpus) {
-  // First-error time per GPU.
+                                   std::int32_t total_gpus,
+                                   common::ThreadPool* pool) {
+  // First-error time per GPU.  Parallel mode shards the error list into
+  // contiguous chunks and merges per-chunk minima; min over exact integer
+  // timestamps is order-independent, so the map is identical to serial.
   std::map<std::uint64_t, common::TimePoint> first;
-  for (const auto& e : errors) {
-    if (!window.contains(e.time)) continue;
-    const auto key = xid::gpu_key(e.gpu);
-    const auto it = first.find(key);
-    if (it == first.end() || e.time < it->second) first[key] = e.time;
+  const std::size_t shards = pool != nullptr ? pool->size() : 1;
+  if (shards > 1) {
+    std::vector<std::map<std::uint64_t, common::TimePoint>> partial(shards);
+    pool->parallel_for(shards, [&](std::size_t s, std::size_t) {
+      const std::size_t lo = errors.size() * s / shards;
+      const std::size_t hi = errors.size() * (s + 1) / shards;
+      auto& mine = partial[s];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const auto& e = errors[i];
+        if (!window.contains(e.time)) continue;
+        const auto key = xid::gpu_key(e.gpu);
+        const auto it = mine.find(key);
+        if (it == mine.end() || e.time < it->second) mine[key] = e.time;
+      }
+    });
+    for (const auto& m : partial) {
+      for (const auto& [key, t] : m) {
+        const auto it = first.find(key);
+        if (it == first.end() || t < it->second) first[key] = t;
+      }
+    }
+  } else {
+    for (const auto& e : errors) {
+      if (!window.contains(e.time)) continue;
+      const auto key = xid::gpu_key(e.gpu);
+      const auto it = first.find(key);
+      if (it == first.end() || e.time < it->second) first[key] = e.time;
+    }
   }
 
   KaplanMeier km;
@@ -147,11 +174,12 @@ std::vector<double> interarrival_hours(const std::vector<CoalescedError>& errors
 
 std::string render_survival(const std::vector<CoalescedError>& errors,
                             const StudyPeriods& periods,
-                            std::int32_t total_gpus) {
+                            std::int32_t total_gpus,
+                            common::ThreadPool* pool) {
   std::string out;
   char buf[256];
 
-  const auto km = km_time_to_first_error(errors, periods.op, total_gpus);
+  const auto km = km_time_to_first_error(errors, periods.op, total_gpus, pool);
   std::snprintf(buf, sizeof(buf),
                 "Kaplan-Meier, time to first error per GPU (op period): %llu "
                 "GPUs, %llu erred, %llu censored; median %.0f h\n",
@@ -169,10 +197,24 @@ std::string render_survival(const std::vector<CoalescedError>& errors,
   out += "\nWeibull MLE of per-GPU inter-error times (op period):\n";
   common::AsciiTable t({"Family", "gaps", "shape k", "scale (h)",
                         "interpretation"});
-  for (const auto code : {xid::Code::kMmuError, xid::Code::kNvlinkError,
-                          xid::Code::kGspRpcTimeout}) {
-    const auto gaps = interarrival_hours(errors, periods.op, code);
-    const auto fit = fit_weibull_mle(gaps);
+  // Each family's gap extraction + MLE is independent; run them as parallel
+  // tasks and render in fixed family order, so the table bytes never depend
+  // on completion order.
+  const xid::Code kFamilies[] = {xid::Code::kMmuError, xid::Code::kNvlinkError,
+                                 xid::Code::kGspRpcTimeout};
+  std::array<WeibullFit, std::size(kFamilies)> fits;
+  const auto fit_family = [&](std::size_t i, std::size_t) {
+    fits[i] = fit_weibull_mle(interarrival_hours(errors, periods.op,
+                                                 kFamilies[i]));
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(std::size(kFamilies), fit_family);
+  } else {
+    for (std::size_t i = 0; i < std::size(kFamilies); ++i) fit_family(i, 0);
+  }
+  for (std::size_t i = 0; i < std::size(kFamilies); ++i) {
+    const auto code = kFamilies[i];
+    const auto& fit = fits[i];
     const auto d = xid::describe(code);
     const char* meaning = fit.n < 3 ? "insufficient data"
                           : fit.shape < 0.95

@@ -16,6 +16,7 @@
 #include "analysis/coalesce.h"
 #include "analysis/periods.h"
 #include "cluster/topology.h"
+#include "common/thread_pool.h"
 
 namespace gpures::analysis {
 
@@ -42,9 +43,12 @@ struct KaplanMeier {
 /// Time to *first* error of any tracked family per GPU, right-censored at
 /// the window end for GPUs with no errors.  `total_gpus` supplies the number
 /// of subjects (GPUs that never logged anything are censored at full window).
+/// With a pool, the error list is sharded and per-shard first-error minima
+/// are merged — min is exact, so the curve is identical to serial.
 KaplanMeier km_time_to_first_error(const std::vector<CoalescedError>& errors,
                                    const Period& window,
-                                   std::int32_t total_gpus);
+                                   std::int32_t total_gpus,
+                                   common::ThreadPool* pool = nullptr);
 
 /// Weibull fit of a positive sample by maximum likelihood (Newton iteration
 /// on the profile equation for the shape).
@@ -64,8 +68,12 @@ std::vector<double> interarrival_hours(const std::vector<CoalescedError>& errors
                                        const Period& window, xid::Code family);
 
 /// Render the survival report (KM summary + Weibull fits for key families).
+/// With a pool, the KM scan is error-sharded and the per-family Weibull
+/// fits run as parallel tasks; output is assembled in fixed family order,
+/// so the report bytes match a serial render exactly.
 std::string render_survival(const std::vector<CoalescedError>& errors,
                             const StudyPeriods& periods,
-                            std::int32_t total_gpus);
+                            std::int32_t total_gpus,
+                            common::ThreadPool* pool = nullptr);
 
 }  // namespace gpures::analysis

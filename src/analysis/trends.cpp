@@ -1,8 +1,10 @@
 #include "analysis/trends.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 
 #include "common/stats.h"
 #include "common/table.h"
@@ -197,14 +199,54 @@ PropagationCorrelation compute_propagation(
 }
 
 std::string render_trends(const std::vector<CoalescedError>& errors,
-                          const StudyPeriods& periods) {
+                          const StudyPeriods& periods,
+                          common::ThreadPool* pool) {
   std::string out;
   char buf[256];
 
+  // Every statistic below reads the shared error vector independently, so
+  // the computations run as one task list (serial without a pool) and the
+  // report is assembled afterwards in fixed order — the rendered bytes are
+  // identical either way.
+  constexpr xid::Code kBurstFamilies[] = {
+      xid::Code::kMmuError, xid::Code::kNvlinkError, xid::Code::kGspRpcTimeout,
+      xid::Code::kPmuSpiFailure};
+  constexpr xid::Code kConcFamilies[] = {
+      xid::Code::kMmuError, xid::Code::kNvlinkError, xid::Code::kGspRpcTimeout,
+      xid::Code::kUncontainedEccError};
+  std::vector<MonthlyPoint> gsp;
+  std::array<Burstiness, std::size(kBurstFamilies)> bursts;
+  std::array<SpatialConcentration, std::size(kConcFamilies)> concs;
+  PropagationCorrelation prop;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&] {
+    gsp = monthly_series(errors, periods.whole(), xid::Code::kGspRpcTimeout);
+  });
+  for (std::size_t i = 0; i < std::size(kBurstFamilies); ++i) {
+    tasks.push_back([&, i] {
+      bursts[i] = compute_burstiness(errors, periods.op, kBurstFamilies[i]);
+    });
+  }
+  for (std::size_t i = 0; i < std::size(kConcFamilies); ++i) {
+    tasks.push_back([&, i] {
+      concs[i] =
+          compute_concentration(errors, periods.whole(), kConcFamilies[i]);
+    });
+  }
+  tasks.push_back([&] {
+    prop = compute_propagation(errors, periods.whole(),
+                               xid::Code::kPmuSpiFailure,
+                               xid::Code::kMmuError);
+  });
+  if (pool != nullptr) {
+    pool->parallel_for(tasks.size(),
+                       [&](std::size_t i, std::size_t) { tasks[i](); });
+  } else {
+    for (auto& t : tasks) t();
+  }
+
   // --- GSP monthly ramp (finding ii: degradation under production load) ---
   out += "GSP errors per month (the production-load degradation ramp):\n";
-  const auto gsp = monthly_series(errors, periods.whole(),
-                                  xid::Code::kGspRpcTimeout);
   double peak = 1.0;
   for (const auto& p : gsp) {
     peak = std::max(peak, p.errors_per_day);
@@ -220,10 +262,9 @@ std::string render_trends(const std::vector<CoalescedError>& errors,
   // --- burstiness table ---
   common::AsciiTable bt({"Family", "events (op)", "mean gap (h)",
                          "inter-arrival CV", "daily Fano", "burstiness B"});
-  for (const auto code :
-       {xid::Code::kMmuError, xid::Code::kNvlinkError,
-        xid::Code::kGspRpcTimeout, xid::Code::kPmuSpiFailure}) {
-    const auto b = compute_burstiness(errors, periods.op, code);
+  for (std::size_t i = 0; i < std::size(kBurstFamilies); ++i) {
+    const auto code = kBurstFamilies[i];
+    const auto& b = bursts[i];
     const auto d = xid::describe(code);
     bt.add_row({std::string(d->abbrev), common::fmt_int(b.events),
                 common::fmt_fixed(b.mean_interarrival_h, 2),
@@ -237,10 +278,9 @@ std::string render_trends(const std::vector<CoalescedError>& errors,
   // --- spatial concentration ---
   common::AsciiTable st({"Family", "GPUs affected", "top-1 share %",
                          "top-5 share %", "GPUs for 80%", "Gini"});
-  for (const auto code :
-       {xid::Code::kMmuError, xid::Code::kNvlinkError,
-        xid::Code::kGspRpcTimeout, xid::Code::kUncontainedEccError}) {
-    const auto s = compute_concentration(errors, periods.whole(), code);
+  for (std::size_t i = 0; i < std::size(kConcFamilies); ++i) {
+    const auto code = kConcFamilies[i];
+    const auto& s = concs[i];
     const auto d = xid::describe(code);
     st.add_row({std::string(d->abbrev), common::fmt_int(s.gpus_affected),
                 common::fmt_pct(s.top1_share), common::fmt_pct(s.top5_share),
@@ -251,9 +291,6 @@ std::string render_trends(const std::vector<CoalescedError>& errors,
   out += st.render();
 
   // --- PMU -> MMU propagation (finding iii), recovered from logs alone ---
-  const auto prop = compute_propagation(errors, periods.whole(),
-                                        xid::Code::kPmuSpiFailure,
-                                        xid::Code::kMmuError);
   std::snprintf(buf, sizeof(buf),
                 "\nPMU -> MMU propagation: %llu of %llu PMU errors were "
                 "followed by an MMU error on the same GPU within 30 min "

@@ -20,6 +20,7 @@
 
 #include "analysis/coalesce.h"
 #include "analysis/periods.h"
+#include "common/thread_pool.h"
 
 namespace gpures::analysis {
 
@@ -93,8 +94,11 @@ PropagationCorrelation compute_propagation(
 
 /// Render a compact trends report (monthly GSP ramp, burstiness table,
 /// concentration table, PMU->MMU propagation) for the families that matter
-/// in the paper.
+/// in the paper.  With a pool, the independent statistics run as parallel
+/// tasks; the report is assembled in fixed order, so its bytes match a
+/// serial render exactly.
 std::string render_trends(const std::vector<CoalescedError>& errors,
-                          const StudyPeriods& periods);
+                          const StudyPeriods& periods,
+                          common::ThreadPool* pool = nullptr);
 
 }  // namespace gpures::analysis

@@ -162,22 +162,26 @@ TEST_F(GoldenPipeline, ExportedArtifactsMatchSnapshots) {
 }
 
 TEST_F(GoldenPipeline, ParallelDatasetReplayReproducesGoldenBytes) {
-  // Read the teed dataset back through a 3-worker parallel pipeline; every
+  // Read the teed dataset back through parallel pipelines (3 and 8 workers;
+  // the latter shards Stage III wider than this machine has cores); every
   // artifact must be byte-identical to the in-memory serial campaign's.
   const auto manifest = an::read_manifest(dataset_dir_);
   ASSERT_TRUE(manifest.ok()) << manifest.error().message;
   gpures::cluster::Topology topo(manifest.value().spec);
-  an::PipelineConfig pcfg = campaign_->config().pipeline;
-  pcfg.periods = manifest.value().periods;
-  pcfg.num_threads = 3;
-  an::AnalysisPipeline pipe(topo, pcfg);
-  const auto loaded = an::load_dataset(dataset_dir_, pipe);
-  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
-  ASSERT_GT(loaded.value(), 0u);
+  for (const std::uint32_t threads : {3u, 8u}) {
+    an::PipelineConfig pcfg = campaign_->config().pipeline;
+    pcfg.periods = manifest.value().periods;
+    pcfg.num_threads = threads;
+    an::AnalysisPipeline pipe(topo, pcfg);
+    const auto loaded = an::load_dataset(dataset_dir_, pipe);
+    ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+    ASSERT_GT(loaded.value(), 0u);
 
-  for (const char* name : kArtifacts) {
-    EXPECT_EQ(artifact(campaign_->pipeline(), name), artifact(pipe, name))
-        << name << " differs between serial in-memory and parallel replay";
+    for (const char* name : kArtifacts) {
+      EXPECT_EQ(artifact(campaign_->pipeline(), name), artifact(pipe, name))
+          << name << " differs between serial in-memory and " << threads
+          << "-worker replay";
+    }
   }
 }
 

@@ -220,7 +220,9 @@ int main(int argc, char** argv) {
   }
   if (all || report == "trends") {
     std::printf("%s\n",
-                analysis::render_trends(pipe.errors(), pcfg.periods).c_str());
+                analysis::render_trends(pipe.errors(), pcfg.periods,
+                                        pipe.pool())
+                    .c_str());
   }
   if ((all || report == "mitigation") && !pipe.jobs().jobs.empty()) {
     analysis::JobImpactConfig icfg;
@@ -228,13 +230,13 @@ int main(int argc, char** argv) {
     icfg.period = pcfg.periods.op;
     icfg.attribution = pcfg.attribution;
     std::printf("%s\n", analysis::render_mitigation(pipe.jobs(), pipe.errors(),
-                                                    icfg)
+                                                    icfg, pipe.pool())
                             .c_str());
   }
   if (all || report == "survival") {
     std::printf("%s\n",
                 analysis::render_survival(pipe.errors(), pcfg.periods,
-                                          topo.total_gpus())
+                                          topo.total_gpus(), pipe.pool())
                     .c_str());
   }
 
