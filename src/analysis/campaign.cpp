@@ -27,13 +27,15 @@ class DeltaCampaign::Glue final : public cluster::RawLineSink,
  public:
   explicit Glue(DeltaCampaign& owner) : owner_(owner) {}
 
-  // RawLineSink: render the NVRM XID line into the day stream.
+  // RawLineSink: render the NVRM XID line straight into the day arena.
   void on_xid_record(common::TimePoint t, std::int32_t node, std::int32_t slot,
                      xid::Code code, const std::string& detail) override {
     const auto& topo = owner_.topo_;
-    owner_.log_stream_->append(
-        t, logsys::render_xid_line(t, topo.node(node).name,
-                                   topo.pci_bus({node, slot}), code, detail));
+    // pci_bus returns a 10-char string — SSO, so still allocation-free.
+    const auto pci = topo.pci_bus({node, slot});
+    owner_.log_stream_->append_with(t, [&](std::string& out) {
+      logsys::append_xid_line(out, t, topo.node(node).name, pci, code, detail);
+    });
     ++owner_.raw_lines_;
   }
 
@@ -42,8 +44,9 @@ class DeltaCampaign::Glue final : public cluster::RawLineSink,
     if (owner_.failure_) owner_.failure_->on_error(n);
   }
   void on_drain_begin(std::int32_t node, common::TimePoint t) override {
-    owner_.log_stream_->append(
-        t, logsys::render_drain_line(t, owner_.topo_.node(node).name));
+    owner_.log_stream_->append_with(t, [&](std::string& out) {
+      logsys::append_drain_line(out, t, owner_.topo_.node(node).name);
+    });
     ++owner_.raw_lines_;
     if (owner_.failure_) owner_.failure_->on_drain_begin(node, t);
   }
@@ -51,8 +54,9 @@ class DeltaCampaign::Glue final : public cluster::RawLineSink,
     if (owner_.failure_) owner_.failure_->on_node_down(node, t);
   }
   void on_node_up(std::int32_t node, common::TimePoint t) override {
-    owner_.log_stream_->append(
-        t, logsys::render_resume_line(t, owner_.topo_.node(node).name));
+    owner_.log_stream_->append_with(t, [&](std::string& out) {
+      logsys::append_resume_line(out, t, owner_.topo_.node(node).name);
+    });
     ++owner_.raw_lines_;
     if (owner_.failure_) owner_.failure_->on_node_up(node, t);
   }
@@ -76,9 +80,9 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
   engine_.set_metrics(cfg_.metrics);
 
   log_stream_ = std::make_unique<logsys::DayLogStream>(
-      [this](common::TimePoint day_start, std::vector<logsys::RawLine>&& lines) {
-        if (dataset_ != nullptr) dataset_->write_day(day_start, lines);
-        pipeline_->ingest_log_day(day_start, lines);
+      [this](common::TimePoint day_start, logsys::DayBuffer&& day) {
+        if (dataset_ != nullptr) dataset_->write_day(day_start, day);
+        pipeline_->ingest_day(day_start, std::move(day));
       });
 
   sim_ = std::make_unique<cluster::ClusterSim>(engine_, topo_, cfg_.faults,
@@ -151,8 +155,9 @@ void DeltaCampaign::emit_noise_for_day(common::TimePoint day_start) {
                                    noise_rng_.uniform_u64(common::kDay));
     const auto node = static_cast<std::int32_t>(
         noise_rng_.uniform_u64(static_cast<std::uint64_t>(topo_.node_count())));
-    log_stream_->append(
-        t, logsys::render_noise_line(noise_rng_, t, topo_.node(node).name));
+    log_stream_->append_with(t, [&](std::string& out) {
+      logsys::append_noise_line(out, noise_rng_, t, topo_.node(node).name);
+    });
     ++raw_lines_;
   }
 }
@@ -188,8 +193,10 @@ void DeltaCampaign::run() {
     const auto header = slurm::accounting_header();
     if (dataset_ != nullptr) dataset_->write_accounting_line(header);
     pipeline_->ingest_accounting_line(header);
+    std::string line;  // reused scratch: no per-record allocation
     for (const auto& rec : scheduler_->records()) {
-      const auto line = slurm::to_accounting_line(rec, topo_);
+      line.clear();
+      slurm::append_accounting_line(line, rec, topo_);
       if (dataset_ != nullptr) dataset_->write_accounting_line(line);
       pipeline_->ingest_accounting_line(line);
     }

@@ -6,6 +6,7 @@
 #include <functional>
 #include <map>
 
+#include "common/io.h"
 #include "common/strings.h"
 #include "common/time.h"
 
@@ -213,11 +214,9 @@ common::Result<CampaignConfig> apply_config_text(std::string_view text,
 
 common::Result<CampaignConfig> load_config_file(const std::string& path,
                                                 CampaignConfig base) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return common::Error::make("config: cannot open " + path);
-  std::string text((std::istreambuf_iterator<char>(is)),
-                   std::istreambuf_iterator<char>());
-  return apply_config_text(text, std::move(base));
+  auto text = common::read_file(path);
+  if (!text.ok()) return common::Error::make("config: cannot open " + path);
+  return apply_config_text(text.value(), std::move(base));
 }
 
 std::vector<std::string> supported_config_keys() {

@@ -46,7 +46,12 @@ class DatasetWriter {
   DatasetWriter(const DatasetWriter&) = delete;
   DatasetWriter& operator=(const DatasetWriter&) = delete;
 
-  /// Write one consolidated day file.
+  /// Write one consolidated day file straight from the arena: the sorted
+  /// slices are streamed as maximal contiguous runs, so a fully in-order
+  /// day is a single large write with no intermediate copy.
+  void write_day(common::TimePoint day_start, const logsys::DayBuffer& day);
+
+  /// Write one consolidated day file (convenience for tests/fixtures).
   void write_day(common::TimePoint day_start,
                  const std::vector<logsys::RawLine>& lines);
 
@@ -54,15 +59,22 @@ class DatasetWriter {
   void write_accounting_line(std::string_view line);
 
   /// Flush and write the manifest.  Called by the destructor too.
+  /// Throws if any write since construction failed (a full disk mid-dump
+  /// must not produce a silently truncated dataset); the destructor
+  /// swallows, so call finalize() explicitly to observe failures.
   void finalize();
 
   const std::filesystem::path& dir() const { return dir_; }
   std::uint64_t days_written() const { return days_; }
 
  private:
+  /// Record the first write failure; finalize() re-throws it.
+  void note_write_failure(const std::string& what);
+
   std::filesystem::path dir_;
   DatasetManifest manifest_;
   std::ofstream accounting_;  ///< kept open: the dump has ~1.5M lines
+  std::string write_error_;   ///< first deferred write failure, if any
   std::uint64_t days_ = 0;
   bool finalized_ = false;
 };

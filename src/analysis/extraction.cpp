@@ -104,11 +104,11 @@ std::optional<ParsedLine> FastLineParser::parse(
     }
     XidRecord rec;
     rec.time = *t;
-    rec.host = std::string(host);
-    rec.pci = std::string(pci);
+    rec.host = host;
+    rec.pci = pci;
     rec.xid = xid;
-    rec.detail = std::string(rest);
-    return ParsedLine{std::move(rec)};
+    rec.detail = rest;
+    return ParsedLine{rec};
   }
 
   // Lifecycle line: "slurmctld[<pid>]: update_node: node <host> ...", with
@@ -166,15 +166,21 @@ std::optional<ParsedLine> RegexLineParser::parse(
   if (std::regex_match(begin, end, m, impl_->xid)) {
     const auto t = parse_line_time(line, day_start);
     if (!t) return std::nullopt;
+    // cmatch sub-matches are pointer pairs into `line`, so the views borrow
+    // from the caller's storage just like the fast parser's.
+    const auto view = [](const std::csub_match& sm) {
+      return std::string_view(sm.first,
+                              static_cast<std::size_t>(sm.second - sm.first));
+    };
     XidRecord rec;
     rec.time = *t;
-    rec.host = m[2].str();
-    rec.pci = m[3].str();
-    const long long xid = common::parse_ll(m[4].str());
+    rec.host = view(m[2]);
+    rec.pci = view(m[3]);
+    const long long xid = common::parse_ll(view(m[4]));
     if (xid < 0 || xid > 0xffff) return std::nullopt;
     rec.xid = static_cast<std::uint16_t>(xid);
-    rec.detail = m[5].matched ? m[5].str() : std::string{};
-    return ParsedLine{std::move(rec)};
+    rec.detail = m[5].matched ? view(m[5]) : std::string_view{};
+    return ParsedLine{rec};
   }
   if (std::regex_match(begin, end, m, impl_->drain)) {
     const auto t = parse_line_time(line, day_start);

@@ -23,16 +23,22 @@
 
 namespace gpures::analysis {
 
-/// A parsed NVRM XID line.
+/// A parsed NVRM XID line.  The text fields are views borrowed from the
+/// input line (zero-copy Stage I): they are valid only as long as the line's
+/// backing storage — consume or resolve them before the next line.  XID
+/// lines outnumber everything the pipeline keeps, so this is the record type
+/// that must not allocate.
 struct XidRecord {
   common::TimePoint time = 0;
-  std::string host;
-  std::string pci;       ///< e.g. "0000:27:00"
-  std::uint16_t xid = 0; ///< raw XID number (not yet validated/merged)
-  std::string detail;    ///< payload after "<xid>, "
+  std::string_view host;
+  std::string_view pci;   ///< e.g. "0000:27:00"
+  std::uint16_t xid = 0;  ///< raw XID number (not yet validated/merged)
+  std::string_view detail;  ///< payload after "<xid>, "
 };
 
-/// A parsed node lifecycle line (slurmctld drain / resume).
+/// A parsed node lifecycle line (slurmctld drain / resume).  Keeps an owned
+/// host string: lifecycle records are rare and stored long-term by the
+/// availability analysis, so they must outlive the parsed line.
 struct LifecycleRecord {
   enum class Kind : std::uint8_t { kDrain, kResume };
   common::TimePoint time = 0;

@@ -101,7 +101,7 @@ AnalysisPipeline::~AnalysisPipeline() = default;
 
 AnalysisPipeline::DayParse AnalysisPipeline::parse_day(
     const LineParser& parser, std::size_t worker, common::TimePoint day_start,
-    std::span<const logsys::RawLine> lines) const {
+    const logsys::DayBuffer& day) const {
   OBS_SPAN("stage1.parse_day");
   const auto t0 = std::chrono::steady_clock::now();
   DayParse out;
@@ -110,9 +110,13 @@ AnalysisPipeline::DayParse AnalysisPipeline::parse_day(
   // parallel schedule cannot change any metric value.
   std::uint64_t log_lines = 0, rejected = 0, unknown = 0;
   std::uint64_t xids = 0, lifecycles = 0;
-  for (const auto& l : lines) {
+  const std::size_t n_lines = day.size();
+  for (std::size_t i = 0; i < n_lines; ++i) {
     ++log_lines;
-    auto parsed = parser.parse(l.text, day_start);
+    // The slice (and the XidRecord views borrowed from it) lives in the
+    // day arena; hosts/PCI ids are resolved to indices right here, so
+    // nothing outlives the iteration.
+    auto parsed = parser.parse(day.line(i), day_start);
     if (!parsed) {
       ++rejected;
       continue;
@@ -164,18 +168,27 @@ std::size_t AnalysisPipeline::shard_of(xid::GpuId gpu) const {
          shard_coalescers_.size();
 }
 
-void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
-                                      std::span<const logsys::RawLine> lines) {
+void AnalysisPipeline::ingest_day(common::TimePoint day_start,
+                                  logsys::DayBuffer&& day) {
   if (finished_) throw std::logic_error("pipeline: ingest after finish()");
   if (pool_) {
-    pending_days_.push_back(
-        PendingDay{day_start, {lines.begin(), lines.end()}});
+    pending_days_.push_back(PendingDay{day_start, std::move(day)});
     if (pending_days_.size() >= batch_days_) flush_pending_days();
     return;
   }
-  auto day = parse_day(*parser_, 0, day_start, lines);
-  for (auto& l : day.lifecycle) lifecycle_.push_back(std::move(l));
-  for (const auto& o : day.obs) coalescer_->add(o);
+  auto parsed = parse_day(*parser_, 0, day_start, day);
+  for (auto& l : parsed.lifecycle) lifecycle_.push_back(std::move(l));
+  for (const auto& o : parsed.obs) coalescer_->add(o);
+}
+
+void AnalysisPipeline::ingest_log_day(common::TimePoint day_start,
+                                      std::span<const logsys::RawLine> lines) {
+  logsys::DayBuffer day;
+  std::size_t bytes = 0;
+  for (const auto& l : lines) bytes += l.text.size() + 1;
+  day.reserve(lines.size(), bytes);
+  for (const auto& l : lines) day.append(l.time, l.text);
+  ingest_day(day_start, std::move(day));
 }
 
 void AnalysisPipeline::flush_pending_days() {
@@ -188,7 +201,7 @@ void AnalysisPipeline::flush_pending_days() {
       pending_days_.size(), [&](std::size_t i, std::size_t w) {
         parsed[i] =
             parse_day(*worker_parsers_[w], w, pending_days_[i].day_start,
-                      pending_days_[i].lines);
+                      pending_days_[i].day);
       });
   // Deterministic ordered merge: day index order, stable within-day order —
   // exactly the sequence the serial path would have produced.
@@ -210,19 +223,16 @@ void AnalysisPipeline::flush_pending_days() {
 }
 
 void AnalysisPipeline::ingest_log_text(common::TimePoint day_start,
+                                       std::string&& text) {
+  // The file text becomes the day arena outright; slicing on '\n' is the
+  // only pass over the bytes (empty lines are skipped, as before).
+  ingest_day(day_start,
+             logsys::DayBuffer::from_text(day_start, std::move(text)));
+}
+
+void AnalysisPipeline::ingest_log_text(common::TimePoint day_start,
                                        std::string_view text) {
-  std::vector<logsys::RawLine> lines;
-  std::size_t start = 0;
-  while (start < text.size()) {
-    std::size_t nl = text.find('\n', start);
-    if (nl == std::string_view::npos) nl = text.size();
-    if (nl > start) {
-      lines.push_back(
-          logsys::RawLine{day_start, std::string(text.substr(start, nl - start))});
-    }
-    start = nl + 1;
-  }
-  ingest_log_day(day_start, lines);
+  ingest_log_text(day_start, std::string(text));
 }
 
 void AnalysisPipeline::ingest_accounting_line(std::string_view line) {

@@ -33,6 +33,7 @@
 #include "analysis/periods.h"
 #include "cluster/topology.h"
 #include "common/thread_pool.h"
+#include "logsys/day_buffer.h"
 #include "logsys/log_store.h"
 #include "obs/metrics.h"
 
@@ -76,11 +77,24 @@ class AnalysisPipeline {
   AnalysisPipeline& operator=(const AnalysisPipeline&) = delete;
 
   // ---- Stage I ingestion ----
-  /// Ingest one consolidated day of raw log lines.
+  /// Ingest one consolidated day as an arena: the pipeline takes ownership
+  /// and Stage-I workers parse string_view slices straight out of the day
+  /// buffer — zero per-line copies.  This is the hot path; the overloads
+  /// below are copying conveniences that funnel into it.
+  void ingest_day(common::TimePoint day_start, logsys::DayBuffer&& day);
+  /// Ingest one consolidated day of raw log lines (copies into an arena).
   void ingest_log_day(common::TimePoint day_start,
                       std::span<const logsys::RawLine> lines);
-  /// Same, from newline-separated text.
+  /// Ingest newline-separated day text by taking ownership of the string:
+  /// the text becomes the day's arena with no copy (loaders pass the whole
+  /// file straight through).
+  void ingest_log_text(common::TimePoint day_start, std::string&& text);
+  /// Same, from borrowed text (copies once into an arena).
   void ingest_log_text(common::TimePoint day_start, std::string_view text);
+  /// Disambiguates string literals (would match both overloads above).
+  void ingest_log_text(common::TimePoint day_start, const char* text) {
+    ingest_log_text(day_start, std::string_view(text));
+  }
   /// Ingest one accounting line (header and malformed lines are counted and
   /// skipped).
   void ingest_accounting_line(std::string_view line);
@@ -137,7 +151,7 @@ class AnalysisPipeline {
   };
   struct PendingDay {
     common::TimePoint day_start = 0;
-    std::vector<logsys::RawLine> lines;
+    logsys::DayBuffer day;
   };
   /// Handles into the registry, resolved once at construction.
   struct StageMetrics {
@@ -168,7 +182,7 @@ class AnalysisPipeline {
 
   DayParse parse_day(const LineParser& parser, std::size_t worker,
                      common::TimePoint day_start,
-                     std::span<const logsys::RawLine> lines) const;
+                     const logsys::DayBuffer& day) const;
   std::size_t shard_of(xid::GpuId gpu) const;
   /// Parallel mode: Stage-I parse all pending days on the pool, merge the
   /// per-day batches in day order, and drain each Stage-II shard.

@@ -1,0 +1,50 @@
+#include "common/fmt.h"
+
+namespace gpures::common {
+
+void append_uint(std::string& out, std::uint64_t v) {
+  char buf[20];  // max uint64 is 20 digits
+  char* end = buf + sizeof(buf);
+  char* p = end;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, static_cast<std::size_t>(end - p));
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  if (v < 0) {
+    out.push_back('-');
+    // Negate via uint64 so INT64_MIN doesn't overflow.
+    append_uint(out, ~static_cast<std::uint64_t>(v) + 1);
+    return;
+  }
+  append_uint(out, static_cast<std::uint64_t>(v));
+}
+
+void append_2d(std::string& out, int v) {
+  const char d[2] = {static_cast<char>('0' + (v / 10) % 10),
+                     static_cast<char>('0' + v % 10)};
+  out.append(d, 2);
+}
+
+void append_syslog_time(std::string& out, TimePoint tp) {
+  const CalendarTime ct = to_calendar(tp);
+  out.append(month_abbrev(ct.month));
+  out.push_back(' ');
+  if (ct.day < 10) {
+    out.push_back(' ');
+    out.push_back(static_cast<char>('0' + ct.day));
+  } else {
+    append_2d(out, ct.day);
+  }
+  out.push_back(' ');
+  append_2d(out, ct.hour);
+  out.push_back(':');
+  append_2d(out, ct.minute);
+  out.push_back(':');
+  append_2d(out, ct.second);
+}
+
+}  // namespace gpures::common

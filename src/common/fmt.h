@@ -1,0 +1,34 @@
+// Fast fixed-width formatters for the log emission hot path.
+//
+// The simulator renders hundreds of millions of syslog lines; going through
+// snprintf (format-string parsing, locale machinery) or std::to_string
+// (a temporary heap string per call) per line dominates emission time.
+// These helpers append digits straight into a caller-owned buffer, so a
+// pre-reserved arena sees zero per-line allocations.  Every formatter is
+// byte-compatible with the snprintf patterns it replaces — common/time.cpp
+// builds its own string renderers on top of them, so the two paths cannot
+// diverge.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace gpures::common {
+
+/// Append a decimal unsigned integer (no padding), like std::to_string but
+/// without the temporary string.
+void append_uint(std::string& out, std::uint64_t v);
+
+/// Append a decimal signed integer (no padding).
+void append_int(std::string& out, std::int64_t v);
+
+/// Append exactly two digits, zero-padded ("%02d" for values in [0, 99]).
+void append_2d(std::string& out, int v);
+
+/// Append a classic syslog header timestamp, e.g. "May  5 07:23:01"
+/// ("%s %2d %02d:%02d:%02d": day-of-month is space-padded).
+void append_syslog_time(std::string& out, TimePoint tp);
+
+}  // namespace gpures::common

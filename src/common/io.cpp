@@ -1,0 +1,35 @@
+#include "common/io.h"
+
+#include <cstdio>
+
+namespace gpures::common {
+
+Result<std::string> read_file(const std::string& path) {
+  // stdio instead of ifstream: no locale/sentry machinery, and fread on a
+  // FILE* compiles down to large memcpy-from-buffer block reads.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Error::make("cannot open file: " + path);
+  }
+  std::string out;
+  if (std::fseek(f, 0, SEEK_END) == 0) {
+    const long size = std::ftell(f);
+    if (size > 0) out.reserve(static_cast<std::size_t>(size));
+    std::rewind(f);
+  }
+  // Read by blocks rather than trusting the stat size: the file may grow or
+  // shrink between the seek and the read, and pipes/procfs report size 0.
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Error::make("read error on file: " + path);
+  }
+  return out;
+}
+
+}  // namespace gpures::common

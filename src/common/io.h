@@ -1,0 +1,20 @@
+// Whole-file I/O helpers.
+//
+// `std::istreambuf_iterator<char>` pulls one character per iteration through
+// the streambuf virtual interface; on multi-megabyte day files that is the
+// dominant load cost.  read_file stats the file once, reserves the exact
+// size, and issues large block reads instead.
+#pragma once
+
+#include <string>
+
+#include "common/error.h"
+
+namespace gpures::common {
+
+/// Read an entire file into a string with a single pre-sized pass.
+/// Returns the file contents, or an Error naming the path on open/read
+/// failure.  Binary-safe: bytes are returned exactly as stored.
+Result<std::string> read_file(const std::string& path);
+
+}  // namespace gpures::common

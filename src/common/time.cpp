@@ -1,5 +1,7 @@
 #include "common/time.h"
 
+#include "common/fmt.h"
+
 #include <array>
 #include <charconv>
 #include <cstdio>
@@ -112,12 +114,17 @@ std::string format_date(TimePoint tp) {
 }
 
 std::string format_syslog(TimePoint tp) {
-  const CalendarTime ct = to_calendar(tp);
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%s %2d %02d:%02d:%02d",
-                kMonthNames[static_cast<std::size_t>(ct.month - 1)], ct.day,
-                ct.hour, ct.minute, ct.second);
-  return buf;
+  // Delegates to the arena appender so the string and append paths cannot
+  // drift apart byte-wise.
+  std::string out;
+  out.reserve(15);
+  append_syslog_time(out, tp);
+  return out;
+}
+
+std::string_view month_abbrev(int month) {
+  if (month < 1 || month > 12) return "???";
+  return kMonthNames[static_cast<std::size_t>(month - 1)];
 }
 
 std::optional<TimePoint> parse_iso(std::string_view s) {

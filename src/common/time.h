@@ -61,6 +61,10 @@ std::string format_date(TimePoint tp);
 /// Render a classic syslog header timestamp, e.g. "May  5 07:23:01".
 std::string format_syslog(TimePoint tp);
 
+/// Three-letter English month abbreviation ("Jan".."Dec") for month 1..12.
+/// Out-of-range months return "???" (callers validate months upstream).
+std::string_view month_abbrev(int month);
+
 /// Parse "YYYY-MM-DD" or "YYYY-MM-DD HH:MM:SS" (also accepts 'T' separator).
 std::optional<TimePoint> parse_iso(std::string_view s);
 

@@ -1,0 +1,47 @@
+#include "logsys/day_buffer.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace gpures::logsys {
+
+DayBuffer DayBuffer::from_text(common::TimePoint default_time,
+                               std::string&& text) {
+  DayBuffer buf;
+  if (!text.empty() && text.back() != '\n') text.push_back('\n');
+  buf.arena_ = std::move(text);
+  // One line per newline is exact for written day files; reserve up front so
+  // the slice scan never reallocates mid-flight.
+  buf.slices_.reserve(
+      static_cast<std::size_t>(std::count(buf.arena_.begin(), buf.arena_.end(), '\n')));
+  const char* base = buf.arena_.data();
+  const std::size_t n = buf.arena_.size();
+  std::size_t pos = 0;
+  while (pos < n) {
+    const void* nl = std::memchr(base + pos, '\n', n - pos);
+    const std::size_t eol = static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+    if (eol > pos) {  // skip empty lines, matching pipeline line ingestion
+      buf.slices_.push_back(LineSlice{default_time, pos,
+                                      static_cast<std::uint32_t>(eol - pos)});
+    }
+    pos = eol + 1;
+  }
+  return buf;
+}
+
+void DayBuffer::sort_by_time() {
+  common::check(!open_, "DayBuffer: sort_by_time with a line open");
+  std::stable_sort(slices_.begin(), slices_.end(),
+                   [](const LineSlice& a, const LineSlice& b) {
+                     return a.time < b.time;
+                   });
+}
+
+std::string render_day(const DayBuffer& buf) {
+  std::string out;
+  out.reserve(buf.bytes());
+  buf.for_each_run([&out](std::string_view run) { out += run; });
+  return out;
+}
+
+}  // namespace gpures::logsys

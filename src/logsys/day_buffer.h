@@ -1,0 +1,151 @@
+// Contiguous per-day log arena.
+//
+// The seed data model kept every simulated syslog line as its own heap
+// std::string (logsys::RawLine); at paper scale — hundreds of millions of
+// lines, one faulty GPU alone emitting >1M lines in 17 days — that is one
+// allocation, one copy, and one pointer chase per line on both the emit and
+// the parse path.  DayBuffer replaces it with the arena discipline of
+// high-throughput solvers: one char buffer per day plus a flat vector of
+// {time, offset, len} slices.  Emitters append straight into the arena,
+// sorting permutes 16-byte slices instead of strings, writers stream the
+// arena out in maximal contiguous runs, and Stage-I parses std::string_view
+// slices with zero per-line copies.
+//
+// Invariants:
+//  - Every slice's text occupies arena[offset, offset+len) and is followed
+//    by exactly one '\n' at arena[offset+len].  (from_text appends a final
+//    '\n' if the source file lacked one, so the invariant is unconditional.)
+//  - Slice text never contains '\n'.
+//  - `slices` is the only ordering that matters; sort_by_time() permutes it
+//    stably, so equal timestamps keep emission order and the rendered bytes
+//    are identical to the seed's stable_sort over RawLine strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.h"
+#include "common/time.h"
+
+namespace gpures::logsys {
+
+/// One log line inside a DayBuffer arena: bucketing/sorting timestamp plus
+/// the [offset, offset+len) extent of the text (newline excluded).
+struct LineSlice {
+  common::TimePoint time = 0;
+  std::uint64_t offset = 0;
+  std::uint32_t len = 0;
+};
+
+class DayBuffer {
+ public:
+  DayBuffer() = default;
+
+  // Movable, not copyable: a day can be tens of MB and accidental copies are
+  // exactly the cost this type exists to remove.
+  DayBuffer(const DayBuffer&) = delete;
+  DayBuffer& operator=(const DayBuffer&) = delete;
+  DayBuffer(DayBuffer&&) = default;
+  DayBuffer& operator=(DayBuffer&&) = default;
+
+  /// Start a line at `t` and hand the caller the arena to append the line
+  /// text into (no trailing newline).  Must be paired with close_line().
+  std::string& open_line(common::TimePoint t) {
+    common::check(!open_, "DayBuffer: open_line with a line already open");
+    open_ = true;
+    pending_time_ = t;
+    pending_offset_ = arena_.size();
+    return arena_;
+  }
+
+  /// Seal the line opened by open_line(): record its slice and terminate it
+  /// with '\n' in the arena.
+  void close_line() {
+    common::check(open_, "DayBuffer: close_line without open_line");
+    open_ = false;
+    const std::uint64_t len = arena_.size() - pending_offset_;
+    arena_.push_back('\n');
+    slices_.push_back(LineSlice{pending_time_, pending_offset_,
+                                static_cast<std::uint32_t>(len)});
+  }
+
+  /// Append a complete line (convenience over open_line/close_line).
+  void append(common::TimePoint t, std::string_view text) {
+    open_line(t).append(text);
+    close_line();
+  }
+
+  /// Build a DayBuffer by taking ownership of a loaded day file: the text is
+  /// moved (not copied) into the arena and sliced on '\n'.  Empty lines are
+  /// skipped, matching the pipeline's line ingestion; every slice gets
+  /// `default_time` (day files carry their real timestamps in the text).
+  static DayBuffer from_text(common::TimePoint default_time, std::string&& text);
+
+  std::size_t size() const { return slices_.size(); }
+  bool empty() const { return slices_.empty(); }
+
+  common::TimePoint time(std::size_t i) const { return slices_[i].time; }
+
+  /// Line text without the trailing newline.  Borrowed from the arena: valid
+  /// until the buffer is destroyed or cleared (slices never move the arena).
+  std::string_view line(std::size_t i) const {
+    const LineSlice& s = slices_[i];
+    return std::string_view(arena_).substr(s.offset, s.len);
+  }
+
+  const std::string& arena() const { return arena_; }
+  const std::vector<LineSlice>& slices() const { return slices_; }
+
+  /// Total arena bytes (line texts + newlines).
+  std::uint64_t bytes() const { return arena_.size(); }
+
+  /// Pre-size for an expected day (called once per day, not per line).
+  void reserve(std::size_t lines, std::size_t arena_bytes) {
+    slices_.reserve(lines);
+    arena_.reserve(arena_bytes);
+  }
+
+  void clear() {
+    arena_.clear();
+    slices_.clear();
+    open_ = false;
+  }
+
+  /// Stable sort of the slices by time: equal timestamps keep append order,
+  /// so rendered output is byte-identical to sorting the old per-line
+  /// strings.  The arena itself never moves.
+  void sort_by_time();
+
+  /// Visit the sorted lines as maximal contiguous arena runs (newlines
+  /// included), so a fully in-order day becomes a single write syscall.
+  /// `fn` receives std::string_view chunks in output order.
+  template <typename Fn>
+  void for_each_run(Fn&& fn) const {
+    std::size_t i = 0;
+    while (i < slices_.size()) {
+      const std::uint64_t start = slices_[i].offset;
+      std::uint64_t end = slices_[i].offset + slices_[i].len + 1;  // + '\n'
+      ++i;
+      while (i < slices_.size() && slices_[i].offset == end) {
+        end = slices_[i].offset + slices_[i].len + 1;
+        ++i;
+      }
+      fn(std::string_view(arena_).substr(start, end - start));
+    }
+  }
+
+ private:
+  std::string arena_;
+  std::vector<LineSlice> slices_;
+  common::TimePoint pending_time_ = 0;
+  std::uint64_t pending_offset_ = 0;
+  bool open_ = false;
+};
+
+/// Render the buffer's lines in slice order, one per line with trailing
+/// newlines — the view the old render_day(vector<RawLine>) used to copy.
+std::string render_day(const DayBuffer& buf);
+
+}  // namespace gpures::logsys

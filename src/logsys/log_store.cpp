@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace gpures::logsys {
 
@@ -10,12 +11,18 @@ DayLogStream::DayLogStream(DayConsumer consumer)
   if (!consumer_) throw std::invalid_argument("DayLogStream: null consumer");
 }
 
-void DayLogStream::append(common::TimePoint t, std::string text) {
+std::string& DayLogStream::open_line(common::TimePoint t) {
   const std::int64_t day = common::day_index(t);
   if (day < min_open_day_) {
     throw std::logic_error("DayLogStream: line appended to already-flushed day");
   }
-  buffers_[day].push_back(RawLine{t, std::move(text)});
+  open_buffer_ = &buffers_[day];
+  return open_buffer_->open_line(t);
+}
+
+void DayLogStream::close_line() {
+  open_buffer_->close_line();
+  open_buffer_ = nullptr;
   ++appended_;
 }
 
@@ -36,12 +43,11 @@ void DayLogStream::finalize() {
 void DayLogStream::flush_day(std::int64_t day) {
   auto it = buffers_.find(day);
   if (it == buffers_.end()) return;
-  auto lines = std::move(it->second);
+  DayBuffer buf = std::move(it->second);
   buffers_.erase(it);
-  std::stable_sort(lines.begin(), lines.end(),
-                   [](const RawLine& a, const RawLine& b) { return a.time < b.time; });
+  buf.sort_by_time();
   ++flushed_;
-  consumer_(day * common::kDay, std::move(lines));
+  consumer_(day * common::kDay, std::move(buf));
 }
 
 std::string render_day(const std::vector<RawLine>& lines) {

@@ -3,8 +3,11 @@
 // Delta consolidates system logs per day across all nodes; the pipeline's
 // Stage I consumes day files.  DayLogStream reproduces that artifact shape
 // without holding the whole campaign's multi-million-line log in memory: the
-// simulator appends lines in rough time order, and whole days are flushed
-// (sorted by timestamp) to a consumer as soon as they are complete.
+// simulator appends lines in rough time order into one DayBuffer arena per
+// open day, and whole days are flushed (slices stably sorted by timestamp)
+// to a consumer as soon as they are complete.  Emitters render in place via
+// append_with, so a day's worth of log text is built with zero per-line
+// heap allocations.
 #pragma once
 
 #include <cstdint>
@@ -12,14 +15,17 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/time.h"
+#include "logsys/day_buffer.h"
 
 namespace gpures::logsys {
 
-/// One raw log line with the timestamp used for bucketing/sorting.  The text
-/// itself also carries the (syslog-format) timestamp; consumers parse text.
+/// One raw log line with the timestamp used for bucketing/sorting.  Kept as
+/// the convenience unit for tests and small fixtures; the streaming path
+/// itself stores lines in DayBuffer arenas.
 struct RawLine {
   common::TimePoint time = 0;
   std::string text;
@@ -27,15 +33,26 @@ struct RawLine {
 
 class DayLogStream {
  public:
-  /// Called once per finished day with that day's midnight and its lines
-  /// sorted by time (stable).
+  /// Called once per finished day with that day's midnight and its arena,
+  /// slices sorted by time (stable).
   using DayConsumer =
-      std::function<void(common::TimePoint day_start, std::vector<RawLine>&&)>;
+      std::function<void(common::TimePoint day_start, DayBuffer&&)>;
 
   explicit DayLogStream(DayConsumer consumer);
 
   /// Append a line (mostly in time order; small backwards jitter is fine).
-  void append(common::TimePoint t, std::string text);
+  void append(common::TimePoint t, std::string_view text) {
+    append_with(t, [text](std::string& out) { out.append(text); });
+  }
+
+  /// Append a line rendered directly into the day's arena: `render` receives
+  /// the arena string and appends the line text (no trailing newline).  This
+  /// is the zero-allocation emit path.
+  template <typename RenderFn>
+  void append_with(common::TimePoint t, RenderFn&& render) {
+    render(open_line(t));
+    close_line();
+  }
 
   /// Flush every day that ends strictly before `t`'s day.
   void flush_through(common::TimePoint t);
@@ -47,10 +64,13 @@ class DayLogStream {
   std::uint64_t days_flushed() const { return flushed_; }
 
  private:
+  std::string& open_line(common::TimePoint t);
+  void close_line();
   void flush_day(std::int64_t day);
 
   DayConsumer consumer_;
-  std::map<std::int64_t, std::vector<RawLine>> buffers_;  ///< by day index
+  std::map<std::int64_t, DayBuffer> buffers_;  ///< by day index
+  DayBuffer* open_buffer_ = nullptr;           ///< buffer of the open line
   std::int64_t min_open_day_ = std::numeric_limits<std::int64_t>::min();
   std::uint64_t appended_ = 0;
   std::uint64_t flushed_ = 0;

@@ -3,54 +3,54 @@
 #include <array>
 #include <cstdio>
 
+#include "common/fmt.h"
+
 namespace gpures::logsys {
 
 namespace {
 
-std::string header(common::TimePoint t, std::string_view host) {
-  std::string s = common::format_syslog(t);
-  s += ' ';
-  s += host;
-  s += ' ';
-  return s;
+void append_header(std::string& out, common::TimePoint t,
+                   std::string_view host) {
+  common::append_syslog_time(out, t);
+  out += ' ';
+  out += host;
+  out += ' ';
 }
 
 }  // namespace
 
-std::string render_xid_line(common::TimePoint t, std::string_view host,
-                            std::string_view pci_bus, xid::Code code,
-                            std::string_view detail) {
-  std::string s = header(t, host);
-  s += "kernel: NVRM: Xid (PCI:";
-  s += pci_bus;
-  s += "): ";
-  s += std::to_string(xid::to_number(code));
-  s += ", ";
-  s += detail;
-  return s;
+void append_xid_line(std::string& out, common::TimePoint t,
+                     std::string_view host, std::string_view pci_bus,
+                     xid::Code code, std::string_view detail) {
+  append_header(out, t, host);
+  out += "kernel: NVRM: Xid (PCI:";
+  out += pci_bus;
+  out += "): ";
+  common::append_uint(out, xid::to_number(code));
+  out += ", ";
+  out += detail;
 }
 
-std::string render_drain_line(common::TimePoint t, std::string_view host,
-                              std::string_view reason) {
-  std::string s = header(t, host);
-  s += "slurmctld[2112]: update_node: node ";
-  s += host;
-  s += " reason set to: ";
-  s += reason;
-  s += " [drain]";
-  return s;
+void append_drain_line(std::string& out, common::TimePoint t,
+                       std::string_view host, std::string_view reason) {
+  append_header(out, t, host);
+  out += "slurmctld[2112]: update_node: node ";
+  out += host;
+  out += " reason set to: ";
+  out += reason;
+  out += " [drain]";
 }
 
-std::string render_resume_line(common::TimePoint t, std::string_view host) {
-  std::string s = header(t, host);
-  s += "slurmctld[2112]: update_node: node ";
-  s += host;
-  s += " state set to: resume";
-  return s;
+void append_resume_line(std::string& out, common::TimePoint t,
+                        std::string_view host) {
+  append_header(out, t, host);
+  out += "slurmctld[2112]: update_node: node ";
+  out += host;
+  out += " state set to: resume";
 }
 
-std::string render_noise_line(common::Rng& rng, common::TimePoint t,
-                              std::string_view host) {
+void append_noise_line(std::string& out, common::Rng& rng, common::TimePoint t,
+                       std::string_view host) {
   static constexpr std::array<const char*, 8> kTemplates = {
       "sshd[%u]: Accepted publickey for user%u from 10.0.%u.%u",
       "systemd[1]: Started Session %u of user hpcuser%u.",
@@ -65,12 +65,45 @@ std::string render_noise_line(common::Rng& rng, common::TimePoint t,
   };
   const char* tmpl = kTemplates[rng.uniform_u64(kTemplates.size())];
   char buf[256];
-  std::snprintf(buf, sizeof(buf), tmpl,
-                static_cast<unsigned>(rng.uniform_u64(30000) + 1000),
-                static_cast<unsigned>(rng.uniform_u64(900) + 10),
-                static_cast<unsigned>(rng.uniform_u64(250)),
-                static_cast<unsigned>(rng.uniform_u64(250)));
-  return header(t, host) + buf;
+  int n = std::snprintf(buf, sizeof(buf), tmpl,
+                        static_cast<unsigned>(rng.uniform_u64(30000) + 1000),
+                        static_cast<unsigned>(rng.uniform_u64(900) + 10),
+                        static_cast<unsigned>(rng.uniform_u64(250)),
+                        static_cast<unsigned>(rng.uniform_u64(250)));
+  // snprintf returns the would-be length: negative on encoding error, and
+  // >= sizeof(buf) when truncated (only sizeof(buf)-1 chars were written).
+  if (n < 0) n = 0;
+  if (n >= static_cast<int>(sizeof(buf))) n = static_cast<int>(sizeof(buf)) - 1;
+  append_header(out, t, host);
+  out.append(buf, static_cast<std::size_t>(n));
+}
+
+std::string render_xid_line(common::TimePoint t, std::string_view host,
+                            std::string_view pci_bus, xid::Code code,
+                            std::string_view detail) {
+  std::string s;
+  append_xid_line(s, t, host, pci_bus, code, detail);
+  return s;
+}
+
+std::string render_drain_line(common::TimePoint t, std::string_view host,
+                              std::string_view reason) {
+  std::string s;
+  append_drain_line(s, t, host, reason);
+  return s;
+}
+
+std::string render_resume_line(common::TimePoint t, std::string_view host) {
+  std::string s;
+  append_resume_line(s, t, host);
+  return s;
+}
+
+std::string render_noise_line(common::Rng& rng, common::TimePoint t,
+                              std::string_view host) {
+  std::string s;
+  append_noise_line(s, rng, t, host);
+  return s;
 }
 
 }  // namespace gpures::logsys

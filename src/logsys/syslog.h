@@ -9,6 +9,12 @@
 // Node lifecycle events (drain / resume) come from slurmctld and are used by
 // the availability analysis; everything else is noise the Stage-I filter
 // must reject.
+//
+// Each line has two forms: an append_* variant that renders straight into a
+// caller-owned buffer (the DayBuffer arena — the zero-allocation hot path)
+// and a render_* wrapper returning a fresh std::string for tests and small
+// fixtures.  The wrappers delegate to the appenders, so the two paths are
+// byte-identical by construction.
 #pragma once
 
 #include <string>
@@ -19,6 +25,24 @@
 #include "xid/xid.h"
 
 namespace gpures::logsys {
+
+/// Append a kernel NVRM XID line to `out`.
+void append_xid_line(std::string& out, common::TimePoint t,
+                     std::string_view host, std::string_view pci_bus,
+                     xid::Code code, std::string_view detail);
+
+/// Append the slurmctld drain line the SRE health checks produce.
+void append_drain_line(std::string& out, common::TimePoint t,
+                       std::string_view host,
+                       std::string_view reason = "gpu_health_check_failed");
+
+/// Append the slurmctld resume (return-to-service) line.
+void append_resume_line(std::string& out, common::TimePoint t,
+                        std::string_view host);
+
+/// Append a realistic non-XID noise line (sshd, lustre, systemd, ...).
+void append_noise_line(std::string& out, common::Rng& rng, common::TimePoint t,
+                       std::string_view host);
 
 /// Render a kernel NVRM XID line.
 std::string render_xid_line(common::TimePoint t, std::string_view host,

@@ -2,6 +2,7 @@
 
 #include <ostream>
 
+#include "common/fmt.h"
 #include "common/strings.h"
 #include "common/time.h"
 
@@ -9,10 +10,22 @@ namespace gpures::slurm {
 
 namespace {
 
-std::string iso_t(common::TimePoint tp) {
-  std::string s = common::format_iso(tp);
-  s[10] = 'T';
-  return s;
+// "YYYY-MM-DDTHH:MM:SS" rendered straight into `out` ("%04d" year:
+// zero-padded, matching format_iso byte-for-byte).
+void append_iso_t(std::string& out, common::TimePoint tp) {
+  const common::CalendarTime ct = common::to_calendar(tp);
+  common::append_2d(out, ct.year / 100);
+  common::append_2d(out, ct.year % 100);
+  out += '-';
+  common::append_2d(out, ct.month);
+  out += '-';
+  common::append_2d(out, ct.day);
+  out += 'T';
+  common::append_2d(out, ct.hour);
+  out += ':';
+  common::append_2d(out, ct.minute);
+  out += ':';
+  common::append_2d(out, ct.second);
 }
 
 }  // namespace
@@ -22,40 +35,45 @@ std::string accounting_header() {
          "|AllocGPUS";
 }
 
+void append_accounting_line(std::string& out, const JobRecord& rec,
+                            const cluster::Topology& topo) {
+  common::append_uint(out, rec.id);
+  out += '|';
+  out += rec.name;
+  out += '|';
+  append_iso_t(out, rec.submit);
+  out += '|';
+  append_iso_t(out, rec.start);
+  out += '|';
+  append_iso_t(out, rec.end);
+  out += '|';
+  out += to_string(rec.state);
+  out += '|';
+  common::append_int(out, rec.exit_code);
+  out += ":0";
+  out += '|';
+  common::append_int(out, rec.nodes);
+  out += '|';
+  common::append_int(out, rec.gpus);
+  out += '|';
+  for (std::size_t i = 0; i < rec.node_list.size(); ++i) {
+    if (i) out += ',';
+    out += topo.node(rec.node_list[i]).name;
+  }
+  out += '|';
+  for (std::size_t i = 0; i < rec.gpu_list.size(); ++i) {
+    if (i) out += ';';
+    out += topo.node(rec.gpu_list[i].node).name;
+    out += ':';
+    common::append_int(out, rec.gpu_list[i].slot);
+  }
+}
+
 std::string to_accounting_line(const JobRecord& rec,
                                const cluster::Topology& topo) {
   std::string line;
   line.reserve(128);
-  line += std::to_string(rec.id);
-  line += '|';
-  line += rec.name;
-  line += '|';
-  line += iso_t(rec.submit);
-  line += '|';
-  line += iso_t(rec.start);
-  line += '|';
-  line += iso_t(rec.end);
-  line += '|';
-  line += to_string(rec.state);
-  line += '|';
-  line += std::to_string(rec.exit_code);
-  line += ":0";
-  line += '|';
-  line += std::to_string(rec.nodes);
-  line += '|';
-  line += std::to_string(rec.gpus);
-  line += '|';
-  for (std::size_t i = 0; i < rec.node_list.size(); ++i) {
-    if (i) line += ',';
-    line += topo.node(rec.node_list[i]).name;
-  }
-  line += '|';
-  for (std::size_t i = 0; i < rec.gpu_list.size(); ++i) {
-    if (i) line += ';';
-    line += topo.node(rec.gpu_list[i].node).name;
-    line += ':';
-    line += std::to_string(rec.gpu_list[i].slot);
-  }
+  append_accounting_line(line, rec, topo);
   return line;
 }
 

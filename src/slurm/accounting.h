@@ -26,6 +26,12 @@ namespace gpures::slurm {
 /// The dump header line.
 std::string accounting_header();
 
+/// Append one record to `out` (no trailing newline); `topo` translates node
+/// indices to hostnames.  The campaign renders ~1.5M records through one
+/// reused scratch buffer, so this path allocates nothing per record.
+void append_accounting_line(std::string& out, const JobRecord& rec,
+                            const cluster::Topology& topo);
+
 /// Render one record; `topo` translates node indices to hostnames.
 std::string to_accounting_line(const JobRecord& rec,
                                const cluster::Topology& topo);

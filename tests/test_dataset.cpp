@@ -5,6 +5,10 @@
 #include <filesystem>
 #include <fstream>
 
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
 #include "analysis/campaign.h"
 #include "analysis/dataset.h"
 
@@ -20,6 +24,13 @@ fs::path temp_dir(const std::string& name) {
   const auto dir = fs::temp_directory_path() / ("gpures_test_" + name);
   fs::remove_all(dir);
   return dir;
+}
+
+an::DatasetManifest tiny_manifest() {
+  an::DatasetManifest m;
+  m.spec = cl::ClusterSpec::small(1, 0);
+  m.periods = an::StudyPeriods::make(0, ct::kDay, 3 * ct::kDay);
+  return m;
 }
 
 }  // namespace
@@ -87,6 +98,67 @@ TEST(Dataset, WriterCreatesLayout) {
   EXPECT_EQ(l2, "row1");
   fs::remove_all(dir);
 }
+
+TEST(Dataset, DayWriteFailureSurfacesAtFinalize) {
+  // A day file that cannot be opened must not be silently dropped: the
+  // writer keeps running (the campaign should not die mid-flush) but
+  // finalize() reports the first failure.  A directory planted where the
+  // day file belongs makes the open fail even when running as root
+  // (EISDIR), unlike a chmod-based setup.
+  const auto dir = temp_dir("day_fail");
+  an::DatasetWriter w(dir, tiny_manifest());
+  fs::create_directories(dir / "syslog" / "syslog-2023-01-05.log");
+  w.write_day(ct::make_date(2023, 1, 5), {{100, "lost line"}});
+  EXPECT_EQ(w.days_written(), 0u);  // failed day is not counted
+  EXPECT_THROW(w.finalize(), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, ManifestWriteFailureSurfacesAtFinalize) {
+  const auto dir = temp_dir("manifest_fail");
+  an::DatasetWriter w(dir, tiny_manifest());
+  w.write_day(ct::make_date(2023, 1, 5), {{100, "fine"}});
+  fs::create_directories(dir / "manifest.txt");
+  EXPECT_THROW(w.finalize(), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, UnwritableAccountingFailsConstruction) {
+  const auto dir = temp_dir("acc_fail");
+  fs::create_directories(dir / "slurm_accounting.txt");
+  EXPECT_THROW(an::DatasetWriter(dir, tiny_manifest()), std::runtime_error);
+  fs::remove_all(dir);
+}
+
+TEST(Dataset, DestructorSwallowsDeferredFailures) {
+  // The destructor finalizes as a convenience but must never throw; only an
+  // explicit finalize() surfaces the error.
+  const auto dir = temp_dir("dtor_fail");
+  {
+    an::DatasetWriter w(dir, tiny_manifest());
+    fs::create_directories(dir / "syslog" / "syslog-2023-01-05.log");
+    w.write_day(ct::make_date(2023, 1, 5), {{100, "lost line"}});
+  }
+  SUCCEED();  // reaching here means the destructor did not rethrow
+  fs::remove_all(dir);
+}
+
+#ifndef _WIN32
+TEST(Dataset, UnwritableDirectorySurfacesDayFailure) {
+  // chmod-based variant of DayWriteFailureSurfacesAtFinalize; meaningless
+  // for root, which bypasses permission bits.
+  if (::geteuid() == 0) GTEST_SKIP() << "chmod does not restrict root";
+  const auto dir = temp_dir("perm_fail");
+  an::DatasetWriter w(dir, tiny_manifest());
+  fs::permissions(dir / "syslog", fs::perms::owner_read | fs::perms::owner_exec,
+                  fs::perm_options::replace);
+  w.write_day(ct::make_date(2023, 1, 5), {{100, "lost line"}});
+  EXPECT_THROW(w.finalize(), std::runtime_error);
+  fs::permissions(dir / "syslog", fs::perms::owner_all,
+                  fs::perm_options::replace);
+  fs::remove_all(dir);
+}
+#endif
 
 TEST(Dataset, LoadRejectsMissingPieces) {
   const auto dir = temp_dir("missing");

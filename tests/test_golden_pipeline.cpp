@@ -31,6 +31,7 @@
 #include "analysis/dataset.h"
 #include "analysis/export.h"
 #include "analysis/reports.h"
+#include "common/io.h"
 
 namespace an = gpures::analysis;
 namespace fs = std::filesystem;
@@ -125,12 +126,11 @@ class GoldenPipeline : public ::testing::Test {
       ASSERT_TRUE(os.good()) << "cannot write " << path;
       return;
     }
-    std::ifstream is(path, std::ios::binary);
-    ASSERT_TRUE(is.good())
+    const auto snapshot = gpures::common::read_file(path.string());
+    ASSERT_TRUE(snapshot.ok())
         << "missing golden snapshot " << path
         << " — run with GPURES_UPDATE_GOLDEN=1 to create it";
-    const std::string expected((std::istreambuf_iterator<char>(is)),
-                               std::istreambuf_iterator<char>());
+    const std::string& expected = snapshot.value();
     // EXPECT_EQ on the full strings gives a readable first-difference diff.
     EXPECT_EQ(expected, actual) << name << " diverged from tests/golden/"
                                 << name << "; if the change is intentional, "

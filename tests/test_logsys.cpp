@@ -1,7 +1,8 @@
-// Syslog rendering and the day-bucketed log stream.
+// Syslog rendering, the DayBuffer arena, and the day-bucketed log stream.
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "logsys/day_buffer.h"
 #include "logsys/log_store.h"
 #include "logsys/syslog.h"
 
@@ -39,10 +40,117 @@ TEST(Syslog, NoiseLinesNeverLookLikeXid) {
   }
 }
 
+TEST(Syslog, AppendersMatchRenderers) {
+  // The append_* arena variants and the render_* wrappers must be
+  // byte-identical (the emit path uses the former, tests the latter).
+  ct::Rng rng_a(7);
+  ct::Rng rng_b(7);
+  const auto t = ct::to_timepoint({2023, 1, 9, 23, 59, 58});
+  std::string out;
+  ls::append_xid_line(out, t, "gpub007", "0000:A7:00",
+                      gx::Code::kFallenOffBus,
+                      "pid=77, GPU has fallen off the bus.");
+  EXPECT_EQ(out, ls::render_xid_line(t, "gpub007", "0000:A7:00",
+                                     gx::Code::kFallenOffBus,
+                                     "pid=77, GPU has fallen off the bus."));
+  out.clear();
+  ls::append_drain_line(out, t, "gpub007");
+  EXPECT_EQ(out, ls::render_drain_line(t, "gpub007"));
+  out.clear();
+  ls::append_resume_line(out, t, "gpub007");
+  EXPECT_EQ(out, ls::render_resume_line(t, "gpub007"));
+  for (int i = 0; i < 500; ++i) {
+    out.clear();
+    ls::append_noise_line(out, rng_a, t + i, "gpub007");
+    EXPECT_EQ(out, ls::render_noise_line(rng_b, t + i, "gpub007"));
+  }
+}
+
+TEST(DayBuffer, AppendAndSliceAccess) {
+  ls::DayBuffer buf;
+  buf.append(5, "hello");
+  buf.append(3, "world!");
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.line(0), "hello");
+  EXPECT_EQ(buf.line(1), "world!");
+  EXPECT_EQ(buf.time(0), 5);
+  EXPECT_EQ(buf.time(1), 3);
+  EXPECT_EQ(buf.arena(), "hello\nworld!\n");
+  EXPECT_EQ(buf.bytes(), 13u);
+}
+
+TEST(DayBuffer, SortPermutesSlicesNotArena) {
+  ls::DayBuffer buf;
+  buf.append(5, "b");
+  buf.append(3, "a");
+  buf.sort_by_time();
+  EXPECT_EQ(buf.line(0), "a");
+  EXPECT_EQ(buf.line(1), "b");
+  EXPECT_EQ(buf.arena(), "b\na\n");  // bytes never move
+  EXPECT_EQ(ls::render_day(buf), "a\nb\n");
+}
+
+TEST(DayBuffer, StableSortKeepsEqualTimesInAppendOrder) {
+  ls::DayBuffer buf;
+  buf.append(9, "late");
+  buf.append(7, "first");
+  buf.append(7, "second");
+  buf.append(7, "third");
+  buf.append(1, "early");
+  buf.sort_by_time();
+  EXPECT_EQ(buf.line(0), "early");
+  EXPECT_EQ(buf.line(1), "first");
+  EXPECT_EQ(buf.line(2), "second");
+  EXPECT_EQ(buf.line(3), "third");
+  EXPECT_EQ(buf.line(4), "late");
+}
+
+TEST(DayBuffer, FromTextSlicesAndSkipsEmptyLines) {
+  auto buf = ls::DayBuffer::from_text(42, "one\n\ntwo\nthree");
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.line(0), "one");
+  EXPECT_EQ(buf.line(1), "two");
+  EXPECT_EQ(buf.line(2), "three");
+  EXPECT_EQ(buf.time(1), 42);
+  // A missing trailing newline is added so every slice is '\n'-terminated.
+  EXPECT_EQ(buf.arena().back(), '\n');
+}
+
+TEST(DayBuffer, ForEachRunMergesContiguousSlices) {
+  ls::DayBuffer buf;
+  buf.append(1, "a");
+  buf.append(2, "b");
+  buf.append(3, "c");
+  // Already sorted: the whole arena is one run.
+  int runs = 0;
+  std::string joined;
+  buf.for_each_run([&](std::string_view run) {
+    ++runs;
+    joined += run;
+  });
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(joined, "a\nb\nc\n");
+
+  // Reverse order: every line is its own run, output still sorted.
+  ls::DayBuffer rev;
+  rev.append(3, "c");
+  rev.append(2, "b");
+  rev.append(1, "a");
+  rev.sort_by_time();
+  runs = 0;
+  joined.clear();
+  rev.for_each_run([&](std::string_view run) {
+    ++runs;
+    joined += run;
+  });
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(joined, "a\nb\nc\n");
+}
+
 TEST(DayLogStream, FlushesWholeSortedDays) {
-  std::vector<std::pair<ct::TimePoint, std::vector<ls::RawLine>>> flushed;
-  ls::DayLogStream stream([&](ct::TimePoint day, std::vector<ls::RawLine>&& v) {
-    flushed.emplace_back(day, std::move(v));
+  std::vector<std::pair<ct::TimePoint, ls::DayBuffer>> flushed;
+  ls::DayLogStream stream([&](ct::TimePoint day, ls::DayBuffer&& buf) {
+    flushed.emplace_back(day, std::move(buf));
   });
   const auto d0 = ct::make_date(2022, 5, 5);
   stream.append(d0 + 100, "b");
@@ -54,17 +162,17 @@ TEST(DayLogStream, FlushesWholeSortedDays) {
   ASSERT_EQ(flushed.size(), 1u);
   EXPECT_EQ(flushed[0].first, d0);
   ASSERT_EQ(flushed[0].second.size(), 2u);
-  EXPECT_EQ(flushed[0].second[0].text, "a");  // sorted by time
-  EXPECT_EQ(flushed[0].second[1].text, "b");
+  EXPECT_EQ(flushed[0].second.line(0), "a");  // sorted by time
+  EXPECT_EQ(flushed[0].second.line(1), "b");
 
   stream.finalize();
   ASSERT_EQ(flushed.size(), 2u);
-  EXPECT_EQ(flushed[1].second[0].text, "c");
+  EXPECT_EQ(flushed[1].second.line(0), "c");
   EXPECT_EQ(stream.days_flushed(), 2u);
 }
 
 TEST(DayLogStream, RejectsAppendsToFlushedDays) {
-  ls::DayLogStream stream([](ct::TimePoint, std::vector<ls::RawLine>&&) {});
+  ls::DayLogStream stream([](ct::TimePoint, ls::DayBuffer&&) {});
   const auto d0 = ct::make_date(2022, 5, 5);
   stream.append(d0 + 10, "x");
   stream.flush_through(d0 + ct::kDay);
@@ -75,7 +183,7 @@ TEST(DayLogStream, RejectsAppendsToFlushedDays) {
 TEST(DayLogStream, SkipsEmptyDays) {
   int flushes = 0;
   ls::DayLogStream stream(
-      [&](ct::TimePoint, std::vector<ls::RawLine>&&) { ++flushes; });
+      [&](ct::TimePoint, ls::DayBuffer&&) { ++flushes; });
   const auto d0 = ct::make_date(2022, 5, 5);
   stream.append(d0 + 10, "x");
   stream.append(d0 + 10 * ct::kDay, "y");  // 9-day gap
@@ -89,8 +197,10 @@ TEST(DayLogStream, NullConsumerRejected) {
 
 TEST(DayLogStream, StableSortKeepsEqualTimesInOrder) {
   std::vector<std::string> texts;
-  ls::DayLogStream stream([&](ct::TimePoint, std::vector<ls::RawLine>&& v) {
-    for (auto& l : v) texts.push_back(l.text);
+  ls::DayLogStream stream([&](ct::TimePoint, ls::DayBuffer&& buf) {
+    for (std::size_t i = 0; i < buf.size(); ++i) {
+      texts.emplace_back(buf.line(i));
+    }
   });
   const auto d0 = ct::make_date(2022, 5, 5);
   stream.append(d0 + 100, "first");
@@ -100,8 +210,21 @@ TEST(DayLogStream, StableSortKeepsEqualTimesInOrder) {
   EXPECT_EQ(texts, (std::vector<std::string>{"first", "second", "third"}));
 }
 
+TEST(DayLogStream, AppendWithRendersInPlace) {
+  std::string day_text;
+  ls::DayLogStream stream([&](ct::TimePoint, ls::DayBuffer&& buf) {
+    day_text = ls::render_day(buf);
+  });
+  const auto d0 = ct::make_date(2022, 5, 5);
+  stream.append_with(d0 + 1, [](std::string& out) { out += "in-place"; });
+  stream.append(d0 + 2, "copied");
+  stream.finalize();
+  EXPECT_EQ(day_text, "in-place\ncopied\n");
+  EXPECT_EQ(stream.lines_appended(), 2u);
+}
+
 TEST(RenderDay, JoinsWithNewlines) {
   std::vector<ls::RawLine> lines = {{1, "a"}, {2, "b"}};
   EXPECT_EQ(ls::render_day(lines), "a\nb\n");
-  EXPECT_EQ(ls::render_day({}), "");
+  EXPECT_EQ(ls::render_day(std::vector<ls::RawLine>{}), "");
 }

@@ -21,6 +21,7 @@
 #include "analysis/campaign.h"
 #include "analysis/config_file.h"
 #include "analysis/dataset.h"
+#include "common/io.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -159,9 +160,8 @@ int main(int argc, char** argv) {
       return 1;
     }
     cfg = std::move(loaded).take();
-    std::ifstream is(config_file, std::ios::binary);
-    config_text.assign(std::istreambuf_iterator<char>(is),
-                       std::istreambuf_iterator<char>());
+    auto text = common::read_file(config_file);
+    if (text.ok()) config_text = std::move(text).take();
   }
 
   analysis::DatasetManifest manifest;
