@@ -202,7 +202,7 @@ void DeltaCampaign::run() {
     }
   }
   pipeline_->finish();
-  if (dataset_ != nullptr) dataset_->finalize();
+  if (dataset_ != nullptr) dataset_->finalize().throw_if_error();
 }
 
 }  // namespace gpures::analysis

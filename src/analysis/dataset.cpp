@@ -7,6 +7,7 @@
 #include "common/io.h"
 #include "common/strings.h"
 #include "obs/trace.h"
+#include "slurm/accounting.h"
 
 namespace gpures::analysis {
 
@@ -34,39 +35,62 @@ common::Result<DatasetManifest> DatasetManifest::parse(std::string_view text) {
   bool have_begin = false;
   bool have_op = false;
   bool have_end = false;
+  bool have_name = false;
+  long long declared_nodes = -1;
+  std::uint64_t line_no = 0;
+  const auto fail = [&](std::string msg) {
+    return common::Error::at("manifest: " + std::move(msg), "manifest.txt",
+                             line_no);
+  };
   for (const auto raw_line : common::split(text, '\n')) {
+    ++line_no;
     const auto line = common::trim(raw_line);
     if (line.empty() || line[0] == '#') continue;
     const auto eq = line.find('=');
     if (eq == std::string_view::npos) {
-      return common::Error::make("manifest: malformed line '" +
-                                 std::string(line) + "'");
+      return fail("malformed line '" + std::string(line) + "'");
     }
     const auto key = line.substr(0, eq);
     const auto value = line.substr(eq + 1);
     if (key == "name") {
+      if (have_name) return fail("duplicate key 'name'");
+      have_name = true;
       m.name = std::string(value);
     } else if (key == "study_begin" || key == "op_begin" || key == "study_end") {
       const auto t = common::parse_iso(value);
-      if (!t) return common::Error::make("manifest: bad date in " + std::string(key));
-      if (key == "study_begin") { begin = *t; have_begin = true; }
-      if (key == "op_begin") { op = *t; have_op = true; }
-      if (key == "study_end") { end = *t; have_end = true; }
+      if (!t) return fail("bad date in " + std::string(key));
+      if (key == "study_begin") {
+        if (have_begin) return fail("duplicate key 'study_begin'");
+        begin = *t;
+        have_begin = true;
+      }
+      if (key == "op_begin") {
+        if (have_op) return fail("duplicate key 'op_begin'");
+        op = *t;
+        have_op = true;
+      }
+      if (key == "study_end") {
+        if (have_end) return fail("duplicate key 'study_end'");
+        end = *t;
+        have_end = true;
+      }
     } else if (key == "node") {
       const auto colon = value.rfind(':');
       if (colon == std::string_view::npos) {
-        return common::Error::make("manifest: bad node entry");
+        return fail("bad node entry");
       }
       const long long gpus = common::parse_ll(value.substr(colon + 1));
       if (gpus <= 0 || gpus > 8) {
-        return common::Error::make("manifest: bad node GPU count");
+        return fail("bad node GPU count");
       }
       m.spec.nodes.push_back({std::string(value.substr(0, colon)),
                               static_cast<std::int32_t>(gpus)});
     } else if (key == "nodes") {
-      // informational; validated below
+      if (declared_nodes >= 0) return fail("duplicate key 'nodes'");
+      declared_nodes = common::parse_ll(value);
+      if (declared_nodes < 0) return fail("bad value for 'nodes'");
     } else {
-      return common::Error::make("manifest: unknown key '" + std::string(key) + "'");
+      return fail("unknown key '" + std::string(key) + "'");
     }
   }
   if (!have_begin || !have_op || !have_end) {
@@ -74,6 +98,14 @@ common::Result<DatasetManifest> DatasetManifest::parse(std::string_view text) {
   }
   if (m.spec.nodes.empty()) {
     return common::Error::make("manifest: no nodes");
+  }
+  // A declared count that disagrees with the entries means the manifest was
+  // truncated or spliced — exactly the corruption this check exists to catch.
+  if (declared_nodes >= 0 &&
+      declared_nodes != static_cast<long long>(m.spec.nodes.size())) {
+    return common::Error::make(
+        "manifest: nodes=" + std::to_string(declared_nodes) + " but " +
+        std::to_string(m.spec.nodes.size()) + " node entries");
   }
   try {
     m.periods = StudyPeriods::make(begin, op, end);
@@ -95,11 +127,8 @@ DatasetWriter::DatasetWriter(fs::path dir, DatasetManifest manifest)
 }
 
 DatasetWriter::~DatasetWriter() {
-  try {
-    finalize();
-  } catch (...) {
-    // Destructors must not throw; an explicit finalize() surfaces errors.
-  }
+  // Destructors must not fail; an explicit finalize() observes the status.
+  (void)finalize();
 }
 
 void DatasetWriter::note_write_failure(const std::string& what) {
@@ -144,8 +173,8 @@ void DatasetWriter::write_accounting_line(std::string_view line) {
   }
 }
 
-void DatasetWriter::finalize() {
-  if (finalized_) return;
+common::Status DatasetWriter::finalize() {
+  if (finalized_) return final_status_;
   finalized_ = true;
   accounting_.flush();
   if (!accounting_) {
@@ -165,7 +194,10 @@ void DatasetWriter::finalize() {
                          dir_.string());
     }
   }
-  if (!write_error_.empty()) throw std::runtime_error(write_error_);
+  if (!write_error_.empty()) {
+    final_status_ = common::Error::make(write_error_);
+  }
+  return final_status_;
 }
 
 common::Result<DatasetManifest> read_manifest(const fs::path& dir) {
@@ -177,8 +209,181 @@ common::Result<DatasetManifest> read_manifest(const fs::path& dir) {
   return DatasetManifest::parse(text.value());
 }
 
+std::optional<common::TimePoint> day_file_date(std::string_view filename) {
+  // Exactly "syslog-YYYY-MM-DD.log": 7 + 10 + 4 chars.
+  if (filename.size() != 21) return std::nullopt;
+  if (!common::starts_with(filename, "syslog-")) return std::nullopt;
+  if (filename.substr(17) != ".log") return std::nullopt;
+  const auto date = filename.substr(7, 10);
+  for (std::size_t i = 0; i < date.size(); ++i) {
+    const char c = date[i];
+    if (i == 4 || i == 7) {
+      if (c != '-') return std::nullopt;
+    } else if (c < '0' || c > '9') {
+      return std::nullopt;
+    }
+  }
+  return common::parse_iso(date);
+}
+
+namespace {
+
+/// Shared per-day ingestion: screen, apply policy, account, feed pipeline.
+/// Returns an error to abort the whole load (strict offense or exceeded
+/// budget); success otherwise.
+class DayIngestor {
+ public:
+  DayIngestor(AnalysisPipeline& pipeline, const IngestOptions& opt)
+      : pipeline_(pipeline), opt_(opt) {}
+
+  common::Status ingest(const fs::path& path, common::TimePoint date,
+                        std::string&& text) {
+    const std::uint64_t file_bytes = text.size();
+    logsys::ScreenCounts sc;
+    auto day =
+        logsys::DayBuffer::from_text(date, std::move(text), opt_.screen, sc);
+    if (sc.quarantined_lines() > 0) {
+      if (opt_.policy == IngestPolicy::kStrict) {
+        return common::Error::at(
+            "dataset: " + std::string(sc.first_category) +
+                " line rejected by strict ingest",
+            path.string(), sc.first_line, sc.first_offset);
+      }
+      if (opt_.error_budget > 0 && sc.quarantined_lines() > opt_.error_budget) {
+        return common::Error::make(
+            "dataset: per-day error budget exceeded: " +
+            std::to_string(sc.quarantined_lines()) + " quarantined lines in " +
+            path.string() + " (budget " + std::to_string(opt_.error_budget) +
+            ")");
+      }
+      if (opt_.warn) {
+        opt_.warn("quarantined " + std::to_string(sc.quarantined_lines()) +
+                  " corrupt lines (" +
+                  std::to_string(sc.quarantined_bytes()) + " bytes) in " +
+                  path.string());
+      }
+    }
+    if (auto* q = opt_.quality) {
+      q->days_present += 1;
+      q->lines_kept += sc.kept_lines;
+      q->bytes_kept += sc.kept_bytes;
+      q->binary_lines += sc.binary_lines;
+      q->binary_bytes += sc.binary_bytes;
+      q->overlong_lines += sc.overlong_lines;
+      q->overlong_bytes += sc.overlong_bytes;
+      q->torn_lines += sc.torn_lines;
+      q->torn_bytes += sc.torn_bytes;
+      if (file_bytes == 0) q->zero_byte_days += 1;
+      if (sc.quarantined_lines() > 0 || file_bytes == 0) {
+        DayQuality dq;
+        dq.date = common::format_date(date);
+        dq.file_bytes = file_bytes;
+        dq.lines_kept = sc.kept_lines;
+        dq.bytes_kept = sc.kept_bytes;
+        dq.binary_lines = sc.binary_lines;
+        dq.binary_bytes = sc.binary_bytes;
+        dq.overlong_lines = sc.overlong_lines;
+        dq.overlong_bytes = sc.overlong_bytes;
+        dq.torn_lines = sc.torn_lines;
+        dq.torn_bytes = sc.torn_bytes;
+        q->days.push_back(std::move(dq));
+      }
+    }
+    pipeline_.ingest_day(date, std::move(day));
+    return {};
+  }
+
+ private:
+  AnalysisPipeline& pipeline_;
+  const IngestOptions& opt_;
+};
+
+/// An unreadable day: strict aborts, lenient records a coverage gap.
+common::Status handle_read_failure(const fs::path& path,
+                                   common::TimePoint date,
+                                   const common::Error& err,
+                                   const IngestOptions& opt) {
+  if (opt.policy == IngestPolicy::kStrict) {
+    return common::Error::make("dataset: cannot read " + path.string() + ": " +
+                               err.message);
+  }
+  if (opt.quality != nullptr) {
+    opt.quality->skipped_days.push_back(
+        SkippedDay{common::format_date(date), err.message});
+  }
+  if (opt.warn) {
+    opt.warn("skipping unreadable day " + path.string() + ": " + err.message);
+  }
+  return {};
+}
+
+common::Status ingest_accounting(const fs::path& dir,
+                                 AnalysisPipeline& pipeline,
+                                 const IngestOptions& opt) {
+  const auto path = dir / "slurm_accounting.txt";
+  auto acc = common::read_file(path.string());
+  if (!acc.ok()) {
+    if (opt.policy == IngestPolicy::kStrict) {
+      return common::Error::make("dataset: " + acc.error().message);
+    }
+    if (opt.quality != nullptr) {
+      opt.quality->accounting_present = false;
+      opt.quality->accounting_error = acc.error().message;
+    }
+    if (opt.warn) {
+      opt.warn("accounting dump unreadable, job analyses will be empty: " +
+               acc.error().message);
+    }
+    return {};
+  }
+  if (opt.quality != nullptr) opt.quality->accounting_present = true;
+  const std::string header = slurm::accounting_header();
+  const std::string text = std::move(acc).take();
+  std::size_t start = 0;
+  std::uint64_t line_no = 0;
+  std::uint64_t rejected = 0;
+  while (start < text.size()) {
+    std::size_t nl = text.find('\n', start);
+    const std::size_t end = nl == std::string::npos ? text.size() : nl;
+    const auto line = std::string_view(text).substr(start, end - start);
+    ++line_no;
+    const auto trimmed = common::trim(line);
+    const bool accepted = pipeline.ingest_accounting_line(line);
+    if (!accepted) {
+      if (opt.policy == IngestPolicy::kStrict) {
+        return common::Error::at("dataset: malformed accounting row",
+                                 path.string(), line_no, start);
+      }
+      ++rejected;
+      if (opt.quality != nullptr) {
+        opt.quality->accounting_rows_rejected += 1;
+        opt.quality->accounting_bytes_rejected += trimmed.size();
+      }
+      if (opt.error_budget > 0 && rejected > opt.error_budget) {
+        return common::Error::make(
+            "dataset: accounting error budget exceeded: " +
+            std::to_string(rejected) + " rejected rows in " + path.string() +
+            " (budget " + std::to_string(opt.error_budget) + ")");
+      }
+    } else if (opt.quality != nullptr && !trimmed.empty() &&
+               trimmed != header) {
+      opt.quality->accounting_rows_kept += 1;
+    }
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (rejected > 0 && opt.warn) {
+    opt.warn("rejected " + std::to_string(rejected) +
+             " malformed accounting rows in " + path.string());
+  }
+  return {};
+}
+
+}  // namespace
+
 common::Result<std::uint64_t> load_dataset(const fs::path& dir,
                                            AnalysisPipeline& pipeline,
+                                           const IngestOptions& options,
                                            obs::ProgressReporter* progress) {
   OBS_SPAN("dataset.load");
   const auto syslog_dir = dir / "syslog";
@@ -186,29 +391,59 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
     return common::Error::make("dataset: missing syslog/ in " + dir.string());
   }
   // Collect day files; names encode the date, so lexicographic order is
-  // chronological order.
-  std::vector<fs::path> days;
+  // chronological order.  Anything that is not exactly a day file — editor
+  // backups, .swp droppings, stray directories — is skipped and recorded,
+  // never treated as a day.
+  struct DayFile {
+    fs::path path;
+    common::TimePoint date = 0;
+  };
+  std::vector<DayFile> days;
   for (const auto& entry : fs::directory_iterator(syslog_dir)) {
-    if (!entry.is_regular_file()) continue;
     const auto name = entry.path().filename().string();
-    if (common::starts_with(name, "syslog-")) days.push_back(entry.path());
+    const auto date = day_file_date(name);
+    if (!date || !entry.is_regular_file()) {
+      if (options.quality != nullptr) {
+        options.quality->stray_files.push_back(name);
+      }
+      if (options.warn) {
+        options.warn("ignoring stray entry in syslog/: " + name);
+      }
+      continue;
+    }
+    days.push_back(DayFile{entry.path(), *date});
   }
-  std::sort(days.begin(), days.end());
+  std::sort(days.begin(), days.end(),
+            [](const DayFile& a, const DayFile& b) { return a.path < b.path; });
+  if (options.quality != nullptr) {
+    // Stray-file order must not depend on directory iteration order.
+    std::sort(options.quality->stray_files.begin(),
+              options.quality->stray_files.end());
+  }
 
-  // Validate all file names up front so the prefetcher never reads a file
-  // the loop would later refuse to ingest.
-  std::vector<common::TimePoint> dates;
-  dates.reserve(days.size());
-  for (const auto& path : days) {
-    const auto name = path.filename().string();  // syslog-YYYY-MM-DD.log
-    if (name.size() < 17) {
-      return common::Error::make("dataset: bad day file name " + name);
+  // Coverage: every date in the expected range (the manifest periods, or the
+  // span of the files present) must have a day file.
+  if (options.quality != nullptr) {
+    auto* q = options.quality;
+    q->policy = options.policy;
+    q->error_budget = options.error_budget;
+    common::TimePoint begin = options.expect_begin;
+    common::TimePoint end = options.expect_end;
+    if (end <= begin && !days.empty()) {
+      begin = days.front().date;
+      end = days.back().date + common::kDay;
     }
-    const auto date = common::parse_iso(std::string_view(name).substr(7, 10));
-    if (!date) {
-      return common::Error::make("dataset: bad date in file name " + name);
+    if (end > begin) {
+      std::size_t next = 0;
+      for (common::TimePoint t = common::start_of_day(begin); t < end;
+           t += common::kDay) {
+        q->days_expected += 1;
+        while (next < days.size() && days[next].date < t) ++next;
+        if (next >= days.size() || days[next].date != t) {
+          q->missing_days.push_back(common::format_date(t));
+        }
+      }
     }
-    dates.push_back(*date);
   }
 
   // Day ingestion.  Serial mode reads each file with one sized read and
@@ -218,9 +453,9 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
   // but days are *consumed* strictly in file order, so the ingestion
   // sequence — and thus every downstream artifact — is identical to serial.
   common::ThreadPool* pool = pipeline.pool();
+  DayIngestor ingestor(pipeline, options);
   std::uint64_t ingested = 0;
-  const auto ingest_day_text = [&](std::size_t i, std::string&& text) {
-    pipeline.ingest_log_text(dates[i], std::move(text));
+  const auto note_progress = [&] {
     ++ingested;
     if (progress != nullptr) {
       progress->update(static_cast<std::size_t>(ingested), days.size());
@@ -228,15 +463,22 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
   };
   if (pool == nullptr) {
     for (std::size_t i = 0; i < days.size(); ++i) {
-      auto text = common::read_file(days[i].string());
+      auto text = common::read_file(days[i].path.string());
       if (!text.ok()) {
-        return common::Error::make("dataset: cannot read " + days[i].string());
+        auto st = handle_read_failure(days[i].path, days[i].date, text.error(),
+                                      options);
+        if (!st.ok()) return st.error();
+        continue;
       }
-      ingest_day_text(i, std::move(text).take());
+      auto st = ingestor.ingest(days[i].path, days[i].date,
+                                std::move(text).take());
+      if (!st.ok()) return st.error();
+      note_progress();
     }
   } else {
     struct Slot {
       std::string text;
+      common::Error error;
       bool failed = false;
     };
     const std::size_t window = pool->size() + 1;
@@ -244,10 +486,11 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
     std::vector<std::future<void>> reads(days.size());
     const auto schedule = [&](std::size_t i) {
       reads[i] = pool->submit([&slots, &days, i] {
-        auto text = common::read_file(days[i].string());
+        auto text = common::read_file(days[i].path.string());
         if (text.ok()) {
           slots[i].text = std::move(text).take();
         } else {
+          slots[i].error = text.error();
           slots[i].failed = true;
         }
       });
@@ -260,29 +503,31 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
       // Keep the read window full before parsing blocks this thread.
       if (i + window < days.size()) schedule(i + window);
       if (slots[i].failed) {
-        return common::Error::make("dataset: cannot read " + days[i].string());
+        auto st = handle_read_failure(days[i].path, days[i].date,
+                                      slots[i].error, options);
+        if (!st.ok()) return st.error();
+        continue;
       }
-      ingest_day_text(i, std::move(slots[i].text));
+      auto st = ingestor.ingest(days[i].path, days[i].date,
+                                std::move(slots[i].text));
+      if (!st.ok()) return st.error();
+      note_progress();
     }
   }
 
   // Accounting: one sized read, then an in-place newline split (getline
   // pulled ~1.5M lines through the streambuf one character at a time).
-  auto acc = common::read_file((dir / "slurm_accounting.txt").string());
-  if (acc.ok()) {
-    const std::string text = std::move(acc).take();
-    std::size_t start = 0;
-    while (start < text.size()) {
-      std::size_t nl = text.find('\n', start);
-      const std::size_t end = nl == std::string::npos ? text.size() : nl;
-      pipeline.ingest_accounting_line(
-          std::string_view(text).substr(start, end - start));
-      if (nl == std::string::npos) break;
-      start = nl + 1;
-    }
-  }
+  auto acc_status = ingest_accounting(dir, pipeline, options);
+  if (!acc_status.ok()) return acc_status.error();
+
   pipeline.finish();
   return ingested;
+}
+
+common::Result<std::uint64_t> load_dataset(const fs::path& dir,
+                                           AnalysisPipeline& pipeline,
+                                           obs::ProgressReporter* progress) {
+  return load_dataset(dir, pipeline, IngestOptions{}, progress);
 }
 
 }  // namespace gpures::analysis

@@ -49,6 +49,10 @@ std::string render_markdown_report(const AnalysisPipeline& pipe,
   const auto stats = pipe.error_stats();
   const bool have_jobs = !pipe.jobs().jobs.empty();
 
+  if (opts.quality != nullptr) {
+    out += opts.quality->to_markdown();
+    out += '\n';
+  }
   if (opts.include_table1) {
     section(out, "Error counts and MTBE (Table I)", render_table1(stats));
   }

@@ -6,12 +6,17 @@
 
 #include <string>
 
+#include "analysis/data_quality.h"
 #include "analysis/pipeline.h"
 
 namespace gpures::analysis {
 
 struct MarkdownReportOptions {
   std::string title = "GPU resilience characterization";
+  /// When non-null, a "Data quality" section describing what ingestion
+  /// dropped or quarantined is rendered first (readers must know how much
+  /// of the input the numbers below actually saw).
+  const DataQualityReport* quality = nullptr;
   bool include_table1 = true;
   bool include_findings = true;
   bool include_table2 = true;       ///< skipped automatically without jobs

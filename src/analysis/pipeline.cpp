@@ -235,18 +235,19 @@ void AnalysisPipeline::ingest_log_text(common::TimePoint day_start,
   ingest_log_text(day_start, std::string(text));
 }
 
-void AnalysisPipeline::ingest_accounting_line(std::string_view line) {
+bool AnalysisPipeline::ingest_accounting_line(std::string_view line) {
   if (finished_) throw std::logic_error("pipeline: ingest after finish()");
   const auto trimmed = common::trim(line);
-  if (trimmed.empty()) return;
+  if (trimmed.empty()) return true;
   m_.accounting_lines->inc();
-  if (trimmed == slurm::accounting_header()) return;
+  if (trimmed == slurm::accounting_header()) return true;
   auto rec = slurm::parse_accounting_line(trimmed, topo_);
   if (!rec.ok()) {
     m_.accounting_errors->inc();
-    return;
+    return false;
   }
   jobs_.add(rec.value());
+  return true;
 }
 
 void AnalysisPipeline::finish() {

@@ -95,9 +95,10 @@ class AnalysisPipeline {
   void ingest_log_text(common::TimePoint day_start, const char* text) {
     ingest_log_text(day_start, std::string_view(text));
   }
-  /// Ingest one accounting line (header and malformed lines are counted and
-  /// skipped).
-  void ingest_accounting_line(std::string_view line);
+  /// Ingest one accounting line.  Returns false when the line is malformed
+  /// (counted and skipped here; the loader's ingest policy decides whether
+  /// that aborts the run).  Header and blank lines are accepted trivially.
+  bool ingest_accounting_line(std::string_view line);
 
   /// Flush the coalescer and sort results.  Call once after all ingestion.
   void finish();

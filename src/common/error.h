@@ -3,6 +3,7 @@
 // errors (malformed log line, bad CSV row) travel as values.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -11,11 +12,40 @@
 
 namespace gpures::common {
 
-/// Error with a human-readable message and optional source location context.
+/// Error with a human-readable message and optional input-location context.
+/// `message` is always self-contained (printers that only know about the
+/// message lose nothing); the structured fields let callers and tests
+/// dispatch on *where* in an input the failure happened.
 struct Error {
   std::string message;
+  std::string file;          ///< offending input file, when known
+  std::uint64_t line = 0;    ///< 1-based line in `file`; 0 = not applicable
+  std::uint64_t offset = 0;  ///< byte offset in `file`; 0 = not applicable
 
   static Error make(std::string msg) { return Error{std::move(msg)}; }
+
+  /// Error pinned to a spot in an input file.  The location is embedded in
+  /// the message ("msg [file:line, byte offset]") and kept as fields.
+  static Error at(std::string msg, std::string in_file, std::uint64_t in_line,
+                  std::uint64_t in_offset = 0) {
+    Error e;
+    e.message = std::move(msg);
+    e.message += " [";
+    e.message += in_file;
+    if (in_line > 0) {
+      e.message += ':';
+      e.message += std::to_string(in_line);
+    }
+    if (in_offset > 0) {
+      e.message += ", byte ";
+      e.message += std::to_string(in_offset);
+    }
+    e.message += ']';
+    e.file = std::move(in_file);
+    e.line = in_line;
+    e.offset = in_offset;
+    return e;
+  }
 };
 
 /// Poor man's std::expected (C++23) for C++20: either a value or an Error.
@@ -46,6 +76,34 @@ class Result {
 
  private:
   std::variant<T, Error> v_;
+};
+
+/// Result<void>: success, or an Error.  For operations with no value to
+/// return — finalizing a writer, corrupting a dataset in place — where the
+/// seed code mixed bools, exceptions, and silent drops.
+class Status {
+ public:
+  Status() = default;                                  // success
+  Status(Error e) : err_(std::move(e)) {}              // NOLINT(google-explicit-constructor)
+
+  static Status ok_status() { return Status{}; }
+
+  bool ok() const { return !err_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Only valid when !ok().
+  const Error& error() const {
+    if (ok()) throw std::logic_error("Status::error on success");
+    return *err_;
+  }
+
+  /// Throw the error as std::runtime_error (bridge to exception callers).
+  void throw_if_error() const {
+    if (!ok()) throw std::runtime_error(err_->message);
+  }
+
+ private:
+  std::optional<Error> err_;
 };
 
 /// Throwing check used for invariants ("this cannot happen unless the code is

@@ -1,10 +1,30 @@
 #include "common/io.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace gpures::common {
 
+namespace {
+
+// Installed fault plan; read on every read_file call.  Acquire/release so a
+// plan installed before a parallel load is fully visible to pool threads.
+std::atomic<const IoFaultPlan*> g_io_fault{nullptr};
+
+}  // namespace
+
+void set_io_fault_plan(const IoFaultPlan* plan) {
+  g_io_fault.store(plan, std::memory_order_release);
+}
+
 Result<std::string> read_file(const std::string& path) {
+  const IoFaultPlan* fault = g_io_fault.load(std::memory_order_acquire);
+  if (fault != nullptr && path.find(fault->path_substring) == std::string::npos) {
+    fault = nullptr;
+  }
+  if (fault != nullptr && fault->fail_after_bytes == 0) {
+    return Error::make("injected I/O fault opening file: " + path);
+  }
   // stdio instead of ifstream: no locale/sentry machinery, and fread on a
   // FILE* compiles down to large memcpy-from-buffer block reads.
   std::FILE* f = std::fopen(path.c_str(), "rb");
@@ -23,6 +43,11 @@ Result<std::string> read_file(const std::string& path) {
   std::size_t n = 0;
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     out.append(buf, n);
+    if (fault != nullptr && out.size() >= fault->fail_after_bytes) {
+      std::fclose(f);
+      return Error::make("injected I/O fault after " +
+                         std::to_string(out.size()) + " bytes: " + path);
+    }
   }
   const bool failed = std::ferror(f) != 0;
   std::fclose(f);

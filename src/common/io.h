@@ -4,13 +4,32 @@
 // the streambuf virtual interface; on multi-megabyte day files that is the
 // dominant load cost.  read_file stats the file once, reserves the exact
 // size, and issues large block reads instead.
+//
+// For chaos testing, a process-wide fault injection point lets tests and the
+// chaos harness make read_file fail mid-read deterministically — the only
+// way to exercise the loader's torn-read handling without flaky tmpfs
+// tricks.  Production code never installs a fault.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "common/error.h"
 
 namespace gpures::common {
+
+/// Chaos hook: a planned mid-read failure.  While installed, any read_file
+/// of a path containing `path_substring` fails with an injected Error once
+/// `fail_after_bytes` bytes have been read (0 = fail on open).
+struct IoFaultPlan {
+  std::string path_substring;
+  std::uint64_t fail_after_bytes = 0;
+};
+
+/// Install a fault plan (nullptr clears).  The plan must outlive its
+/// installation and must be installed/cleared only while no read_file call
+/// is in flight (reads themselves may run concurrently on worker threads).
+void set_io_fault_plan(const IoFaultPlan* plan);
 
 /// Read an entire file into a string with a single pre-sized pass.
 /// Returns the file contents, or an Error naming the path on open/read

@@ -29,6 +29,71 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
   return buf;
 }
 
+namespace {
+
+// Control bytes other than '\t' (and the line-structure '\n', which never
+// appears inside a slice) cannot occur in a text log line; DEL rounds out
+// the set.  High-bit bytes are allowed: real logs legitimately carry UTF-8.
+bool is_binary_line(const char* p, std::size_t len) {
+  for (std::size_t i = 0; i < len; ++i) {
+    const unsigned char c = static_cast<unsigned char>(p[i]);
+    if ((c < 0x20 && c != '\t') || c == 0x7f) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+DayBuffer DayBuffer::from_text(common::TimePoint default_time,
+                               std::string&& text, const LineScreen& screen,
+                               ScreenCounts& counts) {
+  DayBuffer buf;
+  const bool had_final_newline = text.empty() || text.back() == '\n';
+  if (!had_final_newline) text.push_back('\n');
+  buf.arena_ = std::move(text);
+  buf.slices_.reserve(static_cast<std::size_t>(
+      std::count(buf.arena_.begin(), buf.arena_.end(), '\n')));
+  const char* base = buf.arena_.data();
+  const std::size_t n = buf.arena_.size();
+  std::size_t pos = 0;
+  std::uint64_t line_no = 0;
+  const auto offend = [&](const char* category, std::uint64_t len,
+                          std::uint64_t& lines, std::uint64_t& bytes) {
+    lines += 1;
+    bytes += len;
+    if (counts.first_category == nullptr) {
+      counts.first_category = category;
+      counts.first_line = line_no;
+      counts.first_offset = pos;
+    }
+  };
+  while (pos < n) {
+    const void* nl = std::memchr(base + pos, '\n', n - pos);
+    const std::size_t eol =
+        static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+    ++line_no;
+    if (eol > pos) {  // skip empty lines, matching pipeline line ingestion
+      const std::size_t len = eol - pos;
+      // One category per line, checked most- to least-specific: a torn EOF
+      // fragment is torn no matter its content, then length, then bytes.
+      if (eol == n - 1 && !had_final_newline) {
+        offend("torn", len, counts.torn_lines, counts.torn_bytes);
+      } else if (len > screen.max_line_len) {
+        offend("overlong", len, counts.overlong_lines, counts.overlong_bytes);
+      } else if (is_binary_line(base + pos, len)) {
+        offend("binary", len, counts.binary_lines, counts.binary_bytes);
+      } else {
+        counts.kept_lines += 1;
+        counts.kept_bytes += len;
+        buf.slices_.push_back(
+            LineSlice{default_time, pos, static_cast<std::uint32_t>(len)});
+      }
+    }
+    pos = eol + 1;
+  }
+  return buf;
+}
+
 void DayBuffer::sort_by_time() {
   common::check(!open_, "DayBuffer: sort_by_time with a line open");
   std::stable_sort(slices_.begin(), slices_.end(),

@@ -39,6 +39,43 @@ struct LineSlice {
   std::uint32_t len = 0;
 };
 
+/// Ingestion screen applied while slicing a loaded day file: lines that can
+/// only be corruption — not merely "noise Stage I will reject" — are
+/// excluded from the buffer and tallied so the loader can quarantine
+/// (lenient) or fail fast (strict).  On clean simulator output the screen
+/// matches nothing, so screened and unscreened slicing are byte-identical.
+struct LineScreen {
+  /// Longest plausible log line; anything longer is quarantined.  Simulator
+  /// lines top out well under 300 bytes; real syslog lines under 2 KiB.
+  std::uint32_t max_line_len = 8192;
+};
+
+/// Per-file tallies produced by the screen.  Quarantined lines fall in
+/// exactly one category (checked in order: torn, overlong, binary), so
+/// lines and bytes sum exactly — the reconciliation contract the chaos
+/// harness asserts against the corrupter's ledger.
+struct ScreenCounts {
+  std::uint64_t kept_lines = 0;
+  std::uint64_t kept_bytes = 0;      ///< slice text bytes, newlines excluded
+  std::uint64_t binary_lines = 0;    ///< control bytes other than '\t'
+  std::uint64_t binary_bytes = 0;
+  std::uint64_t overlong_lines = 0;  ///< longer than LineScreen::max_line_len
+  std::uint64_t overlong_bytes = 0;
+  std::uint64_t torn_lines = 0;      ///< newline-less fragment at EOF (0|1)
+  std::uint64_t torn_bytes = 0;
+  // First offense, for strict-mode errors naming the exact spot.
+  std::uint64_t first_line = 0;     ///< 1-based physical line; 0 = clean
+  std::uint64_t first_offset = 0;   ///< byte offset of the offending line
+  const char* first_category = nullptr;
+
+  std::uint64_t quarantined_lines() const {
+    return binary_lines + overlong_lines + torn_lines;
+  }
+  std::uint64_t quarantined_bytes() const {
+    return binary_bytes + overlong_bytes + torn_bytes;
+  }
+};
+
 class DayBuffer {
  public:
   DayBuffer() = default;
@@ -82,6 +119,13 @@ class DayBuffer {
   /// skipped, matching the pipeline's line ingestion; every slice gets
   /// `default_time` (day files carry their real timestamps in the text).
   static DayBuffer from_text(common::TimePoint default_time, std::string&& text);
+
+  /// from_text with an ingestion screen: quarantinable lines (binary,
+  /// overlong, torn EOF fragment) are excluded from the slices and tallied
+  /// into `counts`.  With no offending lines the result is identical to
+  /// from_text — same arena bytes, same slices.
+  static DayBuffer from_text(common::TimePoint default_time, std::string&& text,
+                             const LineScreen& screen, ScreenCounts& counts);
 
   std::size_t size() const { return slices_.size(); }
   bool empty() const { return slices_.empty(); }

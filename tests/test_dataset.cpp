@@ -74,6 +74,86 @@ TEST(Manifest, ParseRejectsGarbage) {
                   .ok());
 }
 
+TEST(Manifest, ParseRejectsDuplicateKeysNamingTheLine) {
+  // Duplicate keys mean a spliced or doubly-appended manifest; accepting the
+  // later value would silently shift the study window.
+  const auto dup = an::DatasetManifest::parse(
+      "name=a\nstudy_begin=2023-01-01\nop_begin=2023-02-01\n"
+      "study_end=2023-04-01\nstudy_begin=2023-01-02\nnode=a:4\n");
+  ASSERT_FALSE(dup.ok());
+  EXPECT_NE(dup.error().message.find("duplicate key 'study_begin'"),
+            std::string::npos);
+  EXPECT_EQ(dup.error().line, 5u);
+  const auto dup_name =
+      an::DatasetManifest::parse("name=a\nname=b\n");
+  ASSERT_FALSE(dup_name.ok());
+  EXPECT_EQ(dup_name.error().line, 2u);
+}
+
+TEST(Manifest, ParseRejectsTrailingGarbageNamingTheLine) {
+  const auto r = an::DatasetManifest::parse(
+      "study_begin=2023-01-01\nop_begin=2023-02-01\n"
+      "study_end=2023-04-01\nnode=a:4\n\x01\x02 binary tail\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("malformed line"), std::string::npos);
+  EXPECT_EQ(r.error().line, 5u);
+}
+
+TEST(Manifest, ParseRejectsNodeCountMismatch) {
+  const auto r = an::DatasetManifest::parse(
+      "study_begin=2023-01-01\nop_begin=2023-02-01\n"
+      "study_end=2023-04-01\nnodes=3\nnode=a:4\nnode=b:4\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("nodes=3"), std::string::npos);
+  // A matching declared count round-trips.
+  EXPECT_TRUE(an::DatasetManifest::parse(
+                  "study_begin=2023-01-01\nop_begin=2023-02-01\n"
+                  "study_end=2023-04-01\nnodes=2\nnode=a:4\nnode=b:4\n")
+                  .ok());
+}
+
+TEST(Dataset, DayFileDateAcceptsOnlyExactNames) {
+  EXPECT_EQ(an::day_file_date("syslog-2023-01-05.log"),
+            ct::make_date(2023, 1, 5));
+  EXPECT_FALSE(an::day_file_date("syslog-2023-01-05.log.bak"));
+  EXPECT_FALSE(an::day_file_date("syslog-2023-01-05.log.swp"));
+  EXPECT_FALSE(an::day_file_date(".syslog-2023-01-05.log"));
+  EXPECT_FALSE(an::day_file_date("syslog-2023-1-05.log"));
+  EXPECT_FALSE(an::day_file_date("syslog-2023-13-05.log"));  // bad month
+  EXPECT_FALSE(an::day_file_date("syslog-20x3-01-05.log"));
+  EXPECT_FALSE(an::day_file_date("notes.txt"));
+  EXPECT_FALSE(an::day_file_date(""));
+}
+
+TEST(Dataset, StrayFilesAreSkippedWithWarningNotIngested) {
+  const auto dir = temp_dir("strays");
+  {
+    an::DatasetWriter w(dir, tiny_manifest());
+    w.write_day(0, {{100, "kernel: NVRM: Xid (PCI:0000:07:00): 13, pid=1"}});
+  }
+  std::ofstream(dir / "syslog" / "syslog-1970-01-01.log.bak")
+      << "backup cruft\n";
+  std::ofstream(dir / "syslog" / "notes.txt") << "\x01 binary junk\n";
+  fs::create_directories(dir / "syslog" / "subdir");
+
+  cl::Topology topo(cl::ClusterSpec::small(1, 0));
+  an::AnalysisPipeline pipe(topo, {});
+  an::DataQualityReport quality;
+  an::IngestOptions opt;
+  opt.quality = &quality;
+  std::vector<std::string> warnings;
+  opt.warn = [&warnings](const std::string& m) { warnings.push_back(m); };
+  const auto loaded = an::load_dataset(dir, pipe, opt);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().message;
+  EXPECT_EQ(loaded.value(), 1u);  // only the real day file
+  ASSERT_EQ(quality.stray_files.size(), 3u);  // sorted by name
+  EXPECT_EQ(quality.stray_files[0], "notes.txt");
+  EXPECT_EQ(quality.stray_files[1], "subdir");
+  EXPECT_EQ(quality.stray_files[2], "syslog-1970-01-01.log.bak");
+  EXPECT_EQ(warnings.size(), 3u);
+  fs::remove_all(dir);
+}
+
 TEST(Dataset, WriterCreatesLayout) {
   const auto dir = temp_dir("layout");
   an::DatasetManifest m;
@@ -110,7 +190,12 @@ TEST(Dataset, DayWriteFailureSurfacesAtFinalize) {
   fs::create_directories(dir / "syslog" / "syslog-2023-01-05.log");
   w.write_day(ct::make_date(2023, 1, 5), {{100, "lost line"}});
   EXPECT_EQ(w.days_written(), 0u);  // failed day is not counted
-  EXPECT_THROW(w.finalize(), std::runtime_error);
+  const auto st = w.finalize();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("syslog-2023-01-05"), std::string::npos);
+  // Repeat calls keep reporting the same failure.
+  EXPECT_FALSE(w.finalize().ok());
+  EXPECT_THROW(w.finalize().throw_if_error(), std::runtime_error);
   fs::remove_all(dir);
 }
 
@@ -119,7 +204,9 @@ TEST(Dataset, ManifestWriteFailureSurfacesAtFinalize) {
   an::DatasetWriter w(dir, tiny_manifest());
   w.write_day(ct::make_date(2023, 1, 5), {{100, "fine"}});
   fs::create_directories(dir / "manifest.txt");
-  EXPECT_THROW(w.finalize(), std::runtime_error);
+  const auto st = w.finalize();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().message.find("manifest"), std::string::npos);
   fs::remove_all(dir);
 }
 
@@ -153,7 +240,7 @@ TEST(Dataset, UnwritableDirectorySurfacesDayFailure) {
   fs::permissions(dir / "syslog", fs::perms::owner_read | fs::perms::owner_exec,
                   fs::perm_options::replace);
   w.write_day(ct::make_date(2023, 1, 5), {{100, "lost line"}});
-  EXPECT_THROW(w.finalize(), std::runtime_error);
+  EXPECT_FALSE(w.finalize().ok());
   fs::permissions(dir / "syslog", fs::perms::owner_all,
                   fs::perm_options::replace);
   fs::remove_all(dir);

@@ -7,8 +7,10 @@
 #include <variant>
 
 #include "analysis/extraction.h"
+#include "cluster/topology.h"
 #include "common/rng.h"
 #include "logsys/syslog.h"
+#include "slurm/accounting.h"
 
 namespace an = gpures::analysis;
 namespace ct = gpures::common;
@@ -132,5 +134,99 @@ TEST(ParserRobustness, BinaryGarbageRejected) {
       garbage += static_cast<char>(rng.uniform_u64(256));
     }
     EXPECT_FALSE(fast.parse(garbage, kDay).has_value());
+  }
+}
+
+// ---- Slurm accounting parser under the same mutation harness ----
+
+namespace {
+
+namespace cl = gpures::cluster;
+namespace sl = gpures::slurm;
+
+std::vector<std::string> accounting_seed_lines(const cl::Topology& topo) {
+  std::vector<std::string> lines;
+  sl::JobRecord a;
+  a.id = 17;
+  a.name = "train-llm";
+  a.submit = kDay;
+  a.start = kDay + 60;
+  a.end = kDay + 3660;
+  a.gpus = 4;
+  a.nodes = 1;
+  a.state = sl::JobState::kCompleted;
+  a.node_list = {0};
+  a.gpu_list = {{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  lines.push_back(sl::to_accounting_line(a, topo));
+  sl::JobRecord b;
+  b.id = 18;
+  b.name = "cfd|solver";  // field-separator character in the name
+  b.submit = kDay + 100;
+  b.start = kDay + 200;
+  b.end = kDay + 500;
+  b.gpus = 1;
+  b.nodes = 1;
+  b.state = sl::JobState::kNodeFail;
+  b.exit_code = 1;
+  b.node_list = {1};
+  b.gpu_list = {{1, 7}};
+  lines.push_back(sl::to_accounting_line(b, topo));
+  return lines;
+}
+
+}  // namespace
+
+class AccountingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccountingFuzz, MutantsNeverCrashAndAcceptedMutantsAreSane) {
+  const cl::Topology topo(cl::ClusterSpec::small(1, 1));
+  const auto seeds = accounting_seed_lines(topo);
+  ct::Rng rng(GetParam());
+  int accepted = 0;
+  for (int trial = 0; trial < 6000; ++trial) {
+    const auto mutant = mutate(seeds[rng.uniform_u64(seeds.size())], rng);
+    const auto rec = sl::parse_accounting_line(mutant, topo);
+    if (!rec.ok()) {
+      EXPECT_FALSE(rec.error().message.empty());
+      continue;
+    }
+    ++accepted;
+    // Whatever survives parsing must satisfy the record invariants the
+    // analysis stages rely on; a mutant that parses into nonsense would
+    // poison Tables II/III silently.
+    const auto& r = rec.value();
+    EXPECT_GE(r.start, r.submit) << mutant;
+    EXPECT_GE(r.end, r.start) << mutant;
+    EXPECT_GT(r.gpus, 0) << mutant;
+    EXPECT_GT(r.nodes, 0) << mutant;
+    for (const auto n : r.node_list) {
+      ASSERT_GE(n, 0) << mutant;
+      ASSERT_LT(n, topo.node_count()) << mutant;
+    }
+    for (const auto g : r.gpu_list) {
+      ASSERT_GE(g.node, 0) << mutant;
+      ASSERT_LT(g.node, topo.node_count()) << mutant;
+      ASSERT_GE(g.slot, 0) << mutant;
+    }
+  }
+  // The harness must exercise both outcomes: unmutated-equivalent lines
+  // parse, and heavy mutants get rejected.
+  EXPECT_GT(accepted, 0);
+  EXPECT_LT(accepted, 6000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingFuzz,
+                         ::testing::Values(1001, 1002, 1003, 1004));
+
+TEST(AccountingRobustness, BinaryGarbageRejected) {
+  const cl::Topology topo(cl::ClusterSpec::small(1, 0));
+  ct::Rng rng(4242);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string garbage;
+    const auto len = rng.uniform_u64(300);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.uniform_u64(256));
+    }
+    EXPECT_FALSE(sl::parse_accounting_line(garbage, topo).ok());
   }
 }

@@ -51,3 +51,39 @@ TEST(Check, ThrowsOnViolation) {
   EXPECT_NO_THROW(ct::check(true, "fine"));
   EXPECT_THROW(ct::check(false, "violated"), std::logic_error);
 }
+
+namespace {
+
+ct::Status check_positive(int x) {
+  if (x <= 0) return ct::Error::make("not positive");
+  return {};
+}
+
+}  // namespace
+
+TEST(Status, SuccessPath) {
+  const auto st = check_positive(5);
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(static_cast<bool>(st));
+  EXPECT_NO_THROW(st.throw_if_error());
+  EXPECT_THROW((void)st.error(), std::logic_error);
+  EXPECT_TRUE(ct::Status::ok_status().ok());
+}
+
+TEST(Status, ErrorPath) {
+  const auto st = check_positive(-1);
+  ASSERT_FALSE(st.ok());
+  EXPECT_FALSE(static_cast<bool>(st));
+  EXPECT_EQ(st.error().message, "not positive");
+  EXPECT_THROW(st.throw_if_error(), std::runtime_error);
+}
+
+TEST(Error, AtEmbedsAndKeepsLocation) {
+  const auto e = ct::Error::at("bad row", "acc.txt", 7, 123);
+  EXPECT_EQ(e.message, "bad row [acc.txt:7, byte 123]");
+  EXPECT_EQ(e.file, "acc.txt");
+  EXPECT_EQ(e.line, 7u);
+  EXPECT_EQ(e.offset, 123u);
+  // Zero line/offset stay out of the rendered message.
+  EXPECT_EQ(ct::Error::at("bad file", "f.log", 0).message, "bad file [f.log]");
+}

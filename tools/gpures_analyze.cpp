@@ -21,8 +21,10 @@
 #include <fstream>
 #include <string>
 
+#include "analysis/data_quality.h"
 #include "analysis/dataset.h"
 #include "analysis/export.h"
+#include "common/io.h"
 #include "analysis/markdown_report.h"
 #include "analysis/mitigation.h"
 #include "analysis/reports.h"
@@ -56,6 +58,14 @@ void usage() {
       "                         output is byte-identical either way)\n"
       "  --metrics FILE         write the metrics registry snapshot as JSON\n"
       "  --trace FILE           write a Chrome Trace Event JSON timeline\n"
+      "  --ingest-policy P      strict (default): fail on the first corrupt\n"
+      "                         input; lenient: quarantine corrupt lines,\n"
+      "                         skip unreadable days, and keep going\n"
+      "  --error-budget N       lenient: abort if any one file exceeds N\n"
+      "                         quarantined lines / rejected rows (0 = off)\n"
+      "  --quality-report FILE  write the data-quality accounting as JSON\n"
+      "  --chaos-io-fault S:N   testing: fail reads of paths containing S\n"
+      "                         after N bytes (see common/io.h)\n"
       "  --quiet                suppress progress and summaries on stderr\n");
 }
 
@@ -95,8 +105,12 @@ int main(int argc, char** argv) {
   std::string md_file;
   std::string metrics_file;
   std::string trace_file;
+  std::string quality_file;
+  std::string chaos_io_fault;
   bool quiet = false;
   analysis::PipelineConfig pcfg;
+  analysis::IngestPolicy policy = analysis::IngestPolicy::kStrict;
+  std::uint64_t error_budget = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -136,6 +150,26 @@ int main(int argc, char** argv) {
       metrics_file = next("--metrics");
     } else if (arg == "--trace") {
       trace_file = next("--trace");
+    } else if (arg == "--ingest-policy") {
+      const auto p = analysis::parse_ingest_policy(next("--ingest-policy"));
+      if (!p) {
+        std::fprintf(stderr,
+                     "gpures-analyze: --ingest-policy must be strict or "
+                     "lenient\n");
+        return 2;
+      }
+      policy = *p;
+    } else if (arg == "--error-budget") {
+      const long long n = std::atoll(next("--error-budget"));
+      if (n < 0) {
+        std::fprintf(stderr, "gpures-analyze: --error-budget must be >= 0\n");
+        return 2;
+      }
+      error_budget = static_cast<std::uint64_t>(n);
+    } else if (arg == "--quality-report") {
+      quality_file = next("--quality-report");
+    } else if (arg == "--chaos-io-fault") {
+      chaos_io_fault = next("--chaos-io-fault");
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--progress") {
@@ -178,14 +212,59 @@ int main(int argc, char** argv) {
 
   analysis::AnalysisPipeline pipe(topo, pcfg);
 
+  analysis::DataQualityReport quality;
+  analysis::IngestOptions iopt;
+  iopt.policy = policy;
+  iopt.error_budget = error_budget;
+  iopt.expect_begin = manifest.value().periods.pre.begin;
+  iopt.expect_end = manifest.value().periods.op.end;
+  iopt.quality = &quality;
+  if (!quiet) {
+    iopt.warn = [](const std::string& msg) {
+      std::fprintf(stderr, "gpures-analyze: warning: %s\n", msg.c_str());
+    };
+  }
+
+  common::IoFaultPlan fault_plan;
+  if (!chaos_io_fault.empty()) {
+    const auto colon = chaos_io_fault.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr,
+                   "gpures-analyze: --chaos-io-fault wants SUBSTRING:BYTES\n");
+      return 2;
+    }
+    fault_plan.path_substring = chaos_io_fault.substr(0, colon);
+    fault_plan.fail_after_bytes = static_cast<std::uint64_t>(
+        std::atoll(chaos_io_fault.c_str() + colon + 1));
+    common::set_io_fault_plan(&fault_plan);
+  }
+
   obs::ProgressReporter progress("ingesting day", !quiet);
-  const auto loaded = analysis::load_dataset(data_dir, pipe, &progress);
+  const auto loaded = analysis::load_dataset(data_dir, pipe, iopt, &progress);
   progress.finish();
+  common::set_io_fault_plan(nullptr);
   if (!loaded.ok()) {
     obs::Tracer::install(nullptr);
     std::fprintf(stderr, "gpures-analyze: %s\n", loaded.error().message.c_str());
     return 1;
   }
+
+  // Surface the ingest accounting on the observability plane: counters in
+  // the metrics registry and headline figures in the run manifest.
+  registry.counter("ingest.lines_kept").add(quality.lines_kept);
+  registry.counter("ingest.lines_quarantined").add(quality.quarantined_lines());
+  registry.counter("ingest.bytes_quarantined").add(quality.quarantined_bytes());
+  registry.counter("ingest.days_missing").add(quality.missing_days.size());
+  registry.counter("ingest.days_skipped").add(quality.skipped_days.size());
+  registry.counter("ingest.days_zero_byte").add(quality.zero_byte_days);
+  registry.counter("ingest.stray_files").add(quality.stray_files.size());
+  registry.counter("ingest.accounting_rows_rejected")
+      .add(quality.accounting_rows_rejected);
+  run.extra.emplace_back("ingest_policy",
+                         std::string(analysis::to_string(policy)));
+  run.extra.emplace_back("ingest_clean", quality.clean() ? "true" : "false");
+  run.extra.emplace_back("lines_quarantined",
+                         std::to_string(quality.quarantined_lines()));
   const auto c = pipe.counters();
   if (!quiet) {
     std::fprintf(stderr,
@@ -266,8 +345,10 @@ int main(int argc, char** argv) {
   }
 
   if (!md_file.empty()) {
+    analysis::MarkdownReportOptions mopts;
+    mopts.quality = &quality;
     std::ofstream os(md_file, std::ios::trunc | std::ios::binary);
-    os << analysis::render_markdown_report(pipe, topo);
+    os << analysis::render_markdown_report(pipe, topo, mopts);
     if (!quiet) {
       std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
     }
@@ -303,6 +384,12 @@ int main(int argc, char** argv) {
                    run_path.string().c_str());
       return 1;
     }
+  }
+  if (!quality_file.empty() &&
+      !write_text_file(quality_file, quality.to_json() + "\n")) {
+    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
+                 quality_file.c_str());
+    return 1;
   }
   if (!metrics_file.empty() &&
       !write_text_file(metrics_file, registry.to_json())) {

@@ -192,7 +192,7 @@ int main(int argc, char** argv) {
     campaign.set_progress_reporter(&progress);
     campaign.run();
     progress.finish();
-    writer.finalize();
+    writer.finalize().throw_if_error();
 
     run.finished_at = obs::wall_clock_iso();
     run.extra.emplace_back("day_files", std::to_string(writer.days_written()));
