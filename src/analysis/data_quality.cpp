@@ -70,6 +70,7 @@ std::string DataQualityReport::to_json() const {
   w.kv("overlong_bytes", overlong_bytes);
   w.kv("torn", torn_lines);
   w.kv("torn_bytes", torn_bytes);
+  w.kv("crlf_bytes_stripped", crlf_bytes);
   w.end_object();
 
   w.key("accounting");
@@ -95,6 +96,7 @@ std::string DataQualityReport::to_json() const {
     w.kv("overlong_bytes", d.overlong_bytes);
     w.kv("torn", d.torn_lines);
     w.kv("torn_bytes", d.torn_bytes);
+    w.kv("crlf_bytes_stripped", d.crlf_bytes);
     w.end_object();
   }
   w.end_array();
@@ -130,6 +132,8 @@ std::string DataQualityReport::to_markdown() const {
   out += "| — binary garbage | " + std::to_string(binary_lines) + " |\n";
   out += "| — overlong | " + std::to_string(overlong_lines) + " |\n";
   out += "| — torn at EOF | " + std::to_string(torn_lines) + " |\n";
+  out += "| CRLF terminator bytes stripped | " + std::to_string(crlf_bytes) +
+         " |\n";
   out += "| accounting dump | ";
   out += accounting_present ? "present" : "missing";
   if (!accounting_error.empty()) out += " (" + accounting_error + ")";

@@ -34,7 +34,8 @@ std::string_view to_string(IngestPolicy policy);
 std::optional<IngestPolicy> parse_ingest_policy(std::string_view name);
 
 /// Per-day ingestion tally.  Only days with something to report (quarantined
-/// lines or zero bytes) are kept in the report's `days` list.
+/// lines, zero bytes, or CRLF terminators) are kept in the report's `days`
+/// list.
 struct DayQuality {
   std::string date;  ///< YYYY-MM-DD
   std::uint64_t file_bytes = 0;
@@ -46,6 +47,7 @@ struct DayQuality {
   std::uint64_t overlong_bytes = 0;
   std::uint64_t torn_lines = 0;
   std::uint64_t torn_bytes = 0;
+  std::uint64_t crlf_bytes = 0;  ///< '\r' terminator bytes stripped (lossless)
 
   std::uint64_t quarantined_lines() const {
     return binary_lines + overlong_lines + torn_lines;
@@ -85,7 +87,11 @@ struct DataQualityReport {
   std::uint64_t overlong_bytes = 0;
   std::uint64_t torn_lines = 0;
   std::uint64_t torn_bytes = 0;
-  std::vector<DayQuality> days;  ///< only days with quarantines / zero bytes
+  /// '\r' bytes stripped while normalizing CRLF line terminators.  Lossless
+  /// (line content is preserved), so it does not affect clean(); reported so
+  /// every byte difference between file and arena stays accounted for.
+  std::uint64_t crlf_bytes = 0;
+  std::vector<DayQuality> days;  ///< days with quarantines/zero bytes/CRLF
 
   // ---- accounting dump ----
   bool accounting_present = false;

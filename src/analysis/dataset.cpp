@@ -263,6 +263,10 @@ class DayIngestor {
                   path.string());
       }
     }
+    if (sc.crlf_bytes > 0 && opt_.warn) {
+      opt_.warn("normalized " + std::to_string(sc.crlf_bytes) +
+                " CRLF line terminators in " + path.string());
+    }
     if (auto* q = opt_.quality) {
       q->days_present += 1;
       q->lines_kept += sc.kept_lines;
@@ -273,8 +277,9 @@ class DayIngestor {
       q->overlong_bytes += sc.overlong_bytes;
       q->torn_lines += sc.torn_lines;
       q->torn_bytes += sc.torn_bytes;
+      q->crlf_bytes += sc.crlf_bytes;
       if (file_bytes == 0) q->zero_byte_days += 1;
-      if (sc.quarantined_lines() > 0 || file_bytes == 0) {
+      if (sc.quarantined_lines() > 0 || file_bytes == 0 || sc.crlf_bytes > 0) {
         DayQuality dq;
         dq.date = common::format_date(date);
         dq.file_bytes = file_bytes;
@@ -286,6 +291,7 @@ class DayIngestor {
         dq.overlong_bytes = sc.overlong_bytes;
         dq.torn_lines = sc.torn_lines;
         dq.torn_bytes = sc.torn_bytes;
+        dq.crlf_bytes = sc.crlf_bytes;
         q->days.push_back(std::move(dq));
       }
     }
@@ -321,6 +327,21 @@ common::Status ingest_accounting(const fs::path& dir,
                                  AnalysisPipeline& pipeline,
                                  const IngestOptions& opt) {
   const auto path = dir / "slurm_accounting.txt";
+  // A wholly absent dump is a coverage gap, not corruption: like a missing
+  // day, absent evidence is reported under both policies and fatal under
+  // neither (log-only datasets are legitimate).  Only a dump that exists
+  // but cannot be read — or carries malformed rows — is an error.
+  std::error_code exists_ec;
+  if (!fs::exists(path, exists_ec)) {
+    if (opt.quality != nullptr) {
+      opt.quality->accounting_present = false;
+    }
+    if (opt.warn) {
+      opt.warn("no slurm_accounting.txt in " + dir.string() +
+               ", job analyses will be empty");
+    }
+    return {};
+  }
   auto acc = common::read_file(path.string());
   if (!acc.ok()) {
     if (opt.policy == IngestPolicy::kStrict) {
@@ -484,6 +505,20 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
     const std::size_t window = pool->size() + 1;
     std::vector<Slot> slots(days.size());
     std::vector<std::future<void>> reads(days.size());
+    // Any early return below (strict offense, exceeded error budget, read
+    // failure) unwinds while up to `window` read tasks are still queued or
+    // running against `slots` and `days` — and these futures come from
+    // packaged_task, whose destructor does not block.  Drain whatever is
+    // still in flight on every exit path; on the success path all futures
+    // have been consumed by .get() and this is a no-op.
+    struct DrainInFlight {
+      std::vector<std::future<void>>& reads;
+      ~DrainInFlight() {
+        for (auto& f : reads) {
+          if (f.valid()) f.wait();
+        }
+      }
+    } drain{reads};
     const auto schedule = [&](std::size_t i) {
       reads[i] = pool->submit([&slots, &days, i] {
         auto text = common::read_file(days[i].path.string());

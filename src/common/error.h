@@ -18,27 +18,35 @@ namespace gpures::common {
 /// dispatch on *where* in an input the failure happened.
 struct Error {
   std::string message;
-  std::string file;          ///< offending input file, when known
-  std::uint64_t line = 0;    ///< 1-based line in `file`; 0 = not applicable
-  std::uint64_t offset = 0;  ///< byte offset in `file`; 0 = not applicable
+  std::string file;  ///< offending input file, when known
+  /// 1-based line in `file`; nullopt when the failure has no line context.
+  std::optional<std::uint64_t> line;
+  /// Byte offset in `file`; nullopt when unknown.  Optional rather than a 0
+  /// sentinel: an offense on the very first byte of a file is offset 0.
+  std::optional<std::uint64_t> offset;
 
-  static Error make(std::string msg) { return Error{std::move(msg)}; }
+  static Error make(std::string msg) {
+    Error e;
+    e.message = std::move(msg);
+    return e;
+  }
 
   /// Error pinned to a spot in an input file.  The location is embedded in
   /// the message ("msg [file:line, byte offset]") and kept as fields.
-  static Error at(std::string msg, std::string in_file, std::uint64_t in_line,
-                  std::uint64_t in_offset = 0) {
+  static Error at(std::string msg, std::string in_file,
+                  std::optional<std::uint64_t> in_line,
+                  std::optional<std::uint64_t> in_offset = std::nullopt) {
     Error e;
     e.message = std::move(msg);
     e.message += " [";
     e.message += in_file;
-    if (in_line > 0) {
+    if (in_line.has_value()) {
       e.message += ':';
-      e.message += std::to_string(in_line);
+      e.message += std::to_string(*in_line);
     }
-    if (in_offset > 0) {
+    if (in_offset.has_value()) {
       e.message += ", byte ";
-      e.message += std::to_string(in_offset);
+      e.message += std::to_string(*in_offset);
     }
     e.message += ']';
     e.file = std::move(in_file);

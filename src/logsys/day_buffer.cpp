@@ -48,6 +48,23 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
                                std::string&& text, const LineScreen& screen,
                                ScreenCounts& counts) {
   DayBuffer buf;
+  // CRLF archives are messy-but-real input, not corruption: a '\r' that
+  // immediately precedes '\n' is part of the line terminator, not the line.
+  // Normalize to LF in place before classification so CRLF days parse the
+  // same as LF days instead of every line being quarantined as binary; the
+  // stripped bytes are tallied as terminator bytes (like '\n', excluded
+  // from kept/quarantined counts).  LF-only input never enters this branch.
+  if (text.find("\r\n") != std::string::npos) {
+    std::size_t w = 0;
+    for (std::size_t r = 0; r < text.size(); ++r) {
+      if (text[r] == '\r' && r + 1 < text.size() && text[r + 1] == '\n') {
+        ++counts.crlf_bytes;
+        continue;
+      }
+      text[w++] = text[r];
+    }
+    text.resize(w);
+  }
   const bool had_final_newline = text.empty() || text.back() == '\n';
   if (!had_final_newline) text.push_back('\n');
   buf.arena_ = std::move(text);

@@ -63,6 +63,10 @@ struct ScreenCounts {
   std::uint64_t overlong_bytes = 0;
   std::uint64_t torn_lines = 0;      ///< newline-less fragment at EOF (0|1)
   std::uint64_t torn_bytes = 0;
+  /// '\r' bytes stripped from CRLF line terminators.  Terminator bytes, not
+  /// content: excluded from both kept and quarantined byte counts, like the
+  /// '\n' they precede.  Nonzero means the file was a CRLF archive.
+  std::uint64_t crlf_bytes = 0;
   // First offense, for strict-mode errors naming the exact spot.
   std::uint64_t first_line = 0;     ///< 1-based physical line; 0 = clean
   std::uint64_t first_offset = 0;   ///< byte offset of the offending line

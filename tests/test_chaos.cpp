@@ -259,6 +259,12 @@ TEST(Chaos, TruncateStrictFailsWithLocationLenientReconciles) {
   EXPECT_NE(strict.error.message.find("torn"), std::string::npos);
   EXPECT_NE(strict.error.file.find("syslog-"), std::string::npos);
   EXPECT_GT(strict.error.line, 0u);
+  // The parallel prefetch path must fail identically — and must drain its
+  // in-flight reads before unwinding (ASan catches the use-after-free this
+  // regression guards against).
+  const auto strict_mt = load(dst, an::IngestPolicy::kStrict, 0, 4);
+  ASSERT_FALSE(strict_mt.ok);
+  EXPECT_EQ(strict_mt.error.message, strict.error.message);
   const auto lenient = load(dst, an::IngestPolicy::kLenient);
   ASSERT_TRUE(lenient.ok) << lenient.error.message;
   reconcile(ledger, lenient.quality);
@@ -308,21 +314,42 @@ TEST(Chaos, MissingDayAndZeroByteAreCoverageGaps) {
   fs::remove_all(dst);
 }
 
-TEST(Chaos, MissingAccountingStrictFailsLenientRecords) {
+TEST(Chaos, MissingAccountingIsACoverageGapUnderBothPolicies) {
   const auto src = make_clean_dataset("noacc", 4);
   const auto dst = temp_dir("noacc_out");
   const auto ledger = corrupt(src, dst, 5, "missing-accounting");
   EXPECT_TRUE(ledger.expect_accounting_missing);
-  const auto strict = load(dst, an::IngestPolicy::kStrict);
-  ASSERT_FALSE(strict.ok);
-  EXPECT_NE(strict.error.message.find("slurm_accounting"), std::string::npos);
-  const auto lenient = load(dst, an::IngestPolicy::kLenient);
-  ASSERT_TRUE(lenient.ok) << lenient.error.message;
-  EXPECT_FALSE(lenient.quality.accounting_present);
-  EXPECT_EQ(lenient.jobs, 0u);
-  reconcile(ledger, lenient.quality);
+  // A wholly absent dump is absent evidence, like a missing day: reported,
+  // never fatal — log-only datasets are legitimate even under strict.
+  for (const auto policy :
+       {an::IngestPolicy::kStrict, an::IngestPolicy::kLenient}) {
+    const auto r = load(dst, policy);
+    ASSERT_TRUE(r.ok) << r.error.message;
+    EXPECT_FALSE(r.quality.accounting_present);
+    EXPECT_FALSE(r.quality.clean());
+    EXPECT_EQ(r.jobs, 0u);
+    reconcile(ledger, r.quality);
+  }
   fs::remove_all(src);
   fs::remove_all(dst);
+}
+
+TEST(Chaos, UnreadableAccountingStrictFailsLenientRecords) {
+  // A dump that exists but cannot be read is corruption, not a gap: strict
+  // aborts, lenient records the reason and completes without jobs.
+  const auto dir = make_clean_dataset("accio", 4);
+  const ct::IoFaultPlan plan{"slurm_accounting", 1};
+  ct::set_io_fault_plan(&plan);
+  const auto strict = load(dir, an::IngestPolicy::kStrict);
+  const auto lenient = load(dir, an::IngestPolicy::kLenient);
+  ct::set_io_fault_plan(nullptr);
+  ASSERT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.message.find("slurm_accounting"), std::string::npos);
+  ASSERT_TRUE(lenient.ok) << lenient.error.message;
+  EXPECT_FALSE(lenient.quality.accounting_present);
+  EXPECT_FALSE(lenient.quality.accounting_error.empty());
+  EXPECT_EQ(lenient.jobs, 0u);
+  fs::remove_all(dir);
 }
 
 TEST(Chaos, BadAccountingStrictNamesTheRowLenientCounts) {
@@ -361,6 +388,56 @@ TEST(Chaos, DuplicateReorderSkewAreQuarantineFree) {
   fs::remove_all(dst);
 }
 
+TEST(Chaos, CrlfArchivesAreNormalizedNotQuarantined) {
+  // A CRLF-terminated archive (Windows transfer, some consolidators) is
+  // messy-but-real input: the screen strips the '\r' terminators instead of
+  // quarantining every line as binary, both policies complete, and the
+  // stripped bytes are accounted in the quality report.
+  const auto dir = make_clean_dataset("crlf", 4);
+  const auto baseline = load(dir, an::IngestPolicy::kStrict);
+  ASSERT_TRUE(baseline.ok) << baseline.error.message;
+
+  std::uint64_t rewritten_lines = 0;
+  const auto day_path =
+      dir / "syslog" / ("syslog-" + ct::format_date(kDay0) + ".log");
+  {
+    auto text = read_all(day_path);
+    std::string crlf;
+    crlf.reserve(text.size() * 2);
+    for (const char c : text) {
+      if (c == '\n') {
+        crlf += "\r\n";
+        ++rewritten_lines;
+      } else {
+        crlf += c;
+      }
+    }
+    std::ofstream os(day_path, std::ios::trunc | std::ios::binary);
+    os.write(crlf.data(), static_cast<std::streamsize>(crlf.size()));
+    ASSERT_TRUE(os.good());
+  }
+  ASSERT_GT(rewritten_lines, 0u);
+
+  for (const auto policy :
+       {an::IngestPolicy::kStrict, an::IngestPolicy::kLenient}) {
+    const auto r = load(dir, policy);
+    ASSERT_TRUE(r.ok) << r.error.message;
+    EXPECT_EQ(r.quality.quarantined_lines(), 0u);
+    EXPECT_EQ(r.quality.crlf_bytes, rewritten_lines);  // one '\r' per line
+    EXPECT_TRUE(r.quality.clean());  // normalization is lossless
+    // Line content is unchanged, so everything downstream agrees byte for
+    // byte with the LF original.
+    ASSERT_EQ(r.errors.size(), baseline.errors.size());
+    for (std::size_t i = 0; i < r.errors.size(); ++i) {
+      EXPECT_EQ(r.errors[i].time, baseline.errors[i].time);
+      EXPECT_EQ(r.errors[i].gpu, baseline.errors[i].gpu);
+      EXPECT_EQ(r.errors[i].code, baseline.errors[i].code);
+    }
+    EXPECT_EQ(r.jobs, baseline.jobs);
+  }
+  fs::remove_all(dir);
+}
+
 TEST(Chaos, IoFaultStrictFailsLenientSkipsTheDay) {
   const auto src = make_clean_dataset("iofault", 5);
   const auto dst = temp_dir("iofault_out");
@@ -378,12 +455,16 @@ TEST(Chaos, IoFaultStrictFailsLenientSkipsTheDay) {
                              ledger.io_fault_after_bytes};
   ct::set_io_fault_plan(&plan);
   const auto strict = load(dst, an::IngestPolicy::kStrict);
+  const auto strict_mt = load(dst, an::IngestPolicy::kStrict, 0, 4);
   const auto lenient = load(dst, an::IngestPolicy::kLenient);
   const auto parallel = load(dst, an::IngestPolicy::kLenient, 0, 4);
   ct::set_io_fault_plan(nullptr);
 
   ASSERT_FALSE(strict.ok);
   EXPECT_NE(strict.error.message.find("injected I/O fault"), std::string::npos);
+  // Parallel strict takes the same abort with reads still in the window.
+  ASSERT_FALSE(strict_mt.ok);
+  EXPECT_EQ(strict_mt.error.message, strict.error.message);
   ASSERT_TRUE(lenient.ok) << lenient.error.message;
   ASSERT_EQ(lenient.quality.skipped_days.size(), 1u);
   EXPECT_EQ(lenient.quality.skipped_days[0].date,
@@ -397,6 +478,39 @@ TEST(Chaos, IoFaultStrictFailsLenientSkipsTheDay) {
   fs::remove_all(dst);
 }
 
+TEST(Chaos, StrictAbortDrainsInFlightPrefetchReads) {
+  // Regression: an early strict abort used to unwind load_dataset while the
+  // prefetch window still had read tasks writing into function-local state
+  // (packaged_task futures do not block on destruction) — a use-after-free
+  // ASan catches here.  Day 0 is torn so strict fails immediately; the later
+  // days are multi-megabyte so their reads are genuinely still in flight at
+  // abort time instead of winning the race by finishing first.
+  const auto dir = make_clean_dataset("drain", 6);
+  {
+    const auto day0 =
+        dir / "syslog" / ("syslog-" + ct::format_date(kDay0) + ".log");
+    auto text = read_all(day0);
+    ASSERT_EQ(text.back(), '\n');
+    text.pop_back();  // torn final line
+    std::ofstream os(day0, std::ios::trunc | std::ios::binary);
+    os.write(text.data(), static_cast<std::streamsize>(text.size()));
+    ASSERT_TRUE(os.good());
+  }
+  const std::string filler(4096, 'a');
+  for (int d = 1; d < 6; ++d) {
+    const auto path =
+        dir / "syslog" /
+        ("syslog-" + ct::format_date(kDay0 + d * ct::kDay) + ".log");
+    std::ofstream os(path, std::ios::app | std::ios::binary);
+    for (int i = 0; i < 1024; ++i) os << filler << '\n';  // ~4 MiB per day
+    ASSERT_TRUE(os.good());
+  }
+  const auto strict = load(dir, an::IngestPolicy::kStrict, 0, 4);
+  ASSERT_FALSE(strict.ok);
+  EXPECT_NE(strict.error.message.find("torn"), std::string::npos);
+  fs::remove_all(dir);
+}
+
 // ---- error budget ----
 
 TEST(Chaos, LenientErrorBudgetAborts) {
@@ -407,6 +521,11 @@ TEST(Chaos, LenientErrorBudgetAborts) {
   ASSERT_FALSE(blown.ok);
   EXPECT_NE(blown.error.message.find("error budget exceeded"),
             std::string::npos);
+  // Budget aborts mid-run in the prefetching path too, without leaving
+  // in-flight reads scribbling on freed state.
+  const auto blown_mt = load(dst, an::IngestPolicy::kLenient, 5, 4);
+  ASSERT_FALSE(blown_mt.ok);
+  EXPECT_EQ(blown_mt.error.message, blown.error.message);
   const auto within = load(dst, an::IngestPolicy::kLenient, 10);
   ASSERT_TRUE(within.ok) << within.error.message;
   const auto unlimited = load(dst, an::IngestPolicy::kLenient, 0);

@@ -116,6 +116,41 @@ TEST(DayBuffer, FromTextSlicesAndSkipsEmptyLines) {
   EXPECT_EQ(buf.arena().back(), '\n');
 }
 
+TEST(DayBuffer, ScreenedFromTextNormalizesCrlf) {
+  // CRLF terminators are stripped, not quarantined as binary; line content
+  // and the slice invariant (every slice '\n'-terminated) are preserved.
+  ls::ScreenCounts counts;
+  auto buf = ls::DayBuffer::from_text(42, "one\r\ntwo\r\nthree\r\n",
+                                      ls::LineScreen{}, counts);
+  ASSERT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.line(0), "one");
+  EXPECT_EQ(buf.line(1), "two");
+  EXPECT_EQ(buf.line(2), "three");
+  EXPECT_EQ(counts.quarantined_lines(), 0u);
+  EXPECT_EQ(counts.kept_lines, 3u);
+  EXPECT_EQ(counts.kept_bytes, 11u);  // "one" + "two" + "three"
+  EXPECT_EQ(counts.crlf_bytes, 3u);
+  EXPECT_EQ(ls::render_day(buf), "one\ntwo\nthree\n");
+}
+
+TEST(DayBuffer, ScreenedFromTextLoneCrIsStillBinary) {
+  // '\r' outside a CRLF terminator (old-Mac line endings, stray control
+  // bytes) remains quarantinable; a CRLF file torn between '\r' and '\n'
+  // classifies as torn, the higher-priority category.
+  ls::ScreenCounts mid;
+  auto buf = ls::DayBuffer::from_text(1, "good\nbad\rline\n",
+                                      ls::LineScreen{}, mid);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(mid.binary_lines, 1u);
+  EXPECT_EQ(mid.crlf_bytes, 0u);
+
+  ls::ScreenCounts torn;
+  (void)ls::DayBuffer::from_text(1, "good\r\ntorn tail\r", ls::LineScreen{},
+                                 torn);
+  EXPECT_EQ(torn.torn_lines, 1u);
+  EXPECT_EQ(torn.crlf_bytes, 1u);  // only the intact first terminator
+}
+
 TEST(DayBuffer, ForEachRunMergesContiguousSlices) {
   ls::DayBuffer buf;
   buf.append(1, "a");

@@ -84,6 +84,18 @@ TEST(Error, AtEmbedsAndKeepsLocation) {
   EXPECT_EQ(e.file, "acc.txt");
   EXPECT_EQ(e.line, 7u);
   EXPECT_EQ(e.offset, 123u);
-  // Zero line/offset stay out of the rendered message.
-  EXPECT_EQ(ct::Error::at("bad file", "f.log", 0).message, "bad file [f.log]");
+  // Unknown line/offset stay out of the rendered message and fields.
+  const auto bare = ct::Error::at("bad file", "f.log", std::nullopt);
+  EXPECT_EQ(bare.message, "bad file [f.log]");
+  EXPECT_FALSE(bare.line.has_value());
+  EXPECT_FALSE(bare.offset.has_value());
+}
+
+TEST(Error, OffsetZeroIsAValidLocation) {
+  // An offense on the very first byte of a file keeps its offset; 0 is not
+  // a "not applicable" sentinel.
+  const auto e = ct::Error::at("garbage at start", "day.log", 1, 0);
+  EXPECT_EQ(e.message, "garbage at start [day.log:1, byte 0]");
+  ASSERT_TRUE(e.offset.has_value());
+  EXPECT_EQ(*e.offset, 0u);
 }

@@ -25,6 +25,7 @@
 #include "analysis/dataset.h"
 #include "analysis/export.h"
 #include "common/io.h"
+#include "common/strings.h"
 #include "analysis/markdown_report.h"
 #include "analysis/mitigation.h"
 #include "analysis/reports.h"
@@ -67,6 +68,21 @@ void usage() {
       "  --chaos-io-fault S:N   testing: fail reads of paths containing S\n"
       "                         after N bytes (see common/io.h)\n"
       "  --quiet                suppress progress and summaries on stderr\n");
+}
+
+/// Strict non-negative integer for CLI values.  std::atoll would silently
+/// turn a typo like "5oo" into 0 — which for --error-budget means
+/// "unlimited", quietly disabling the protection — so reject anything that
+/// is not entirely digits.
+long long parse_count(const char* flag, std::string_view s) {
+  const long long v = common::parse_ll(s);
+  if (v < 0) {
+    std::fprintf(stderr,
+                 "gpures-analyze: %s wants a non-negative integer, got '%s'\n",
+                 flag, std::string(s).c_str());
+    std::exit(2);
+  }
+  return v;
 }
 
 /// Write `text` to `path`, creating parent directories as needed.
@@ -132,16 +148,17 @@ int main(int argc, char** argv) {
     } else if (arg == "--report-md") {
       md_file = next("--report-md");
     } else if (arg == "--coalesce-window") {
-      pcfg.coalescer.window = std::atoll(next("--coalesce-window"));
+      pcfg.coalescer.window =
+          parse_count("--coalesce-window", next("--coalesce-window"));
     } else if (arg == "--window") {
-      pcfg.attribution_window = std::atoll(next("--window"));
+      pcfg.attribution_window = parse_count("--window", next("--window"));
     } else if (arg == "--node-level") {
       pcfg.attribution = analysis::Attribution::kNodeLevel;
     } else if (arg == "--regex") {
       pcfg.use_regex_parser = true;
     } else if (arg == "--threads") {
-      const long long n = std::atoll(next("--threads"));
-      if (n < 0 || n > 256) {
+      const long long n = parse_count("--threads", next("--threads"));
+      if (n > 256) {
         std::fprintf(stderr, "gpures-analyze: --threads must be in [0, 256]\n");
         return 2;
       }
@@ -160,12 +177,8 @@ int main(int argc, char** argv) {
       }
       policy = *p;
     } else if (arg == "--error-budget") {
-      const long long n = std::atoll(next("--error-budget"));
-      if (n < 0) {
-        std::fprintf(stderr, "gpures-analyze: --error-budget must be >= 0\n");
-        return 2;
-      }
-      error_budget = static_cast<std::uint64_t>(n);
+      error_budget = static_cast<std::uint64_t>(
+          parse_count("--error-budget", next("--error-budget")));
     } else if (arg == "--quality-report") {
       quality_file = next("--quality-report");
     } else if (arg == "--chaos-io-fault") {
@@ -234,8 +247,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     fault_plan.path_substring = chaos_io_fault.substr(0, colon);
-    fault_plan.fail_after_bytes = static_cast<std::uint64_t>(
-        std::atoll(chaos_io_fault.c_str() + colon + 1));
+    fault_plan.fail_after_bytes = static_cast<std::uint64_t>(parse_count(
+        "--chaos-io-fault", std::string_view(chaos_io_fault).substr(colon + 1)));
     common::set_io_fault_plan(&fault_plan);
   }
 

@@ -19,6 +19,7 @@
 #include <string>
 
 #include "chaos/chaos.h"
+#include "common/strings.h"
 
 using namespace gpures;
 
@@ -61,7 +62,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--out") {
       out_dir = next("--out");
     } else if (arg == "--seed") {
-      seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+      // Strict parse: std::atoll would fold a typo into seed 0 silently,
+      // and a wrong seed corrupts "deterministically" — just not the way
+      // the ledger on record says.
+      const char* s = next("--seed");
+      const long long v = common::parse_ll(s);
+      if (v < 0) {
+        std::fprintf(stderr,
+                     "gpures-corrupt: --seed wants a non-negative integer, "
+                     "got '%s'\n",
+                     s);
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(v);
     } else if (arg == "--faults") {
       faults = next("--faults");
     } else if (arg == "--ledger") {
