@@ -1,0 +1,61 @@
+// Structure-aware corrupter for gpures.idx artifacts.
+//
+// Sibling of the dataset corrupter (chaos.h), specialized to the binary
+// index: instead of corrupting at random it targets specific structures —
+// header, section table, column payloads, the version field, a single
+// section checksum — so tests can assert not just that IndexReader::open
+// fails, but that it fails on the *intended* check.  For the version-bump
+// and bad-section-hash faults the corrupter recomputes every checksum
+// upstream of the target, proving the reader's failure is version
+// negotiation (or the section hash) and not an incidental header-hash
+// mismatch.
+//
+// Deterministic: (seed, fault) over the same input bytes always produces
+// the same corrupted bytes.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace gpures::chaos {
+
+enum class IndexFault : std::uint8_t {
+  kHeaderBitFlip,   ///< flip one bit in the 48-byte header
+  kTableBitFlip,    ///< flip one bit in the section table
+  kPayloadBitFlip,  ///< flip one bit in a section payload
+  kAnyBitFlip,      ///< flip one bit anywhere in the file
+  kTruncate,        ///< cut the file short
+  kVersionBump,     ///< future format version, all checksums consistent
+  kBadSectionHash,  ///< corrupt one stored section hash, table/header fixed up
+};
+
+std::string_view to_string(IndexFault fault);
+
+/// What was done, for test diagnostics and ledger-style reporting.
+struct IndexCorruption {
+  IndexFault fault = IndexFault::kAnyBitFlip;
+  std::uint64_t original_size = 0;
+  std::uint64_t corrupted_size = 0;
+  std::uint64_t byte_offset = 0;  ///< flipped byte / first truncated byte
+  std::uint32_t bit = 0;          ///< flipped bit index for bit-flip faults
+  std::string detail;             ///< human-readable description
+};
+
+/// Corrupt the serialized index `bytes` in place.  Fails (without touching
+/// `bytes`) when the input is too small to host the fault — e.g. a payload
+/// bit-flip on an index whose sections are all empty of entropy is still
+/// possible (padding is hashed), but a sub-header-size input is not.
+common::Result<IndexCorruption> corrupt_index_bytes(std::string& bytes,
+                                                    std::uint64_t seed,
+                                                    IndexFault fault);
+
+/// Read `src`, corrupt, write `dst` (never modifies `src`).
+common::Result<IndexCorruption> corrupt_index_file(
+    const std::filesystem::path& src, const std::filesystem::path& dst,
+    std::uint64_t seed, IndexFault fault);
+
+}  // namespace gpures::chaos

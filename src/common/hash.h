@@ -1,0 +1,28 @@
+// Non-cryptographic hashing for on-disk artifact integrity.
+//
+// The binary index (src/index/) checksums every header, section table, and
+// column payload so a memory-mapped reader can refuse corrupt files instead
+// of serving garbage.  XXH64 is the standard choice for this job: it is
+// byte-order-defined (the digest of a byte sequence is the same on every
+// host), fast enough to hash multi-hundred-megabyte artifacts at memory
+// bandwidth, and strong enough that a single flipped bit is detected with
+// probability 1 - 2^-64.  obs::fnv1a64 stays the right tool for short config
+// fingerprints; this is the bulk-payload sibling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace gpures::common {
+
+/// XXH64 one-shot digest of `len` bytes at `data` (seeded; the index format
+/// uses seed 0).  Matches the reference xxHash XXH64 algorithm bit for bit.
+std::uint64_t xxhash64(const void* data, std::size_t len,
+                       std::uint64_t seed = 0);
+
+inline std::uint64_t xxhash64(std::string_view s, std::uint64_t seed = 0) {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+}  // namespace gpures::common

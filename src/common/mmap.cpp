@@ -1,0 +1,109 @@
+#include "common/mmap.h"
+
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GPURES_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GPURES_HAVE_MMAP 0
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#endif
+
+namespace gpures::common {
+
+MappedFile::~MappedFile() { reset(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_),
+      size_(other.size_),
+      heap_(other.heap_),
+      path_(std::move(other.path_)) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  other.heap_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    reset();
+    addr_ = other.addr_;
+    size_ = other.size_;
+    heap_ = other.heap_;
+    path_ = std::move(other.path_);
+    other.addr_ = nullptr;
+    other.size_ = 0;
+    other.heap_ = false;
+  }
+  return *this;
+}
+
+void MappedFile::reset() {
+  if (addr_ != nullptr) {
+#if GPURES_HAVE_MMAP
+    if (heap_) {
+      ::operator delete(addr_);
+    } else {
+      ::munmap(addr_, size_);
+    }
+#else
+    ::operator delete(addr_);
+#endif
+  }
+  addr_ = nullptr;
+  size_ = 0;
+  heap_ = false;
+}
+
+Result<MappedFile> MappedFile::open(const std::string& path) {
+  MappedFile m;
+  m.path_ = path;
+#if GPURES_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(android-cloexec-open)
+  if (fd < 0) {
+    return Error::at("cannot open for mapping", path, std::nullopt);
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Error::at("cannot stat", path, std::nullopt);
+  }
+  m.size_ = static_cast<std::size_t>(st.st_size);
+  if (m.size_ == 0) {
+    // mmap of length 0 is unspecified; a zero-length view needs no mapping.
+    ::close(fd);
+    return m;
+  }
+  void* addr = ::mmap(nullptr, m.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (addr == MAP_FAILED) {
+    m.size_ = 0;
+    return Error::at("mmap failed", path, std::nullopt);
+  }
+  m.addr_ = addr;
+#else
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  if (!is) {
+    return Error::at("cannot open for reading", path, std::nullopt);
+  }
+  const auto end = is.tellg();
+  if (end < 0) return Error::at("cannot stat", path, std::nullopt);
+  m.size_ = static_cast<std::size_t>(end);
+  if (m.size_ == 0) return m;
+  m.addr_ = ::operator new(m.size_);
+  m.heap_ = true;
+  is.seekg(0);
+  if (!is.read(static_cast<char*>(m.addr_),
+               static_cast<std::streamsize>(m.size_))) {
+    return Error::at("short read", path, std::nullopt);
+  }
+#endif
+  return m;
+}
+
+}  // namespace gpures::common

@@ -1,0 +1,49 @@
+// Read-only memory-mapped files.
+//
+// The binary index reader serves queries straight out of the page cache: the
+// kernel maps the artifact once and every reader thread shares the same
+// physical pages, so a cold open costs one mmap call instead of a full-file
+// read, and "deserialization" is a pointer cast.  On platforms without mmap
+// the class falls back to a single pre-sized heap read (same interface,
+// same bytes, no zero-copy).
+//
+// The mapping is strictly read-only (PROT_READ / MAP_PRIVATE): corrupt or
+// hostile files can never be modified through it, and concurrent readers
+// need no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/error.h"
+
+namespace gpures::common {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Map `path` read-only.  Empty files map to a valid zero-length view.
+  /// Errors (missing file, permission, mmap failure) name the path.
+  static Result<MappedFile> open(const std::string& path);
+
+  const std::byte* data() const { return static_cast<const std::byte*>(addr_); }
+  std::size_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  void reset();
+
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+  bool heap_ = false;  ///< fallback allocation instead of a kernel mapping
+  std::string path_;
+};
+
+}  // namespace gpures::common

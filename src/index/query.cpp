@@ -1,0 +1,336 @@
+#include "index/query.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "analysis/error_stats.h"
+#include "analysis/job_impact.h"
+#include "analysis/job_stats.h"
+#include "slurm/job.h"
+
+namespace gpures::index {
+
+namespace {
+
+/// Canonical stored code for a raw XID predicate: reported families are
+/// merged exactly like Stage II does (120 -> 119, 123 -> 122), everything
+/// else passes through (and matches only if stored verbatim).
+std::uint16_t canonical_xid(std::uint16_t xid) {
+  if (!xid::is_known(xid)) return xid;
+  return xid::to_number(xid::merge_key(static_cast<xid::Code>(xid)));
+}
+
+std::size_t lower_idx(std::span<const std::int64_t> v, std::int64_t t) {
+  return static_cast<std::size_t>(
+      std::lower_bound(v.begin(), v.end(), t) - v.begin());
+}
+
+std::string key_of(std::string_view verb, const Predicate& p) {
+  std::string k(verb);
+  k += '|';
+  if (p.node.has_value()) k += std::to_string(*p.node);
+  k += '|';
+  if (p.xid.has_value()) k += std::to_string(*p.xid);
+  k += '|';
+  k += std::to_string(p.from);
+  k += '|';
+  k += std::to_string(p.to);
+  return k;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const IndexReader& reader, QueryOptions opts)
+    : reader_(reader),
+      window_(opts.attribution_window >= 0 ? opts.attribution_window
+                                           : reader.meta().attribution_window),
+      node_level_(opts.attribution >= 0 ? opts.attribution == 1
+                                        : reader.meta().attribution == 1),
+      capacity_(opts.cache_capacity) {
+  if (opts.metrics != nullptr) {
+    m_hits_ = &opts.metrics->counter("query.cache.hits");
+    m_misses_ = &opts.metrics->counter("query.cache.misses");
+    m_count_calls_ = &opts.metrics->counter("query.calls.count");
+    m_impact_calls_ = &opts.metrics->counter("query.calls.impact");
+    m_avail_calls_ = &opts.metrics->counter("query.calls.availability");
+    m_latency_us_ = &opts.metrics->histogram("query.latency_us",
+                                             obs::latency_buckets_us());
+  }
+}
+
+Predicate QueryEngine::whole_period() const {
+  Predicate p;
+  p.from = reader_.meta().periods.pre.begin;
+  p.to = reader_.meta().periods.op.end;
+  return p;
+}
+
+template <typename T, typename Fn>
+T QueryEngine::cached(const std::string& key, Fn&& compute) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto observe_latency = [&] {
+    if (m_latency_us_ != nullptr) {
+      m_latency_us_->observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+    }
+  };
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      cache_hits_.inc();
+      if (m_hits_ != nullptr) m_hits_->inc();
+      T out = std::get<T>(it->second->second);
+      observe_latency();
+      return out;
+    }
+  }
+  cache_misses_.inc();
+  if (m_misses_ != nullptr) m_misses_->inc();
+  T out = compute();
+  if (capacity_ > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.find(key) == map_.end()) {
+      lru_.emplace_front(key, Cached(out));
+      map_.emplace(key, lru_.begin());
+      while (map_.size() > capacity_) {
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+      }
+    }
+  }
+  observe_latency();
+  return out;
+}
+
+CountResult QueryEngine::count(const Predicate& p) {
+  if (m_count_calls_ != nullptr) m_count_calls_->inc();
+  return cached<CountResult>(key_of("count", p),
+                             [&] { return compute_count(p); });
+}
+
+ImpactResult QueryEngine::impact(const Predicate& p) {
+  if (m_impact_calls_ != nullptr) m_impact_calls_->inc();
+  // The effective window/attribution are fixed per engine, but key them
+  // anyway so engines sharing a future external cache could not collide.
+  std::string key = key_of("impact", p);
+  key += '|';
+  key += std::to_string(window_);
+  key += node_level_ ? "|n" : "|g";
+  return cached<ImpactResult>(key, [&] { return compute_impact(p); });
+}
+
+AvailabilityResult QueryEngine::availability(const Predicate& p) {
+  if (m_avail_calls_ != nullptr) m_avail_calls_->inc();
+  return cached<AvailabilityResult>(key_of("avail", p),
+                                    [&] { return compute_availability(p); });
+}
+
+CountResult QueryEngine::compute_count(const Predicate& p) const {
+  CountResult out;
+  out.window_hours = common::to_hours(p.to - p.from);
+
+  const auto times = reader_.err_time();
+  const auto gpus = reader_.err_gpu();
+  const auto codes = reader_.err_code();
+  const std::size_t lo = lower_idx(times, p.from);
+  const std::size_t hi = lower_idx(times, p.to);
+  const std::optional<std::uint16_t> want_code =
+      p.xid.has_value() ? std::optional<std::uint16_t>(canonical_xid(*p.xid))
+                        : std::nullopt;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (p.node.has_value() && analysis::packed_node(gpus[i]) != *p.node) {
+      continue;
+    }
+    if (want_code.has_value() && codes[i] != *want_code) continue;
+    ++out.count;
+  }
+  out.mtbe_system_h = common::mtbe(out.window_hours, out.count);
+  const double nodes =
+      p.node.has_value() ? 1.0
+                         : static_cast<double>(reader_.meta().node_count);
+  out.mtbe_per_node_h = out.mtbe_system_h * nodes;
+  return out;
+}
+
+ImpactResult QueryEngine::compute_impact(const Predicate& p) const {
+  ImpactResult out;
+  const auto order = xid::report_order();
+  const analysis::Period period{p.from, p.to};
+
+  const auto job_end = reader_.job_end();
+  const auto job_start = reader_.job_start();
+  const auto job_state = reader_.job_state();
+  const std::size_t lo = lower_idx(job_end, p.from);
+  const std::size_t hi = lower_idx(job_end, p.to);
+
+  std::vector<std::uint64_t> encountering(order.size(), 0);
+  std::vector<std::uint64_t> failed(order.size(), 0);
+  std::vector<std::int32_t> node_scratch;
+
+  for (std::size_t idx = lo; idx < hi; ++idx) {
+    const auto job_gpu = reader_.job_gpus(idx);
+    if (p.node.has_value()) {
+      bool on_node = false;
+      for (const std::int32_t g : job_gpu) {
+        if (analysis::packed_node(g) == *p.node) {
+          on_node = true;
+          break;
+        }
+      }
+      if (!on_node) continue;
+    }
+    ++out.jobs_analyzed;
+    const auto state = static_cast<slurm::JobState>(job_state[idx]);
+    if (slurm::is_failure(state)) ++out.failed_jobs_total;
+
+    const std::int64_t start = job_start[idx];
+    const std::int64_t end = job_end[idx];
+    std::uint32_t run_mask = 0;
+    std::uint32_t window_mask = 0;
+    // Identical attribution to analysis::scan_job_range: strictly after the
+    // job's start second, up to and including its end, restricted to errors
+    // inside the query period (the batch join bakes the period into its
+    // ErrorIndex; here it is a per-entry filter over the same sorted data).
+    const auto scan_group = [&](const IndexReader::LocGroup& g) {
+      std::size_t i = lower_idx(g.time, start + 1);
+      for (; i < g.time.size() && g.time[i] <= end; ++i) {
+        if (!period.contains(g.time[i])) continue;
+        run_mask |= 1u << g.bit[i];
+        if (g.time[i] >= end - window_) window_mask |= 1u << g.bit[i];
+      }
+    };
+    if (!node_level_) {
+      for (const std::int32_t g : job_gpu) scan_group(reader_.loc_at(g));
+    } else {
+      node_scratch.clear();
+      for (const std::int32_t g : job_gpu) {
+        const std::int32_t node = analysis::packed_node(g);
+        if (std::find(node_scratch.begin(), node_scratch.end(), node) ==
+            node_scratch.end()) {
+          node_scratch.push_back(node);
+        }
+      }
+      for (const std::int32_t node : node_scratch) {
+        const auto [klo, khi] = reader_.loc_key_range(
+            analysis::pack_gpu(node, 0), analysis::pack_gpu(node, 0xff));
+        for (std::size_t k = klo; k < khi; ++k) {
+          scan_group(reader_.loc_group(k));
+        }
+      }
+    }
+    if (run_mask == 0) continue;
+
+    const bool gpu_failed = slurm::is_failure(state) && window_mask != 0;
+    if (gpu_failed) ++out.gpu_failed_jobs;
+    for (std::size_t b = 0; b < order.size(); ++b) {
+      if (run_mask & (1u << b)) ++encountering[b];
+      if (gpu_failed && (window_mask & (1u << b))) ++failed[b];
+    }
+  }
+
+  const int want_bit =
+      p.xid.has_value()
+          ? analysis::exposure_bit(
+                static_cast<xid::Code>(canonical_xid(*p.xid)))
+          : -1;
+  for (std::size_t b = 0; b < order.size(); ++b) {
+    if (p.xid.has_value() && static_cast<int>(b) != want_bit) continue;
+    ImpactRowResult row;
+    row.code = order[b];
+    row.failed_jobs = failed[b];
+    row.encountering_jobs = encountering[b];
+    if (encountering[b] > 0) {
+      row.failure_probability = static_cast<double>(failed[b]) /
+                                static_cast<double>(encountering[b]);
+      row.ci = common::wilson_interval(failed[b], encountering[b]);
+    }
+    out.rows.push_back(row);
+  }
+  return out;
+}
+
+double QueryEngine::aggregate_mtbe_per_node_h(const Predicate& p) const {
+  const auto times = reader_.err_time();
+  const auto lasts = reader_.err_last();
+  const auto gpus = reader_.err_gpu();
+  const auto codes = reader_.err_code();
+  const auto raw_xids = reader_.err_raw_xid();
+  const auto raw_lines = reader_.err_raw_lines();
+  const std::size_t lo = lower_idx(times, p.from);
+  const std::size_t hi = lower_idx(times, p.to);
+
+  std::vector<analysis::CoalescedError> errs;
+  errs.reserve(hi - lo);
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (p.node.has_value() && analysis::packed_node(gpus[i]) != *p.node) {
+      continue;
+    }
+    analysis::CoalescedError e;
+    e.time = times[i];
+    e.last = lasts[i];
+    e.gpu = {analysis::packed_node(gpus[i]),
+             static_cast<std::int32_t>(gpus[i] & 0xff)};
+    e.code = static_cast<xid::Code>(codes[i]);
+    e.raw_xid = raw_xids[i];
+    e.raw_lines = raw_lines[i];
+    errs.push_back(e);
+  }
+
+  // The query window plays the operational period; an empty pre-op period
+  // keeps every rebuilt error classified kOp.
+  analysis::StudyPeriods periods;
+  periods.pre = {p.from, p.from};
+  periods.op = {p.from, p.to};
+  analysis::ErrorStatsConfig cfg;
+  cfg.node_count =
+      p.node.has_value() ? 1
+                         : static_cast<std::int32_t>(reader_.meta().node_count);
+  cfg.outlier_share = reader_.meta().outlier_share;
+  cfg.outlier_min = reader_.meta().outlier_min;
+  cfg.exclude_outliers_from_totals =
+      reader_.meta().exclude_outliers_from_totals;
+  return analysis::compute_error_stats(errs, periods, cfg)
+      .total.op.mtbe_per_node_h;
+}
+
+AvailabilityResult QueryEngine::compute_availability(const Predicate& p) const {
+  AvailabilityResult out;
+  const auto begins = reader_.unavail_begin();
+  const auto ends = reader_.unavail_end();
+  const auto nodes = reader_.unavail_node();
+  const std::size_t lo = lower_idx(begins, p.from);
+  const std::size_t hi = lower_idx(begins, p.to);
+
+  // Fold in stored (begin, node, end) order; the differential reference
+  // reproduces this exact accumulation sequence.
+  std::vector<double> durations;
+  for (std::size_t i = lo; i < hi; ++i) {
+    if (p.node.has_value() && nodes[i] != *p.node) continue;
+    const double h = common::to_hours(ends[i] - begins[i]);
+    durations.push_back(h);
+    out.hours_lost += h;
+  }
+  out.intervals = durations.size();
+  out.mttr_h = common::summarize(durations).mean;
+
+  // MTTF: the aggregate per-node MTBE under the same node/time predicate
+  // (the paper's conservative every-error-interrupts-the-node assumption; an
+  // XID filter deliberately does not narrow it).  "Aggregate" is the batch
+  // pipeline's total — outliers excluded, derived uncorrectable-ECC row
+  // double-counted — so the errors are rebuilt from the columns and handed
+  // to compute_error_stats with the recorded config, not re-counted here.
+  out.mttf_h = aggregate_mtbe_per_node_h(p);
+  if (!std::isfinite(out.mttf_h) || out.mttf_h <= 0.0 || out.mttr_h < 0.0) {
+    out.availability = 1.0;
+  } else {
+    out.availability = out.mttf_h / (out.mttf_h + out.mttr_h);
+  }
+  return out;
+}
+
+}  // namespace gpures::index

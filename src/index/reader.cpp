@@ -1,0 +1,475 @@
+#include "index/reader.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "common/hash.h"
+#include "index/format.h"
+#include "xid/xid.h"
+
+namespace gpures::index {
+
+namespace {
+
+common::Error at(std::string msg, const std::string& path,
+                 std::uint64_t offset) {
+  return common::Error::at(std::move(msg), path, std::nullopt, offset);
+}
+
+struct Section {
+  std::uint64_t offset = 0;
+  std::uint64_t size = 0;  ///< padded
+};
+
+/// Typed view of a column section: verifies the padded size matches the
+/// element count exactly, then casts.  T is limited to the little-endian
+/// fixed-width types the format defines (alignment <= 8, matching the
+/// 8-aligned section offsets).
+template <typename T>
+common::Result<std::span<const T>> column(const unsigned char* base,
+                                          const Section& s,
+                                          std::uint64_t count, SectionId id,
+                                          const std::string& path) {
+  if (count > s.size / sizeof(T) || pad8(count * sizeof(T)) != s.size) {
+    return at("index section '" + std::string(section_name(id)) +
+                  "' size does not match its element count",
+              path, s.offset);
+  }
+  return std::span<const T>(reinterpret_cast<const T*>(base + s.offset),
+                            count);
+}
+
+}  // namespace
+
+common::Result<IndexReader> IndexReader::open(const std::string& path) {
+  if constexpr (std::endian::native != std::endian::little) {
+    return common::Error::make(
+        "the gpures index format is little-endian; zero-copy reads are not "
+        "supported on big-endian hosts");
+  }
+
+  auto mapped = common::MappedFile::open(path);
+  if (!mapped.ok()) return mapped.error();
+  IndexReader r;
+  r.file_ = std::move(mapped).take();
+  const auto* base = reinterpret_cast<const unsigned char*>(r.file_.data());
+  const std::uint64_t size = r.file_.size();
+
+  // ---- header ---------------------------------------------------------------
+  if (size < kHeaderSize) {
+    return at("index file too small for a header (" + std::to_string(size) +
+                  " bytes)",
+              path, 0);
+  }
+  if (std::memcmp(base + kOffMagic, kMagic, sizeof(kMagic)) != 0) {
+    return at("not a gpures index (bad magic)", path, kOffMagic);
+  }
+  if (load_le32(base + kOffEndianTag) != kEndianTag) {
+    return at("index endian tag mismatch (file written with incompatible "
+              "byte order?)",
+              path, kOffEndianTag);
+  }
+  const std::uint32_t version = load_le32(base + kOffVersion);
+  if (version != kFormatVersion) {
+    return at("unsupported index format version " + std::to_string(version) +
+                  " (this reader understands version " +
+                  std::to_string(kFormatVersion) + ")",
+              path, kOffVersion);
+  }
+  if (common::xxhash64(base, kHeaderHashedBytes) !=
+      load_le64(base + kOffHeaderHash)) {
+    return at("index header checksum mismatch", path, kOffHeaderHash);
+  }
+  if (load_le64(base + kOffFileSize) != size) {
+    return at("index file size mismatch: header says " +
+                  std::to_string(load_le64(base + kOffFileSize)) +
+                  ", file has " + std::to_string(size),
+              path, kOffFileSize);
+  }
+  const std::uint32_t section_count = load_le32(base + kOffSectionCount);
+  if (section_count != kSectionCount) {
+    return at("unexpected section count " + std::to_string(section_count),
+              path, kOffSectionCount);
+  }
+
+  // ---- section table --------------------------------------------------------
+  if (size < kSectionBase) {
+    return at("index file truncated inside the section table", path,
+              kSectionTableOffset);
+  }
+  if (common::xxhash64(base + kSectionTableOffset,
+                       kSectionCount * kSectionEntrySize) !=
+      load_le64(base + kOffTableHash)) {
+    return at("index section-table checksum mismatch", path, kOffTableHash);
+  }
+  std::array<Section, kSectionCount> secs;
+  std::uint64_t expect_offset = kSectionBase;
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const unsigned char* e =
+        base + kSectionTableOffset + i * kSectionEntrySize;
+    const std::uint64_t entry_off =
+        kSectionTableOffset + i * kSectionEntrySize;
+    if (load_le32(e) != i + 1) {
+      return at("index section entry " + std::to_string(i) +
+                    " carries id " + std::to_string(load_le32(e)) +
+                    ", expected " + std::to_string(i + 1),
+                path, entry_off);
+    }
+    secs[i].offset = load_le64(e + 8);
+    secs[i].size = load_le64(e + 16);
+    if (secs[i].offset != expect_offset) {
+      return at("index section '" +
+                    std::string(section_name(static_cast<SectionId>(i + 1))) +
+                    "' is not gapless: offset " +
+                    std::to_string(secs[i].offset) + ", expected " +
+                    std::to_string(expect_offset),
+                path, entry_off);
+    }
+    if (secs[i].size % 8 != 0 || secs[i].size > size - secs[i].offset) {
+      return at("index section '" +
+                    std::string(section_name(static_cast<SectionId>(i + 1))) +
+                    "' extends past the end of the file",
+                path, entry_off);
+    }
+    expect_offset += secs[i].size;
+  }
+  if (expect_offset != size) {
+    return at("index has " + std::to_string(size - expect_offset) +
+                  " trailing bytes after the last section",
+              path, expect_offset);
+  }
+  for (std::uint32_t i = 0; i < kSectionCount; ++i) {
+    const unsigned char* e =
+        base + kSectionTableOffset + i * kSectionEntrySize;
+    if (common::xxhash64(base + secs[i].offset, secs[i].size) !=
+        load_le64(e + 24)) {
+      return at("index section '" +
+                    std::string(section_name(static_cast<SectionId>(i + 1))) +
+                    "' checksum mismatch",
+                path, secs[i].offset);
+    }
+  }
+  const auto sec = [&](SectionId id) -> const Section& {
+    return secs[static_cast<std::size_t>(id) - 1];
+  };
+
+  // ---- meta -----------------------------------------------------------------
+  const Section& ms = sec(SectionId::kMeta);
+  if (ms.size != pad8(kMetaSize)) {
+    return at("index meta section has unexpected size " +
+                  std::to_string(ms.size),
+              path, ms.offset);
+  }
+  const unsigned char* m = base + ms.offset;
+  IndexMeta& meta = r.meta_;
+  meta.periods.pre.begin =
+      static_cast<std::int64_t>(load_le64(m + kMetaPreBegin));
+  meta.periods.pre.end = static_cast<std::int64_t>(load_le64(m + kMetaPreEnd));
+  meta.periods.op.begin =
+      static_cast<std::int64_t>(load_le64(m + kMetaOpBegin));
+  meta.periods.op.end = static_cast<std::int64_t>(load_le64(m + kMetaOpEnd));
+  meta.attribution_window =
+      static_cast<std::int64_t>(load_le64(m + kMetaWindow));
+  meta.max_interval_h = load_f64(m + kMetaMaxIntervalH);
+  meta.node_count = load_le32(m + kMetaNodeCount);
+  meta.attribution = load_le32(m + kMetaAttribution);
+  meta.error_count = load_le64(m + kMetaErrorCount);
+  meta.loc_entry_count = load_le64(m + kMetaLocEntryCount);
+  meta.job_count = load_le64(m + kMetaJobCount);
+  meta.job_gpu_count = load_le64(m + kMetaJobGpuCount);
+  meta.unavail_count = load_le64(m + kMetaUnavailCount);
+  meta.outlier_share = load_f64(m + kMetaOutlierShare);
+  meta.outlier_min = load_le64(m + kMetaOutlierMin);
+  meta.exclude_outliers_from_totals = load_le32(m + kMetaExcludeOutliers) != 0;
+  if (meta.attribution > 1) {
+    return at("index meta: attribution must be 0 (device) or 1 (node), got " +
+                  std::to_string(meta.attribution),
+              path, ms.offset + kMetaAttribution);
+  }
+
+  // ---- typed columns --------------------------------------------------------
+  const auto bind = [&](auto& span_member, SectionId id,
+                        std::uint64_t count) -> common::Status {
+    using Span = std::remove_reference_t<decltype(span_member)>;
+    using T = typename Span::element_type;
+    auto col = column<std::remove_const_t<T>>(base, sec(id), count, id, path);
+    if (!col.ok()) return col.error();
+    span_member = col.value();
+    return common::Status::ok_status();
+  };
+  const std::uint64_t nodes1 = std::uint64_t{meta.node_count} + 1;
+  const std::uint64_t jobs1 = meta.job_count + 1;
+  // Key count is implied by the key section's own size (i64 elements pack
+  // the 8-byte granule exactly, so size / 8 is the element count).
+  const std::uint64_t key_count = sec(SectionId::kLocKeys).size / 8;
+  if (auto s = bind(r.name_offsets_, SectionId::kNodeNameOffsets, nodes1);
+      !s.ok()) {
+    return s.error();
+  }
+  {
+    const Section& bs = sec(SectionId::kNodeNameBlob);
+    const std::uint32_t blob_len = r.name_offsets_.back();
+    if (pad8(blob_len) != bs.size) {
+      return at("index node-name blob size does not match the offset table",
+                path, bs.offset);
+    }
+    r.name_blob_ = std::string_view(
+        reinterpret_cast<const char*>(base + bs.offset), blob_len);
+  }
+  if (auto s = bind(r.err_time_, SectionId::kErrTime, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.err_last_, SectionId::kErrLast, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.err_gpu_, SectionId::kErrGpu, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.err_code_, SectionId::kErrCode, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.err_raw_xid_, SectionId::kErrRawXid, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s =
+          bind(r.err_raw_lines_, SectionId::kErrRawLines, meta.error_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.loc_keys_, SectionId::kLocKeys, key_count); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.loc_offsets_, SectionId::kLocOffsets, key_count + 1);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.loc_time_, SectionId::kLocTime, meta.loc_entry_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.loc_bit_, SectionId::kLocBit, meta.loc_entry_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.job_id_, SectionId::kJobId, meta.job_count); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.job_start_, SectionId::kJobStart, meta.job_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.job_end_, SectionId::kJobEnd, meta.job_count); !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.job_state_, SectionId::kJobState, meta.job_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s = bind(r.job_gpu_offsets_, SectionId::kJobGpuOffsets, jobs1);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s =
+          bind(r.job_gpu_list_, SectionId::kJobGpuList, meta.job_gpu_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s =
+          bind(r.unavail_node_, SectionId::kUnavailNode, meta.unavail_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s =
+          bind(r.unavail_begin_, SectionId::kUnavailBegin, meta.unavail_count);
+      !s.ok()) {
+    return s.error();
+  }
+  if (auto s =
+          bind(r.unavail_end_, SectionId::kUnavailEnd, meta.unavail_count);
+      !s.ok()) {
+    return s.error();
+  }
+
+  // ---- column invariants ----------------------------------------------------
+  // Everything binary search or CSR indexing relies on is proven here, once,
+  // so per-query code can trust the views unconditionally.
+  const auto check = [&](bool ok, std::string msg,
+                         SectionId id) -> common::Status {
+    if (ok) return common::Status::ok_status();
+    return at("index invariant violated: " + std::move(msg), path,
+              sec(id).offset);
+  };
+  const std::int64_t max_key =
+      (static_cast<std::int64_t>(meta.node_count) << 8) - 1;
+  for (std::size_t i = 0; i + 1 < r.name_offsets_.size(); ++i) {
+    if (auto s = check(r.name_offsets_[i] <= r.name_offsets_[i + 1],
+                       "node-name offsets must be nondecreasing",
+                       SectionId::kNodeNameOffsets);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 0; i < r.err_time_.size(); ++i) {
+    if (auto s = check(i == 0 || r.err_time_[i - 1] <= r.err_time_[i],
+                       "error times must be nondecreasing",
+                       SectionId::kErrTime);
+        !s.ok()) {
+      return s.error();
+    }
+    if (auto s = check(r.err_gpu_[i] >= 0 && r.err_gpu_[i] <= max_key,
+                       "error GPU key out of topology range",
+                       SectionId::kErrGpu);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 0; i < r.loc_keys_.size(); ++i) {
+    if (auto s = check(i == 0 || r.loc_keys_[i - 1] < r.loc_keys_[i],
+                       "location keys must be strictly increasing",
+                       SectionId::kLocKeys);
+        !s.ok()) {
+      return s.error();
+    }
+    if (auto s = check(r.loc_keys_[i] >= 0 && r.loc_keys_[i] <= max_key,
+                       "location key out of topology range",
+                       SectionId::kLocKeys);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 0; i < r.loc_offsets_.size(); ++i) {
+    const bool mono = i == 0 ? r.loc_offsets_[0] == 0
+                             : r.loc_offsets_[i - 1] <= r.loc_offsets_[i];
+    if (auto s = check(mono && r.loc_offsets_[i] <= meta.loc_entry_count,
+                       "location offsets must be nondecreasing and in range",
+                       SectionId::kLocOffsets);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  if (auto s = check(r.loc_offsets_.back() == meta.loc_entry_count,
+                     "location offsets must cover every entry",
+                     SectionId::kLocOffsets);
+      !s.ok()) {
+    return s.error();
+  }
+  for (std::size_t k = 0; k + 1 < r.loc_offsets_.size(); ++k) {
+    for (std::uint64_t i = r.loc_offsets_[k] + 1; i < r.loc_offsets_[k + 1];
+         ++i) {
+      if (auto s = check(r.loc_time_[i - 1] <= r.loc_time_[i],
+                         "location entries must be time-sorted per key",
+                         SectionId::kLocTime);
+          !s.ok()) {
+        return s.error();
+      }
+    }
+  }
+  for (const std::uint32_t b : r.loc_bit_) {
+    if (auto s = check(b < xid::report_order().size(),
+                       "location bit out of family range", SectionId::kLocBit);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 1; i < r.job_end_.size(); ++i) {
+    if (auto s = check(r.job_end_[i - 1] <= r.job_end_[i],
+                       "job end times must be nondecreasing",
+                       SectionId::kJobEnd);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 0; i < r.job_gpu_offsets_.size(); ++i) {
+    const bool mono = i == 0 ? r.job_gpu_offsets_[0] == 0
+                             : r.job_gpu_offsets_[i - 1] <=
+                                   r.job_gpu_offsets_[i];
+    if (auto s = check(mono && r.job_gpu_offsets_[i] <= meta.job_gpu_count,
+                       "job GPU offsets must be nondecreasing and in range",
+                       SectionId::kJobGpuOffsets);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  if (auto s = check(r.job_gpu_offsets_.empty() ||
+                         r.job_gpu_offsets_.back() == meta.job_gpu_count,
+                     "job GPU offsets must cover every allocation",
+                     SectionId::kJobGpuOffsets);
+      !s.ok()) {
+    return s.error();
+  }
+  for (const std::int32_t g : r.job_gpu_list_) {
+    if (auto s = check(g >= 0 && g <= max_key,
+                       "job GPU key out of topology range",
+                       SectionId::kJobGpuList);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  for (std::size_t i = 0; i < r.unavail_node_.size(); ++i) {
+    if (auto s = check(r.unavail_node_[i] >= 0 &&
+                           static_cast<std::uint32_t>(r.unavail_node_[i]) <
+                               meta.node_count,
+                       "unavailability node out of topology range",
+                       SectionId::kUnavailNode);
+        !s.ok()) {
+      return s.error();
+    }
+    if (auto s = check(i == 0 || r.unavail_begin_[i - 1] <= r.unavail_begin_[i],
+                       "unavailability intervals must be begin-sorted",
+                       SectionId::kUnavailBegin);
+        !s.ok()) {
+      return s.error();
+    }
+  }
+  return r;
+}
+
+std::string_view IndexReader::node_name(std::uint32_t idx) const {
+  if (idx + 1 >= name_offsets_.size()) return {};
+  return name_blob_.substr(name_offsets_[idx],
+                           name_offsets_[idx + 1] - name_offsets_[idx]);
+}
+
+std::optional<std::int32_t> IndexReader::node_index(
+    std::string_view name) const {
+  for (std::uint32_t i = 0; i < meta_.node_count; ++i) {
+    if (node_name(i) == name) return static_cast<std::int32_t>(i);
+  }
+  return std::nullopt;
+}
+
+IndexReader::LocGroup IndexReader::loc_at(std::int64_t key) const {
+  const auto it = std::lower_bound(loc_keys_.begin(), loc_keys_.end(), key);
+  if (it == loc_keys_.end() || *it != key) return {};
+  return loc_group(static_cast<std::size_t>(it - loc_keys_.begin()));
+}
+
+std::pair<std::size_t, std::size_t> IndexReader::loc_key_range(
+    std::int64_t key_lo, std::int64_t key_hi) const {
+  const auto lo = std::lower_bound(loc_keys_.begin(), loc_keys_.end(), key_lo);
+  const auto hi = std::upper_bound(lo, loc_keys_.end(), key_hi);
+  return {static_cast<std::size_t>(lo - loc_keys_.begin()),
+          static_cast<std::size_t>(hi - loc_keys_.begin())};
+}
+
+IndexReader::LocGroup IndexReader::loc_group(std::size_t key_idx) const {
+  const std::uint64_t lo = loc_offsets_[key_idx];
+  const std::uint64_t hi = loc_offsets_[key_idx + 1];
+  return {loc_time_.subspan(lo, hi - lo), loc_bit_.subspan(lo, hi - lo)};
+}
+
+std::span<const std::int32_t> IndexReader::job_gpus(std::size_t j) const {
+  if (j + 1 >= job_gpu_offsets_.size()) return {};
+  const std::uint64_t lo = job_gpu_offsets_[j];
+  const std::uint64_t hi = job_gpu_offsets_[j + 1];
+  return job_gpu_list_.subspan(lo, hi - lo);
+}
+
+}  // namespace gpures::index

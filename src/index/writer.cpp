@@ -1,0 +1,298 @@
+#include "index/writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+
+#include "common/hash.h"
+#include "index/format.h"
+#include "xid/event.h"
+
+namespace gpures::index {
+
+namespace {
+
+namespace an = gpures::analysis;
+
+void append_u8(std::string& s, std::uint8_t v) {
+  s.push_back(static_cast<char>(v));
+}
+void append_le16(std::string& s, std::uint16_t v) {
+  unsigned char b[2];
+  store_le16(b, v);
+  s.append(reinterpret_cast<const char*>(b), 2);
+}
+void append_le32(std::string& s, std::uint32_t v) {
+  unsigned char b[4];
+  store_le32(b, v);
+  s.append(reinterpret_cast<const char*>(b), 4);
+}
+void append_le64(std::string& s, std::uint64_t v) {
+  unsigned char b[8];
+  store_le64(b, v);
+  s.append(reinterpret_cast<const char*>(b), 8);
+}
+void append_i64(std::string& s, std::int64_t v) {
+  append_le64(s, static_cast<std::uint64_t>(v));
+}
+void append_i32(std::string& s, std::int32_t v) {
+  append_le32(s, static_cast<std::uint32_t>(v));
+}
+void append_f64(std::string& s, double v) {
+  unsigned char b[8];
+  store_f64(b, v);
+  s.append(reinterpret_cast<const char*>(b), 8);
+}
+
+}  // namespace
+
+common::Result<std::string> serialize_index(const IndexBuildInput& in) {
+  if (in.topo == nullptr || in.errors == nullptr || in.jobs == nullptr ||
+      in.unavailability == nullptr) {
+    return common::Error::make(
+        "index writer: topology, errors, jobs, and unavailability inputs are "
+        "all required");
+  }
+  const auto& topo = *in.topo;
+  const auto& errors = *in.errors;
+  const auto& jobs = *in.jobs;
+
+  // ---- sort orders (total-order keys: deterministic for any input order) --
+  std::vector<std::size_t> err_order(errors.size());
+  std::iota(err_order.begin(), err_order.end(), std::size_t{0});
+  std::sort(err_order.begin(), err_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto& x = errors[a];
+              const auto& y = errors[b];
+              if (x.time != y.time) return x.time < y.time;
+              if (x.gpu != y.gpu) return x.gpu < y.gpu;
+              if (x.code != y.code) return x.code < y.code;
+              if (x.raw_xid != y.raw_xid) return x.raw_xid < y.raw_xid;
+              if (x.last != y.last) return x.last < y.last;
+              return x.raw_lines < y.raw_lines;
+            });
+
+  // Location-grouped exposure view: same keying and sort as
+  // analysis::build_error_index, minus the period filter (applied at query
+  // time so one artifact serves any window).
+  struct Loc {
+    std::int64_t key;
+    common::TimePoint time;
+    std::uint32_t bit;
+  };
+  std::vector<Loc> loc;
+  loc.reserve(errors.size());
+  for (const auto& e : errors) {
+    const int bit = an::exposure_bit(e.code);
+    if (bit < 0) continue;
+    loc.push_back({an::pack_gpu(e.gpu.node, e.gpu.slot), e.time,
+                   static_cast<std::uint32_t>(bit)});
+  }
+  std::sort(loc.begin(), loc.end(), [](const Loc& a, const Loc& b) {
+    if (a.key != b.key) return a.key < b.key;
+    if (a.time != b.time) return a.time < b.time;
+    return a.bit < b.bit;
+  });
+
+  std::vector<std::size_t> job_order(jobs.jobs.size());
+  std::iota(job_order.begin(), job_order.end(), std::size_t{0});
+  std::sort(job_order.begin(), job_order.end(),
+            [&](std::size_t a, std::size_t b) {
+              const auto& x = jobs.jobs[a];
+              const auto& y = jobs.jobs[b];
+              if (x.end != y.end) return x.end < y.end;
+              if (x.start != y.start) return x.start < y.start;
+              return x.id < y.id;
+            });
+
+  struct Interval {
+    std::int32_t node;
+    common::TimePoint begin;
+    common::TimePoint end;
+  };
+  std::vector<Interval> unavail;
+  unavail.reserve(in.unavailability->size());
+  std::uint64_t dropped_hosts = 0;
+  for (const auto& u : *in.unavailability) {
+    const auto node = topo.node_index(u.host);
+    if (!node.has_value()) {
+      ++dropped_hosts;
+      continue;
+    }
+    unavail.push_back({*node, u.begin, u.end});
+  }
+  std::sort(unavail.begin(), unavail.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              if (a.node != b.node) return a.node < b.node;
+              return a.end < b.end;
+            });
+
+  std::uint64_t job_gpus = 0;
+  for (const auto& j : jobs.jobs) {
+    job_gpus += jobs.gpus_of(j).size();
+  }
+
+  // ---- section payloads, in id order ---------------------------------------
+  std::vector<std::string> sections(kSectionCount);
+  const auto sec = [&](SectionId id) -> std::string& {
+    return sections[static_cast<std::size_t>(id) - 1];
+  };
+
+  {
+    std::string& s = sec(SectionId::kMeta);
+    s.reserve(kMetaSize);
+    append_i64(s, in.periods.pre.begin);
+    append_i64(s, in.periods.pre.end);
+    append_i64(s, in.periods.op.begin);
+    append_i64(s, in.periods.op.end);
+    append_i64(s, in.attribution_window);
+    append_f64(s, in.max_interval_h);
+    append_le32(s, static_cast<std::uint32_t>(topo.node_count()));
+    append_le32(s, in.attribution == an::Attribution::kGpuLevel ? 0u : 1u);
+    append_le64(s, errors.size());
+    append_le64(s, loc.size());
+    append_le64(s, jobs.jobs.size());
+    append_le64(s, job_gpus);
+    append_le64(s, unavail.size());
+    append_f64(s, in.outlier_share);
+    append_le64(s, in.outlier_min);
+    append_le32(s, in.exclude_outliers_from_totals ? 1u : 0u);
+    append_le32(s, 0);
+  }
+  {
+    std::string& offs = sec(SectionId::kNodeNameOffsets);
+    std::string& blob = sec(SectionId::kNodeNameBlob);
+    append_le32(offs, 0);
+    for (std::int32_t n = 0; n < topo.node_count(); ++n) {
+      blob += topo.node(n).name;
+      append_le32(offs, static_cast<std::uint32_t>(blob.size()));
+    }
+  }
+  for (const std::size_t i : err_order) {
+    const auto& e = errors[i];
+    append_i64(sec(SectionId::kErrTime), e.time);
+    append_i64(sec(SectionId::kErrLast), e.last);
+    append_i32(sec(SectionId::kErrGpu), an::pack_gpu(e.gpu.node, e.gpu.slot));
+    append_le16(sec(SectionId::kErrCode), xid::to_number(e.code));
+    append_le16(sec(SectionId::kErrRawXid), e.raw_xid);
+    append_le32(sec(SectionId::kErrRawLines), e.raw_lines);
+  }
+  {
+    std::string& keys = sec(SectionId::kLocKeys);
+    std::string& offs = sec(SectionId::kLocOffsets);
+    for (std::size_t i = 0; i < loc.size(); ++i) {
+      if (i == 0 || loc[i].key != loc[i - 1].key) {
+        append_i64(keys, loc[i].key);
+        append_le64(offs, i);
+      }
+      append_i64(sec(SectionId::kLocTime), loc[i].time);
+      append_le32(sec(SectionId::kLocBit), loc[i].bit);
+    }
+    append_le64(offs, loc.size());
+  }
+  {
+    std::string& goffs = sec(SectionId::kJobGpuOffsets);
+    std::uint64_t gcount = 0;
+    append_le64(goffs, 0);
+    for (const std::size_t i : job_order) {
+      const auto& j = jobs.jobs[i];
+      append_le64(sec(SectionId::kJobId), j.id);
+      append_i64(sec(SectionId::kJobStart), j.start);
+      append_i64(sec(SectionId::kJobEnd), j.end);
+      append_u8(sec(SectionId::kJobState), static_cast<std::uint8_t>(j.state));
+      for (const an::PackedGpu g : jobs.gpus_of(j)) {
+        append_i32(sec(SectionId::kJobGpuList), g);
+        ++gcount;
+      }
+      append_le64(goffs, gcount);
+    }
+  }
+  for (const auto& u : unavail) {
+    append_i32(sec(SectionId::kUnavailNode), u.node);
+    append_i64(sec(SectionId::kUnavailBegin), u.begin);
+    append_i64(sec(SectionId::kUnavailEnd), u.end);
+  }
+
+  // ---- assemble: header + table + gapless padded sections ------------------
+  for (auto& s : sections) {
+    s.resize(pad8(s.size()), '\0');
+  }
+  std::uint64_t file_size = kSectionBase;
+  for (const auto& s : sections) file_size += s.size();
+
+  std::string table;
+  table.reserve(kSectionCount * kSectionEntrySize);
+  std::uint64_t offset = kSectionBase;
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    append_le32(table, static_cast<std::uint32_t>(i + 1));
+    append_le32(table, 0);
+    append_le64(table, offset);
+    append_le64(table, sections[i].size());
+    append_le64(table, common::xxhash64(sections[i]));
+    offset += sections[i].size();
+  }
+
+  std::string out;
+  out.reserve(file_size);
+  out.append(kMagic, sizeof(kMagic));
+  append_le32(out, kFormatVersion);
+  append_le32(out, kEndianTag);
+  append_le64(out, file_size);
+  append_le32(out, kSectionCount);
+  append_le32(out, 0);
+  append_le64(out, common::xxhash64(table));
+  append_le64(out, common::xxhash64(std::string_view(out).substr(
+                       0, kHeaderHashedBytes)));
+  out += table;
+  for (const auto& s : sections) out += s;
+  return out;
+}
+
+common::Result<IndexWriteStats> write_index(const IndexBuildInput& in,
+                                            const std::string& path) {
+  auto bytes = serialize_index(in);
+  if (!bytes.ok()) return bytes.error();
+
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+  }
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
+    if (!os || !os.write(bytes.value().data(),
+                         static_cast<std::streamsize>(bytes.value().size()))) {
+      return common::Error::at("cannot write index", tmp.string(),
+                               std::nullopt);
+    }
+  }
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return common::Error::at("cannot rename temp index into place",
+                             target.string(), std::nullopt);
+  }
+
+  IndexWriteStats stats;
+  stats.bytes = bytes.value().size();
+  const auto* meta = reinterpret_cast<const unsigned char*>(
+                         bytes.value().data()) + kSectionBase;
+  stats.errors = load_le64(meta + kMetaErrorCount);
+  stats.loc_entries = load_le64(meta + kMetaLocEntryCount);
+  stats.jobs = load_le64(meta + kMetaJobCount);
+  stats.job_gpus = load_le64(meta + kMetaJobGpuCount);
+  stats.unavailability = load_le64(meta + kMetaUnavailCount);
+  std::uint64_t dropped = 0;
+  for (const auto& u : *in.unavailability) {
+    if (!in.topo->node_index(u.host).has_value()) ++dropped;
+  }
+  stats.dropped_unknown_hosts = dropped;
+  return stats;
+}
+
+}  // namespace gpures::index

@@ -1,0 +1,460 @@
+// Differential harness for the query serving layer: a seeded corpus of
+// random node / XID / time-window predicates, every one answered twice —
+// once by the IndexReader + QueryEngine over the mapped artifact, once
+// computed fresh from the pipeline's in-memory outputs with the batch
+// machinery — and held exactly equal (integer counts ==, doubles bitwise
+// via the same arithmetic).  Also proves the cache is semantically
+// invisible (cache-on vs cache-off) and that four threads hammering one
+// shared mapping agree with the serial answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "analysis/campaign.h"
+#include "analysis/error_stats.h"
+#include "analysis/job_impact.h"
+#include "analysis/pipeline.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "index/query.h"
+#include "index/reader.h"
+#include "index/writer.h"
+#include "obs/metrics.h"
+
+namespace an = gpures::analysis;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+namespace ix = gpures::index;
+namespace obs = gpures::obs;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// One simulated campaign (errors + jobs + unavailability) shared by every
+/// test in this binary, with its index written and mapped once.
+class QueryDifferential : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    an::CampaignConfig cfg = an::CampaignConfig::quick();
+    cfg.seed = 23;
+    cfg.workload_scale *= 0.3;
+    campaign_ = new an::DeltaCampaign(cfg);
+    campaign_->run();
+    avail_ = new an::AvailabilityStats(campaign_->pipeline().availability());
+
+    const auto dir = fs::temp_directory_path() / "gpures_idx_differential";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    path_ = (dir / "gpures.idx").string();
+
+    ix::IndexBuildInput in;
+    in.periods = campaign_->periods();
+    in.attribution_window = cfg.pipeline.attribution_window;
+    in.attribution = cfg.pipeline.attribution;
+    in.outlier_share = cfg.pipeline.outlier_share;
+    in.outlier_min = cfg.pipeline.outlier_min;
+    in.topo = &campaign_->topology();
+    in.errors = &campaign_->pipeline().errors();
+    in.jobs = &campaign_->pipeline().jobs();
+    in.unavailability = &avail_->intervals;
+    const auto wrote = ix::write_index(in, path_);
+    ASSERT_TRUE(wrote.ok()) << wrote.error().message;
+
+    auto opened = ix::IndexReader::open(path_);
+    ASSERT_TRUE(opened.ok()) << opened.error().message;
+    reader_ = new ix::IndexReader(std::move(opened).take());
+    ASSERT_GT(reader_->meta().error_count, 50u) << "corpus too thin";
+    ASSERT_GT(reader_->meta().job_count, 500u) << "corpus too thin";
+  }
+
+  static void TearDownTestSuite() {
+    delete reader_;
+    reader_ = nullptr;
+    delete avail_;
+    avail_ = nullptr;
+    delete campaign_;
+    campaign_ = nullptr;
+  }
+
+  static an::DeltaCampaign* campaign_;
+  static an::AvailabilityStats* avail_;
+  static ix::IndexReader* reader_;
+  static std::string path_;
+};
+
+an::DeltaCampaign* QueryDifferential::campaign_ = nullptr;
+an::AvailabilityStats* QueryDifferential::avail_ = nullptr;
+ix::IndexReader* QueryDifferential::reader_ = nullptr;
+std::string QueryDifferential::path_;
+
+/// Seeded predicate corpus: mixes empty, narrow, and whole-study windows
+/// with optional node and XID filters (including family aliases 120/123,
+/// excluded code 13, and a never-logged XID).
+std::vector<ix::Predicate> make_corpus(const ix::IndexReader& reader,
+                                       std::uint64_t seed, int n) {
+  constexpr std::uint16_t kXids[] = {31, 48, 63, 64, 74,  79, 94,
+                                     95, 119, 120, 122, 123, 13, 777};
+  const auto& meta = reader.meta();
+  const auto begin = meta.periods.pre.begin;
+  const auto span =
+      static_cast<std::uint64_t>(meta.periods.op.end - begin);
+  ct::Rng rng = ct::Rng(seed).fork("predicates");
+  std::vector<ix::Predicate> out;
+  for (int i = 0; i < n; ++i) {
+    ix::Predicate p;
+    const auto a = begin + static_cast<std::int64_t>(rng.uniform_u64(span));
+    const auto b = begin + static_cast<std::int64_t>(rng.uniform_u64(span));
+    p.from = std::min(a, b);
+    p.to = std::max(a, b);
+    if (rng.uniform() < 0.15) {  // whole-study window
+      p.from = begin;
+      p.to = meta.periods.op.end;
+    }
+    if (rng.uniform() < 0.5) {
+      p.node = static_cast<std::int32_t>(rng.uniform_u64(meta.node_count));
+    }
+    if (rng.uniform() < 0.5) {
+      p.xid = kXids[rng.uniform_u64(std::size(kXids))];
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::uint16_t canonical_xid(std::uint16_t xid) {
+  if (!gx::is_known(xid)) return xid;
+  return gx::to_number(gx::merge_key(static_cast<gx::Code>(xid)));
+}
+
+/// Reference count: a naive full scan of the pipeline's coalesced errors,
+/// then the same MTBE arithmetic the batch reports use.
+ix::CountResult ref_count(const an::DeltaCampaign& campaign,
+                          std::uint32_t node_count, const ix::Predicate& p) {
+  ix::CountResult out;
+  out.window_hours = ct::to_hours(p.to - p.from);
+  const std::optional<std::uint16_t> want =
+      p.xid.has_value() ? std::optional<std::uint16_t>(canonical_xid(*p.xid))
+                        : std::nullopt;
+  for (const auto& e : campaign.pipeline().errors()) {
+    if (e.time < p.from || e.time >= p.to) continue;
+    if (p.node.has_value() && e.gpu.node != *p.node) continue;
+    if (want.has_value() && gx::to_number(e.code) != *want) continue;
+    ++out.count;
+  }
+  out.mtbe_system_h = ct::mtbe(out.window_hours, out.count);
+  out.mtbe_per_node_h =
+      out.mtbe_system_h *
+      (p.node.has_value() ? 1.0 : static_cast<double>(node_count));
+  return out;
+}
+
+/// Reference impact: the batch compute_job_impact over a node-filtered copy
+/// of the job table with the predicate window as the analysis period.
+an::JobImpact ref_impact(const an::DeltaCampaign& campaign,
+                         const ix::Predicate& p, ct::Duration window,
+                         an::Attribution attribution) {
+  an::JobTable table = campaign.pipeline().jobs();  // spill stays aligned
+  if (p.node.has_value()) {
+    std::vector<an::JobView> kept;
+    for (const auto& j : table.jobs) {
+      const auto gpus = table.gpus_of(j);
+      if (std::any_of(gpus.begin(), gpus.end(), [&](an::PackedGpu g) {
+            return an::packed_node(g) == *p.node;
+          })) {
+        kept.push_back(j);
+      }
+    }
+    table.jobs = std::move(kept);
+  }
+  an::JobImpactConfig cfg;
+  cfg.window = window;
+  cfg.period = {p.from, p.to};
+  cfg.attribution = attribution;
+  return an::compute_job_impact(table, campaign.pipeline().errors(), cfg);
+}
+
+/// Reference availability: filter + sort the pipeline's intervals exactly as
+/// the artifact stores them, then the documented fold and formulas.
+ix::AvailabilityResult ref_availability(const an::DeltaCampaign& campaign,
+                                        const an::AvailabilityStats& avail,
+                                        std::uint32_t node_count,
+                                        const ix::Predicate& p) {
+  struct Row {
+    std::int64_t begin;
+    std::int32_t node;
+    std::int64_t end;
+  };
+  std::vector<Row> rows;
+  for (const auto& u : avail.intervals) {
+    const auto node = campaign.topology().node_index(u.host);
+    if (!node.has_value()) continue;
+    if (u.begin < p.from || u.begin >= p.to) continue;
+    if (p.node.has_value() && *node != *p.node) continue;
+    rows.push_back({u.begin, *node, u.end});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.begin != b.begin) return a.begin < b.begin;
+    if (a.node != b.node) return a.node < b.node;
+    return a.end < b.end;
+  });
+  ix::AvailabilityResult out;
+  std::vector<double> durations;
+  for (const auto& r : rows) {
+    durations.push_back(ct::to_hours(r.end - r.begin));
+    out.hours_lost += durations.back();
+  }
+  out.intervals = durations.size();
+  out.mttr_h = ct::summarize(durations).mean;
+  // MTTF: the batch aggregate MTBE — compute_error_stats itself over the
+  // window's errors (any XID filter deliberately ignored), with the
+  // pipeline's outlier config and the window standing in for the op period.
+  std::vector<an::CoalescedError> errs;
+  for (const auto& e : campaign.pipeline().errors()) {
+    if (e.time < p.from || e.time >= p.to) continue;
+    if (p.node.has_value() && e.gpu.node != *p.node) continue;
+    errs.push_back(e);
+  }
+  an::StudyPeriods periods;
+  periods.pre = {p.from, p.from};
+  periods.op = {p.from, p.to};
+  an::ErrorStatsConfig cfg;
+  cfg.node_count =
+      p.node.has_value() ? 1 : static_cast<std::int32_t>(node_count);
+  cfg.outlier_share = campaign.pipeline().config().outlier_share;
+  cfg.outlier_min = campaign.pipeline().config().outlier_min;
+  out.mttf_h =
+      an::compute_error_stats(errs, periods, cfg).total.op.mtbe_per_node_h;
+  if (!std::isfinite(out.mttf_h) || out.mttf_h <= 0.0 || out.mttr_h < 0.0) {
+    out.availability = 1.0;
+  } else {
+    out.availability = out.mttf_h / (out.mttf_h + out.mttr_h);
+  }
+  return out;
+}
+
+void expect_count_eq(const ix::CountResult& got, const ix::CountResult& want,
+                     const ix::Predicate& p, const char* what) {
+  SCOPED_TRACE(std::string(what) + " from=" + std::to_string(p.from) +
+               " to=" + std::to_string(p.to) +
+               (p.node ? " node=" + std::to_string(*p.node) : "") +
+               (p.xid ? " xid=" + std::to_string(*p.xid) : ""));
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_EQ(got.window_hours, want.window_hours);
+  // Same arithmetic on the same integers: bitwise equality, inf included.
+  EXPECT_TRUE(got.mtbe_system_h == want.mtbe_system_h ||
+              (std::isinf(got.mtbe_system_h) && std::isinf(want.mtbe_system_h)))
+      << got.mtbe_system_h << " vs " << want.mtbe_system_h;
+  EXPECT_TRUE(
+      got.mtbe_per_node_h == want.mtbe_per_node_h ||
+      (std::isinf(got.mtbe_per_node_h) && std::isinf(want.mtbe_per_node_h)))
+      << got.mtbe_per_node_h << " vs " << want.mtbe_per_node_h;
+}
+
+void expect_impact_eq(const ix::ImpactResult& got, const an::JobImpact& want,
+                      const ix::Predicate& p) {
+  SCOPED_TRACE("impact from=" + std::to_string(p.from) +
+               " to=" + std::to_string(p.to) +
+               (p.node ? " node=" + std::to_string(*p.node) : "") +
+               (p.xid ? " xid=" + std::to_string(*p.xid) : ""));
+  EXPECT_EQ(got.jobs_analyzed, want.jobs_analyzed);
+  EXPECT_EQ(got.failed_jobs_total, want.failed_jobs_total);
+  EXPECT_EQ(got.gpu_failed_jobs, want.gpu_failed_jobs);
+  const int want_bit =
+      p.xid.has_value()
+          ? an::exposure_bit(static_cast<gx::Code>(canonical_xid(*p.xid)))
+          : -1;
+  std::size_t gi = 0;
+  for (std::size_t b = 0; b < want.rows.size(); ++b) {
+    if (p.xid.has_value() && static_cast<int>(b) != want_bit) continue;
+    ASSERT_LT(gi, got.rows.size());
+    const auto& g = got.rows[gi++];
+    const auto& w = want.rows[b];
+    EXPECT_EQ(g.code, w.code);
+    EXPECT_EQ(g.encountering_jobs, w.encountering_jobs);
+    EXPECT_EQ(g.failed_jobs, w.failed_jobs);
+    EXPECT_EQ(g.failure_probability, w.failure_probability);
+    EXPECT_EQ(g.ci.p, w.ci.p);
+    EXPECT_EQ(g.ci.lo, w.ci.lo);
+    EXPECT_EQ(g.ci.hi, w.ci.hi);
+  }
+  EXPECT_EQ(gi, got.rows.size());
+}
+
+void expect_avail_eq(const ix::AvailabilityResult& got,
+                     const ix::AvailabilityResult& want,
+                     const ix::Predicate& p) {
+  SCOPED_TRACE("availability from=" + std::to_string(p.from) +
+               " to=" + std::to_string(p.to) +
+               (p.node ? " node=" + std::to_string(*p.node) : ""));
+  EXPECT_EQ(got.intervals, want.intervals);
+  EXPECT_EQ(got.hours_lost, want.hours_lost);
+  EXPECT_EQ(got.mttr_h, want.mttr_h);
+  EXPECT_TRUE(got.mttf_h == want.mttf_h ||
+              (std::isinf(got.mttf_h) && std::isinf(want.mttf_h)));
+  EXPECT_EQ(got.availability, want.availability);
+}
+
+}  // namespace
+
+TEST_F(QueryDifferential, CountsMatchNaiveScanOnSeededCorpus) {
+  ix::QueryEngine engine(*reader_);
+  for (const auto& p : make_corpus(*reader_, 101, 120)) {
+    expect_count_eq(engine.count(p),
+                    ref_count(*campaign_, reader_->meta().node_count, p), p,
+                    "count");
+  }
+}
+
+TEST_F(QueryDifferential, ImpactMatchesBatchJoinOnSeededCorpus) {
+  ix::QueryEngine engine(*reader_);
+  // The join is the expensive verb; a smaller corpus still covers node and
+  // XID filters, empty windows, and the whole-study window.
+  for (const auto& p : make_corpus(*reader_, 202, 40)) {
+    expect_impact_eq(
+        engine.impact(p),
+        ref_impact(*campaign_, p, engine.effective_window(),
+                   engine.node_level() ? an::Attribution::kNodeLevel
+                                       : an::Attribution::kGpuLevel),
+        p);
+  }
+}
+
+TEST_F(QueryDifferential, NodeLevelAttributionAlsoMatches) {
+  ix::QueryOptions opts;
+  opts.attribution = 1;  // override the recorded device-level setting
+  ix::QueryEngine engine(*reader_, opts);
+  for (const auto& p : make_corpus(*reader_, 303, 15)) {
+    expect_impact_eq(engine.impact(p),
+                     ref_impact(*campaign_, p, engine.effective_window(),
+                                an::Attribution::kNodeLevel),
+                     p);
+  }
+}
+
+TEST_F(QueryDifferential, AvailabilityMatchesPipelineOnSeededCorpus) {
+  ix::QueryEngine engine(*reader_);
+  for (const auto& p : make_corpus(*reader_, 404, 120)) {
+    expect_avail_eq(
+        engine.availability(p),
+        ref_availability(*campaign_, *avail_, reader_->meta().node_count, p),
+        p);
+  }
+}
+
+TEST_F(QueryDifferential, WholePeriodAvailabilityMatchesFig2) {
+  // The headline number: the whole-op-period query must reproduce the
+  // pipeline's §V-C availability computation exactly.
+  ix::QueryEngine engine(*reader_);
+  ix::Predicate p;
+  p.from = reader_->meta().periods.op.begin;
+  p.to = reader_->meta().periods.op.end;
+  const auto got = engine.availability(p);
+  const double mttf = campaign_->pipeline().mttf_estimate_h();
+  EXPECT_EQ(got.availability, avail_->availability(mttf));
+  EXPECT_EQ(got.mttr_h, avail_->mttr_h);
+  EXPECT_EQ(got.mttf_h, mttf);
+}
+
+TEST_F(QueryDifferential, CacheOnAndOffAgreeBitwise) {
+  ix::QueryOptions cached_opts;
+  cached_opts.cache_capacity = 8;  // small: forces evictions mid-corpus
+  ix::QueryOptions uncached_opts;
+  uncached_opts.cache_capacity = 0;
+  ix::QueryEngine cached(*reader_, cached_opts);
+  ix::QueryEngine uncached(*reader_, uncached_opts);
+
+  const auto corpus = make_corpus(*reader_, 505, 30);
+  for (int pass = 0; pass < 2; ++pass) {  // second pass hits the cache
+    for (const auto& p : corpus) {
+      expect_count_eq(cached.count(p), uncached.count(p), p, "count");
+      expect_avail_eq(cached.availability(p), uncached.availability(p), p);
+      const auto a = cached.impact(p);
+      const auto b = uncached.impact(p);
+      EXPECT_EQ(a.jobs_analyzed, b.jobs_analyzed);
+      EXPECT_EQ(a.gpu_failed_jobs, b.gpu_failed_jobs);
+      ASSERT_EQ(a.rows.size(), b.rows.size());
+      for (std::size_t i = 0; i < a.rows.size(); ++i) {
+        EXPECT_EQ(a.rows[i].encountering_jobs, b.rows[i].encountering_jobs);
+        EXPECT_EQ(a.rows[i].failed_jobs, b.rows[i].failed_jobs);
+        EXPECT_EQ(a.rows[i].failure_probability, b.rows[i].failure_probability);
+        EXPECT_EQ(a.rows[i].ci.lo, b.rows[i].ci.lo);
+        EXPECT_EQ(a.rows[i].ci.hi, b.rows[i].ci.hi);
+      }
+    }
+  }
+  // The sequential sweep above legitimately never revisits an entry before
+  // the 8-slot LRU evicts it; an immediate repeat is the guaranteed hit.
+  const auto misses_before = cached.cache_misses();
+  const auto first = cached.count(corpus.front());
+  expect_count_eq(cached.count(corpus.front()), first, corpus.front(),
+                  "repeat");
+  EXPECT_GT(cached.cache_hits(), 0u);
+  EXPECT_EQ(cached.cache_misses(), misses_before + 1);
+  EXPECT_EQ(uncached.cache_hits(), 0u);
+}
+
+TEST_F(QueryDifferential, FourConcurrentReadersAgreeWithSerialAnswers) {
+  // One shared engine (shared cache, shared mapping), four threads asking
+  // the same corpus in different orders; every answer must equal the serial
+  // reference computed up front.
+  const auto corpus = make_corpus(*reader_, 606, 40);
+  std::vector<ix::CountResult> want_counts;
+  std::vector<ix::AvailabilityResult> want_avail;
+  for (const auto& p : corpus) {
+    want_counts.push_back(
+        ref_count(*campaign_, reader_->meta().node_count, p));
+    want_avail.push_back(ref_availability(*campaign_, *avail_,
+                                          reader_->meta().node_count, p));
+  }
+
+  ix::QueryEngine engine(*reader_);
+  std::vector<std::thread> threads;
+  std::vector<int> mismatches(4, 0);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t k = 0; k < corpus.size(); ++k) {
+        // Stagger the order per thread so hits and misses interleave.
+        const std::size_t i = (k + static_cast<std::size_t>(t) * 7) %
+                              corpus.size();
+        const auto c = engine.count(corpus[i]);
+        const auto v = engine.availability(corpus[i]);
+        if (c.count != want_counts[i].count ||
+            c.mtbe_per_node_h != want_counts[i].mtbe_per_node_h) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+        if (v.intervals != want_avail[i].intervals ||
+            v.availability != want_avail[i].availability) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+  }
+  EXPECT_EQ(engine.cache_hits() + engine.cache_misses(),
+            4u * corpus.size() * 2u);
+}
+
+TEST_F(QueryDifferential, MetricsRegistryObservesCallsWithoutChangingResults) {
+  obs::MetricsRegistry registry;
+  ix::QueryOptions opts;
+  opts.metrics = &registry;
+  ix::QueryEngine with_metrics(*reader_, opts);
+  ix::QueryEngine without(*reader_);
+  const auto corpus = make_corpus(*reader_, 707, 10);
+  for (const auto& p : corpus) {
+    expect_count_eq(with_metrics.count(p), without.count(p), p, "count");
+  }
+  EXPECT_EQ(registry.counter("query.calls.count").value(), corpus.size());
+  EXPECT_EQ(registry.counter("query.cache.hits").value() +
+                registry.counter("query.cache.misses").value(),
+            corpus.size());
+}

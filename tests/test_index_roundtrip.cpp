@@ -1,0 +1,390 @@
+// Round-trip tests for the persistent error index: everything the writer
+// serializes must come back bit-equal through the memory-mapped reader, for
+// all three column families, including the empty-dataset and single-error
+// edges — and the artifact must be byte-identical no matter how many worker
+// threads the producing pipeline ran with.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/availability.h"
+#include "analysis/job_impact.h"
+#include "analysis/pipeline.h"
+#include "cluster/topology.h"
+#include "common/io.h"
+#include "common/rng.h"
+#include "index/reader.h"
+#include "index/writer.h"
+#include "logsys/syslog.h"
+
+namespace an = gpures::analysis;
+namespace cl = gpures::cluster;
+namespace ct = gpures::common;
+namespace gx = gpures::xid;
+namespace ix = gpures::index;
+namespace ls = gpures::logsys;
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path temp_file(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("gpures_idx_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir / "gpures.idx";
+}
+
+an::StudyPeriods periods() {
+  return an::StudyPeriods::make(ct::make_date(2023, 1, 1),
+                                ct::make_date(2023, 2, 1),
+                                ct::make_date(2023, 6, 1));
+}
+
+an::CoalescedError err(ct::TimePoint t, std::int32_t node, std::int32_t slot,
+                       std::uint16_t code, std::uint16_t raw,
+                       std::uint32_t lines) {
+  an::CoalescedError e;
+  e.time = t;
+  e.last = t + 5;
+  e.gpu = {node, slot};
+  e.code = static_cast<gx::Code>(code);
+  e.raw_xid = raw;
+  e.raw_lines = lines;
+  return e;
+}
+
+/// A small hand-built corpus exercising every column family: deliberately
+/// unsorted input (the writer owns the ordering), an excluded code (13,
+/// stored but never exposure-joined), a wide spilled job, and an
+/// unavailability interval on a host the topology does not know.
+struct Corpus {
+  cl::Topology topo{cl::ClusterSpec::small()};
+  an::StudyPeriods pds = periods();
+  std::vector<an::CoalescedError> errors;
+  an::JobTable jobs;
+  std::vector<an::Unavailability> unavail;
+
+  Corpus() {
+    const auto t0 = pds.op.begin;
+    errors.push_back(err(t0 + 5000, 2, 1, 63, 63, 3));
+    errors.push_back(err(t0 + 100, 0, 0, 119, 120, 1));
+    errors.push_back(err(t0 + 100, 0, 0, 79, 79, 2));   // tie on (time, gpu)
+    errors.push_back(err(t0 + 100, 1, 3, 48, 48, 1));
+    errors.push_back(err(t0 - 900, 3, 0, 94, 94, 1));   // pre-op period
+    errors.push_back(err(t0 + 7000, 2, 1, 13, 13, 1));  // excluded code
+
+    an::JobView a;
+    a.id = 7;
+    a.start = t0;
+    a.end = t0 + 6000;
+    a.gpus = 2;
+    a.state = gpures::slurm::JobState::kFailed;
+    a.inline_count = 2;
+    a.gpus_inline[0] = an::pack_gpu(2, 1);
+    a.gpus_inline[1] = an::pack_gpu(0, 0);
+    jobs.jobs.push_back(a);
+
+    an::JobView wide;  // spilled GPU list
+    wide.id = 3;
+    wide.start = t0 - 50;
+    wide.end = t0 + 6000;  // same end as `a`, earlier start: sorts first
+    wide.gpus = 6;
+    wide.state = gpures::slurm::JobState::kCompleted;
+    wide.spill_index = 0;
+    jobs.spill.push_back({an::pack_gpu(0, 0), an::pack_gpu(0, 1),
+                          an::pack_gpu(0, 2), an::pack_gpu(0, 3),
+                          an::pack_gpu(1, 0), an::pack_gpu(1, 1)});
+    jobs.jobs.push_back(wide);
+
+    an::Unavailability u1{topo.node(2).name, t0 + 4000, t0 + 8000};
+    an::Unavailability u2{topo.node(0).name, t0 + 50, t0 + 150};
+    an::Unavailability u3{"ghost-node", t0 + 10, t0 + 20};  // dropped
+    unavail = {u1, u2, u3};
+  }
+
+  ix::IndexBuildInput input() const {
+    ix::IndexBuildInput in;
+    in.periods = pds;
+    in.attribution_window = 20;
+    in.attribution = an::Attribution::kGpuLevel;
+    in.topo = &topo;
+    in.errors = &errors;
+    in.jobs = &jobs;
+    in.unavailability = &unavail;
+    return in;
+  }
+};
+
+}  // namespace
+
+TEST(IndexRoundTrip, ErrorColumnsSurviveWriteAndMmapRead) {
+  Corpus c;
+  const auto path = temp_file("errors");
+  const auto stats = ix::write_index(c.input(), path.string());
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().errors, c.errors.size());
+  EXPECT_EQ(stats.value().bytes, fs::file_size(path));
+
+  auto opened = ix::IndexReader::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  const auto reader = std::move(opened).take();
+
+  // The writer sorts by (time, gpu, code, raw_xid, ...); reproduce that
+  // order independently and demand every column matches field for field.
+  auto want = c.errors;
+  std::sort(want.begin(), want.end(),
+            [](const an::CoalescedError& a, const an::CoalescedError& b) {
+              if (a.time != b.time) return a.time < b.time;
+              const auto ga = an::pack_gpu(a.gpu.node, a.gpu.slot);
+              const auto gb = an::pack_gpu(b.gpu.node, b.gpu.slot);
+              if (ga != gb) return ga < gb;
+              return gx::to_number(a.code) < gx::to_number(b.code);
+            });
+  ASSERT_EQ(reader.err_time().size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(reader.err_time()[i], want[i].time) << i;
+    EXPECT_EQ(reader.err_last()[i], want[i].last) << i;
+    EXPECT_EQ(reader.err_gpu()[i],
+              an::pack_gpu(want[i].gpu.node, want[i].gpu.slot))
+        << i;
+    EXPECT_EQ(reader.err_code()[i], gx::to_number(want[i].code)) << i;
+    EXPECT_EQ(reader.err_raw_xid()[i], want[i].raw_xid) << i;
+    EXPECT_EQ(reader.err_raw_lines()[i], want[i].raw_lines) << i;
+  }
+
+  // Exposure entries must match the batch join's index over the whole study
+  // window: same keys, same per-key (time, bit) sequences.
+  an::JobImpactConfig icfg;
+  icfg.period = c.pds.whole();
+  const auto batch = an::build_error_index(c.errors, icfg);
+  ASSERT_EQ(reader.loc_keys().size(), batch.locations());
+  ASSERT_EQ(reader.loc_time().size(), batch.entries());
+  for (std::size_t k = 0; k < reader.loc_keys().size(); ++k) {
+    const auto entries = batch.at(reader.loc_keys()[k]);
+    const auto group = reader.loc_group(k);
+    ASSERT_EQ(group.time.size(), entries.size()) << "key " << k;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      EXPECT_EQ(group.time[i], entries[i].time);
+      EXPECT_EQ(group.bit[i], entries[i].bit);
+    }
+  }
+}
+
+TEST(IndexRoundTrip, JobAndUnavailabilityColumnsSurvive) {
+  Corpus c;
+  const auto path = temp_file("jobs");
+  const auto stats = ix::write_index(c.input(), path.string());
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().jobs, 2u);
+  EXPECT_EQ(stats.value().job_gpus, 8u);
+  EXPECT_EQ(stats.value().unavailability, 2u);
+  EXPECT_EQ(stats.value().dropped_unknown_hosts, 1u);
+
+  auto opened = ix::IndexReader::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  const auto reader = std::move(opened).take();
+
+  // Jobs sorted by (end, start, id): the wide job (earlier start) first.
+  ASSERT_EQ(reader.job_id().size(), 2u);
+  EXPECT_EQ(reader.job_id()[0], 3u);
+  EXPECT_EQ(reader.job_id()[1], 7u);
+  EXPECT_EQ(reader.job_start()[0], c.jobs.jobs[1].start);
+  EXPECT_EQ(reader.job_end()[0], c.jobs.jobs[1].end);
+  EXPECT_EQ(reader.job_state()[1],
+            static_cast<std::uint8_t>(gpures::slurm::JobState::kFailed));
+  const auto wide_gpus = reader.job_gpus(0);
+  ASSERT_EQ(wide_gpus.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(wide_gpus[i], c.jobs.spill[0][i]) << i;
+  }
+  const auto small_gpus = reader.job_gpus(1);
+  ASSERT_EQ(small_gpus.size(), 2u);
+  EXPECT_EQ(small_gpus[0], an::pack_gpu(2, 1));
+  EXPECT_EQ(small_gpus[1], an::pack_gpu(0, 0));
+
+  // Unavailability sorted by (begin, node, end); the unknown host is gone.
+  ASSERT_EQ(reader.unavail_node().size(), 2u);
+  EXPECT_EQ(reader.unavail_node()[0], 0);
+  EXPECT_EQ(reader.unavail_node()[1], 2);
+  EXPECT_EQ(reader.unavail_begin()[0], c.pds.op.begin + 50);
+  EXPECT_EQ(reader.unavail_end()[1], c.pds.op.begin + 8000);
+
+  // Node directory round-trips both ways.
+  ASSERT_EQ(reader.meta().node_count,
+            static_cast<std::uint32_t>(c.topo.node_count()));
+  for (std::int32_t n = 0; n < c.topo.node_count(); ++n) {
+    EXPECT_EQ(reader.node_name(static_cast<std::uint32_t>(n)),
+              c.topo.node(n).name);
+    EXPECT_EQ(reader.node_index(c.topo.node(n).name), n);
+  }
+  EXPECT_FALSE(reader.node_index("ghost-node").has_value());
+}
+
+TEST(IndexRoundTrip, MetaBlockSurvives) {
+  Corpus c;
+  auto in = c.input();
+  in.attribution_window = 45;
+  in.attribution = an::Attribution::kNodeLevel;
+  in.max_interval_h = 12.5;
+  in.outlier_share = 0.25;
+  in.outlier_min = 7;
+  in.exclude_outliers_from_totals = false;
+  const auto path = temp_file("meta");
+  ASSERT_TRUE(ix::write_index(in, path.string()).ok());
+  auto opened = ix::IndexReader::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  const auto& m = opened.value().meta();
+  EXPECT_EQ(m.periods.pre.begin, c.pds.pre.begin);
+  EXPECT_EQ(m.periods.pre.end, c.pds.pre.end);
+  EXPECT_EQ(m.periods.op.begin, c.pds.op.begin);
+  EXPECT_EQ(m.periods.op.end, c.pds.op.end);
+  EXPECT_EQ(m.attribution_window, 45);
+  EXPECT_EQ(m.attribution, 1u);
+  EXPECT_EQ(m.max_interval_h, 12.5);
+  EXPECT_EQ(m.outlier_share, 0.25);
+  EXPECT_EQ(m.outlier_min, 7u);
+  EXPECT_FALSE(m.exclude_outliers_from_totals);
+  EXPECT_EQ(m.error_count, c.errors.size());
+  EXPECT_EQ(m.job_count, 2u);
+  EXPECT_EQ(m.unavail_count, 2u);
+}
+
+TEST(IndexRoundTrip, EmptyDatasetRoundTrips) {
+  cl::Topology topo(cl::ClusterSpec::small());
+  const std::vector<an::CoalescedError> no_errors;
+  const an::JobTable no_jobs;
+  const std::vector<an::Unavailability> no_unavail;
+  ix::IndexBuildInput in;
+  in.periods = periods();
+  in.topo = &topo;
+  in.errors = &no_errors;
+  in.jobs = &no_jobs;
+  in.unavailability = &no_unavail;
+
+  const auto path = temp_file("empty");
+  const auto stats = ix::write_index(in, path.string());
+  ASSERT_TRUE(stats.ok()) << stats.error().message;
+  EXPECT_EQ(stats.value().errors, 0u);
+
+  auto opened = ix::IndexReader::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  const auto& reader = opened.value();
+  EXPECT_EQ(reader.meta().error_count, 0u);
+  EXPECT_TRUE(reader.err_time().empty());
+  EXPECT_TRUE(reader.loc_keys().empty());
+  EXPECT_TRUE(reader.job_id().empty());
+  EXPECT_TRUE(reader.unavail_begin().empty());
+  EXPECT_TRUE(reader.loc_at(an::pack_gpu(0, 0)).time.empty());
+  EXPECT_TRUE(reader.job_gpus(0).empty());  // out of range is empty, not UB
+}
+
+TEST(IndexRoundTrip, SingleErrorRoundTrips) {
+  cl::Topology topo(cl::ClusterSpec::small());
+  const auto pds = periods();
+  const std::vector<an::CoalescedError> one = {
+      err(pds.op.begin + 42, 1, 2, 63, 63, 9)};
+  const an::JobTable no_jobs;
+  const std::vector<an::Unavailability> no_unavail;
+  ix::IndexBuildInput in;
+  in.periods = pds;
+  in.topo = &topo;
+  in.errors = &one;
+  in.jobs = &no_jobs;
+  in.unavailability = &no_unavail;
+
+  const auto path = temp_file("single");
+  ASSERT_TRUE(ix::write_index(in, path.string()).ok());
+  auto opened = ix::IndexReader::open(path.string());
+  ASSERT_TRUE(opened.ok()) << opened.error().message;
+  const auto& reader = opened.value();
+  ASSERT_EQ(reader.err_time().size(), 1u);
+  EXPECT_EQ(reader.err_time()[0], pds.op.begin + 42);
+  EXPECT_EQ(reader.err_gpu()[0], an::pack_gpu(1, 2));
+  EXPECT_EQ(reader.err_code()[0], 63);
+  EXPECT_EQ(reader.err_raw_lines()[0], 9u);
+  const auto group = reader.loc_at(an::pack_gpu(1, 2));
+  ASSERT_EQ(group.time.size(), 1u);
+  EXPECT_EQ(group.time[0], pds.op.begin + 42);
+}
+
+TEST(IndexRoundTrip, SerializationIsDeterministic) {
+  Corpus c;
+  const auto a = ix::serialize_index(c.input());
+  const auto b = ix::serialize_index(c.input());
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+namespace {
+
+/// Same synthetic-campaign shape as test_parallel_determinism: enough churn
+/// that Stage I/II parallelism would surface any ordering leak in the
+/// artifact.
+void ingest_synthetic(an::AnalysisPipeline& pipe, const cl::Topology& topo,
+                      std::uint64_t seed, int days) {
+  constexpr std::uint16_t kCodes[] = {31, 48, 63, 74, 79, 94, 119, 120, 122};
+  ct::Rng rng(seed);
+  const auto day0 = ct::make_date(2023, 2, 1);
+  for (int d = 0; d < days; ++d) {
+    ct::TimePoint t = day0 + d * ct::kDay;
+    std::string text;
+    const int n = 200 + static_cast<int>(rng.uniform_u64(100));
+    for (int i = 0; i < n; ++i) {
+      t += static_cast<ct::Duration>(rng.uniform_u64(400));
+      const auto node = static_cast<std::int32_t>(
+          rng.uniform_u64(static_cast<std::uint64_t>(topo.node_count())));
+      const auto& name = topo.node(node).name;
+      const double what = rng.uniform();
+      if (what < 0.8) {
+        const auto slot = static_cast<std::int32_t>(rng.uniform_u64(
+            static_cast<std::uint64_t>(topo.gpus_on_node(node))));
+        const auto code = static_cast<gx::Code>(
+            kCodes[rng.uniform_u64(std::size(kCodes))]);
+        text += ls::render_xid_line(t, name, topo.pci_bus({node, slot}), code,
+                                    "roundtrip");
+      } else if (what < 0.9) {
+        text += ls::render_drain_line(t, name);
+      } else {
+        text += ls::render_resume_line(t, name);
+      }
+      text += '\n';
+    }
+    pipe.ingest_log_text(day0 + d * ct::kDay, text);
+  }
+  pipe.finish();
+}
+
+}  // namespace
+
+TEST(IndexRoundTrip, ArtifactIsByteIdenticalAcrossThreadCounts) {
+  cl::Topology topo(cl::ClusterSpec::delta_a100());
+  std::string baseline;
+  for (const std::uint32_t threads : {0u, 2u, 4u, 8u}) {
+    an::PipelineConfig cfg;
+    cfg.num_threads = threads;
+    an::AnalysisPipeline pipe(topo, cfg);
+    ingest_synthetic(pipe, topo, 17, 8);
+    const auto avail = pipe.availability();
+
+    ix::IndexBuildInput in;
+    in.periods = cfg.periods;
+    in.attribution_window = cfg.attribution_window;
+    in.attribution = cfg.attribution;
+    in.topo = &topo;
+    in.errors = &pipe.errors();
+    in.jobs = &pipe.jobs();
+    in.unavailability = &avail.intervals;
+    const auto bytes = ix::serialize_index(in);
+    ASSERT_TRUE(bytes.ok()) << bytes.error().message;
+    if (threads == 0) {
+      baseline = bytes.value();
+      ASSERT_GT(pipe.errors().size(), 100u) << "corpus too thin to trust";
+    } else {
+      EXPECT_EQ(bytes.value(), baseline)
+          << "gpures.idx differs at --threads " << threads;
+    }
+  }
+}

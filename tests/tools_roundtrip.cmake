@@ -1,5 +1,6 @@
-# Drives the CLI pair end to end: gpures-simulate writes a dataset,
-# gpures-analyze consumes it and must print every report section.
+# Drives the CLI tools end to end: gpures-simulate writes a dataset,
+# gpures-analyze consumes it (and emits the binary index), gpures-query
+# answers from the index without touching the dataset again.
 file(REMOVE_RECURSE "${WORKDIR}")
 file(MAKE_DIRECTORY "${WORKDIR}")
 
@@ -13,6 +14,7 @@ endif()
 execute_process(
   COMMAND "${ANALYZE}" --data "${WORKDIR}/ds"
           --export-csv "${WORKDIR}/csv" --export-json "${WORKDIR}/out.json"
+          --write-index "${WORKDIR}/gpures.idx"
   RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
   message(FATAL_ERROR "gpures-analyze failed (${rc}): ${out} ${err}")
@@ -34,4 +36,52 @@ endforeach()
 if(NOT EXISTS "${WORKDIR}/out.json")
   message(FATAL_ERROR "missing JSON export")
 endif()
+
+# The written index must be byte-identical across pipeline worker counts.
+execute_process(
+  COMMAND "${ANALYZE}" --data "${WORKDIR}/ds" --threads 4
+          --write-index "${WORKDIR}/gpures_t4.idx" --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpures-analyze --threads 4 failed (${rc}): ${err}")
+endif()
+file(READ "${WORKDIR}/gpures.idx" idx_serial HEX)
+file(READ "${WORKDIR}/gpures_t4.idx" idx_par HEX)
+if(NOT idx_serial STREQUAL idx_par)
+  message(FATAL_ERROR "gpures.idx differs between --threads 0 and 4")
+endif()
+
+# gpures-query serves every report shape from the artifact alone.
+execute_process(
+  COMMAND "${QUERY}" --index "${WORKDIR}/gpures.idx" --info
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpures-query --info failed (${rc}): ${err}")
+endif()
+string(FIND "${out}" "gpures index" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "gpures-query --info output unexpected: ${out}")
+endif()
+
+execute_process(
+  COMMAND "${QUERY}" --index "${WORKDIR}/gpures.idx" --xid 63 --format json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "gpures-query failed (${rc}): ${err}")
+endif()
+foreach(needle "\"count\"" "\"impact\"" "\"availability\"")
+  string(FIND "${out}" "${needle}" pos)
+  if(pos EQUAL -1)
+    message(FATAL_ERROR "gpures-query JSON missing ${needle}: ${out}")
+  endif()
+endforeach()
+
+# A query against a missing index must fail with a located error.
+execute_process(
+  COMMAND "${QUERY}" --index "${WORKDIR}/absent.idx"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "gpures-query succeeded on a missing index")
+endif()
+
 file(REMOVE_RECURSE "${WORKDIR}")

@@ -31,6 +31,7 @@
 #include "analysis/reports.h"
 #include "analysis/survival.h"
 #include "analysis/trends.h"
+#include "index/writer.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -57,6 +58,9 @@ void usage() {
       "  --regex                use the std::regex Stage-I matcher\n"
       "  --threads N            Stage I/II worker threads (0 = serial;\n"
       "                         output is byte-identical either way)\n"
+      "  --write-index FILE     write the binary error index (gpures.idx)\n"
+      "                         for gpures-query; deterministic across\n"
+      "                         --threads\n"
       "  --metrics FILE         write the metrics registry snapshot as JSON\n"
       "  --trace FILE           write a Chrome Trace Event JSON timeline\n"
       "  --ingest-policy P      strict (default): fail on the first corrupt\n"
@@ -119,6 +123,7 @@ int main(int argc, char** argv) {
   std::string csv_dir;
   std::string json_file;
   std::string md_file;
+  std::string index_file;
   std::string metrics_file;
   std::string trace_file;
   std::string quality_file;
@@ -163,6 +168,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       pcfg.num_threads = static_cast<std::uint32_t>(n);
+    } else if (arg == "--write-index") {
+      index_file = next("--write-index");
     } else if (arg == "--metrics") {
       metrics_file = next("--metrics");
     } else if (arg == "--trace") {
@@ -365,6 +372,39 @@ int main(int argc, char** argv) {
     if (!quiet) {
       std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
     }
+  }
+
+  if (!index_file.empty()) {
+    const auto avail = pipe.availability();
+    index::IndexBuildInput in;
+    in.periods = pcfg.periods;
+    in.attribution_window = pcfg.attribution_window;
+    in.attribution = pcfg.attribution;
+    in.outlier_share = pcfg.outlier_share;
+    in.outlier_min = pcfg.outlier_min;
+    in.topo = &topo;
+    in.errors = &pipe.errors();
+    in.jobs = &pipe.jobs();
+    in.unavailability = &avail.intervals;
+    const auto wrote = index::write_index(in, index_file);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "gpures-analyze: %s\n",
+                   wrote.error().message.c_str());
+      return 1;
+    }
+    if (!quiet) {
+      const auto& ws = wrote.value();
+      std::fprintf(stderr,
+                   "wrote index to %s: %llu bytes, %llu errors, %llu jobs, "
+                   "%llu unavailability intervals\n",
+                   index_file.c_str(),
+                   static_cast<unsigned long long>(ws.bytes),
+                   static_cast<unsigned long long>(ws.errors),
+                   static_cast<unsigned long long>(ws.jobs),
+                   static_cast<unsigned long long>(ws.unavailability));
+    }
+    run.extra.emplace_back("index_bytes",
+                           std::to_string(wrote.value().bytes));
   }
 
   if (!json_file.empty()) {
