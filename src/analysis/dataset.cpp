@@ -234,7 +234,19 @@ namespace {
 class DayIngestor {
  public:
   DayIngestor(AnalysisPipeline& pipeline, const IngestOptions& opt)
-      : pipeline_(pipeline), opt_(opt) {}
+      : pipeline_(pipeline), opt_(opt) {
+    // Quarantine reasons as one labeled family on the pipeline's registry,
+    // so the --metrics artifact breaks dropped lines down by cause.
+    auto& reg = pipeline.metrics();
+    reg.describe("ingest.lines_dropped",
+                 "Raw log lines quarantined by the ingest screen, by reason",
+                 "lines");
+    m_dropped_torn_ = &reg.counter("ingest.lines_dropped", {{"reason", "torn"}});
+    m_dropped_binary_ =
+        &reg.counter("ingest.lines_dropped", {{"reason", "binary"}});
+    m_dropped_overlong_ =
+        &reg.counter("ingest.lines_dropped", {{"reason", "overlong"}});
+  }
 
   common::Status ingest(const fs::path& path, common::TimePoint date,
                         std::string&& text) {
@@ -242,6 +254,9 @@ class DayIngestor {
     logsys::ScreenCounts sc;
     auto day =
         logsys::DayBuffer::from_text(date, std::move(text), opt_.screen, sc);
+    if (sc.torn_lines > 0) m_dropped_torn_->add(sc.torn_lines);
+    if (sc.binary_lines > 0) m_dropped_binary_->add(sc.binary_lines);
+    if (sc.overlong_lines > 0) m_dropped_overlong_->add(sc.overlong_lines);
     if (sc.quarantined_lines() > 0) {
       if (opt_.policy == IngestPolicy::kStrict) {
         return common::Error::at(
@@ -302,6 +317,9 @@ class DayIngestor {
  private:
   AnalysisPipeline& pipeline_;
   const IngestOptions& opt_;
+  obs::Counter* m_dropped_torn_ = nullptr;
+  obs::Counter* m_dropped_binary_ = nullptr;
+  obs::Counter* m_dropped_overlong_ = nullptr;
 };
 
 /// An unreadable day: strict aborts, lenient records a coverage gap.
@@ -505,6 +523,12 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
     const std::size_t window = pool->size() + 1;
     std::vector<Slot> slots(days.size());
     std::vector<std::future<void>> reads(days.size());
+    // Prefetch depth: schedule/consume both happen on this thread, so the
+    // gauge (and its max — the peak window fill) is deterministic.
+    auto& reg = pipeline.metrics();
+    reg.describe("ingest.prefetch.in_flight",
+                 "Day-file read tasks scheduled but not yet consumed", "days");
+    obs::Gauge& prefetch_depth = reg.gauge("ingest.prefetch.in_flight");
     // Any early return below (strict offense, exceeded error budget, read
     // failure) unwinds while up to `window` read tasks are still queued or
     // running against `slots` and `days` — and these futures come from
@@ -520,6 +544,7 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
       }
     } drain{reads};
     const auto schedule = [&](std::size_t i) {
+      prefetch_depth.add(1);
       reads[i] = pool->submit([&slots, &days, i] {
         auto text = common::read_file(days[i].path.string());
         if (text.ok()) {
@@ -535,6 +560,7 @@ common::Result<std::uint64_t> load_dataset(const fs::path& dir,
     }
     for (std::size_t i = 0; i < days.size(); ++i) {
       reads[i].get();
+      prefetch_depth.add(-1);
       // Keep the read window full before parsing blocks this thread.
       if (i + window < days.size()) schedule(i + window);
       if (slots[i].failed) {

@@ -134,8 +134,12 @@ class AnalysisPipeline {
     std::uint64_t out_of_order_observations = 0;
   };
   Counters counters() const;
-  /// The registry collecting this pipeline's metrics (never null).
+  /// The registry collecting this pipeline's metrics (never null).  The
+  /// mutable overload lets collaborators that feed the pipeline (the dataset
+  /// loader, the query layer) register their own families on the same
+  /// registry, so one --metrics artifact covers the whole run.
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
+  obs::MetricsRegistry& metrics() { return *metrics_; }
   const PipelineConfig& config() const { return cfg_; }
   /// The worker pool shared by every stage; null in serial mode.  Callers
   /// running Stage-III renders outside the pipeline (trends, survival,

@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 namespace gpures::common {
 
@@ -55,6 +57,30 @@ Result<std::string> read_file(const std::string& path) {
     return Error::make("read error on file: " + path);
   }
   return out;
+}
+
+Status write_text_file(const std::string& path, std::string_view text) {
+  const std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      return Error::make("cannot create directory " + parent.string() +
+                         " for file: " + path);
+    }
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Error::make("cannot open file for writing: " + path);
+  }
+  const std::size_t written =
+      text.empty() ? 0 : std::fwrite(text.data(), 1, text.size(), f);
+  const bool write_ok = written == text.size() && std::ferror(f) == 0;
+  const bool close_ok = std::fclose(f) == 0;
+  if (!write_ok || !close_ok) {
+    return Error::make("write error on file: " + path);
+  }
+  return Status{};
 }
 
 }  // namespace gpures::common

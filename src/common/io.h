@@ -36,4 +36,10 @@ void set_io_fault_plan(const IoFaultPlan* plan);
 /// failure.  Binary-safe: bytes are returned exactly as stored.
 Result<std::string> read_file(const std::string& path);
 
+/// Write `text` to `path` (truncating), creating parent directories as
+/// needed.  Every tool-facing artifact write goes through here so open,
+/// short-write, and close failures all surface as a checked Error naming
+/// the path — instead of the silent bad() streams the CLIs used to mix.
+Status write_text_file(const std::string& path, std::string_view text);
+
 }  // namespace gpures::common

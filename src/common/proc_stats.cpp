@@ -1,0 +1,93 @@
+#include "common/proc_stats.h"
+
+#ifdef __linux__
+#include <dirent.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#endif
+
+namespace gpures::common {
+
+#ifdef __linux__
+
+namespace {
+
+/// VmRSS line from /proc/self/status, in kB; 0 when absent.
+std::uint64_t read_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t rss = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      unsigned long long kb = 0;
+      if (std::sscanf(line + 6, "%llu", &kb) == 1) rss = kb;
+      break;
+    }
+  }
+  std::fclose(f);
+  return rss;
+}
+
+/// utime/stime (fields 14/15) from /proc/self/stat, in clock ticks.
+/// The comm field (2) may contain spaces and parens, so scan from the last
+/// ')' rather than splitting on whitespace from the start.
+bool read_cpu_times(double& utime_s, double& stime_s) {
+  std::FILE* f = std::fopen("/proc/self/stat", "r");
+  if (f == nullptr) return false;
+  char buf[1024];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return false;
+  buf[n] = '\0';
+  const char* p = std::strrchr(buf, ')');
+  if (p == nullptr) return false;
+  ++p;  // now at " S ppid pgrp ... utime stime ..." (fields 3 onward)
+  unsigned long long utime = 0;
+  unsigned long long stime = 0;
+  // 11 fields between ')' and utime: state + 10 numeric fields (4-13).
+  if (std::sscanf(p, " %*c %*s %*s %*s %*s %*s %*s %*s %*s %*s %*s %llu %llu",
+                  &utime, &stime) != 2) {
+    return false;
+  }
+  const long ticks = sysconf(_SC_CLK_TCK);
+  const double hz = ticks > 0 ? static_cast<double>(ticks) : 100.0;
+  utime_s = static_cast<double>(utime) / hz;
+  stime_s = static_cast<double>(stime) / hz;
+  return true;
+}
+
+std::uint64_t count_open_fds() {
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  std::uint64_t count = 0;
+  while (const dirent* e = readdir(d)) {
+    if (e->d_name[0] == '.') continue;  // "." and ".."
+    ++count;
+  }
+  closedir(d);
+  // Exclude the directory stream's own fd from the report.
+  if (count > 0) --count;
+  return count;
+}
+
+}  // namespace
+
+ProcStats sample_proc_stats() {
+  ProcStats s;
+  s.rss_kb = read_rss_kb();
+  s.valid = read_cpu_times(s.utime_s, s.stime_s);
+  s.open_fds = count_open_fds();
+  s.valid = s.valid || s.rss_kb > 0;
+  return s;
+}
+
+#else  // !__linux__
+
+ProcStats sample_proc_stats() { return ProcStats{}; }
+
+#endif
+
+}  // namespace gpures::common

@@ -1,0 +1,26 @@
+// Process self-observation: RSS, CPU time, and open-fd count for the
+// telemetry sampler and gpures-health.
+//
+// Linux-only in substance (reads /proc/self/status, /proc/self/stat, and
+// /proc/self/fd); on other platforms — and on any read failure — sample()
+// returns a ProcStats with `valid == false` and zeroed fields, so consumers
+// degrade to "no proc data" instead of failing.  Values are observational
+// sidecar data only and never flow into golden-compared artifacts.
+#pragma once
+
+#include <cstdint>
+
+namespace gpures::common {
+
+struct ProcStats {
+  bool valid = false;
+  std::uint64_t rss_kb = 0;    ///< resident set size (VmRSS)
+  double utime_s = 0.0;        ///< user CPU time consumed so far
+  double stime_s = 0.0;        ///< system CPU time consumed so far
+  std::uint64_t open_fds = 0;  ///< entries in /proc/self/fd
+};
+
+/// Sample the current process (cheap: three procfs reads).
+ProcStats sample_proc_stats();
+
+}  // namespace gpures::common

@@ -7,6 +7,7 @@
 #include "analysis/error_stats.h"
 #include "analysis/job_impact.h"
 #include "analysis/job_stats.h"
+#include "obs/log.h"
 #include "slurm/job.h"
 
 namespace gpures::index {
@@ -47,15 +48,28 @@ QueryEngine::QueryEngine(const IndexReader& reader, QueryOptions opts)
                                            : reader.meta().attribution_window),
       node_level_(opts.attribution >= 0 ? opts.attribution == 1
                                         : reader.meta().attribution == 1),
-      capacity_(opts.cache_capacity) {
+      capacity_(opts.cache_capacity),
+      slow_query_us_(opts.slow_query_us) {
   if (opts.metrics != nullptr) {
-    m_hits_ = &opts.metrics->counter("query.cache.hits");
-    m_misses_ = &opts.metrics->counter("query.cache.misses");
-    m_count_calls_ = &opts.metrics->counter("query.calls.count");
-    m_impact_calls_ = &opts.metrics->counter("query.calls.impact");
-    m_avail_calls_ = &opts.metrics->counter("query.calls.availability");
-    m_latency_us_ = &opts.metrics->histogram("query.latency_us",
-                                             obs::latency_buckets_us());
+    auto& reg = *opts.metrics;
+    reg.describe("query.cache.hits", "Query LRU cache hits", "queries");
+    reg.describe("query.cache.misses", "Query LRU cache misses", "queries");
+    reg.describe("query.cache.evictions",
+                 "Query results evicted from the LRU cache", "queries");
+    reg.describe("query.latency_us", "End-to-end query latency by verb", "us");
+    m_hits_ = &reg.counter("query.cache.hits");
+    m_misses_ = &reg.counter("query.cache.misses");
+    m_evictions_ = &reg.counter("query.cache.evictions");
+    m_count_calls_ = &reg.counter("query.calls.count");
+    m_impact_calls_ = &reg.counter("query.calls.impact");
+    m_avail_calls_ = &reg.counter("query.calls.availability");
+    m_latency_count_ = &reg.histogram("query.latency_us", {{"op", "count"}},
+                                      obs::latency_buckets_us());
+    m_latency_impact_ = &reg.histogram("query.latency_us", {{"op", "impact"}},
+                                       obs::latency_buckets_us());
+    m_latency_avail_ =
+        &reg.histogram("query.latency_us", {{"op", "availability"}},
+                       obs::latency_buckets_us());
   }
 }
 
@@ -67,14 +81,19 @@ Predicate QueryEngine::whole_period() const {
 }
 
 template <typename T, typename Fn>
-T QueryEngine::cached(const std::string& key, Fn&& compute) {
+T QueryEngine::cached(const char* op, obs::Histogram* latency,
+                      const std::string& key, Fn&& compute) {
   const auto t0 = std::chrono::steady_clock::now();
+  bool hit = false;
   const auto observe_latency = [&] {
-    if (m_latency_us_ != nullptr) {
-      m_latency_us_->observe(
-          std::chrono::duration<double, std::micro>(
-              std::chrono::steady_clock::now() - t0)
-              .count());
+    const double us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    if (latency != nullptr) latency->observe(us);
+    if (slow_query_us_ > 0.0 && us >= slow_query_us_) {
+      obs::Logger::current().warn(
+          "query", "slow query",
+          {{"op", op}, {"latency_us", us}, {"key", key}, {"cached", hit}});
     }
   };
   if (capacity_ > 0) {
@@ -85,6 +104,7 @@ T QueryEngine::cached(const std::string& key, Fn&& compute) {
       cache_hits_.inc();
       if (m_hits_ != nullptr) m_hits_->inc();
       T out = std::get<T>(it->second->second);
+      hit = true;
       observe_latency();
       return out;
     }
@@ -100,6 +120,7 @@ T QueryEngine::cached(const std::string& key, Fn&& compute) {
       while (map_.size() > capacity_) {
         map_.erase(lru_.back().first);
         lru_.pop_back();
+        if (m_evictions_ != nullptr) m_evictions_->inc();
       }
     }
   }
@@ -109,7 +130,7 @@ T QueryEngine::cached(const std::string& key, Fn&& compute) {
 
 CountResult QueryEngine::count(const Predicate& p) {
   if (m_count_calls_ != nullptr) m_count_calls_->inc();
-  return cached<CountResult>(key_of("count", p),
+  return cached<CountResult>("count", m_latency_count_, key_of("count", p),
                              [&] { return compute_count(p); });
 }
 
@@ -121,12 +142,14 @@ ImpactResult QueryEngine::impact(const Predicate& p) {
   key += '|';
   key += std::to_string(window_);
   key += node_level_ ? "|n" : "|g";
-  return cached<ImpactResult>(key, [&] { return compute_impact(p); });
+  return cached<ImpactResult>("impact", m_latency_impact_, key,
+                              [&] { return compute_impact(p); });
 }
 
 AvailabilityResult QueryEngine::availability(const Predicate& p) {
   if (m_avail_calls_ != nullptr) m_avail_calls_->inc();
-  return cached<AvailabilityResult>(key_of("avail", p),
+  return cached<AvailabilityResult>("availability", m_latency_avail_,
+                                    key_of("avail", p),
                                     [&] { return compute_availability(p); });
 }
 

@@ -97,9 +97,15 @@ struct QueryOptions {
   common::Duration attribution_window = -1;
   /// -1: as recorded; 0: device-level; 1: node-level.
   int attribution = -1;
-  /// Optional sink for query.* metrics (latency histogram, cache hit/miss
-  /// counters, per-verb call counts).  Never affects results.
+  /// Optional sink for query.* metrics (per-op latency histograms under
+  /// `query.latency_us{op=...}`, cache hit/miss/eviction counters, per-verb
+  /// call counts).  Never affects results.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Log queries slower than this many microseconds as warn records on the
+  /// installed obs::Logger (op, latency, predicate key, cache outcome).
+  /// 0 disables the slow-query log.  Diagnostics only — never affects
+  /// results.
+  double slow_query_us = 0.0;
 };
 
 class QueryEngine {
@@ -131,14 +137,17 @@ class QueryEngine {
 
   /// Look up `key`; on miss, compute() runs outside the lock (possibly
   /// concurrently with an identical miss — results are pure, so the race is
-  /// benign) and the result is inserted.
+  /// benign) and the result is inserted.  `op` names the verb for the
+  /// latency histogram and the slow-query log.
   template <typename T, typename Fn>
-  T cached(const std::string& key, Fn&& compute);
+  T cached(const char* op, obs::Histogram* latency, const std::string& key,
+           Fn&& compute);
 
   const IndexReader& reader_;
   common::Duration window_;
   bool node_level_;
   std::size_t capacity_;
+  double slow_query_us_;
 
   std::mutex mu_;
   std::list<std::pair<std::string, Cached>> lru_;  ///< front = most recent
@@ -150,10 +159,14 @@ class QueryEngine {
 
   obs::Counter* m_hits_ = nullptr;
   obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_evictions_ = nullptr;
   obs::Counter* m_count_calls_ = nullptr;
   obs::Counter* m_impact_calls_ = nullptr;
   obs::Counter* m_avail_calls_ = nullptr;
-  obs::Histogram* m_latency_us_ = nullptr;
+  /// Per-op children of `query.latency_us{op=...}`.
+  obs::Histogram* m_latency_count_ = nullptr;
+  obs::Histogram* m_latency_impact_ = nullptr;
+  obs::Histogram* m_latency_avail_ = nullptr;
 };
 
 }  // namespace gpures::index

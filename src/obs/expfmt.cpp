@@ -1,0 +1,180 @@
+#include "obs/expfmt.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace gpures::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Shortest round-trip rendering of a double ("10" not "10.000000").
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_u64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string fmt_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+/// Escape a HELP text: backslash and newline (the spec's requirements).
+std::string escape_help(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Escape a label value: backslash, double quote, newline.
+std::string escape_label(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+/// Render `{k="v",...}` from the (already sorted) labels, with an optional
+/// extra label appended (histogram `le`).  Empty set with no extra renders
+/// nothing.
+std::string render_labels(const std::vector<Label>& labels,
+                          std::string_view extra_key = {},
+                          std::string_view extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& l : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(l.key);
+    out += "=\"";
+    out += escape_label(l.value);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += escape_label(extra_value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+/// Emit the HELP/TYPE/UNIT header for `family` once per exposition block.
+void emit_header(std::string& out, const RegistrySnapshot& snap,
+                 const std::string& family, std::string_view type,
+                 std::string_view name_override = {}) {
+  const std::string name = name_override.empty()
+                               ? prometheus_name(family)
+                               : std::string(name_override);
+  const auto it = snap.meta.find(family);
+  if (it != snap.meta.end() && !it->second.help.empty()) {
+    out += "# HELP " + name + " " + escape_help(it->second.help) + "\n";
+  }
+  if (it != snap.meta.end() && !it->second.unit.empty()) {
+    out += "# UNIT " + name + " " + std::string(it->second.unit) + "\n";
+  }
+  out += "# TYPE " + name + " " + std::string(type) + "\n";
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view family) {
+  std::string out;
+  out.reserve(family.size() + 1);
+  if (!family.empty() && family[0] >= '0' && family[0] <= '9') out += '_';
+  for (const char c : family) out += valid_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string to_prometheus(const RegistrySnapshot& snap) {
+  std::string out;
+  // Snapshot vectors are sorted by rendered name, which groups every
+  // family's children contiguously; emit one header per family.
+  const std::string* current_family = nullptr;
+  for (const auto& c : snap.counters) {
+    if (current_family == nullptr || *current_family != c.family) {
+      emit_header(out, snap, c.family, "counter");
+      current_family = &c.family;
+    }
+    out += prometheus_name(c.family) + render_labels(c.labels) + " " +
+           fmt_u64(c.value) + "\n";
+  }
+  current_family = nullptr;
+  for (const auto& g : snap.gauges) {
+    const std::string name = prometheus_name(g.family);
+    if (current_family == nullptr || *current_family != g.family) {
+      emit_header(out, snap, g.family, "gauge");
+      emit_header(out, snap, g.family, "gauge", name + "_max");
+      current_family = &g.family;
+    }
+    const std::string labels = render_labels(g.labels);
+    out += name + labels + " " + fmt_i64(g.value) + "\n";
+    out += name + "_max" + labels + " " + fmt_i64(g.max) + "\n";
+  }
+  current_family = nullptr;
+  for (const auto& h : snap.histograms) {
+    const std::string name = prometheus_name(h.family);
+    if (current_family == nullptr || *current_family != h.family) {
+      emit_header(out, snap, h.family, "histogram");
+      current_family = &h.family;
+    }
+    // Cumulative buckets; `_count` equals the +Inf bucket by construction
+    // (the per-bucket counts are authoritative — relaxed-read contract).
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.bucket_counts[i];
+      out += name + "_bucket" +
+             render_labels(h.labels, "le", fmt_double(h.bounds[i])) + " " +
+             fmt_u64(cum) + "\n";
+    }
+    cum += h.bucket_counts.back();
+    out += name + "_bucket" + render_labels(h.labels, "le", "+Inf") + " " +
+           fmt_u64(cum) + "\n";
+    out += name + "_sum" + render_labels(h.labels) + " " + fmt_double(h.sum) +
+           "\n";
+    out += name + "_count" + render_labels(h.labels) + " " + fmt_u64(cum) +
+           "\n";
+  }
+  return out;
+}
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  return to_prometheus(registry.snapshot());
+}
+
+std::string render_metrics_file(const MetricsRegistry& registry,
+                                std::string_view path) {
+  constexpr std::string_view kProm = ".prom";
+  if (path.size() >= kProm.size() &&
+      path.substr(path.size() - kProm.size()) == kProm) {
+    return to_prometheus(registry);
+  }
+  return registry.to_json();
+}
+
+}  // namespace gpures::obs

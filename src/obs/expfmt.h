@@ -1,0 +1,41 @@
+// Prometheus/OpenMetrics text exposition of a metrics registry snapshot.
+//
+// Renders the same data the JSON snapshot carries, in the text format
+// scrapers understand: one `# HELP`/`# TYPE` (and `# UNIT` when declared)
+// block per family, then one sample line per child, with label values
+// escaped per the exposition spec.  Dots in metric names become
+// underscores (Prometheus names are [a-zA-Z_:][a-zA-Z0-9_:]*), so
+// `pipe.log_lines` is exposed as `pipe_log_lines`.
+//
+// Output is fully deterministic: families sorted by name, children sorted
+// by rendered label set, histogram buckets in bound order.  Histogram
+// `_count` is normalized to the Σ-buckets total (matching the mandatory
+// `+Inf` cumulative bucket) per the relaxed-read contract in obs/metrics.h.
+//
+// Gauges expose two series: the last-set value under the family name and
+// the peak under `<name>_max`.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace gpures::obs {
+
+/// Sanitize a metric family name for exposition: every character outside
+/// [a-zA-Z0-9_:] becomes '_'; a leading digit gets a '_' prefix.
+std::string prometheus_name(std::string_view family);
+
+/// Render a full snapshot in Prometheus text exposition format (0.0.4).
+std::string to_prometheus(const RegistrySnapshot& snap);
+
+/// Convenience: snapshot + render.
+std::string to_prometheus(const MetricsRegistry& registry);
+
+/// Serialize the registry per the output filename convention shared by the
+/// CLIs' --metrics flag: a ".prom" suffix selects Prometheus text
+/// exposition, anything else the JSON snapshot.
+std::string render_metrics_file(const MetricsRegistry& registry,
+                                std::string_view path);
+
+}  // namespace gpures::obs

@@ -1,0 +1,211 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/json.h"
+
+namespace gpures::obs {
+
+namespace {
+
+std::atomic<Logger*> g_logger{nullptr};
+
+/// Trim a %.17g rendering the way the JSON writer does not: logs favor
+/// readability, so 12.5 stays "12.5" and 3 stays "3".
+std::string fmt_field_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+/// Quote a text-sink field value only when it contains whitespace or '='
+/// (logfmt convention); JSON escaping is the JSONL sink's job.
+bool needs_quoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '=' || c == '"') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string_view log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+LogField::LogField(std::string_view k, double v)
+    : key(k), value(fmt_field_double(v)), numeric(true) {}
+
+Logger::Logger(Options opts)
+    : opts_(std::move(opts)), epoch_(std::chrono::steady_clock::now()) {
+  if (!opts_.jsonl_path.empty()) {
+    jsonl_ = std::fopen(opts_.jsonl_path.c_str(), "wb");
+    if (jsonl_ == nullptr) {
+      sink_status_ = common::Error::make("cannot open log sink for writing: " +
+                                         opts_.jsonl_path);
+    }
+  }
+}
+
+Logger::~Logger() {
+  flush();
+  if (jsonl_ != nullptr) std::fclose(jsonl_);
+  if (g_logger.load(std::memory_order_acquire) == this) install(nullptr);
+}
+
+void Logger::install(Logger* logger) {
+  g_logger.store(logger, std::memory_order_release);
+}
+
+Logger& Logger::current() {
+  Logger* installed = g_logger.load(std::memory_order_acquire);
+  if (installed != nullptr) return *installed;
+  static Logger fallback{Options{}};
+  return fallback;
+}
+
+void Logger::log(LogLevel level, std::string_view component,
+                 std::string_view message, std::span<const LogField> fields) {
+  if (level < opts_.min_level) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (opts_.max_per_key > 0) {
+    std::string key;
+    key.reserve(component.size() + 1 + message.size());
+    key.append(component);
+    key += '\x1f';
+    key.append(message);
+    auto& state = keys_[std::move(key)];
+    if (state.emitted >= opts_.max_per_key) {
+      ++state.suppressed;
+      ++suppressed_;
+      return;
+    }
+    ++state.emitted;
+  }
+  ++emitted_;
+  write_record(level, component, message, fields);
+}
+
+void Logger::write_record(LogLevel level, std::string_view component,
+                          std::string_view message,
+                          std::span<const LogField> fields) {
+  if (opts_.text_out != nullptr && level >= opts_.text_min_level) {
+    std::string line;
+    if (opts_.elapsed_ms_prefix) {
+      const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - epoch_)
+                          .count();
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%6lld ms ",
+                    static_cast<long long>(ms));
+      line += buf;
+    }
+    line += '[';
+    line += log_level_name(level);
+    line.append(5 - log_level_name(level).size(), ' ');
+    line += "] ";
+    line += component;
+    line += ": ";
+    line += message;
+    for (const auto& f : fields) {
+      line += ' ';
+      line += f.key;
+      line += '=';
+      if (!f.numeric && needs_quoting(f.value)) {
+        line += '"';
+        for (const char c : f.value) {
+          if (c == '"' || c == '\\') line += '\\';
+          line += c == '\n' ? ' ' : c;
+        }
+        line += '"';
+      } else {
+        line += f.value;
+      }
+    }
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), opts_.text_out);
+    std::fflush(opts_.text_out);
+  }
+  if (jsonl_ != nullptr) {
+    common::JsonWriter w;
+    w.begin_object();
+    w.kv("level", log_level_name(level));
+    w.kv("component", component);
+    w.kv("message", message);
+    if (!fields.empty()) {
+      w.key("fields");
+      w.begin_object();
+      for (const auto& f : fields) {
+        if (!f.numeric) {
+          w.kv(f.key, f.value);
+        } else if (f.value == "true" || f.value == "false") {
+          w.kv(f.key, f.value == "true");
+        } else if (f.value.find_first_not_of("0123456789-") ==
+                   std::string::npos) {
+          w.kv(f.key, static_cast<std::int64_t>(std::strtoll(
+                          f.value.c_str(), nullptr, 10)));
+        } else {
+          const double d = std::strtod(f.value.c_str(), nullptr);
+          // "nan"/"inf" are not JSON tokens; keep those quoted.
+          if (std::isfinite(d)) w.kv(f.key, d);
+          else w.kv(f.key, f.value);
+        }
+      }
+      w.end_object();
+    }
+    w.end_object();
+    std::string rec = std::move(w).str();
+    rec += '\n';
+    std::fwrite(rec.data(), 1, rec.size(), jsonl_);
+    std::fflush(jsonl_);
+  }
+}
+
+void Logger::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, state] : keys_) {
+    if (state.suppressed == 0) continue;
+    const auto sep = key.find('\x1f');
+    const std::string_view component =
+        std::string_view(key).substr(0, sep);
+    const std::string_view message = std::string_view(key).substr(sep + 1);
+    const LogField fields[] = {
+        LogField{"suppressed", state.suppressed},
+        LogField{"message", message},
+    };
+    write_record(LogLevel::kInfo, component, "rate limit: similar records suppressed",
+                 fields);
+    state.suppressed = 0;
+  }
+  if (opts_.text_out != nullptr) std::fflush(opts_.text_out);
+  if (jsonl_ != nullptr) std::fflush(jsonl_);
+}
+
+std::uint64_t Logger::emitted_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return emitted_;
+}
+
+std::uint64_t Logger::suppressed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return suppressed_;
+}
+
+}  // namespace gpures::obs

@@ -1,0 +1,171 @@
+// Structured, leveled logging for the CLIs and library internals.
+//
+// Replaces ad-hoc fprintf(stderr, ...) at the tool layer with one sink that
+// understands levels, components, and key/value fields:
+//
+//   obs::Logger::current().warn("ingest", "quarantined torn line",
+//                               {{"file", path}, {"bytes", dropped}});
+//
+// renders on stderr as
+//
+//   [warn ] ingest: quarantined torn line file=day_03.log bytes=118
+//
+// and, when a JSONL sink is attached (`--log-json FILE`), additionally as
+// one machine-parseable record per line.  Logs are observability sidecars:
+// they go to stderr / a sidecar file only, never stdout, so logging on or
+// off cannot perturb any golden-compared artifact.
+//
+// Rate limiting is deterministic by design: each distinct (component,
+// message) key may emit at most `max_per_key` records (0 = unlimited);
+// everything past the cap is counted and reported once as a summary line at
+// flush().  No wall-clock windows — given the same sequence of log calls
+// the same summaries come out, which makes the limiter testable.
+//
+// A process-wide logger is installed like the Tracer (install/current);
+// current() falls back to a default stderr logger so call sites never need
+// a null check.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/error.h"
+
+namespace gpures::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Lower-case level name ("debug", "info", "warn", "error").
+std::string_view log_level_name(LogLevel level);
+
+/// Parse a level name (as printed by log_level_name); empty optional on
+/// unknown input.  Used by the CLIs' --log-level flag.
+std::optional<LogLevel> parse_log_level(std::string_view name);
+
+/// One key/value field on a log record.  Numeric and boolean values are
+/// remembered as such so the JSONL sink can emit them unquoted.
+struct LogField {
+  std::string key;
+  std::string value;
+  bool numeric = false;
+
+  LogField(std::string_view k, std::string_view v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, const char* v)
+      : key(k), value(v) {}
+  LogField(std::string_view k, std::int64_t v)
+      : key(k), value(std::to_string(v)), numeric(true) {}
+  LogField(std::string_view k, std::uint64_t v)
+      : key(k), value(std::to_string(v)), numeric(true) {}
+  LogField(std::string_view k, int v)
+      : LogField(k, static_cast<std::int64_t>(v)) {}
+  LogField(std::string_view k, unsigned v)
+      : LogField(k, static_cast<std::uint64_t>(v)) {}
+  LogField(std::string_view k, double v);
+  LogField(std::string_view k, bool v)
+      : key(k), value(v ? "true" : "false"), numeric(true) {}
+};
+
+/// Thread-safe leveled logger with a text sink (stderr by default) and an
+/// optional JSONL sidecar sink.
+class Logger {
+ public:
+  struct Options {
+    LogLevel min_level = LogLevel::kInfo;
+    /// Extra bar for the text sink only (--quiet raises it to errors while
+    /// the JSONL sink keeps recording at min_level).  The effective text
+    /// threshold is max(min_level, text_min_level).
+    LogLevel text_min_level = LogLevel::kDebug;
+    /// Text sink; nullptr disables text output entirely.
+    std::FILE* text_out = stderr;
+    /// Non-empty attaches a JSONL sink appending one record per line.
+    std::string jsonl_path;
+    /// Prefix text lines with elapsed milliseconds since construction.
+    /// Off by default: elapsed time is wall-clock noise in test stderr.
+    bool elapsed_ms_prefix = false;
+    /// Max records emitted per distinct (component, message) key;
+    /// 0 = unlimited.  Suppressed counts surface once at flush().
+    std::uint64_t max_per_key = 0;
+  };
+
+  explicit Logger(Options opts);
+  ~Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// Process-wide current logger.  Pass nullptr to uninstall; the logger
+  /// must outlive its installation.  current() returns the installed logger
+  /// or a shared default (stderr, info level) so call sites are
+  /// unconditional.
+  static void install(Logger* logger);
+  static Logger& current();
+
+  void log(LogLevel level, std::string_view component,
+           std::string_view message, std::span<const LogField> fields = {});
+  void log(LogLevel level, std::string_view component,
+           std::string_view message, std::initializer_list<LogField> fields) {
+    log(level, component, message,
+        std::span<const LogField>(fields.begin(), fields.size()));
+  }
+
+  void debug(std::string_view component, std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kDebug, component, message, fields);
+  }
+  void info(std::string_view component, std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kInfo, component, message, fields);
+  }
+  void warn(std::string_view component, std::string_view message,
+            std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kWarn, component, message, fields);
+  }
+  void error(std::string_view component, std::string_view message,
+             std::initializer_list<LogField> fields = {}) {
+    log(LogLevel::kError, component, message, fields);
+  }
+
+  /// Emit one "suppressed N similar records" summary per rate-limited key
+  /// (resetting the suppression counts, not the caps) and flush both sinks.
+  /// Also called by the destructor.
+  void flush();
+
+  /// Error opening the JSONL sink, if any (the logger stays usable; the
+  /// JSONL sink is simply absent).
+  const common::Status& sink_status() const { return sink_status_; }
+
+  /// Counters for tests: records written to a sink vs. rate-limit-dropped.
+  std::uint64_t emitted_count() const;
+  std::uint64_t suppressed_count() const;
+
+ private:
+  struct KeyState {
+    std::uint64_t emitted = 0;
+    std::uint64_t suppressed = 0;
+  };
+
+  void write_record(LogLevel level, std::string_view component,
+                    std::string_view message,
+                    std::span<const LogField> fields);
+
+  Options opts_;
+  common::Status sink_status_;
+  std::FILE* jsonl_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, KeyState, std::less<>> keys_;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t suppressed_ = 0;
+};
+
+}  // namespace gpures::obs

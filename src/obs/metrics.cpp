@@ -14,6 +14,84 @@ std::size_t thread_slot() {
   return slot;
 }
 
+namespace {
+
+/// Escape a label value for the rendered name / exposition output:
+/// backslash, double quote, and newline get backslash escapes.
+void append_escaped_label_value(std::string& out, std::string_view v) {
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::vector<Label> sorted_labels(std::span<const Label> labels) {
+  std::vector<Label> out(labels.begin(), labels.end());
+  std::sort(out.begin(), out.end(),
+            [](const Label& a, const Label& b) { return a.key < b.key; });
+  return out;
+}
+
+}  // namespace
+
+std::string labeled_name(std::string_view family,
+                         std::span<const Label> labels) {
+  std::string out(family);
+  if (labels.empty()) return out;
+  const auto sorted = sorted_labels(labels);
+  out += '{';
+  bool first = true;
+  for (const auto& l : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += l.key;
+    out += "=\"";
+    append_escaped_label_value(out, l.value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+ParsedName parse_labeled_name(std::string_view name) {
+  ParsedName out;
+  const auto brace = name.find('{');
+  if (brace == std::string_view::npos || name.back() != '}') {
+    out.family = std::string(name);
+    return out;
+  }
+  out.family = std::string(name.substr(0, brace));
+  std::string_view body = name.substr(brace + 1, name.size() - brace - 2);
+  std::size_t i = 0;
+  while (i < body.size()) {
+    const auto eq = body.find("=\"", i);
+    if (eq == std::string_view::npos) break;
+    Label l;
+    l.key = std::string(body.substr(i, eq - i));
+    std::size_t j = eq + 2;
+    while (j < body.size()) {
+      const char c = body[j];
+      if (c == '\\' && j + 1 < body.size()) {
+        const char n = body[j + 1];
+        l.value += n == 'n' ? '\n' : n;
+        j += 2;
+        continue;
+      }
+      if (c == '"') break;
+      l.value += c;
+      ++j;
+    }
+    out.labels.push_back(std::move(l));
+    i = j + 1;
+    if (i < body.size() && body[i] == ',') ++i;
+  }
+  return out;
+}
+
 Histogram::Histogram(std::span<const double> upper_bounds)
     : bounds_(upper_bounds.begin(), upper_bounds.end()) {
   if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end()) ||
@@ -37,48 +115,113 @@ void Histogram::observe(double v) {
   sum_.fetch_add(v, std::memory_order_relaxed);
 }
 
+std::uint64_t HistogramSnapshot::bucket_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  return total;
+}
+
 std::span<const double> latency_buckets_us() {
   static const double kBounds[] = {10.0,    100.0,    1e3,  1e4,
                                    1e5,     1e6,      1e7,  1e8};
   return kBounds;
 }
 
-Counter& MetricsRegistry::counter(std::string_view name) {
+template <typename T, typename... Args>
+MetricsRegistry::Entry<T>& MetricsRegistry::find_or_create(
+    std::map<std::string, Entry<T>, std::less<>>& m, std::string_view family,
+    std::span<const Label> labels, Args&&... args) {
+  const std::string name =
+      labels.empty() ? std::string(family) : labeled_name(family, labels);
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = counters_.find(name);
-  if (it == counters_.end()) {
-    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
-             .first;
+  auto it = m.find(name);
+  if (it == m.end()) {
+    Entry<T> e;
+    e.metric = std::make_unique<T>(std::forward<Args>(args)...);
+    e.family = std::string(family);
+    e.labels = sorted_labels(labels);
+    it = m.emplace(name, std::move(e)).first;
   }
-  return *it->second;
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return counter(name, std::span<const Label>{});
+}
+
+Counter& MetricsRegistry::counter(std::string_view family,
+                                  std::span<const Label> labels) {
+  return *find_or_create(counters_, family, labels).metric;
 }
 
 Gauge& MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = gauges_.find(name);
-  if (it == gauges_.end()) {
-    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
-  }
-  return *it->second;
+  return gauge(name, std::span<const Label>{});
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view family,
+                              std::span<const Label> labels) {
+  return *find_or_create(gauges_, family, labels).metric;
 }
 
 Histogram& MetricsRegistry::histogram(std::string_view name,
                                       std::span<const double> upper_bounds) {
+  return histogram(name, std::span<const Label>{}, upper_bounds);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view family,
+                                      std::span<const Label> labels,
+                                      std::span<const double> upper_bounds) {
+  return *find_or_create(histograms_, family, labels, upper_bounds).metric;
+}
+
+void MetricsRegistry::describe(std::string_view family, std::string_view help,
+                               std::string_view unit) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = histograms_.find(name);
-  if (it == histograms_.end()) {
-    it = histograms_
-             .emplace(std::string(name),
-                      std::make_unique<Histogram>(upper_bounds))
-             .first;
+  const auto it = meta_.find(family);
+  if (it == meta_.end()) {
+    meta_.emplace(std::string(family),
+                  MetricMeta{std::string(help), std::string(unit)});
   }
-  return *it->second;
 }
 
 std::uint64_t MetricsRegistry::counter_value(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = counters_.find(name);
-  return it == counters_.end() ? 0 : it->second->value();
+  return it == counters_.end() ? 0 : it->second.metric->value();
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, e] : counters_) {
+    snap.counters.push_back(
+        CounterSnapshot{name, e.family, e.labels, e.metric->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, e] : gauges_) {
+    snap.gauges.push_back(GaugeSnapshot{name, e.family, e.labels,
+                                        e.metric->value(), e.metric->max()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, e] : histograms_) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.family = e.family;
+    h.labels = e.labels;
+    h.bounds = e.metric->bounds();
+    h.bucket_counts.reserve(h.bounds.size() + 1);
+    // Buckets first, then count/sum: under the relaxed-read contract any of
+    // these may be mid-update; consumers normalize via bucket_total().
+    for (std::size_t i = 0; i <= h.bounds.size(); ++i) {
+      h.bucket_counts.push_back(e.metric->bucket_count(i));
+    }
+    h.count = e.metric->count();
+    h.sum = e.metric->sum();
+    snap.histograms.push_back(std::move(h));
+  }
+  for (const auto& [family, meta] : meta_) snap.meta.emplace(family, meta);
+  return snap;
 }
 
 void MetricsRegistry::write_json(common::JsonWriter& w) const {
@@ -86,35 +229,36 @@ void MetricsRegistry::write_json(common::JsonWriter& w) const {
   w.begin_object();
   w.key("counters");
   w.begin_object();
-  for (const auto& [name, c] : counters_) w.kv(name, c->value());
+  for (const auto& [name, e] : counters_) w.kv(name, e.metric->value());
   w.end_object();
   w.key("gauges");
   w.begin_object();
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, e] : gauges_) {
     w.key(name);
     w.begin_object();
-    w.kv("value", g->value());
-    w.kv("max", g->max());
+    w.kv("value", e.metric->value());
+    w.kv("max", e.metric->max());
     w.end_object();
   }
   w.end_object();
   w.key("histograms");
   w.begin_object();
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, e] : histograms_) {
+    const auto& h = *e.metric;
     w.key(name);
     w.begin_object();
     w.key("bounds");
     w.begin_array();
-    for (const double b : h->bounds()) w.value(b);
+    for (const double b : h.bounds()) w.value(b);
     w.end_array();
     w.key("counts");
     w.begin_array();
-    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
-      w.value(h->bucket_count(i));
+    for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+      w.value(h.bucket_count(i));
     }
     w.end_array();
-    w.kv("count", h->count());
-    w.kv("sum", h->sum());
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
     w.end_object();
   }
   w.end_object();

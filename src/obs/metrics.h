@@ -1,4 +1,5 @@
-// Metrics registry: named counters, gauges, and fixed-bucket histograms.
+// Metrics registry: named counters, gauges, and fixed-bucket histograms,
+// with per-family metadata (help text, unit) and label support.
 //
 // Built to be cheap enough for the pipeline's hot loops while staying
 // deterministic-safe: counters accumulate into cache-line-padded per-thread
@@ -9,13 +10,29 @@
 // weakening the pipeline's byte-identical-output guarantee (timing-valued
 // metrics live only in obs artifacts, never in golden-compared tables).
 //
+// Labeled metrics are families: `counter("ingest.lines_dropped",
+// {{"reason", "torn"}})` registers one child per label set, stored under the
+// rendered name `ingest.lines_dropped{reason="torn"}` (labels sorted by key,
+// values escaped), so snapshots stay deterministically ordered.
+//
 // Handles returned by the registry are stable for the registry's lifetime;
 // hot paths resolve a Counter*/Gauge*/Histogram* once and update through it.
+//
+// Relaxed-read contract: every cell is read with memory_order_relaxed and no
+// snapshot is taken under a lock that update paths honor, so a snapshot
+// taken while writers are live is a *torn* view — a Histogram's `count` may
+// disagree with the sum of its buckets, and `sum` may lag both.  Readers
+// that need internal consistency (quantile estimation, Prometheus
+// exposition, gpures-health) must normalize by treating the per-bucket
+// counts as authoritative: effective count = Σ buckets (see
+// HistogramSnapshot::bucket_total).  Once writers are quiescent — the only
+// state in which the CLIs serialize — all views agree exactly.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +50,32 @@ namespace gpures::obs {
 /// Small dense id for the calling thread (assigned on first use, never
 /// reused).  Shared by the metric cell sharding and the tracer's tid labels.
 std::size_t thread_slot();
+
+/// One label dimension of a metric family instance.
+struct Label {
+  std::string key;
+  std::string value;
+};
+
+/// Optional per-family metadata, declared at registration (first wins).
+struct MetricMeta {
+  std::string help;  ///< one-line description for exposition output
+  std::string unit;  ///< e.g. "lines", "bytes", "us"; empty = dimensionless
+};
+
+/// Render `family{k="v",...}` with labels sorted by key and values escaped
+/// (backslash, double quote, newline) — the registry's storage key and the
+/// exposition format's series name.  No labels renders the bare family name.
+std::string labeled_name(std::string_view family, std::span<const Label> labels);
+
+/// Split a rendered metric name back into family + labels (inverse of
+/// labeled_name for names it produced).  Names without '{' come back as the
+/// bare family with no labels.
+struct ParsedName {
+  std::string family;
+  std::vector<Label> labels;
+};
+ParsedName parse_labeled_name(std::string_view name);
 
 /// Monotonically increasing counter.
 class Counter {
@@ -58,28 +101,39 @@ class Counter {
   std::array<Cell, kCells> cells_{};
 };
 
-/// Last-set value plus the maximum ever set (e.g. peak queue depth).
+/// Last-set value plus the maximum ever recorded (e.g. peak queue depth).
 class Gauge {
  public:
   void set(std::int64_t v) {
     v_.store(v, std::memory_order_relaxed);
-    std::int64_t prev = max_.load(std::memory_order_relaxed);
-    while (v > prev &&
-           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
-    }
+    update_max(v);
   }
-  void add(std::int64_t d) { set(v_.load(std::memory_order_relaxed) + d); }
+  /// Atomic increment: concurrent add()s never lose updates (a relaxed
+  /// load+set pair would drop increments that race between the two).
+  void add(std::int64_t d) {
+    update_max(v_.fetch_add(d, std::memory_order_relaxed) + d);
+  }
 
   std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
   std::int64_t max() const { return max_.load(std::memory_order_relaxed); }
 
  private:
+  void update_max(std::int64_t v) {
+    std::int64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
   std::atomic<std::int64_t> v_{0};
   std::atomic<std::int64_t> max_{0};
 };
 
 /// Fixed-bucket histogram: counts per upper bound plus an implicit +inf
 /// bucket, with total count and sum.  Bounds are fixed at registration.
+///
+/// All cells are independent relaxed atomics; see the relaxed-read contract
+/// at the top of this header for what a mid-observe snapshot may look like.
 class Histogram {
  public:
   explicit Histogram(std::span<const double> upper_bounds);
@@ -106,6 +160,47 @@ class Histogram {
 /// 10 us to 100 s) for parse/stage timing histograms.
 std::span<const double> latency_buckets_us();
 
+// ---- snapshot view -------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;    ///< full rendered name (family + labels)
+  std::string family;  ///< bare family name
+  std::vector<Label> labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  std::string family;
+  std::vector<Label> labels;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::string family;
+  std::vector<Label> labels;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  ///< bounds.size() + 1 cells
+  std::uint64_t count = 0;  ///< raw counter; may disagree with Σ buckets
+  double sum = 0.0;
+
+  /// Normalized observation count: the per-bucket sum, which readers treat
+  /// as authoritative under the relaxed-read contract.
+  std::uint64_t bucket_total() const;
+};
+
+/// A point-in-time view of every metric, sorted by rendered name, plus the
+/// declared per-family metadata.  This is what the JSON writer, Prometheus
+/// exposition, telemetry sampler, and gpures-health consume.
+struct RegistrySnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  std::map<std::string, MetricMeta> meta;  ///< by family name
+};
+
 /// Owns every metric; lookups are mutex-protected (resolve handles once),
 /// updates through handles are lock-free.
 class MetricsRegistry {
@@ -122,19 +217,63 @@ class MetricsRegistry {
   Histogram& histogram(std::string_view name,
                        std::span<const double> upper_bounds);
 
-  /// Snapshot value of a counter, or 0 when never registered.
+  /// Labeled family children: find-or-create the instance of `family` with
+  /// exactly these labels (order-insensitive; keys are sorted internally).
+  Counter& counter(std::string_view family, std::span<const Label> labels);
+  Counter& counter(std::string_view family,
+                   std::initializer_list<Label> labels) {
+    return counter(family, std::span<const Label>(labels.begin(), labels.size()));
+  }
+  Gauge& gauge(std::string_view family, std::span<const Label> labels);
+  Gauge& gauge(std::string_view family, std::initializer_list<Label> labels) {
+    return gauge(family, std::span<const Label>(labels.begin(), labels.size()));
+  }
+  Histogram& histogram(std::string_view family, std::span<const Label> labels,
+                       std::span<const double> upper_bounds);
+  Histogram& histogram(std::string_view family,
+                       std::initializer_list<Label> labels,
+                       std::span<const double> upper_bounds) {
+    return histogram(family, std::span<const Label>(labels.begin(), labels.size()),
+                     upper_bounds);
+  }
+
+  /// Declare help text / unit for a metric family (first declaration wins;
+  /// applies to every labeled child).  Safe to call before or after the
+  /// family's first instance is registered.
+  void describe(std::string_view family, std::string_view help,
+                std::string_view unit = {});
+
+  /// Snapshot value of a counter, or 0 when never registered.  `name` is the
+  /// full rendered name (use labeled_name for family children).
   std::uint64_t counter_value(std::string_view name) const;
+
+  /// Point-in-time copy of every metric (see the relaxed-read contract).
+  RegistrySnapshot snapshot() const;
 
   /// Serialize every metric, sorted by name (deterministic output):
   /// {"counters":{..},"gauges":{..:{"value":..,"max":..}},"histograms":{..}}.
+  /// Labeled children appear under their rendered `family{k="v"}` names.
   void write_json(common::JsonWriter& w) const;
   std::string to_json() const;
 
  private:
+  template <typename T>
+  struct Entry {
+    std::unique_ptr<T> metric;
+    std::string family;
+    std::vector<Label> labels;
+  };
+
+  template <typename T, typename... Args>
+  Entry<T>& find_or_create(std::map<std::string, Entry<T>, std::less<>>& m,
+                           std::string_view family,
+                           std::span<const Label> labels, Args&&... args);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Entry<Counter>, std::less<>> counters_;
+  std::map<std::string, Entry<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Entry<Histogram>, std::less<>> histograms_;
+  std::map<std::string, MetricMeta, std::less<>> meta_;
 };
 
 }  // namespace gpures::obs

@@ -2,6 +2,8 @@
 
 #include <cinttypes>
 
+#include "obs/log.h"
+
 namespace gpures::obs {
 
 void ProgressReporter::update(std::uint64_t done, std::uint64_t total) {
@@ -22,11 +24,15 @@ void ProgressReporter::update(std::uint64_t done, std::uint64_t total) {
 
 void ProgressReporter::note(const std::string& message) {
   if (!enabled_) return;
+  // Terminate any unfinished \r line first so the structured record gets a
+  // clean line, then route through the installed logger: notes pick up the
+  // level/component framing, JSONL sink, and rate limiting for free.
   if (dirty_) {
     std::fputc('\n', out_);
+    std::fflush(out_);
     dirty_ = false;
   }
-  std::fprintf(out_, "%s\n", message.c_str());
+  Logger::current().info(label_, message);
 }
 
 void ProgressReporter::finish() {

@@ -1,0 +1,42 @@
+#include "obs/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gpures::obs {
+
+double estimate_quantile(std::span<const double> bounds,
+                         std::span<const std::uint64_t> bucket_counts,
+                         double q) {
+  if (bounds.empty() || bucket_counts.size() != bounds.size() + 1) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  if (std::isnan(q)) return std::numeric_limits<double>::quiet_NaN();
+  q = std::clamp(q, 0.0, 1.0);
+
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : bucket_counts) total += c;
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+
+  const double rank = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    const double in_bucket = static_cast<double>(bucket_counts[i]);
+    if (cum + in_bucket >= rank && in_bucket > 0.0) {
+      const double lower = i == 0 ? std::min(0.0, bounds[0]) : bounds[i - 1];
+      const double upper = bounds[i];
+      return lower + (upper - lower) * ((rank - cum) / in_bucket);
+    }
+    cum += in_bucket;
+  }
+  // Rank lands past the last finite bound: saturate rather than extrapolate
+  // into the unbounded overflow bucket.
+  return bounds.back();
+}
+
+double estimate_quantile(const HistogramSnapshot& h, double q) {
+  return estimate_quantile(h.bounds, h.bucket_counts, q);
+}
+
+}  // namespace gpures::obs

@@ -1,0 +1,40 @@
+// Bucket-interpolated quantile estimation over fixed-bucket histograms.
+//
+// The registry's histograms store only per-bucket counts (inclusive upper
+// bounds + an overflow bucket), so exact order statistics are gone; what
+// remains is the classic Prometheus `histogram_quantile` estimate: find the
+// bucket holding the q-th ranked observation and interpolate linearly inside
+// it.  The estimate is exact when observations are uniform within buckets
+// and never off by more than one bucket width otherwise — good enough for
+// operator-facing p50/p95/p99 readouts.
+//
+// Inputs follow the relaxed-read contract (obs/metrics.h): the per-bucket
+// counts are authoritative and any separately-read total is ignored, so a
+// snapshot taken mid-observe still yields a well-defined estimate.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "obs/metrics.h"
+
+namespace gpures::obs {
+
+/// Estimate the q-th quantile (q in [0, 1], clamped) from bucket counts.
+/// `bucket_counts` has `bounds.size() + 1` cells, the last being the
+/// overflow bucket.  Semantics:
+///  * rank = q * Σcounts; the result lies in the first bucket whose
+///    cumulative count reaches rank, linearly interpolated between the
+///    bucket's lower and upper bound;
+///  * the first bucket's lower bound is 0 (or bounds[0] when negative);
+///  * a rank landing in the overflow bucket returns bounds.back() — the
+///    estimate saturates at the largest finite bound;
+///  * Σcounts == 0 returns NaN (no observations, no quantile).
+double estimate_quantile(std::span<const double> bounds,
+                         std::span<const std::uint64_t> bucket_counts,
+                         double q);
+
+/// Convenience over a registry snapshot histogram (normalized counts).
+double estimate_quantile(const HistogramSnapshot& h, double q);
+
+}  // namespace gpures::obs

@@ -1,0 +1,125 @@
+#include "obs/telemetry.h"
+
+#include "common/json.h"
+#include "common/proc_stats.h"
+
+namespace gpures::obs {
+
+TelemetrySampler::TelemetrySampler(Options opts) : opts_(std::move(opts)) {
+  if (opts_.interval < std::chrono::milliseconds(1)) {
+    opts_.interval = std::chrono::milliseconds(1);
+  }
+}
+
+TelemetrySampler::~TelemetrySampler() { stop(); }
+
+common::Status TelemetrySampler::start() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (started_) return common::Status{};
+  out_ = std::fopen(opts_.path.c_str(), "wb");
+  if (out_ == nullptr) {
+    return common::Error::make("cannot open telemetry file for writing: " +
+                               opts_.path);
+  }
+  epoch_ = std::chrono::steady_clock::now();
+  started_ = true;
+  stopping_ = false;
+  lock.unlock();
+
+  write_sample("start");
+  thread_ = std::thread([this] { run(); });
+  return common::Status{};
+}
+
+void TelemetrySampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  write_sample("final");
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fclose(out_);
+  out_ = nullptr;
+  started_ = false;
+}
+
+std::uint64_t TelemetrySampler::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seq_;
+}
+
+void TelemetrySampler::run() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stopping_) {
+    if (cv_.wait_for(lock, opts_.interval, [this] { return stopping_; })) {
+      break;
+    }
+    lock.unlock();
+    write_sample("interval");
+    lock.lock();
+  }
+}
+
+void TelemetrySampler::write_sample(const char* reason) {
+  // Sample outside the lock: registry snapshots take the registry's own
+  // mutex and procfs reads do I/O.
+  const common::ProcStats proc = common::sample_proc_stats();
+  RegistrySnapshot snap;
+  if (opts_.registry != nullptr) snap = opts_.registry->snapshot();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_ == nullptr) return;
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - epoch_)
+                           .count();
+  common::JsonWriter w;
+  w.begin_object();
+  w.kv("seq", seq_);
+  w.kv("elapsed_ms", static_cast<std::int64_t>(elapsed));
+  w.kv("reason", reason);
+  w.key("proc");
+  w.begin_object();
+  w.kv("valid", proc.valid);
+  w.kv("rss_kb", proc.rss_kb);
+  w.kv("utime_s", proc.utime_s);
+  w.kv("stime_s", proc.stime_s);
+  w.kv("open_fds", proc.open_fds);
+  w.end_object();
+  w.key("counters");
+  w.begin_object();
+  for (const auto& c : snap.counters) w.kv(c.name, c.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const auto& g : snap.gauges) {
+    w.key(g.name);
+    w.begin_object();
+    w.kv("value", g.value);
+    w.kv("max", g.max);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    // Σ buckets, not the raw count cell: the relaxed-read contract makes
+    // the per-bucket counts the authoritative total mid-run.
+    w.kv("count", h.bucket_total());
+    w.kv("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  std::string rec = std::move(w).str();
+  rec += '\n';
+  std::fwrite(rec.data(), 1, rec.size(), out_);
+  std::fflush(out_);
+  ++seq_;
+}
+
+}  // namespace gpures::obs

@@ -1,0 +1,73 @@
+// Live telemetry sampler: a background thread that appends periodic JSONL
+// samples of the metrics registry plus process stats (RSS, CPU time, open
+// fds) while a run is in flight.
+//
+// Opt-in via `--telemetry FILE --telemetry-interval-ms N` on the CLIs.
+// Telemetry is a pure observer: it reads metric cells with relaxed loads
+// (the relaxed-read contract in obs/metrics.h — histogram counts are
+// normalized to Σ buckets) and writes only to its own sidecar file, so a
+// sampler running at any interval cannot perturb golden-compared artifacts.
+//
+// Every run produces at least two samples regardless of duration: one
+// `"reason":"start"` sample written synchronously in start() and one
+// `"reason":"final"` sample written in stop(), with `"reason":"interval"`
+// samples in between as the interval elapses.  Records carry a
+// monotonically increasing `seq` and `elapsed_ms` since start().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace gpures::obs {
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    std::string path;  ///< JSONL output file (one sample per line)
+    std::chrono::milliseconds interval{1000};
+    /// Registry to sample; must outlive the sampler.
+    const MetricsRegistry* registry = nullptr;
+  };
+
+  explicit TelemetrySampler(Options opts);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  /// Open the output file, write the "start" sample, launch the sampling
+  /// thread.  Error when the file cannot be opened (nothing is launched).
+  common::Status start();
+
+  /// Stop the sampling thread, write the "final" sample, close the file.
+  /// Idempotent; also called by the destructor.
+  void stop();
+
+  /// Samples written so far (>= 2 after a completed start()/stop() pair).
+  std::uint64_t sample_count() const;
+
+ private:
+  void run();
+  void write_sample(const char* reason);
+
+  Options opts_;
+  std::FILE* out_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t seq_ = 0;  ///< guarded by mu_
+
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+};
+
+}  // namespace gpures::obs

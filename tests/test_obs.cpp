@@ -152,3 +152,99 @@ TEST(MetricsRegistry, SnapshotIsByteStableAcrossSerializations) {
   reg.gauge("g").set(9);
   EXPECT_EQ(reg.to_json(), reg.to_json());
 }
+
+TEST(Gauge, ConcurrentAddNeverLosesUpdates) {
+  // Regression: add() used to be a relaxed load + set pair, so two threads
+  // racing through it could both read the same base value and one increment
+  // vanished.  The fetch_add form must account for every delta.
+  ob::Gauge g;
+  constexpr std::size_t kIters = 20000;
+  ct::ThreadPool pool(8);
+  pool.parallel_for(kIters, [&](std::size_t, std::size_t) { g.add(1); });
+  EXPECT_EQ(g.value(), static_cast<std::int64_t>(kIters));
+  // Monotonic +1 walk: the peak is the final value.
+  EXPECT_EQ(g.max(), static_cast<std::int64_t>(kIters));
+  pool.parallel_for(kIters, [&](std::size_t, std::size_t) { g.add(-1); });
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(g.max(), static_cast<std::int64_t>(kIters));
+}
+
+TEST(Labels, RenderedNameSortsKeysAndEscapesValues) {
+  const std::vector<ob::Label> labels = {{"zeta", "plain"},
+                                         {"alpha", "a \"b\"\\\n"}};
+  const std::string name = ob::labeled_name("fam", labels);
+  EXPECT_EQ(name, "fam{alpha=\"a \\\"b\\\"\\\\\\n\",zeta=\"plain\"}");
+  const auto parsed = ob::parse_labeled_name(name);
+  EXPECT_EQ(parsed.family, "fam");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(parsed.labels[0].key, "alpha");
+  EXPECT_EQ(parsed.labels[0].value, "a \"b\"\\\n");
+  EXPECT_EQ(parsed.labels[1].key, "zeta");
+  EXPECT_EQ(parsed.labels[1].value, "plain");
+}
+
+TEST(Labels, BareNamesRoundTripUntouched) {
+  EXPECT_EQ(ob::labeled_name("pipe.log_lines", {}), "pipe.log_lines");
+  const auto parsed = ob::parse_labeled_name("pipe.log_lines");
+  EXPECT_EQ(parsed.family, "pipe.log_lines");
+  EXPECT_TRUE(parsed.labels.empty());
+}
+
+TEST(MetricsRegistry, LabeledChildrenAreDistinctPerLabelSet) {
+  ob::MetricsRegistry reg;
+  ob::Counter& torn = reg.counter("drop", {{"reason", "torn"}});
+  ob::Counter& binary = reg.counter("drop", {{"reason", "binary"}});
+  EXPECT_NE(&torn, &binary);
+  // Label order must not matter: same set, same child.
+  ob::Counter& ab = reg.counter("m", {{"a", "1"}, {"b", "2"}});
+  ob::Counter& ba = reg.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&ab, &ba);
+  torn.add(3);
+  binary.add(1);
+  EXPECT_EQ(reg.counter_value("drop{reason=\"torn\"}"), 3u);
+  EXPECT_EQ(reg.counter_value("drop{reason=\"binary\"}"), 1u);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesFamilyLabelsAndMeta) {
+  ob::MetricsRegistry reg;
+  reg.describe("drop", "lines quarantined", "lines");
+  reg.describe("drop", "second declaration loses", "bytes");
+  reg.counter("drop", {{"reason", "torn"}}).add(2);
+  reg.counter("drop", {{"reason", "binary"}}).inc();
+  reg.gauge("depth", {{"stage", "one"}}).set(4);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  // Sorted by rendered name: binary < torn.
+  EXPECT_EQ(snap.counters[0].name, "drop{reason=\"binary\"}");
+  EXPECT_EQ(snap.counters[0].family, "drop");
+  ASSERT_EQ(snap.counters[0].labels.size(), 1u);
+  EXPECT_EQ(snap.counters[0].labels[0].value, "binary");
+  EXPECT_EQ(snap.counters[1].value, 2u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].family, "depth");
+
+  const auto meta = snap.meta.find("drop");
+  ASSERT_NE(meta, snap.meta.end());
+  EXPECT_EQ(meta->second.help, "lines quarantined");  // first wins
+  EXPECT_EQ(meta->second.unit, "lines");
+}
+
+TEST(MetricsRegistry, JsonSnapshotUsesRenderedNamesForLabeledChildren) {
+  ob::MetricsRegistry reg;
+  reg.counter("drop", {{"reason", "torn"}}).add(5);
+  auto doc = ct::parse_json(reg.to_json());
+  ASSERT_TRUE(doc.ok()) << doc.error().message;
+  const auto& counters = doc.value().at("counters");
+  EXPECT_DOUBLE_EQ(counters.at("drop{reason=\"torn\"}").as_number(), 5.0);
+}
+
+TEST(HistogramSnapshot, BucketTotalNormalizesTornCounts) {
+  // Simulate a torn snapshot: count lags the buckets (the observe() path
+  // bumps the bucket first).  Readers must trust Σ buckets.
+  ob::HistogramSnapshot h;
+  h.bounds = {1.0, 2.0};
+  h.bucket_counts = {4, 2, 1};
+  h.count = 5;  // stale
+  EXPECT_EQ(h.bucket_total(), 7u);
+}

@@ -4,7 +4,9 @@
 // Instrumentation observes; it must never perturb.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -13,7 +15,10 @@
 #include "analysis/export.h"
 #include "analysis/markdown_report.h"
 #include "analysis/reports.h"
+#include "common/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 namespace an = gpures::analysis;
@@ -149,6 +154,94 @@ TEST(ObsDifferential, DatasetAnalysisIdenticalAcrossObsAndThreadModes) {
   EXPECT_EQ(serial_off, analyze(0, true));
   EXPECT_EQ(serial_off, analyze(4, false));
   EXPECT_EQ(serial_off, analyze(4, true));
+
+  fs::remove_all(dir);
+}
+
+TEST(ObsDifferential, FullTelemetryStackDoesNotPerturbArtifacts) {
+  // The operator-grade stack all at once — metrics registry, tracer, live
+  // telemetry sampler at an aggressive interval, structured logger with a
+  // JSONL sink — must still leave the analysis artifacts byte-identical,
+  // serial and parallel.
+  const auto dir = temp_dir("fullstack");
+  {
+    an::DatasetManifest manifest;
+    manifest.name = "obs-fullstack";
+    auto cfg = small_campaign(47);
+    manifest.spec = cfg.spec;
+    manifest.periods = an::StudyPeriods::make(
+        cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
+    an::DatasetWriter writer(dir, manifest);
+    an::DeltaCampaign campaign(cfg);
+    campaign.set_dataset_writer(&writer);
+    campaign.run();
+    writer.finalize();
+  }
+  const auto manifest = an::read_manifest(dir);
+  ASSERT_TRUE(manifest.ok()) << manifest.error().message;
+  cl::Topology topo(manifest.value().spec);
+
+  auto analyze_plain = [&](std::uint32_t threads) {
+    an::PipelineConfig pcfg;
+    pcfg.periods = manifest.value().periods;
+    pcfg.num_threads = threads;
+    an::AnalysisPipeline pipe(topo, pcfg);
+    EXPECT_TRUE(an::load_dataset(dir, pipe).ok());
+    return rendered_artifacts(pipe, topo);
+  };
+
+  auto analyze_fullstack = [&](std::uint32_t threads) {
+    const auto telemetry_path =
+        dir / ("telemetry_" + std::to_string(threads) + ".jsonl");
+    const auto log_path = dir / ("log_" + std::to_string(threads) + ".jsonl");
+    an::PipelineConfig pcfg;
+    pcfg.periods = manifest.value().periods;
+    pcfg.num_threads = threads;
+    ob::MetricsRegistry registry;
+    pcfg.metrics = &registry;
+    ob::Tracer tracer;
+    TracerGuard guard(&tracer);
+    ob::Logger::Options log_opts;
+    log_opts.text_out = nullptr;  // keep test stderr clean
+    log_opts.jsonl_path = log_path.string();
+    ob::Logger logger(log_opts);
+    EXPECT_TRUE(logger.sink_status().ok());
+    ob::Logger::install(&logger);
+    ob::TelemetrySampler::Options topts;
+    topts.path = telemetry_path.string();
+    topts.interval = std::chrono::milliseconds(1);
+    topts.registry = &registry;
+    ob::TelemetrySampler sampler(topts);
+    EXPECT_TRUE(sampler.start().ok());
+
+    an::AnalysisPipeline pipe(topo, pcfg);
+    EXPECT_TRUE(an::load_dataset(dir, pipe).ok());
+    const auto artifacts = rendered_artifacts(pipe, topo);
+
+    sampler.stop();
+    ob::Logger::install(nullptr);
+    EXPECT_GE(sampler.sample_count(), 2u);
+    // The sidecar is valid JSONL even at a 1 ms sampling interval against
+    // live writers.
+    std::ifstream in(telemetry_path, std::ios::binary);
+    std::string line;
+    std::size_t lines = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      ++lines;
+      const auto doc = gpures::common::parse_json(line);
+      EXPECT_TRUE(doc.ok()) << doc.error().message;
+    }
+    EXPECT_EQ(lines, sampler.sample_count());
+    return artifacts;
+  };
+
+  for (const std::uint32_t threads : {0u, 4u}) {
+    EXPECT_EQ(analyze_plain(threads), analyze_fullstack(threads))
+        << threads << " threads";
+  }
+  // Serial and parallel agree with each other too.
+  EXPECT_EQ(analyze_plain(0), analyze_plain(4));
 
   fs::remove_all(dir);
 }

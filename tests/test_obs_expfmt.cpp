@@ -1,0 +1,139 @@
+// Prometheus text exposition: name sanitization, label escaping, histogram
+// bucket accumulation under the relaxed-read contract, and a byte-exact
+// golden comparison of a representative registry.
+//
+// To regenerate the golden after an *intentional* format change:
+//
+//   GPURES_UPDATE_GOLDEN=1 ./build/tests/test_obs_expfmt
+//
+// then review the tests/golden/metrics.prom diff and commit it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "obs/expfmt.h"
+#include "obs/metrics.h"
+
+namespace ob = gpures::obs;
+namespace fs = std::filesystem;
+
+#ifndef GPURES_GOLDEN_DIR
+#define GPURES_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace {
+
+bool update_mode() {
+  const char* env = std::getenv("GPURES_UPDATE_GOLDEN");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// A registry exercising every exposition feature: labeled and unlabeled
+/// counters, metadata (help + unit), a gauge with its _max series, a
+/// labeled histogram, and a label value needing all three escapes.
+void populate(ob::MetricsRegistry& reg) {
+  reg.describe("ingest.lines_dropped",
+               "Raw log lines quarantined by the ingest screen, by reason",
+               "lines");
+  reg.counter("ingest.lines_dropped", {{"reason", "torn"}}).add(3);
+  reg.counter("ingest.lines_dropped", {{"reason", "binary"}}).add(1);
+  reg.counter("pipe.log_lines").add(1000);
+  reg.counter("odd.path", {{"file", "a\\b \"c\"\nd"}}).inc();
+
+  reg.describe("ingest.prefetch.in_flight", "Day reads in flight", "days");
+  ob::Gauge& depth = reg.gauge("ingest.prefetch.in_flight");
+  depth.set(5);
+  depth.set(2);
+
+  reg.describe("query.latency_us", "Wall time per query op", "us");
+  const double bounds[] = {10.0, 100.0};
+  ob::Histogram& h =
+      reg.histogram("query.latency_us", {{"op", "count"}}, bounds);
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(50.0);
+  h.observe(5000.0);
+}
+
+}  // namespace
+
+TEST(PrometheusName, SanitizesOutsideCharset) {
+  EXPECT_EQ(ob::prometheus_name("pipe.log_lines"), "pipe_log_lines");
+  EXPECT_EQ(ob::prometheus_name("a-b c"), "a_b_c");
+  EXPECT_EQ(ob::prometheus_name("9lives"), "_9lives");
+  EXPECT_EQ(ob::prometheus_name("already_ok:sub"), "already_ok:sub");
+}
+
+TEST(Exposition, MatchesGoldenSnapshot) {
+  ob::MetricsRegistry reg;
+  populate(reg);
+  const std::string actual = ob::to_prometheus(reg);
+  const fs::path golden = fs::path(GPURES_GOLDEN_DIR) / "metrics.prom";
+  if (update_mode()) {
+    std::ofstream out(golden, std::ios::binary);
+    out << actual;
+    GTEST_SKIP() << "golden regenerated; rerun without GPURES_UPDATE_GOLDEN";
+  }
+  const std::string expected = read_file(golden);
+  ASSERT_FALSE(expected.empty())
+      << "missing " << golden
+      << " — run with GPURES_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(expected, actual)
+      << "exposition diverged from tests/golden/metrics.prom; regenerate "
+         "with GPURES_UPDATE_GOLDEN=1 if intentional";
+}
+
+TEST(Exposition, IsByteStableAcrossRenders) {
+  ob::MetricsRegistry reg;
+  populate(reg);
+  EXPECT_EQ(ob::to_prometheus(reg), ob::to_prometheus(reg));
+}
+
+TEST(Exposition, HistogramBucketsAccumulateAndNormalize) {
+  // Hand-built torn snapshot: count disagrees with Σ buckets; the
+  // exposition must trust the buckets (so +Inf == _count).
+  ob::RegistrySnapshot snap;
+  ob::HistogramSnapshot h;
+  h.name = "lat";
+  h.family = "lat";
+  h.bounds = {1.0, 2.0};
+  h.bucket_counts = {4, 2, 1};
+  h.count = 5;  // stale under the relaxed-read contract
+  h.sum = 12.5;
+  snap.histograms.push_back(h);
+  const std::string text = ob::to_prometheus(snap);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 7\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 12.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 7\n"), std::string::npos);
+}
+
+TEST(Exposition, LabelValuesAreEscaped) {
+  ob::MetricsRegistry reg;
+  reg.counter("c", {{"v", "a\\b \"c\"\nd"}}).inc();
+  const std::string text = ob::to_prometheus(reg);
+  EXPECT_NE(text.find("c{v=\"a\\\\b \\\"c\\\"\\nd\"} 1\n"), std::string::npos);
+}
+
+TEST(Exposition, RenderMetricsFileSwitchesOnSuffix) {
+  ob::MetricsRegistry reg;
+  reg.counter("c").inc();
+  const std::string prom = ob::render_metrics_file(reg, "out/metrics.prom");
+  EXPECT_EQ(prom.rfind("# TYPE c counter", 0), 0u);
+  const std::string json = ob::render_metrics_file(reg, "out/metrics.json");
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json, reg.to_json());
+}

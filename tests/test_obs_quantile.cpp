@@ -1,0 +1,97 @@
+// Bucket-interpolated quantile estimation against closed-form fixtures:
+// for observations uniform within buckets the estimate is exact, so every
+// expectation below is computable by hand from rank = q * total.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/quantile.h"
+
+namespace ob = gpures::obs;
+
+TEST(Quantile, SingleBucketInterpolatesLinearly) {
+  const std::vector<double> bounds = {10.0};
+  const std::vector<std::uint64_t> counts = {4, 0};
+  // Uniform mass in [0, 10]: the q-th quantile is just 10q.
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 1.0), 10.0);
+}
+
+TEST(Quantile, UniformBucketsRecoverTheIdentity) {
+  // 10 observations per bucket over [0,10], (10,20], (20,30]: mass is
+  // uniform over [0, 30], so the q-th quantile is 30q exactly.
+  const std::vector<double> bounds = {10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> counts = {10, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.9), 27.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.1), 3.0);
+}
+
+TEST(Quantile, SkewedMassLandsInTheRightBucket) {
+  // 90 observations in the first bucket, 10 in the last: p50 stays in
+  // bucket 0 (rank 50 of 90 -> 10 * 50/90), p95 reaches bucket 1
+  // (rank 95, 5 of its 10 -> midpoint of [10, 20]).
+  const std::vector<double> bounds = {10.0, 20.0};
+  const std::vector<std::uint64_t> counts = {90, 10, 0};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.5),
+                   10.0 * 50.0 / 90.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.95), 15.0);
+}
+
+TEST(Quantile, OverflowBucketSaturatesAtLastBound) {
+  const std::vector<double> bounds = {10.0, 100.0};
+  const std::vector<std::uint64_t> counts = {0, 0, 5};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.5), 100.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.99), 100.0);
+  // Mixed: 3 in-range + 1 overflow; p99's rank lands in overflow.
+  const std::vector<std::uint64_t> mixed = {3, 0, 1};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, mixed, 0.99), 100.0);
+}
+
+TEST(Quantile, NegativeFirstBoundWidensTheFirstBucket) {
+  // With a negative first bound the first bucket's lower edge is the bound
+  // itself; the second bucket spans [-10, 10].
+  const std::vector<double> bounds = {-10.0, 10.0};
+  const std::vector<std::uint64_t> counts = {2, 2, 0};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.25), -10.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 0.75), 0.0);
+}
+
+TEST(Quantile, DegenerateInputsReturnNaN) {
+  const std::vector<double> bounds = {10.0};
+  EXPECT_TRUE(std::isnan(
+      ob::estimate_quantile(bounds, std::vector<std::uint64_t>{0, 0}, 0.5)));
+  EXPECT_TRUE(std::isnan(
+      ob::estimate_quantile(std::vector<double>{},
+                            std::vector<std::uint64_t>{0}, 0.5)));
+  // Mismatched sizes (missing overflow cell).
+  EXPECT_TRUE(std::isnan(
+      ob::estimate_quantile(bounds, std::vector<std::uint64_t>{1}, 0.5)));
+  const std::vector<std::uint64_t> counts = {4, 0};
+  EXPECT_TRUE(std::isnan(ob::estimate_quantile(bounds, counts, NAN)));
+}
+
+TEST(Quantile, OutOfRangeQClamps) {
+  const std::vector<double> bounds = {10.0};
+  const std::vector<std::uint64_t> counts = {4, 0};
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, -1.0), 0.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(bounds, counts, 2.0), 10.0);
+}
+
+TEST(Quantile, SnapshotOverloadUsesBucketCounts) {
+  ob::MetricsRegistry reg;
+  const double bounds[] = {10.0, 20.0};
+  ob::Histogram& h = reg.histogram("lat", bounds);
+  for (int i = 0; i < 10; ++i) h.observe(5.0);   // bucket 0
+  for (int i = 0; i < 10; ++i) h.observe(15.0);  // bucket 1
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  // Uniform-within-bucket assumption: p50 at the bucket boundary.
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(snap.histograms[0], 0.5), 10.0);
+  EXPECT_DOUBLE_EQ(ob::estimate_quantile(snap.histograms[0], 0.75), 15.0);
+}

@@ -5,7 +5,9 @@
 //                  [--export-csv DIR] [--export-json FILE]
 //                  [--coalesce-window SECONDS] [--window SECONDS]
 //                  [--node-level] [--regex] [--threads N]
-//                  [--metrics FILE] [--trace FILE] [--quiet]
+//                  [--metrics FILE[.prom]] [--trace FILE]
+//                  [--telemetry FILE [--telemetry-interval-ms N]]
+//                  [--log-json FILE] [--log-level L] [--quiet]
 //
 // The dataset can come from gpures-simulate or from a site's own logs laid
 // out in the same format (see src/analysis/dataset.h).  This is the
@@ -14,11 +16,13 @@
 // stdout carries the reports only; progress and ingest summaries go to
 // stderr, observability artifacts to the requested files.  Metrics and
 // tracing never change the analysis output (see tests/test_obs_differential).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
 
 #include "analysis/data_quality.h"
@@ -32,9 +36,12 @@
 #include "analysis/survival.h"
 #include "analysis/trends.h"
 #include "index/writer.h"
+#include "obs/expfmt.h"
+#include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 
 using namespace gpures;
@@ -61,8 +68,16 @@ void usage() {
       "  --write-index FILE     write the binary error index (gpures.idx)\n"
       "                         for gpures-query; deterministic across\n"
       "                         --threads\n"
-      "  --metrics FILE         write the metrics registry snapshot as JSON\n"
+      "  --metrics FILE         write the metrics registry snapshot; a\n"
+      "                         .prom suffix selects Prometheus text\n"
+      "                         exposition instead of JSON\n"
       "  --trace FILE           write a Chrome Trace Event JSON timeline\n"
+      "  --telemetry FILE       sample metrics + process stats to JSONL\n"
+      "                         while the run is in flight\n"
+      "  --telemetry-interval-ms N\n"
+      "                         sampling interval (default 1000)\n"
+      "  --log-json FILE        mirror log records to FILE as JSONL\n"
+      "  --log-level L          debug|info|warn|error (default info)\n"
       "  --ingest-policy P      strict (default): fail on the first corrupt\n"
       "                         input; lenient: quarantine corrupt lines,\n"
       "                         skip unreadable days, and keep going\n"
@@ -89,16 +104,18 @@ long long parse_count(const char* flag, std::string_view s) {
   return v;
 }
 
-/// Write `text` to `path`, creating parent directories as needed.
-bool write_text_file(const std::filesystem::path& path, std::string_view text) {
-  std::error_code ec;
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path(), ec);
+/// One checked write path for every artifact (reports, exports, metrics,
+/// trace): open, short-write, and close failures all surface as an error
+/// record and a nonzero exit at the call site.
+bool write_artifact(const std::filesystem::path& path, std::string_view text) {
+  const auto st = common::write_text_file(path.string(), text);
+  if (!st.ok()) {
+    obs::Logger::current().error("analyze", "artifact write failed",
+                                 {{"path", path.string()},
+                                  {"error", st.error().message}});
+    return false;
   }
-  std::ofstream os(path, std::ios::trunc | std::ios::binary);
-  if (!os) return false;
-  os.write(text.data(), static_cast<std::streamsize>(text.size()));
-  return static_cast<bool>(os);
+  return true;
 }
 
 /// Stable fingerprint of the effective pipeline configuration.
@@ -128,6 +145,10 @@ int main(int argc, char** argv) {
   std::string trace_file;
   std::string quality_file;
   std::string chaos_io_fault;
+  std::string telemetry_file;
+  long long telemetry_interval_ms = 1000;
+  std::string log_json_file;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   bool quiet = false;
   analysis::PipelineConfig pcfg;
   analysis::IngestPolicy policy = analysis::IngestPolicy::kStrict;
@@ -174,6 +195,27 @@ int main(int argc, char** argv) {
       metrics_file = next("--metrics");
     } else if (arg == "--trace") {
       trace_file = next("--trace");
+    } else if (arg == "--telemetry") {
+      telemetry_file = next("--telemetry");
+    } else if (arg == "--telemetry-interval-ms") {
+      telemetry_interval_ms = parse_count("--telemetry-interval-ms",
+                                          next("--telemetry-interval-ms"));
+      if (telemetry_interval_ms == 0) {
+        std::fprintf(stderr,
+                     "gpures-analyze: --telemetry-interval-ms must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--log-json") {
+      log_json_file = next("--log-json");
+    } else if (arg == "--log-level") {
+      const auto lvl = obs::parse_log_level(next("--log-level"));
+      if (!lvl) {
+        std::fprintf(stderr,
+                     "gpures-analyze: --log-level must be debug|info|warn|"
+                     "error\n");
+        return 2;
+      }
+      log_level = *lvl;
     } else if (arg == "--ingest-policy") {
       const auto p = analysis::parse_ingest_policy(next("--ingest-policy"));
       if (!p) {
@@ -209,10 +251,26 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Structured logging for everything past flag parsing.  --quiet keeps the
+  // text sink but raises the bar to errors; a JSONL sink, when requested,
+  // records every level regardless.
+  obs::Logger::Options log_opts;
+  log_opts.min_level = log_level;
+  if (quiet) log_opts.text_min_level = obs::LogLevel::kError;
+  log_opts.jsonl_path = log_json_file;
+  log_opts.max_per_key = 100;
+  obs::Logger logger(log_opts);
+  obs::Logger::install(&logger);
+  auto& log = obs::Logger::current();
+  if (!logger.sink_status().ok()) {
+    std::fprintf(stderr, "gpures-analyze: %s\n",
+                 logger.sink_status().error().message.c_str());
+    return 1;
+  }
+
   const auto manifest = analysis::read_manifest(data_dir);
   if (!manifest.ok()) {
-    std::fprintf(stderr, "gpures-analyze: %s\n",
-                 manifest.error().message.c_str());
+    log.error("analyze", manifest.error().message);
     return 1;
   }
   pcfg.periods = manifest.value().periods;
@@ -222,6 +280,22 @@ int main(int argc, char** argv) {
   pcfg.metrics = &registry;
   obs::Tracer tracer;
   if (!trace_file.empty()) obs::Tracer::install(&tracer);
+
+  // Live telemetry: background sampling of this registry + /proc/self into
+  // a JSONL sidecar.  Strictly an observer — golden-compared artifacts are
+  // byte-identical with the sampler on or off at any interval.
+  obs::TelemetrySampler::Options topts;
+  topts.path = telemetry_file;
+  topts.interval = std::chrono::milliseconds(telemetry_interval_ms);
+  topts.registry = &registry;
+  obs::TelemetrySampler telemetry(topts);
+  if (!telemetry_file.empty()) {
+    const auto st = telemetry.start();
+    if (!st.ok()) {
+      log.error("analyze", st.error().message);
+      return 1;
+    }
+  }
 
   obs::RunManifest run;
   run.tool = "gpures-analyze";
@@ -239,11 +313,12 @@ int main(int argc, char** argv) {
   iopt.expect_begin = manifest.value().periods.pre.begin;
   iopt.expect_end = manifest.value().periods.op.end;
   iopt.quality = &quality;
-  if (!quiet) {
-    iopt.warn = [](const std::string& msg) {
-      std::fprintf(stderr, "gpures-analyze: warning: %s\n", msg.c_str());
-    };
-  }
+  // Always wired: the logger's min_level (error under --quiet) decides
+  // whether a warning reaches the text sink, and the JSONL sink keeps the
+  // record either way.
+  iopt.warn = [&log](const std::string& msg) {
+    log.warn("ingest", msg);
+  };
 
   common::IoFaultPlan fault_plan;
   if (!chaos_io_fault.empty()) {
@@ -265,7 +340,7 @@ int main(int argc, char** argv) {
   common::set_io_fault_plan(nullptr);
   if (!loaded.ok()) {
     obs::Tracer::install(nullptr);
-    std::fprintf(stderr, "gpures-analyze: %s\n", loaded.error().message.c_str());
+    log.error("analyze", loaded.error().message);
     return 1;
   }
 
@@ -286,17 +361,13 @@ int main(int argc, char** argv) {
   run.extra.emplace_back("lines_quarantined",
                          std::to_string(quality.quarantined_lines()));
   const auto c = pipe.counters();
-  if (!quiet) {
-    std::fprintf(stderr,
-                 "ingested %llu day files: %llu lines -> %llu XID records, "
-                 "%llu lifecycle, %llu jobs (%llu accounting errors)\n",
-                 static_cast<unsigned long long>(loaded.value()),
-                 static_cast<unsigned long long>(c.log_lines),
-                 static_cast<unsigned long long>(c.xid_records),
-                 static_cast<unsigned long long>(c.lifecycle_records),
-                 static_cast<unsigned long long>(pipe.jobs().jobs.size()),
-                 static_cast<unsigned long long>(c.accounting_errors));
-  }
+  log.info("analyze", "ingest complete",
+           {{"day_files", loaded.value()},
+            {"lines", c.log_lines},
+            {"xid_records", c.xid_records},
+            {"lifecycle_records", c.lifecycle_records},
+            {"jobs", pipe.jobs().jobs.size()},
+            {"accounting_errors", c.accounting_errors}});
 
   const auto stats = pipe.error_stats();
   const bool all = report == "all";
@@ -341,37 +412,35 @@ int main(int argc, char** argv) {
 
   if (!csv_dir.empty()) {
     namespace fs = std::filesystem;
-    fs::create_directories(csv_dir);
     const auto impact = pipe.job_impact();
     const auto jobs = pipe.job_stats();
     const auto avail = pipe.availability();
-    {
-      std::ofstream os(fs::path(csv_dir) / "table1.csv");
-      analysis::write_table1_csv(os, stats);
-    }
-    {
-      std::ofstream os(fs::path(csv_dir) / "table2.csv");
-      analysis::write_table2_csv(os, impact);
-    }
-    {
-      std::ofstream os(fs::path(csv_dir) / "table3.csv");
-      analysis::write_table3_csv(os, jobs);
-    }
-    {
-      std::ofstream os(fs::path(csv_dir) / "fig2.csv");
-      analysis::write_fig2_csv(os, avail);
-    }
-    if (!quiet) std::fprintf(stderr, "wrote CSVs to %s\n", csv_dir.c_str());
+    const auto write_csv = [&](const char* name, auto&& render) {
+      std::ostringstream os;
+      render(os);
+      return write_artifact(fs::path(csv_dir) / name, os.str());
+    };
+    const bool ok =
+        write_csv("table1.csv",
+                  [&](std::ostream& os) { analysis::write_table1_csv(os, stats); }) &&
+        write_csv("table2.csv",
+                  [&](std::ostream& os) { analysis::write_table2_csv(os, impact); }) &&
+        write_csv("table3.csv",
+                  [&](std::ostream& os) { analysis::write_table3_csv(os, jobs); }) &&
+        write_csv("fig2.csv",
+                  [&](std::ostream& os) { analysis::write_fig2_csv(os, avail); });
+    if (!ok) return 1;
+    log.info("analyze", "wrote CSV exports", {{"dir", csv_dir}});
   }
 
   if (!md_file.empty()) {
     analysis::MarkdownReportOptions mopts;
     mopts.quality = &quality;
-    std::ofstream os(md_file, std::ios::trunc | std::ios::binary);
-    os << analysis::render_markdown_report(pipe, topo, mopts);
-    if (!quiet) {
-      std::fprintf(stderr, "wrote markdown report to %s\n", md_file.c_str());
+    if (!write_artifact(md_file,
+                        analysis::render_markdown_report(pipe, topo, mopts))) {
+      return 1;
     }
+    log.info("analyze", "wrote markdown report", {{"path", md_file}});
   }
 
   if (!index_file.empty()) {
@@ -388,21 +457,16 @@ int main(int argc, char** argv) {
     in.unavailability = &avail.intervals;
     const auto wrote = index::write_index(in, index_file);
     if (!wrote.ok()) {
-      std::fprintf(stderr, "gpures-analyze: %s\n",
-                   wrote.error().message.c_str());
+      log.error("analyze", wrote.error().message);
       return 1;
     }
-    if (!quiet) {
-      const auto& ws = wrote.value();
-      std::fprintf(stderr,
-                   "wrote index to %s: %llu bytes, %llu errors, %llu jobs, "
-                   "%llu unavailability intervals\n",
-                   index_file.c_str(),
-                   static_cast<unsigned long long>(ws.bytes),
-                   static_cast<unsigned long long>(ws.errors),
-                   static_cast<unsigned long long>(ws.jobs),
-                   static_cast<unsigned long long>(ws.unavailability));
-    }
+    const auto& ws = wrote.value();
+    log.info("analyze", "wrote index",
+             {{"path", index_file},
+              {"bytes", ws.bytes},
+              {"errors", ws.errors},
+              {"jobs", ws.jobs},
+              {"unavailability", ws.unavailability}});
     run.extra.emplace_back("index_bytes",
                            std::to_string(wrote.value().bytes));
   }
@@ -417,9 +481,8 @@ int main(int argc, char** argv) {
     bundle.job_impact = &impact;
     bundle.availability = &avail;
     bundle.mttf_h = pipe.mttf_estimate_h();
-    std::ofstream os(json_file, std::ios::trunc | std::ios::binary);
-    os << analysis::to_json(bundle) << '\n';
-    if (!quiet) std::fprintf(stderr, "wrote JSON to %s\n", json_file.c_str());
+    if (!write_artifact(json_file, analysis::to_json(bundle) + "\n")) return 1;
+    log.info("analyze", "wrote JSON export", {{"path", json_file}});
   }
 
   obs::Tracer::install(nullptr);
@@ -432,28 +495,23 @@ int main(int argc, char** argv) {
   if (!csv_dir.empty()) {
     const auto run_path =
         std::filesystem::path(csv_dir) / "run_manifest.json";
-    if (!write_text_file(run_path, run.to_json(&registry))) {
-      std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
-                   run_path.string().c_str());
-      return 1;
-    }
+    if (!write_artifact(run_path, run.to_json(&registry))) return 1;
   }
   if (!quality_file.empty() &&
-      !write_text_file(quality_file, quality.to_json() + "\n")) {
-    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
-                 quality_file.c_str());
+      !write_artifact(quality_file, quality.to_json() + "\n")) {
     return 1;
   }
+  // Stop sampling before serializing the registry so the telemetry file
+  // ends with a "final" sample and the --metrics artifact sees quiescent
+  // writers (all snapshot views agree exactly; see obs/metrics.h).
+  telemetry.stop();
   if (!metrics_file.empty() &&
-      !write_text_file(metrics_file, registry.to_json())) {
-    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
-                 metrics_file.c_str());
+      !write_artifact(metrics_file,
+                      obs::render_metrics_file(registry, metrics_file))) {
     return 1;
   }
   if (!trace_file.empty() &&
-      !write_text_file(trace_file, tracer.to_chrome_json())) {
-    std::fprintf(stderr, "gpures-analyze: cannot write %s\n",
-                 trace_file.c_str());
+      !write_artifact(trace_file, tracer.to_chrome_json())) {
     return 1;
   }
   return 0;

@@ -15,11 +15,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 
 #include "chaos/chaos.h"
 #include "common/strings.h"
+#include "obs/log.h"
 
 using namespace gpures;
 
@@ -35,6 +35,8 @@ void usage() {
       "  --faults SPEC  comma-separated fault[:count] list, or 'all'\n"
       "                 (default all)\n"
       "  --ledger FILE  also write the corruption ledger JSON here\n"
+      "  --log-json FILE  structured JSONL log sidecar\n"
+      "  --log-level L    debug|info|warn|error (default info)\n"
       "  --quiet        no summary on stderr\n");
 }
 
@@ -45,6 +47,8 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string faults = "all";
   std::string ledger_file;
+  std::string log_json_file;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   std::uint64_t seed = 1;
   bool quiet = false;
 
@@ -79,6 +83,16 @@ int main(int argc, char** argv) {
       faults = next("--faults");
     } else if (arg == "--ledger") {
       ledger_file = next("--ledger");
+    } else if (arg == "--log-json") {
+      log_json_file = next("--log-json");
+    } else if (arg == "--log-level") {
+      const char* s = next("--log-level");
+      const auto parsed = obs::parse_log_level(s);
+      if (!parsed) {
+        std::fprintf(stderr, "gpures-corrupt: unknown --log-level '%s'\n", s);
+        return 2;
+      }
+      log_level = *parsed;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -96,49 +110,57 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Logger::Options log_opts;
+  log_opts.min_level = log_level;
+  if (quiet) log_opts.text_min_level = obs::LogLevel::kError;
+  log_opts.jsonl_path = log_json_file;
+  obs::Logger logger(log_opts);
+  if (!logger.sink_status().ok()) {
+    std::fprintf(stderr, "gpures-corrupt: %s\n",
+                 logger.sink_status().error().message.c_str());
+    return 1;
+  }
+  obs::Logger::install(&logger);
+
   const auto spec = chaos::CorruptionSpec::parse(faults);
   if (!spec.ok()) {
-    std::fprintf(stderr, "gpures-corrupt: %s\n", spec.error().message.c_str());
+    logger.error("corrupt", spec.error().message);
     return 2;
   }
 
   const auto ledger = chaos::corrupt_dataset(in_dir, out_dir, seed,
                                              spec.value());
   if (!ledger.ok()) {
-    std::fprintf(stderr, "gpures-corrupt: %s\n",
-                 ledger.error().message.c_str());
+    logger.error("corrupt", ledger.error().message);
     return 1;
   }
   if (!ledger_file.empty()) {
     const auto st = ledger.value().write(ledger_file);
     if (!st.ok()) {
-      std::fprintf(stderr, "gpures-corrupt: %s\n", st.error().message.c_str());
+      logger.error("corrupt", "ledger write failed",
+                   {{"path", ledger_file}, {"error", st.error().message}});
       return 1;
     }
   }
-  if (!quiet) {
-    const auto& l = ledger.value();
-    std::fprintf(
-        stderr,
-        "corrupted %s -> %s (seed %llu, %zu fault applications): "
-        "%llu binary, %llu overlong, %llu torn lines; %llu missing, "
-        "%llu zero-byte days; accounting %s, %llu rows malformed\n",
-        in_dir.c_str(), out_dir.c_str(),
-        static_cast<unsigned long long>(l.seed), l.applied.size(),
-        static_cast<unsigned long long>(l.expect_binary_lines),
-        static_cast<unsigned long long>(l.expect_overlong_lines),
-        static_cast<unsigned long long>(l.expect_torn_lines),
-        static_cast<unsigned long long>(l.expect_missing_days),
-        static_cast<unsigned long long>(l.expect_zero_byte_days),
-        l.expect_accounting_missing ? "removed" : "present",
-        static_cast<unsigned long long>(l.expect_accounting_rejected_rows));
-    if (!l.io_fault_path.empty()) {
-      std::fprintf(stderr,
-                   "planned I/O fault: arm --chaos-io-fault %s:%llu on the "
-                   "analyzer to trigger it\n",
-                   l.io_fault_path.c_str(),
-                   static_cast<unsigned long long>(l.io_fault_after_bytes));
-    }
+  const auto& l = ledger.value();
+  logger.info(
+      "corrupt", "corrupted dataset",
+      {{"in", in_dir},
+       {"out", out_dir},
+       {"seed", l.seed},
+       {"fault_applications", static_cast<std::uint64_t>(l.applied.size())},
+       {"binary_lines", l.expect_binary_lines},
+       {"overlong_lines", l.expect_overlong_lines},
+       {"torn_lines", l.expect_torn_lines},
+       {"missing_days", l.expect_missing_days},
+       {"zero_byte_days", l.expect_zero_byte_days},
+       {"accounting_missing", l.expect_accounting_missing},
+       {"accounting_rejected_rows", l.expect_accounting_rejected_rows}});
+  if (!l.io_fault_path.empty()) {
+    logger.info("corrupt", "planned I/O fault armed",
+                {{"path", l.io_fault_path},
+                 {"after_bytes", l.io_fault_after_bytes},
+                 {"hint", "pass --chaos-io-fault to the analyzer to trigger"}});
   }
   return 0;
 }

@@ -5,7 +5,8 @@
 //                [--from 2022-10-01 --to 2023-01-01]
 //                [--report count|impact|availability|all]
 //                [--format json|csv|md] [--window S] [--node-level]
-//                [--cache N] [--metrics FILE] [--info]
+//                [--cache N] [--metrics FILE[.prom]] [--slow-query-us N]
+//                [--log-json FILE] [--log-level L] [--info]
 //
 // The artifact comes from `gpures-analyze --data DIR --write-index FILE`.
 // Query semantics match the batch pipeline exactly (see src/index/query.h);
@@ -16,14 +17,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
+#include "common/io.h"
 #include "common/json.h"
 #include "common/strings.h"
 #include "common/time.h"
 #include "index/query.h"
 #include "index/reader.h"
+#include "obs/expfmt.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "xid/xid.h"
 
@@ -46,7 +49,12 @@ void usage() {
       "  --window S       attribution window override (default: recorded)\n"
       "  --node-level     node-level attribution (default: recorded)\n"
       "  --cache N        LRU result-cache capacity (0 disables; default 64)\n"
-      "  --metrics FILE   write query.* metrics snapshot as JSON\n"
+      "  --metrics FILE   write query.* metrics snapshot; a .prom suffix\n"
+      "                   selects Prometheus text exposition\n"
+      "  --slow-query-us N\n"
+      "                   log queries slower than N microseconds (0 = off)\n"
+      "  --log-json FILE  mirror log records to FILE as JSONL\n"
+      "  --log-level L    debug|info|warn|error (default info)\n"
       "  --info           print artifact metadata and exit\n");
 }
 
@@ -278,6 +286,8 @@ int main(int argc, char** argv) {
   std::string report = "all";
   std::string format = "md";
   std::string metrics_file;
+  std::string log_json_file;
+  obs::LogLevel log_level = obs::LogLevel::kInfo;
   bool info = false;
   bool have_from = false;
   bool have_to = false;
@@ -323,6 +333,20 @@ int main(int argc, char** argv) {
           parse_count_arg("--cache", next("--cache")));
     } else if (arg == "--metrics") {
       metrics_file = next("--metrics");
+    } else if (arg == "--slow-query-us") {
+      qopts.slow_query_us = static_cast<double>(
+          parse_count_arg("--slow-query-us", next("--slow-query-us")));
+    } else if (arg == "--log-json") {
+      log_json_file = next("--log-json");
+    } else if (arg == "--log-level") {
+      const auto lvl = obs::parse_log_level(next("--log-level"));
+      if (!lvl) {
+        std::fprintf(
+            stderr,
+            "gpures-query: --log-level must be debug|info|warn|error\n");
+        return 2;
+      }
+      log_level = *lvl;
     } else if (arg == "--info") {
       info = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -353,9 +377,21 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  obs::Logger::Options log_opts;
+  log_opts.min_level = log_level;
+  log_opts.jsonl_path = log_json_file;
+  log_opts.max_per_key = 100;
+  obs::Logger logger(log_opts);
+  obs::Logger::install(&logger);
+  if (!logger.sink_status().ok()) {
+    std::fprintf(stderr, "gpures-query: %s\n",
+                 logger.sink_status().error().message.c_str());
+    return 1;
+  }
+
   auto opened = index::IndexReader::open(index_file);
   if (!opened.ok()) {
-    std::fprintf(stderr, "gpures-query: %s\n", opened.error().message.c_str());
+    obs::Logger::current().error("query", opened.error().message);
     return 1;
   }
   const index::IndexReader reader = std::move(opened).take();
@@ -385,8 +421,8 @@ int main(int argc, char** argv) {
   if (!node_name.empty()) {
     const auto idx = reader.node_index(node_name);
     if (!idx.has_value()) {
-      std::fprintf(stderr, "gpures-query: node '%s' is not in this index\n",
-                   node_name.c_str());
+      obs::Logger::current().error("query", "node is not in this index",
+                                   {{"node", node_name}});
       return 1;
     }
     pred.node = *idx;
@@ -420,13 +456,14 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_file.empty()) {
-    std::ofstream os(metrics_file, std::ios::trunc | std::ios::binary);
-    if (!os) {
-      std::fprintf(stderr, "gpures-query: cannot write %s\n",
-                   metrics_file.c_str());
+    // Same checked write path gpures-analyze uses: open, short-write, and
+    // close failures exit nonzero instead of vanishing in a bad() stream.
+    const auto st = common::write_text_file(
+        metrics_file, obs::render_metrics_file(registry, metrics_file));
+    if (!st.ok()) {
+      obs::Logger::current().error("query", st.error().message);
       return 1;
     }
-    os << registry.to_json();
   }
   return 0;
 }

@@ -15,13 +15,14 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <string>
 
 #include "analysis/campaign.h"
 #include "analysis/config_file.h"
 #include "analysis/dataset.h"
 #include "common/io.h"
+#include "obs/expfmt.h"
+#include "obs/log.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/progress.h"
@@ -46,21 +47,23 @@ void usage() {
                "  --config FILE  key=value scenario overrides (applied last;\n"
                "                 see --list-config-keys)\n"
                "  --metrics FILE write the metrics registry snapshot as JSON\n"
+               "                 (or Prometheus text with a .prom suffix)\n"
                "  --trace FILE   write a Chrome Trace Event JSON timeline\n"
                "  --quiet        suppress progress and summary on stderr\n"
                "  --list-config-keys\n");
 }
 
-/// Write `text` to `path`, creating parent directories as needed.
-bool write_text_file(const std::filesystem::path& path, std::string_view text) {
-  std::error_code ec;
-  if (path.has_parent_path()) {
-    std::filesystem::create_directories(path.parent_path(), ec);
+/// Checked artifact write: failures surface as an error record + exit 1 at
+/// the call site (shared common::write_text_file under the hood).
+bool write_artifact(const std::filesystem::path& path, std::string_view text) {
+  const auto st = common::write_text_file(path.string(), text);
+  if (!st.ok()) {
+    obs::Logger::current().error("simulate", "artifact write failed",
+                                 {{"path", path.string()},
+                                  {"error", st.error().message}});
+    return false;
   }
-  std::ofstream os(path, std::ios::trunc | std::ios::binary);
-  if (!os) return false;
-  os.write(text.data(), static_cast<std::streamsize>(text.size()));
-  return static_cast<bool>(os);
+  return true;
 }
 
 /// Stable fingerprint of the effective campaign configuration.
@@ -170,6 +173,11 @@ int main(int argc, char** argv) {
   manifest.periods = analysis::StudyPeriods::make(
       cfg.faults.study_begin, cfg.faults.op_begin, cfg.faults.study_end);
 
+  obs::Logger::Options log_opts;
+  if (quiet) log_opts.text_min_level = obs::LogLevel::kError;
+  obs::Logger logger(log_opts);
+  obs::Logger::install(&logger);
+
   obs::MetricsRegistry registry;
   cfg.metrics = &registry;
   obs::Tracer tracer;
@@ -201,17 +209,13 @@ int main(int argc, char** argv) {
                            std::to_string(campaign.job_records().size()));
     if (quick) run.extra.emplace_back("mode", "quick");
 
-    if (!quiet) {
-      std::fprintf(stderr,
-                   "wrote dataset to %s: %llu day files, %llu raw lines, "
-                   "%zu accounting rows\n",
-                   out_dir.c_str(),
-                   static_cast<unsigned long long>(writer.days_written()),
-                   static_cast<unsigned long long>(campaign.raw_log_lines()),
-                   campaign.job_records().size());
-    }
+    logger.info("simulate", "wrote dataset",
+                {{"dir", out_dir},
+                 {"day_files", writer.days_written()},
+                 {"raw_lines", campaign.raw_log_lines()},
+                 {"accounting_rows", campaign.job_records().size()}});
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "gpures-simulate: %s\n", e.what());
+    logger.error("simulate", e.what());
     rc = 1;
   }
   obs::Tracer::install(nullptr);
@@ -220,21 +224,14 @@ int main(int argc, char** argv) {
   // Provenance manifest rides along with the dataset (per-stage totals come
   // from the embedded metrics snapshot).
   const auto run_path = std::filesystem::path(out_dir) / "run_manifest.json";
-  if (!write_text_file(run_path, run.to_json(&registry))) {
-    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
-                 run_path.string().c_str());
-    return 1;
-  }
+  if (!write_artifact(run_path, run.to_json(&registry))) return 1;
   if (!metrics_file.empty() &&
-      !write_text_file(metrics_file, registry.to_json())) {
-    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
-                 metrics_file.c_str());
+      !write_artifact(metrics_file,
+                      obs::render_metrics_file(registry, metrics_file))) {
     return 1;
   }
   if (!trace_file.empty() &&
-      !write_text_file(trace_file, tracer.to_chrome_json())) {
-    std::fprintf(stderr, "gpures-simulate: cannot write %s\n",
-                 trace_file.c_str());
+      !write_artifact(trace_file, tracer.to_chrome_json())) {
     return 1;
   }
   return 0;
