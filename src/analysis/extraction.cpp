@@ -5,6 +5,7 @@
 #include <regex>
 
 #include "common/strings.h"
+#include "simd/scan.h"
 
 namespace gpures::analysis {
 
@@ -57,26 +58,30 @@ std::optional<common::TimePoint> parse_line_time(std::string_view line,
 
 std::optional<ParsedLine> FastLineParser::parse(
     std::string_view line, common::TimePoint day_start) const {
+  const auto& k = simd::active_ops();
   // A "line" can never contain a line terminator; anything that does is
   // corrupted input (and the regex reference rejects it too, since '.'
-  // excludes terminators).
-  if (line.find('\n') != std::string_view::npos ||
-      line.find('\r') != std::string_view::npos) {
+  // excludes terminators).  One fused kernel pass checks both '\n' and '\r'
+  // where the pre-SIMD code ran two separate finds.
+  if (k.find_terminator(line.data(), line.size()) != line.size()) {
     return std::nullopt;
   }
   // Cheap pre-filter before any time parsing: the interesting lines all
   // contain either "NVRM: Xid" or "update_node:".
-  const bool maybe_xid = line.find("NVRM: Xid") != std::string_view::npos;
+  const bool maybe_xid =
+      k.find_substr(line.data(), line.size(), "NVRM: Xid", 9) != line.size();
   const bool maybe_lifecycle =
-      !maybe_xid && line.find("update_node:") != std::string_view::npos;
+      !maybe_xid &&
+      k.find_substr(line.data(), line.size(), "update_node:", 12) !=
+          line.size();
   if (!maybe_xid && !maybe_lifecycle) return std::nullopt;
 
   const auto t = parse_line_time(line, day_start);
   if (!t) return std::nullopt;
   if (line.size() < 17 || line[15] != ' ') return std::nullopt;
   std::string_view rest = line.substr(16);
-  const std::size_t host_end = rest.find(' ');
-  if (host_end == std::string_view::npos || host_end == 0) return std::nullopt;
+  const std::size_t host_end = k.find_byte(rest.data(), rest.size(), ' ');
+  if (host_end == rest.size() || host_end == 0) return std::nullopt;
   const std::string_view host = rest.substr(0, host_end);
   if (!valid_token(host)) return std::nullopt;
   rest.remove_prefix(host_end + 1);
@@ -84,8 +89,8 @@ std::optional<ParsedLine> FastLineParser::parse(
   if (maybe_xid) {
     if (!common::starts_with(rest, kXidPrefix)) return std::nullopt;
     rest.remove_prefix(kXidPrefix.size());
-    const std::size_t pci_end = rest.find(')');
-    if (pci_end == std::string_view::npos) return std::nullopt;
+    const std::size_t pci_end = k.find_byte(rest.data(), rest.size(), ')');
+    if (pci_end == rest.size()) return std::nullopt;
     const std::string_view pci = rest.substr(0, pci_end);
     if (!valid_pci(pci)) return std::nullopt;
     rest.remove_prefix(pci_end);
@@ -123,8 +128,8 @@ std::optional<ParsedLine> FastLineParser::parse(
   rest.remove_prefix(digits);
   if (!common::starts_with(rest, kUpdateNode)) return std::nullopt;
   rest.remove_prefix(kUpdateNode.size());
-  const std::size_t node_end = rest.find(' ');
-  if (node_end == std::string_view::npos || node_end == 0) return std::nullopt;
+  const std::size_t node_end = k.find_byte(rest.data(), rest.size(), ' ');
+  if (node_end == rest.size() || node_end == 0) return std::nullopt;
   const std::string_view node = rest.substr(0, node_end);
   if (!valid_token(node)) return std::nullopt;
   rest.remove_prefix(node_end + 1);

@@ -1,0 +1,105 @@
+#include "common/parse.h"
+
+#include <array>
+
+namespace gpures::common {
+
+namespace {
+
+/// Byte -> digit value, or a huge value for non-digits.  Unsigned wraparound
+/// makes every non-digit compare > 9, so a chain of these folds into one
+/// range check with OR.
+inline unsigned digit(char c) {
+  return static_cast<unsigned>(static_cast<unsigned char>(c)) - '0';
+}
+
+/// Perfect hash for month abbreviations: slot = (packed * kMonthMul) >> 28
+/// over the low 32 bits.  The multiplier was searched offline so that the
+/// twelve real months land in twelve distinct slots of a 16-entry table;
+/// the static_assert below re-proves it at compile time against the same
+/// packing, so the constant cannot silently rot.
+constexpr std::uint32_t kMonthMul = 0x2284B7A5u;
+
+constexpr std::uint32_t pack3(char a, char b, char c) {
+  return (static_cast<std::uint32_t>(static_cast<unsigned char>(a)) << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c));
+}
+
+constexpr std::uint32_t month_slot(std::uint32_t packed) {
+  return (packed * kMonthMul) >> 28;
+}
+
+struct MonthEntry {
+  std::uint32_t key = 0;
+  std::int8_t month = 0;
+};
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+constexpr std::array<MonthEntry, 16> build_month_table() {
+  std::array<MonthEntry, 16> table{};
+  for (int m = 0; m < 12; ++m) {
+    const char* name = kMonthNames[static_cast<std::size_t>(m)];
+    const std::uint32_t key = pack3(name[0], name[1], name[2]);
+    table[month_slot(key)] = MonthEntry{key, static_cast<std::int8_t>(m + 1)};
+  }
+  return table;
+}
+
+constexpr std::array<MonthEntry, 16> kMonthTable = build_month_table();
+
+constexpr bool month_table_is_perfect() {
+  int filled = 0;
+  for (const auto& e : kMonthTable) filled += (e.month != 0);
+  return filled == 12;
+}
+
+static_assert(month_table_is_perfect(),
+              "month perfect-hash multiplier collides; re-search kMonthMul");
+
+}  // namespace
+
+int parse_2digit(const char* p) {
+  const unsigned hi = digit(p[0]);
+  const unsigned lo = digit(p[1]);
+  // Per-digit range checks OR-folded as booleans — OR-ing the *values*
+  // first would reject valid pairs (5 | 9 == 13 > 9).
+  const bool bad = (hi > 9) | (lo > 9);
+  return bad ? -1 : static_cast<int>(hi * 10 + lo);
+}
+
+int parse_day_of_month(const char* p) {
+  // " 5" (space-padded single digit) or "DD".  A space-padded form must not
+  // accept " 0"-style zero days here — the caller range-checks day >= 1,
+  // and plain parse handles the rest.
+  const unsigned lo = digit(p[1]);
+  const unsigned hi = digit(p[0]);
+  const bool padded = p[0] == ' ';
+  const bool bad = lo > 9 || (!padded && hi > 9);
+  const int value = static_cast<int>((padded ? 0 : hi * 10) + lo);
+  return bad ? -1 : value;
+}
+
+int parse_hhmmss(const char* p) {
+  const unsigned h1 = digit(p[0]), h2 = digit(p[1]);
+  const unsigned m1 = digit(p[3]), m2 = digit(p[4]);
+  const unsigned s1 = digit(p[6]), s2 = digit(p[7]);
+  bool bad = (h1 > 9) | (h2 > 9) | (m1 > 9) | (m2 > 9) | (s1 > 9) | (s2 > 9);
+  bad = bad | (p[2] != ':') | (p[5] != ':');
+  const unsigned h = h1 * 10 + h2;
+  const unsigned m = m1 * 10 + m2;
+  const unsigned s = s1 * 10 + s2;
+  bad = bad | (h > 23) | (m > 59) | (s > 59);
+  return bad ? -1 : static_cast<int>(h * 3600 + m * 60 + s);
+}
+
+int month_number(const char* p) {
+  const std::uint32_t key = pack3(p[0], p[1], p[2]);
+  const MonthEntry& e = kMonthTable[month_slot(key)];
+  return e.key == key ? e.month : 0;
+}
+
+}  // namespace gpures::common

@@ -1,6 +1,7 @@
 #include "common/time.h"
 
 #include "common/fmt.h"
+#include "common/parse.h"
 
 #include <array>
 #include <charconv>
@@ -40,15 +41,6 @@ void civil_from_days(std::int64_t z, int& y, int& m, int& d) {
   d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
   m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
   y = static_cast<int>(yy + (m <= 2));
-}
-
-bool parse_int(std::string_view s, int& out) {
-  const auto* first = s.data();
-  const auto* last = s.data() + s.size();
-  // Skip leading spaces (syslog pads day-of-month with a space).
-  while (first < last && *first == ' ') ++first;
-  auto [ptr, ec] = std::from_chars(first, last, out);
-  return ec == std::errc{} && ptr == last;
 }
 
 // Strict fixed-width digit field: no padding, no signs.
@@ -158,31 +150,24 @@ std::optional<TimePoint> parse_iso(std::string_view s) {
 
 std::optional<TimePoint> parse_syslog(std::string_view s, int year) {
   // "Mon DD HH:MM:SS" where DD may be space-padded: "May  5 07:23:01".
+  // Fixed layout, so every field parses branchlessly (common/parse.h): a
+  // perfect-hash month probe and arithmetic digit validation replace the
+  // month compare chain and the per-character from_chars loops.  Only the
+  // day-of-month may be space-padded; the time fields are strictly two
+  // digits with ':' separators, validated inside parse_hhmmss.
   if (s.size() != 15) return std::nullopt;
   CalendarTime ct;
   ct.year = year;
-  const std::string_view mon = s.substr(0, 3);
-  ct.month = 0;
-  for (std::size_t i = 0; i < kMonthNames.size(); ++i) {
-    if (mon == kMonthNames[i]) {
-      ct.month = static_cast<int>(i) + 1;
-      break;
-    }
-  }
-  // Only the day-of-month may be space-padded ("May  5"); the time fields
-  // are strictly two digits.
-  if (ct.month == 0 || s[3] != ' ') return std::nullopt;
-  if (!parse_int(s.substr(4, 2), ct.day) || s[6] != ' ' ||
-      !parse_digits(s.substr(7, 2), ct.hour) || s[9] != ':' ||
-      !parse_digits(s.substr(10, 2), ct.minute) || s[12] != ':' ||
-      !parse_digits(s.substr(13, 2), ct.second)) {
+  ct.month = month_number(s.data());
+  if (ct.month == 0 || s[3] != ' ' || s[6] != ' ') return std::nullopt;
+  ct.day = parse_day_of_month(s.data() + 4);
+  const int secs = parse_hhmmss(s.data() + 7);
+  if (ct.day < 1 || ct.day > days_in_month(ct.year, ct.month) || secs < 0) {
     return std::nullopt;
   }
-  if (ct.day < 1 || ct.day > days_in_month(ct.year, ct.month) ||
-      ct.hour < 0 || ct.hour > 23 || ct.minute < 0 || ct.minute > 59 ||
-      ct.second < 0 || ct.second > 59) {
-    return std::nullopt;
-  }
+  ct.hour = secs / 3600;
+  ct.minute = (secs / 60) % 60;
+  ct.second = secs % 60;
   return to_timepoint(ct);
 }
 

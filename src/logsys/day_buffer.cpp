@@ -3,23 +3,27 @@
 #include <algorithm>
 #include <cstring>
 
+#include "simd/scan.h"
+
 namespace gpures::logsys {
 
 DayBuffer DayBuffer::from_text(common::TimePoint default_time,
                                std::string&& text) {
+  // One kernel table fetch per file; every scan below goes through the
+  // active SIMD backend (scalar/SWAR/AVX2), all of which return identical
+  // slices (see simd/scan.h and tests/test_simd.cpp).
+  const auto& k = simd::active_ops();
   DayBuffer buf;
   if (!text.empty() && text.back() != '\n') text.push_back('\n');
   buf.arena_ = std::move(text);
   // One line per newline is exact for written day files; reserve up front so
   // the slice scan never reallocates mid-flight.
-  buf.slices_.reserve(
-      static_cast<std::size_t>(std::count(buf.arena_.begin(), buf.arena_.end(), '\n')));
   const char* base = buf.arena_.data();
   const std::size_t n = buf.arena_.size();
+  buf.slices_.reserve(k.count_byte(base, n, '\n'));
   std::size_t pos = 0;
   while (pos < n) {
-    const void* nl = std::memchr(base + pos, '\n', n - pos);
-    const std::size_t eol = static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+    const std::size_t eol = pos + k.find_byte(base + pos, n - pos, '\n');
     if (eol > pos) {  // skip empty lines, matching pipeline line ingestion
       buf.slices_.push_back(LineSlice{default_time, pos,
                                       static_cast<std::uint32_t>(eol - pos)});
@@ -29,24 +33,10 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
   return buf;
 }
 
-namespace {
-
-// Control bytes other than '\t' (and the line-structure '\n', which never
-// appears inside a slice) cannot occur in a text log line; DEL rounds out
-// the set.  High-bit bytes are allowed: real logs legitimately carry UTF-8.
-bool is_binary_line(const char* p, std::size_t len) {
-  for (std::size_t i = 0; i < len; ++i) {
-    const unsigned char c = static_cast<unsigned char>(p[i]);
-    if ((c < 0x20 && c != '\t') || c == 0x7f) return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 DayBuffer DayBuffer::from_text(common::TimePoint default_time,
                                std::string&& text, const LineScreen& screen,
                                ScreenCounts& counts) {
+  const auto& k = simd::active_ops();
   DayBuffer buf;
   // CRLF archives are messy-but-real input, not corruption: a '\r' that
   // immediately precedes '\n' is part of the line terminator, not the line.
@@ -54,24 +44,31 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
   // same as LF days instead of every line being quarantined as binary; the
   // stripped bytes are tallied as terminator bytes (like '\n', excluded
   // from kept/quarantined counts).  LF-only input never enters this branch.
-  if (text.find("\r\n") != std::string::npos) {
-    std::size_t w = 0;
-    for (std::size_t r = 0; r < text.size(); ++r) {
-      if (text[r] == '\r' && r + 1 < text.size() && text[r + 1] == '\n') {
-        ++counts.crlf_bytes;
-        continue;
+  // The rewrite jumps '\r' to '\r' with the byte-search kernel and moves
+  // whole clean spans at once instead of copying byte by byte.
+  if (k.find_substr(text.data(), text.size(), "\r\n", 2) != text.size()) {
+    const std::size_t size = text.size();
+    std::size_t w = 0, r = 0;
+    while (r < size) {
+      const std::size_t next = r + k.find_byte(text.data() + r, size - r, '\r');
+      if (next > r && w != r) std::memmove(&text[w], &text[r], next - r);
+      w += next - r;
+      if (next == size) break;
+      if (next + 1 < size && text[next + 1] == '\n') {
+        ++counts.crlf_bytes;  // drop the '\r'; the '\n' is copied next round
+      } else {
+        text[w++] = '\r';  // lone '\r' is content (classified binary below)
       }
-      text[w++] = text[r];
+      r = next + 1;
     }
     text.resize(w);
   }
   const bool had_final_newline = text.empty() || text.back() == '\n';
   if (!had_final_newline) text.push_back('\n');
   buf.arena_ = std::move(text);
-  buf.slices_.reserve(static_cast<std::size_t>(
-      std::count(buf.arena_.begin(), buf.arena_.end(), '\n')));
   const char* base = buf.arena_.data();
   const std::size_t n = buf.arena_.size();
+  buf.slices_.reserve(k.count_byte(base, n, '\n'));
   std::size_t pos = 0;
   std::uint64_t line_no = 0;
   const auto offend = [&](const char* category, std::uint64_t len,
@@ -85,11 +82,13 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
     }
   };
   while (pos < n) {
-    const void* nl = std::memchr(base + pos, '\n', n - pos);
-    const std::size_t eol =
-        static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+    // One fused pass finds the newline AND classifies control bytes — the
+    // pre-SIMD path paid a memchr scan plus a separate is_binary_line byte
+    // loop over every kept line.
+    const simd::LineScan scan = k.next_line(base + pos, n - pos);
+    const std::size_t eol = pos + scan.eol;  // < n: final '\n' guaranteed
     ++line_no;
-    if (eol > pos) {  // skip empty lines, matching pipeline line ingestion
+    if (eol > pos) {
       const std::size_t len = eol - pos;
       // One category per line, checked most- to least-specific: a torn EOF
       // fragment is torn no matter its content, then length, then bytes.
@@ -97,7 +96,7 @@ DayBuffer DayBuffer::from_text(common::TimePoint default_time,
         offend("torn", len, counts.torn_lines, counts.torn_bytes);
       } else if (len > screen.max_line_len) {
         offend("overlong", len, counts.overlong_lines, counts.overlong_bytes);
-      } else if (is_binary_line(base + pos, len)) {
+      } else if (scan.binary) {
         offend("binary", len, counts.binary_lines, counts.binary_bytes);
       } else {
         counts.kept_lines += 1;

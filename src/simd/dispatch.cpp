@@ -1,0 +1,89 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace gpures::simd {
+
+namespace {
+
+bool cpu_has_avx2() {
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// -1 = not yet resolved; otherwise a Backend value.  Relaxed is enough: the
+// value is write-once-then-read and any racing first reads resolve to the
+// same environment-derived answer.
+std::atomic<int> g_active{-1};
+
+Backend resolve_from_env() {
+  const char* env = std::getenv("GPURES_SIMD");
+  if (env != nullptr) {
+    const auto parsed = parse_backend(env);
+    // An unavailable or unrecognized value degrades to auto: the library
+    // cannot refuse to start.  The CLIs validate --simd explicitly.
+    if (parsed && available(*parsed)) return *parsed;
+  }
+  return best_available();
+}
+
+}  // namespace
+
+bool available(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+    case Backend::kSwar:
+      return true;
+    case Backend::kAvx2:
+      return cpu_has_avx2();
+  }
+  return false;
+}
+
+Backend best_available() {
+  return available(Backend::kAvx2) ? Backend::kAvx2 : Backend::kSwar;
+}
+
+std::vector<Backend> all_available() {
+  std::vector<Backend> out{Backend::kScalar, Backend::kSwar};
+  if (available(Backend::kAvx2)) out.push_back(Backend::kAvx2);
+  return out;
+}
+
+std::string_view to_string(Backend b) {
+  switch (b) {
+    case Backend::kScalar: return "scalar";
+    case Backend::kSwar: return "swar";
+    case Backend::kAvx2: return "avx2";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+  if (name == "scalar") return Backend::kScalar;
+  if (name == "swar") return Backend::kSwar;
+  if (name == "avx2") return Backend::kAvx2;
+  if (name == "auto") return best_available();
+  return std::nullopt;
+}
+
+Backend active() {
+  int v = g_active.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = static_cast<int>(resolve_from_env());
+    g_active.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<Backend>(v);
+}
+
+bool set_active(Backend b) {
+  if (!available(b)) return false;
+  g_active.store(static_cast<int>(b), std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace gpures::simd

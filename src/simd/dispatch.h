@@ -1,0 +1,62 @@
+// Runtime ISA dispatch for the Stage-I scan kernels.
+//
+// Three backends implement every kernel in simd/scan.h behind one API:
+//
+//  * kScalar — the reference implementation (libc memchr / plain loops,
+//    exactly the code the pre-SIMD parser ran);
+//  * kSwar   — portable 8-byte word tricks, no intrinsics;
+//  * kAvx2   — 32-byte AVX2 lanes, compiled with a target attribute and
+//    selected only when CPUID reports the ISA.
+//
+// The dispatch contract is determinism-first: every backend returns
+// bit-identical results for every input, so the active backend can never
+// change a pipeline artifact — only how fast it is produced.  The
+// differential suites (tests/test_simd.cpp, tests/test_simd_differential.cpp)
+// enforce this from single kernels up to full golden-pipeline runs.
+//
+// Selection order: an explicit set_active() call (the CLIs' --simd flag)
+// wins; otherwise the GPURES_SIMD environment variable ("scalar", "swar",
+// "avx2", "auto"); otherwise the best backend the host supports.  An
+// unavailable or unrecognized environment value degrades to auto rather
+// than failing: the library cannot refuse to start, but the CLIs reject an
+// explicitly requested unavailable backend with a hard error.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace gpures::simd {
+
+enum class Backend : std::uint8_t { kScalar = 0, kSwar = 1, kAvx2 = 2 };
+
+/// True if this host can run the backend (scalar and SWAR always can;
+/// AVX2 requires CPUID support on x86).
+bool available(Backend b);
+
+/// The fastest available backend (avx2 > swar > scalar).
+Backend best_available();
+
+/// Every backend this host can run, in kScalar..kAvx2 order — the iteration
+/// set for differential tests and per-backend benchmarks.
+std::vector<Backend> all_available();
+
+std::string_view to_string(Backend b);
+
+/// Parse a backend name; "auto" maps to best_available().  nullopt for
+/// anything else (including an empty string).
+std::optional<Backend> parse_backend(std::string_view name);
+
+/// The backend the dispatched kernels currently use.  First call resolves
+/// the GPURES_SIMD environment variable; later calls are one relaxed
+/// atomic load.
+Backend active();
+
+/// Select the active backend.  Returns false (and changes nothing) if the
+/// backend is unavailable on this host.  Not synchronized against kernels
+/// running concurrently — callers switch backends between pipeline runs,
+/// not during them (the CLIs set it once before any ingestion starts).
+bool set_active(Backend b);
+
+}  // namespace gpures::simd

@@ -1,0 +1,63 @@
+// The Stage-I scan kernel family: byte search, line slicing, and substring
+// search over raw log bytes, in scalar / SWAR / AVX2 variants behind one
+// dispatch table.
+//
+// These are the inner loops of ingestion: DayBuffer::from_text slices a
+// whole day file with next_line (one fused pass finds the newline AND
+// classifies binary bytes, replacing the memchr-then-byte-loop double scan),
+// and FastLineParser pre-filters every line with find_terminator and
+// find_substr before any field parsing.
+//
+// Contract (enforced by tests/test_simd.cpp differential fuzzing):
+//  * every backend returns bit-identical results for every input — the
+//    scalar variant is the reference, SWAR and AVX2 must match it exactly;
+//  * kernels never read past p + n.  Vector variants process whole 8- or
+//    32-byte blocks and hand the remainder to the scalar tail loop, so a
+//    newline in the final partial lane or a lone '\r' at a chunk edge is
+//    handled by the same code path the reference uses;
+//  * positions are leftmost-match, "not found" is n.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.h"
+
+namespace gpures::simd {
+
+/// Result of one fused line scan: the offset of the first '\n' (or n if the
+/// buffer ends without one) and whether any byte before it is "binary" — a
+/// control byte other than '\t', or DEL.  This is exactly the quarantine
+/// screen's is_binary_line predicate fused into the newline search.
+struct LineScan {
+  std::size_t eol = 0;
+  bool binary = false;
+};
+
+/// One backend's kernel table.  Callers fetch it once per file (or per
+/// parsed line) and pay one indirect call per kernel invocation.
+struct ScanOps {
+  /// First index of `c` in [p, p+n), else n.
+  std::size_t (*find_byte)(const char* p, std::size_t n, char c);
+  /// First index of '\n' or '\r' in [p, p+n), else n (the parser's
+  /// line-terminator check, one pass instead of two finds).
+  std::size_t (*find_terminator)(const char* p, std::size_t n);
+  /// Fused newline search + binary classification; see LineScan.
+  LineScan (*next_line)(const char* p, std::size_t n);
+  /// Occurrences of `c` in [p, p+n).
+  std::size_t (*count_byte)(const char* p, std::size_t n, char c);
+  /// Leftmost index where needle [q, q+m) occurs in [p, p+n), else n.
+  /// m must be >= 1; m > n returns n.
+  std::size_t (*find_substr)(const char* p, std::size_t n, const char* q,
+                             std::size_t m);
+};
+
+/// The kernel table for one backend.  Requesting kAvx2 on a host without
+/// AVX2 support returns the SWAR table (callers select backends through
+/// dispatch.h, which never hands out an unavailable backend).
+const ScanOps& ops(Backend b);
+
+/// ops(active()) — the table the production paths use.
+const ScanOps& active_ops();
+
+}  // namespace gpures::simd

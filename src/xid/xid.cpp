@@ -1,6 +1,7 @@
 #include "xid/xid.h"
 
 #include <array>
+#include <cstddef>
 
 namespace gpures::xid {
 
@@ -79,6 +80,24 @@ constexpr std::array<Code, 10> kReportOrder = {
     Code::kContainedEccError, Code::kUncontainedEccError,
     Code::kGspRpcTimeout,   Code::kPmuSpiFailure};
 
+// Perfect-hash dispatch: every tracked XID number is < 128, so a direct
+// 128-slot index table maps a raw code to its catalog row in one probe —
+// Stage II calls describe() once per coalesced observation, and the old
+// linear scan compared up to 14 entries per call.
+constexpr std::size_t kCodeTableSize = 128;
+
+constexpr std::array<std::int8_t, kCodeTableSize> build_code_index() {
+  std::array<std::int8_t, kCodeTableSize> table{};
+  for (auto& slot : table) slot = -1;
+  for (std::size_t i = 0; i < kCatalog.size(); ++i) {
+    table[to_number(kCatalog[i].code)] = static_cast<std::int8_t>(i);
+  }
+  return table;
+}
+
+constexpr std::array<std::int8_t, kCodeTableSize> kCodeIndex =
+    build_code_index();
+
 }  // namespace
 
 std::string_view to_string(Category c) {
@@ -93,22 +112,17 @@ std::string_view to_string(Category c) {
 
 std::span<const Descriptor> catalog() { return kCatalog; }
 
-std::optional<Descriptor> describe(Code c) {
-  for (const auto& d : kCatalog) {
-    if (d.code == c) return d;
-  }
-  return std::nullopt;
-}
+std::optional<Descriptor> describe(Code c) { return describe(to_number(c)); }
 
 std::optional<Descriptor> describe(std::uint16_t xid_number) {
-  for (const auto& d : kCatalog) {
-    if (to_number(d.code) == xid_number) return d;
-  }
-  return std::nullopt;
+  if (xid_number >= kCodeTableSize) return std::nullopt;
+  const std::int8_t idx = kCodeIndex[xid_number];
+  if (idx < 0) return std::nullopt;
+  return kCatalog[static_cast<std::size_t>(idx)];
 }
 
 bool is_known(std::uint16_t xid_number) {
-  return describe(xid_number).has_value();
+  return xid_number < kCodeTableSize && kCodeIndex[xid_number] >= 0;
 }
 
 Code merge_key(Code c) {

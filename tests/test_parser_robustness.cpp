@@ -10,6 +10,7 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "logsys/syslog.h"
+#include "simd/dispatch.h"
 #include "slurm/accounting.h"
 
 namespace an = gpures::analysis;
@@ -135,6 +136,45 @@ TEST(ParserRobustness, BinaryGarbageRejected) {
     }
     EXPECT_FALSE(fast.parse(garbage, kDay).has_value());
   }
+}
+
+TEST(ParserRobustness, MutantsParseIdenticallyUnderEveryScanBackend) {
+  // The fast parser's terminator check, prefilter, and field splits all run
+  // through the dispatched scan kernels; every backend must accept and
+  // reject the exact same mutants with the exact same extracted fields.
+  namespace sd = gpures::simd;
+  const auto saved = sd::active();
+  an::FastLineParser fast;
+  ct::Rng rng(5150);
+  const auto seeds = seed_lines();
+  for (int trial = 0; trial < 4000; ++trial) {
+    const auto mutant = mutate(seeds[rng.uniform_u64(seeds.size())], rng);
+    ASSERT_TRUE(sd::set_active(sd::Backend::kScalar));
+    const auto ref = fast.parse(mutant, kDay);
+    for (const auto backend : sd::all_available()) {
+      ASSERT_TRUE(sd::set_active(backend));
+      const auto got = fast.parse(mutant, kDay);
+      ASSERT_EQ(got.has_value(), ref.has_value())
+          << sd::to_string(backend) << ": " << mutant;
+      if (!got) continue;
+      ASSERT_EQ(got->index(), ref->index()) << mutant;
+      if (const auto* xa = std::get_if<an::XidRecord>(&*got)) {
+        const auto& xb = std::get<an::XidRecord>(*ref);
+        ASSERT_EQ(xa->time, xb.time) << mutant;
+        ASSERT_EQ(xa->host, xb.host) << mutant;
+        ASSERT_EQ(xa->pci, xb.pci) << mutant;
+        ASSERT_EQ(xa->xid, xb.xid) << mutant;
+        ASSERT_EQ(xa->detail, xb.detail) << mutant;
+      } else {
+        const auto& la = std::get<an::LifecycleRecord>(*got);
+        const auto& lb = std::get<an::LifecycleRecord>(*ref);
+        ASSERT_EQ(la.time, lb.time) << mutant;
+        ASSERT_EQ(la.host, lb.host) << mutant;
+        ASSERT_EQ(la.kind, lb.kind) << mutant;
+      }
+    }
+  }
+  sd::set_active(saved);
 }
 
 // ---- Slurm accounting parser under the same mutation harness ----

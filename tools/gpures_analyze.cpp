@@ -43,6 +43,7 @@
 #include "obs/progress.h"
 #include "obs/telemetry.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 
 using namespace gpures;
 
@@ -65,6 +66,12 @@ void usage() {
       "  --regex                use the std::regex Stage-I matcher\n"
       "  --threads N            Stage I/II worker threads (0 = serial;\n"
       "                         output is byte-identical either way)\n"
+      "  --simd B               Stage-I scan backend: auto|scalar|swar|avx2\n"
+      "                         (default auto; every backend is\n"
+      "                         byte-identical, only speed differs; an\n"
+      "                         unavailable backend is a hard error)\n"
+      "  --simd-info            print the dispatch decision and available\n"
+      "                         backends, then exit\n"
       "  --write-index FILE     write the binary error index (gpures.idx)\n"
       "                         for gpures-query; deterministic across\n"
       "                         --threads\n"
@@ -150,6 +157,8 @@ int main(int argc, char** argv) {
   std::string log_json_file;
   obs::LogLevel log_level = obs::LogLevel::kInfo;
   bool quiet = false;
+  std::string simd_choice;
+  bool simd_info = false;
   analysis::PipelineConfig pcfg;
   analysis::IngestPolicy policy = analysis::IngestPolicy::kStrict;
   std::uint64_t error_budget = 0;
@@ -189,6 +198,10 @@ int main(int argc, char** argv) {
         return 2;
       }
       pcfg.num_threads = static_cast<std::uint32_t>(n);
+    } else if (arg == "--simd") {
+      simd_choice = next("--simd");
+    } else if (arg == "--simd-info") {
+      simd_info = true;
     } else if (arg == "--write-index") {
       index_file = next("--write-index");
     } else if (arg == "--metrics") {
@@ -245,6 +258,37 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+  // --simd (CLI) beats GPURES_SIMD (environment) beats auto-detection.  The
+  // library degrades a bad environment value to auto, but an explicit CLI
+  // request for an unavailable backend is a hard usage error.
+  if (!simd_choice.empty()) {
+    const auto backend = simd::parse_backend(simd_choice);
+    if (!backend) {
+      std::fprintf(stderr,
+                   "gpures-analyze: --simd must be auto|scalar|swar|avx2\n");
+      return 2;
+    }
+    if (!simd::set_active(*backend)) {
+      std::fprintf(stderr,
+                   "gpures-analyze: --simd %s: backend not available on this "
+                   "host\n",
+                   simd_choice.c_str());
+      return 2;
+    }
+  }
+  if (simd_info) {
+    // Machine-readable dispatch probe for CI matrix legs: which backend the
+    // dispatcher resolved to (after --simd / GPURES_SIMD) and which the
+    // host can run at all.
+    std::printf("active %s\n",
+                std::string(simd::to_string(simd::active())).c_str());
+    std::printf("available");
+    for (const auto b : simd::all_available()) {
+      std::printf(" %s", std::string(simd::to_string(b)).c_str());
+    }
+    std::printf("\n");
+    return 0;
   }
   if (data_dir.empty()) {
     usage();
@@ -303,6 +347,15 @@ int main(int argc, char** argv) {
   run.config_hash = config_fingerprint(pcfg);
   run.threads = pcfg.num_threads;
   run.started_at = obs::wall_clock_iso();
+  // Record the resolved scan backend in the provenance manifest and the log:
+  // artifacts are byte-identical across backends, but a throughput anomaly
+  // should be attributable to the dispatch decision after the fact.
+  const auto simd_backend = std::string(simd::to_string(simd::active()));
+  run.extra.emplace_back("simd_backend", simd_backend);
+  log.info("analyze", "simd dispatch",
+           {{"backend", simd_backend},
+            {"avx2_available",
+             simd::available(simd::Backend::kAvx2) ? "true" : "false"}});
 
   analysis::AnalysisPipeline pipe(topo, pcfg);
 

@@ -27,6 +27,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "obs/trace.h"
+#include "simd/dispatch.h"
 
 using namespace gpures;
 
@@ -49,6 +50,9 @@ void usage() {
                "  --metrics FILE write the metrics registry snapshot as JSON\n"
                "                 (or Prometheus text with a .prom suffix)\n"
                "  --trace FILE   write a Chrome Trace Event JSON timeline\n"
+               "  --simd B       scan backend: auto|scalar|swar|avx2 (default\n"
+               "                 auto; byte-identical output either way)\n"
+               "  --simd-info    print dispatch decision + available backends\n"
                "  --quiet        suppress progress and summary on stderr\n"
                "  --list-config-keys\n");
 }
@@ -90,6 +94,8 @@ int main(int argc, char** argv) {
   std::string metrics_file;
   std::string trace_file;
   bool quiet = false;
+  std::string simd_choice;
+  bool simd_info = false;
   analysis::CampaignConfig cfg = analysis::CampaignConfig::delta_a100();
   bool quick = false;
 
@@ -120,6 +126,10 @@ int main(int argc, char** argv) {
       metrics_file = next("--metrics");
     } else if (arg == "--trace") {
       trace_file = next("--trace");
+    } else if (arg == "--simd") {
+      simd_choice = next("--simd");
+    } else if (arg == "--simd-info") {
+      simd_info = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--progress") {
@@ -138,6 +148,33 @@ int main(int argc, char** argv) {
       usage();
       return 2;
     }
+  }
+  // Same selection contract as gpures-analyze: explicit --simd beats
+  // GPURES_SIMD beats auto, and an unavailable explicit request is an error.
+  if (!simd_choice.empty()) {
+    const auto backend = simd::parse_backend(simd_choice);
+    if (!backend) {
+      std::fprintf(stderr,
+                   "gpures-simulate: --simd must be auto|scalar|swar|avx2\n");
+      return 2;
+    }
+    if (!simd::set_active(*backend)) {
+      std::fprintf(stderr,
+                   "gpures-simulate: --simd %s: backend not available on this "
+                   "host\n",
+                   simd_choice.c_str());
+      return 2;
+    }
+  }
+  if (simd_info) {
+    std::printf("active %s\n",
+                std::string(simd::to_string(simd::active())).c_str());
+    std::printf("available");
+    for (const auto b : simd::all_available()) {
+      std::printf(" %s", std::string(simd::to_string(b)).c_str());
+    }
+    std::printf("\n");
+    return 0;
   }
   if (out_dir.empty()) {
     usage();
@@ -190,6 +227,8 @@ int main(int argc, char** argv) {
   run.config_hash = config_fingerprint(cfg, config_text);
   run.threads = cfg.pipeline.num_threads;
   run.started_at = obs::wall_clock_iso();
+  run.extra.emplace_back("simd_backend",
+                         std::string(simd::to_string(simd::active())));
 
   int rc = 0;
   try {
