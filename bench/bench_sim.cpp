@@ -1,0 +1,180 @@
+// Shard-scaling benchmark for the sharded cluster simulation (PR 9's
+// tentpole): a 2,000-node Delta-shaped fleet, 90-day window, simulated with
+// the fleet's own shard structure at 0 / 2 / 4 / 8 worker threads.  Measures
+// merged events per second and the parallel speedup over serial, and doubles
+// as a large-fleet determinism check: every thread count must produce the
+// same event count and the same FNV-1a hash of the merged (time, node, seq,
+// kind) stream, or the bench aborts.
+//
+// Unlike the campaign benches this one isolates cluster::ShardedClusterSim —
+// no jobs, no scheduler, no Stage-I pipeline — because those consumers are
+// serial by design and would mask the shard-parallel scaling under test.
+//
+// Output: one JSON object (stdout, or the file named by argv[1]) in the
+// BENCH_pr9.json shape the CI bench job uploads and gates on.
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/fault_config.h"
+#include "cluster/sharded_sim.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/time.h"
+
+namespace {
+
+using namespace gpures;
+
+struct Measurement {
+  int workers = 0;
+  double seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t stream_hash = 0;
+  double events_per_sec = 0;
+};
+
+constexpr int kFleetNodes = 2000;
+constexpr std::uint64_t kSeed = 20260809;
+
+cluster::FaultConfig fleet_faults() {
+  // The gpures-simulate --nodes recipe: 100:6 node-type mix, fault intensity
+  // scaled by the GPU ratio so per-GPU rates stay at the paper's levels.
+  auto faults = cluster::FaultConfig::test_config();  // 90-day quick window
+  const double base_gpus =
+      cluster::ClusterSpec::delta_a100().total_gpus();
+  const auto nodes8 = static_cast<std::int32_t>(
+      std::llround(kFleetNodes * 6.0 / 106.0));
+  const auto spec = cluster::ClusterSpec::scaled(kFleetNodes - nodes8, nodes8);
+  faults.scale *= spec.total_gpus() / base_gpus;
+  return faults;
+}
+
+cluster::ClusterSpec fleet_spec() {
+  const auto nodes8 = static_cast<std::int32_t>(
+      std::llround(kFleetNodes * 6.0 / 106.0));
+  return cluster::ClusterSpec::scaled(kFleetNodes - nodes8, nodes8);
+}
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (i * 8)) & 0xff;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+Measurement run_once(const cluster::Topology& topo,
+                     const cluster::FaultConfig& faults, int workers) {
+  Measurement m;
+  m.workers = workers;
+  std::unique_ptr<common::ThreadPool> pool;
+  if (workers > 0) {
+    pool = std::make_unique<common::ThreadPool>(
+        static_cast<std::size_t>(workers));
+  }
+  cluster::ShardedClusterSim::Options opts;
+  opts.pool = pool.get();
+  common::Rng root(kSeed);
+  cluster::ShardedClusterSim sim(topo, faults, root.fork("sim"), opts);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.start();
+  std::uint64_t events = 0;
+  std::uint64_t hash = 14695981039346656037ull;
+  for (auto day = faults.study_begin; day < faults.study_end;
+       day += common::kDay) {
+    sim.begin_day();
+    const auto merged = sim.advance_to(day + common::kDay);
+    events += merged.size();
+    for (const auto& e : merged) {
+      hash = fnv1a(hash, static_cast<std::uint64_t>(e.time));
+      hash = fnv1a(hash, static_cast<std::uint64_t>(e.node));
+      hash = fnv1a(hash, e.seq);
+      hash = fnv1a(hash, static_cast<std::uint64_t>(e.kind));
+    }
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  m.seconds = std::chrono::duration<double>(t1 - t0).count();
+  m.events = events;
+  m.stream_hash = hash;
+  m.events_per_sec = m.seconds > 0 ? events / m.seconds : 0;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto spec = fleet_spec();
+  const auto faults = fleet_faults();
+  cluster::Topology topo(spec);
+
+  std::vector<Measurement> results;
+  double serial_s = 0;
+  for (const int workers : {0, 2, 4, 8}) {
+    // Best of two runs: the first warms allocators and page cache.
+    auto m = run_once(topo, faults, workers);
+    const auto again = run_once(topo, faults, workers);
+    if (again.seconds < m.seconds) m = again;
+    if (workers == 0) serial_s = m.seconds;
+    if (!results.empty() && (m.events != results.front().events ||
+                             m.stream_hash != results.front().stream_hash)) {
+      std::fprintf(stderr,
+                   "bench_sim: DETERMINISM VIOLATION at %d workers: "
+                   "events %llu vs %llu, hash %llx vs %llx\n",
+                   workers, static_cast<unsigned long long>(m.events),
+                   static_cast<unsigned long long>(results.front().events),
+                   static_cast<unsigned long long>(m.stream_hash),
+                   static_cast<unsigned long long>(
+                       results.front().stream_hash));
+      return 1;
+    }
+    std::fprintf(stderr, "bench_sim: %d workers  %.3fs  %.0f events/s\n",
+                 workers, m.seconds, m.events_per_sec);
+    results.push_back(m);
+  }
+
+  std::ostringstream js;
+  js << "{\n"
+     << "  \"bench\": \"sim_shard_scaling\",\n"
+     << "  \"nodes\": " << kFleetNodes << ",\n"
+     << "  \"shards\": "
+     << cluster::ShardedClusterSim(topo, faults, common::Rng(kSeed))
+            .shard_count()
+     << ",\n"
+     << "  \"days\": "
+     << (faults.study_end - faults.study_begin) / common::kDay << ",\n"
+     << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
+     << "  \"events\": " << results.front().events << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& m = results[i];
+    js << "    {\"workers\": " << m.workers << ", \"seconds\": " << m.seconds
+       << ", \"events_per_sec\": " << static_cast<std::uint64_t>(
+              m.events_per_sec)
+       << ", \"speedup\": " << (m.seconds > 0 ? serial_s / m.seconds : 0)
+       << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  js << "  ]\n}\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1], std::ios::binary);
+    out << js.str();
+    if (!out) {
+      std::fprintf(stderr, "bench_sim: cannot write %s\n", argv[1]);
+      return 1;
+    }
+  } else {
+    std::cout << js.str();
+  }
+  return 0;
+}

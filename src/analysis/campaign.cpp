@@ -20,50 +20,44 @@ CampaignConfig CampaignConfig::quick() {
   return c;
 }
 
-// Receives simulator callbacks and turns them into raw log lines + job-layer
-// effects.
-class DeltaCampaign::Glue final : public cluster::RawLineSink,
-                                  public cluster::SimListener {
- public:
-  explicit Glue(DeltaCampaign& owner) : owner_(owner) {}
-
-  // RawLineSink: render the NVRM XID line straight into the day arena.
-  void on_xid_record(common::TimePoint t, std::int32_t node, std::int32_t slot,
-                     xid::Code code, const std::string& detail) override {
-    const auto& topo = owner_.topo_;
-    // pci_bus returns a 10-char string — SSO, so still allocation-free.
-    const auto pci = topo.pci_bus({node, slot});
-    owner_.log_stream_->append_with(t, [&](std::string& out) {
-      logsys::append_xid_line(out, t, topo.node(node).name, pci, code, detail);
-    });
-    ++owner_.raw_lines_;
+// Replays one merged shard event into the consumer-side stack.  This is the
+// serial tail of the sharded simulation: by the time an event gets here its
+// global position is fixed by the (time, node, seq) merge, so rendering and
+// job-layer propagation are pure functions of the merged stream.
+void DeltaCampaign::apply_event(const cluster::SimEvent& e) {
+  switch (e.kind) {
+    case cluster::SimEvent::Kind::kRawXid: {
+      // pci_bus returns a 10-char string — SSO, so still allocation-free.
+      const auto pci = topo_.pci_bus({e.node, e.slot});
+      log_stream_->append_with(e.time, [&](std::string& out) {
+        logsys::append_xid_line(out, e.time, topo_.node(e.node).name, pci,
+                                e.code, e.detail);
+      });
+      ++raw_lines_;
+      break;
+    }
+    case cluster::SimEvent::Kind::kError:
+      if (failure_) failure_->on_error(e.note);
+      break;
+    case cluster::SimEvent::Kind::kDrainBegin:
+      log_stream_->append_with(e.time, [&](std::string& out) {
+        logsys::append_drain_line(out, e.time, topo_.node(e.node).name);
+      });
+      ++raw_lines_;
+      if (failure_) failure_->on_drain_begin(e.node, e.time);
+      break;
+    case cluster::SimEvent::Kind::kNodeDown:
+      if (failure_) failure_->on_node_down(e.node, e.time);
+      break;
+    case cluster::SimEvent::Kind::kNodeUp:
+      log_stream_->append_with(e.time, [&](std::string& out) {
+        logsys::append_resume_line(out, e.time, topo_.node(e.node).name);
+      });
+      ++raw_lines_;
+      if (failure_) failure_->on_node_up(e.node, e.time);
+      break;
   }
-
-  // SimListener: lifecycle lines + job-layer propagation.
-  void on_error(const cluster::ErrorNotification& n) override {
-    if (owner_.failure_) owner_.failure_->on_error(n);
-  }
-  void on_drain_begin(std::int32_t node, common::TimePoint t) override {
-    owner_.log_stream_->append_with(t, [&](std::string& out) {
-      logsys::append_drain_line(out, t, owner_.topo_.node(node).name);
-    });
-    ++owner_.raw_lines_;
-    if (owner_.failure_) owner_.failure_->on_drain_begin(node, t);
-  }
-  void on_node_down(std::int32_t node, common::TimePoint t) override {
-    if (owner_.failure_) owner_.failure_->on_node_down(node, t);
-  }
-  void on_node_up(std::int32_t node, common::TimePoint t) override {
-    owner_.log_stream_->append_with(t, [&](std::string& out) {
-      logsys::append_resume_line(out, t, owner_.topo_.node(node).name);
-    });
-    ++owner_.raw_lines_;
-    if (owner_.failure_) owner_.failure_->on_node_up(node, t);
-  }
-
- private:
-  DeltaCampaign& owner_;
-};
+}
 
 DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
     : cfg_(std::move(cfg)),
@@ -85,12 +79,16 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
         pipeline_->ingest_day(day_start, std::move(day));
       });
 
-  sim_ = std::make_unique<cluster::ClusterSim>(engine_, topo_, cfg_.faults,
-                                               root.fork("sim"));
+  cluster::ShardedClusterSim::Options sim_opts;
+  sim_opts.shards = cfg_.sim_shards;
+  // Shards run on the pipeline's pool when one exists (--threads > 0); the
+  // shard structure itself never depends on the pool, so thread count only
+  // changes wall-clock, never output.
+  sim_opts.pool = pipeline_->pool();
+  sim_ = std::make_unique<cluster::ShardedClusterSim>(topo_, cfg_.faults,
+                                                      root.fork("sim"),
+                                                      sim_opts);
   sim_->set_metrics(cfg_.metrics);
-  glue_ = std::make_unique<Glue>(*this);
-  sim_->set_raw_sink(glue_.get());
-  sim_->set_listener(glue_.get());
 
   if (cfg_.with_jobs) {
     slurm::SchedulerConfig sched_cfg = cfg_.scheduler;
@@ -105,13 +103,10 @@ DeltaCampaign::DeltaCampaign(CampaignConfig cfg)
                                                        root.fork("workload"));
     failure_ = std::make_unique<slurm::FailurePropagator>(
         *scheduler_, cfg_.failure, root.fork("failure"));
-    sim_->set_drain_query([this](std::int32_t node, common::TimePoint now,
-                                 common::Duration cap) {
-      return scheduler_->drain_time_estimate(node, now, cap);
-    });
-    sim_->set_busy_query([this](xid::GpuId gpu) {
-      return scheduler_->job_on_gpu(gpu).has_value();
-    });
+    sim_->set_busy_snapshot_provider(
+        [this](std::vector<common::TimePoint>& out) {
+          scheduler_->snapshot_busy_until(out);
+        });
   }
 }
 
@@ -177,6 +172,18 @@ void DeltaCampaign::run() {
   int day = 0;
   for (common::TimePoint t = begin; t < end; t += common::kDay, ++day) {
     const common::TimePoint day_end = std::min(t + common::kDay, end);
+    // Day epoch: freeze the scheduler's busy snapshot, let every shard
+    // simulate the day against it (in parallel when a pool is set), then
+    // replay the merged event stream into the consumer engine so scheduler,
+    // workload, and failure propagation advance in lockstep with the faults.
+    sim_->begin_day();
+    const auto events = sim_->advance_to(day_end);
+    for (const auto& e : events) {
+      // Raw records may be future-dated past day_end (duplicate-line and
+      // NVLink offsets); clamp so the consumer clock never leaves the epoch.
+      engine_.run_until(std::min(e.time, day_end));
+      apply_event(e);
+    }
     engine_.run_until(day_end);
     emit_noise_for_day(t);
     log_stream_->flush_through(engine_.now());

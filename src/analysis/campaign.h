@@ -1,12 +1,14 @@
 // Campaign driver: one-call "simulate Delta 2022-2025, emit raw artifacts,
 // run the analysis pipeline over them".
 //
-// The campaign owns the DES engine, the cluster simulator, the Slurm
-// workload/scheduler/failure-propagation stack, and the analysis pipeline.
-// Raw syslog lines flow simulator -> day-bucketed stream -> Stage I parser,
-// one day at a time (the log is never held in memory whole); accounting
-// records round-trip through their textual sacct form.  Ground truth is
-// retained solely for validation.
+// The campaign owns the sharded cluster simulator, a consumer DES engine
+// hosting the Slurm workload/scheduler/failure-propagation stack, and the
+// analysis pipeline.  Each day: the node-range shards simulate the day
+// independently (in parallel when the pipeline has a worker pool), their
+// merged event stream replays into the consumer engine, and the day's raw
+// lines flow day-bucketed stream -> Stage I parser (the log is never held in
+// memory whole); accounting records round-trip through their textual sacct
+// form.  Ground truth is retained solely for validation.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +17,8 @@
 
 #include "analysis/dataset.h"
 #include "analysis/pipeline.h"
-#include "cluster/cluster_sim.h"
 #include "cluster/fault_config.h"
+#include "cluster/sharded_sim.h"
 #include "cluster/topology.h"
 #include "des/event_queue.h"
 #include "logsys/log_store.h"
@@ -41,6 +43,11 @@ struct CampaignConfig {
   double noise_lines_per_day = 200.0;
   /// Multiplies the workload's expected job count (quick runs use << 1).
   double workload_scale = 1.0;
+  /// Simulation shard count; 0 picks one shard per ~16 nodes (capped at
+  /// 256).  Changing it changes per-shard RNG streams (a different but
+  /// equally valid sample path); for a fixed value, results are
+  /// byte-identical at any pipeline.num_threads.
+  std::int32_t sim_shards = 0;
   /// Observability registry shared by every layer of the campaign (DES
   /// engine, cluster sim, fault injector, scheduler, pipeline).  Null runs
   /// with the same code paths but no metric emission from the sim layers;
@@ -83,21 +90,20 @@ class DeltaCampaign {
   const StudyPeriods& periods() const { return periods_; }
   std::uint64_t raw_log_lines() const { return raw_lines_; }
   std::uint64_t jobs_killed_by_errors() const;
+  /// Effective simulation shard count (resolves sim_shards = 0).
+  std::int32_t sim_shards() const { return sim_->shard_count(); }
 
  private:
-  class Glue;  // RawLineSink + SimListener implementation
-
   CampaignConfig cfg_;
   StudyPeriods periods_;
   cluster::Topology topo_;
-  des::Engine engine_;
-  std::unique_ptr<cluster::ClusterSim> sim_;
+  des::Engine engine_;  ///< consumer engine: scheduler/workload/failure clock
+  std::unique_ptr<AnalysisPipeline> pipeline_;
+  std::unique_ptr<cluster::ShardedClusterSim> sim_;
   std::unique_ptr<slurm::Scheduler> scheduler_;
   std::unique_ptr<slurm::WorkloadModel> workload_;
   std::unique_ptr<slurm::FailurePropagator> failure_;
-  std::unique_ptr<AnalysisPipeline> pipeline_;
   std::unique_ptr<logsys::DayLogStream> log_stream_;
-  std::unique_ptr<Glue> glue_;
   common::Rng noise_rng_;
   DatasetWriter* dataset_ = nullptr;
   std::function<void(int, int)> progress_;
@@ -106,6 +112,9 @@ class DeltaCampaign {
 
   void schedule_next_arrival(common::TimePoint from);
   void emit_noise_for_day(common::TimePoint day_start);
+  /// Replay one merged shard event into the consumer-side stack: render raw
+  /// lines, forward error/lifecycle notifications to the job layer.
+  void apply_event(const cluster::SimEvent& e);
 };
 
 }  // namespace gpures::analysis

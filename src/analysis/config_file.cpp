@@ -67,6 +67,12 @@ const std::map<std::string, Setter>& key_table() {
     (*m)["with_jobs"] = [](std::string_view v, CampaignConfig& c) {
       return set_bool(&c.with_jobs, v);
     };
+    (*m)["sim.shards"] = [](std::string_view v, CampaignConfig& c) {
+      const long long s = common::parse_ll(v);
+      if (s < 0) return false;
+      c.sim_shards = static_cast<std::int32_t>(s);
+      return true;
+    };
     dbl("noise_lines_per_day",
         [](CampaignConfig& c) { return &c.noise_lines_per_day; });
     dbl("workload_scale", [](CampaignConfig& c) { return &c.workload_scale; });

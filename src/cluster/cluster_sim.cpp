@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <stdexcept>
 
 namespace gpures::cluster {
 
@@ -17,27 +18,34 @@ std::string hex_detail(const char* fmt, std::uint64_t v) {
 }  // namespace
 
 ClusterSim::ClusterSim(des::Engine& engine, const Topology& topo,
-                       FaultConfig cfg, common::Rng rng)
+                       FaultConfig cfg, common::Rng rng, NodeRange range)
     : engine_(engine), topo_(topo), cfg_(std::move(cfg)),
-      rng_(rng.fork("cluster_sim")), recovery_(cfg_.recovery),
+      rng_(rng.fork("cluster_sim")), range_(range), recovery_(cfg_.recovery),
       nvlink_(cfg_.nvlink) {
   cfg_.validate();
-  nodes_.reserve(static_cast<std::size_t>(topo_.node_count()));
-  for (std::int32_t n = 0; n < topo_.node_count(); ++n) {
+  if (range_.end <= range_.begin) range_ = {0, topo_.node_count()};
+  if (range_.begin < 0 || range_.end > topo_.node_count()) {
+    throw std::invalid_argument("ClusterSim: node range out of bounds");
+  }
+  range_flat_base_ = topo_.flat_base(range_.begin);
+  range_gpus_ = topo_.gpus_in_nodes(range_.begin, range_.end);
+  nodes_.reserve(static_cast<std::size_t>(range_.size()));
+  for (std::int32_t n = range_.begin; n < range_.end; ++n) {
     nodes_.emplace_back(topo_.gpus_on_node(n));
   }
-  memories_.reserve(static_cast<std::size_t>(topo_.total_gpus()));
-  for (std::int32_t g = 0; g < topo_.total_gpus(); ++g) {
+  memories_.reserve(static_cast<std::size_t>(range_gpus_));
+  for (std::int32_t g = 0; g < range_gpus_; ++g) {
     memories_.emplace_back(cfg_.memory_op);  // bank layout is period-invariant
   }
-  // Pre-consume the spare rows of degraded-GPU episode banks.
+  // Pre-consume the spare rows of degraded-GPU episode banks (only episodes
+  // whose GPU this slice owns; the others belong to sibling shards).
   for (const auto& ep : cfg_.degraded_memory_episodes) {
-    auto& mem = memories_[static_cast<std::size_t>(topo_.flat_index(ep.gpu))];
-    mem.set_bank_spares(ep.bank, ep.bank_spares);
+    if (!range_.contains(ep.gpu.node)) continue;
+    memory_at(ep.gpu).set_bank_spares(ep.bank, ep.bank_spares);
   }
   injector_ = std::make_unique<FaultInjector>(
       engine_, topo_, cfg_, rng.fork("fault_injector"),
-      [this](const Fault& f) { handle_fault(f); });
+      [this](const Fault& f) { handle_fault(f); }, range_);
 }
 
 void ClusterSim::set_metrics(obs::MetricsRegistry* m) {
@@ -75,11 +83,12 @@ void ClusterSim::start() { injector_->start(); }
 void ClusterSim::run_to_end() { engine_.run_until(cfg_.study_end); }
 
 NodeState ClusterSim::node_state(std::int32_t node) const {
-  return nodes_.at(static_cast<std::size_t>(node)).state();
+  return nodes_.at(static_cast<std::size_t>(node - range_.begin)).state();
 }
 
 const GpuMemory& ClusterSim::gpu_memory(xid::GpuId gpu) const {
-  return memories_.at(static_cast<std::size_t>(topo_.flat_index(gpu)));
+  return memories_.at(
+      static_cast<std::size_t>(topo_.flat_index(gpu) - range_flat_base_));
 }
 
 const MemoryModelConfig& ClusterSim::memory_probs_now() const {
@@ -89,7 +98,7 @@ const MemoryModelConfig& ClusterSim::memory_probs_now() const {
 bool ClusterSim::node_accepts_faults(std::int32_t node) const {
   // A node that is powered off (rebooting / awaiting hardware) produces no
   // logs; a draining node is still running and can keep logging errors.
-  const NodeState s = nodes_[static_cast<std::size_t>(node)].state();
+  const NodeState s = node_health(node).state();
   return s == NodeState::kUp || s == NodeState::kDraining;
 }
 
@@ -106,11 +115,15 @@ xid::GpuId ClusterSim::maybe_retarget(xid::GpuId gpu, double idle_affinity,
       require_idle_node ? node_busy(gpu.node) : busy_query_(gpu);
   if (!conflict) return gpu;  // already idle
   if (!rng_.bernoulli(idle_affinity)) return gpu;
-  // Rejection-sample a random idle target; if the cluster is saturated, give
-  // up after a bounded number of tries and keep the original target.
+  // Rejection-sample a random idle target within this slice; if it is
+  // saturated, give up after a bounded number of tries and keep the
+  // original target.  (Full-range draws are bit-identical to the unsharded
+  // whole-cluster sampling.)
   for (int attempt = 0; attempt < 48; ++attempt) {
-    const auto flat = static_cast<std::int32_t>(
-        rng_.uniform_u64(static_cast<std::uint64_t>(topo_.total_gpus())));
+    const auto flat =
+        range_flat_base_ +
+        static_cast<std::int32_t>(
+            rng_.uniform_u64(static_cast<std::uint64_t>(range_gpus_)));
     const xid::GpuId candidate = topo_.from_flat(flat);
     if (!node_accepts_faults(candidate.node)) continue;
     if (require_idle_node ? !node_busy(candidate.node)
@@ -193,7 +206,7 @@ void ClusterSim::handle_fault(const Fault& raw_fault) {
 }
 
 void ClusterSim::handle_mem_fault(const Fault& f, bool degraded) {
-  auto& mem = memories_[static_cast<std::size_t>(topo_.flat_index(f.gpu))];
+  auto& mem = memory_at(f.gpu);
   const auto& probs = memory_probs_now();
   MemoryFaultOutcome out;
   if (degraded) {
@@ -393,7 +406,7 @@ void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
     }
   }
 
-  auto& gh = nodes_[static_cast<std::size_t>(gpu.node)].gpu(gpu.slot);
+  auto& gh = node_health(gpu.node).gpu(gpu.slot);
   gh.last_error = t;
   if (reset_required) gh.error_pending = true;
 
@@ -410,13 +423,13 @@ void ClusterSim::emit_error(common::TimePoint t, xid::GpuId gpu,
 }
 
 void ClusterSim::begin_recovery(std::int32_t node) {
-  auto& nh = nodes_[static_cast<std::size_t>(node)];
+  auto& nh = node_health(node);
   if (nh.state() != NodeState::kUp) return;  // recovery already in progress
   if (recoveries_metric_ != nullptr) recoveries_metric_->inc();
 
   const common::Duration detect = recovery_.detection_latency(rng_);
   engine_.schedule_after(detect, [this, node] {
-    auto& n = nodes_[static_cast<std::size_t>(node)];
+    auto& n = node_health(node);
     if (n.state() != NodeState::kUp) return;
     const common::TimePoint drain_begin = engine_.now();
     n.begin_drain(drain_begin);
@@ -429,7 +442,7 @@ void ClusterSim::begin_recovery(std::int32_t node) {
                      : recovery_.default_drain(rng_);
 
     engine_.schedule_after(drain, [this, node, drain_begin] {
-      auto& n2 = nodes_[static_cast<std::size_t>(node)];
+      auto& n2 = node_health(node);
       n2.begin_reboot(engine_.now());
       if (listener_ != nullptr) listener_->on_node_down(node, engine_.now());
 
@@ -437,19 +450,17 @@ void ClusterSim::begin_recovery(std::int32_t node) {
       const bool fails = recovery_.reset_fails(rng_);
 
       engine_.schedule_after(reboot, [this, node, drain_begin, fails] {
-        auto& n3 = nodes_[static_cast<std::size_t>(node)];
+        auto& n3 = node_health(node);
         if (fails) {
           n3.begin_replacement(engine_.now());
           const common::Duration repl = recovery_.replacement_duration(rng_);
           engine_.schedule_after(repl, [this, node, drain_begin] {
-            auto& n4 = nodes_[static_cast<std::size_t>(node)];
+            auto& n4 = node_health(node);
             // Fresh silicon: reset the memory spare inventory of the node's
             // GPUs that had pending errors before clearing them.
             for (std::int32_t s = 0; s < n4.gpu_count(); ++s) {
               if (n4.gpu(s).error_pending) {
-                memories_[static_cast<std::size_t>(
-                              topo_.flat_index({node, s}))]
-                    .replace(cfg_.memory_op);
+                memory_at({node, s}).replace(cfg_.memory_op);
               }
             }
             n4.return_to_service(engine_.now(), /*was_replacement=*/true);

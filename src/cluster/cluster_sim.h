@@ -72,8 +72,13 @@ using GpuBusyQuery = std::function<bool(xid::GpuId)>;
 
 class ClusterSim {
  public:
+  /// `range` restricts the simulator to a contiguous node slice (the unit of
+  /// fleet sharding): faults are injected, retargeted, and recovered only
+  /// within the slice, and per-node/per-GPU state is allocated for the slice
+  /// alone.  The default covers the whole cluster and reproduces unsharded
+  /// behaviour bit-for-bit.
   ClusterSim(des::Engine& engine, const Topology& topo, FaultConfig cfg,
-             common::Rng rng);
+             common::Rng rng, NodeRange range = {});
 
   /// Optional listeners (may be set before start()).
   void set_raw_sink(RawLineSink* sink) { raw_sink_ = sink; }
@@ -95,7 +100,10 @@ class ClusterSim {
 
   const Topology& topology() const { return topo_; }
   const FaultConfig& config() const { return cfg_; }
+  const NodeRange& node_range() const { return range_; }
   const xid::GroundTruth& ground_truth() const { return truth_; }
+  xid::GroundTruth& mutable_ground_truth() { return truth_; }
+  /// `node` / `gpu` must lie within node_range().
   NodeState node_state(std::int32_t node) const;
   const GpuMemory& gpu_memory(xid::GpuId gpu) const;
 
@@ -134,12 +142,26 @@ class ClusterSim {
   const Topology& topo_;
   FaultConfig cfg_;
   common::Rng rng_;
+  NodeRange range_;                   ///< node slice this simulator owns
+  std::int32_t range_flat_base_ = 0;  ///< first flat GPU index in range
+  std::int32_t range_gpus_ = 0;       ///< GPUs in range
   RecoverySampler recovery_;
   NvlinkModel nvlink_;
   std::unique_ptr<FaultInjector> injector_;
 
-  std::vector<NodeHealth> nodes_;
-  std::vector<GpuMemory> memories_;  ///< by flat GPU index
+  std::vector<NodeHealth> nodes_;    ///< by node - range_.begin
+  std::vector<GpuMemory> memories_;  ///< by flat GPU index - range_flat_base_
+
+  NodeHealth& node_health(std::int32_t node) {
+    return nodes_[static_cast<std::size_t>(node - range_.begin)];
+  }
+  const NodeHealth& node_health(std::int32_t node) const {
+    return nodes_[static_cast<std::size_t>(node - range_.begin)];
+  }
+  GpuMemory& memory_at(xid::GpuId gpu) {
+    return memories_[static_cast<std::size_t>(topo_.flat_index(gpu) -
+                                              range_flat_base_)];
+  }
 
   RawLineSink* raw_sink_ = nullptr;
   SimListener* listener_ = nullptr;

@@ -26,11 +26,21 @@ std::string_view to_string(Fault::Kind k) {
 
 FaultInjector::FaultInjector(des::Engine& engine, const Topology& topo,
                              const FaultConfig& cfg, common::Rng rng,
-                             Sink sink)
+                             Sink sink, NodeRange range)
     : engine_(engine), topo_(topo), cfg_(cfg), rng_(std::move(rng)),
-      sink_(std::move(sink)) {
+      sink_(std::move(sink)), range_(range) {
   cfg_.validate();
   if (!sink_) throw std::invalid_argument("FaultInjector: null sink");
+  if (range_.end <= range_.begin) range_ = {0, topo_.node_count()};
+  if (range_.begin < 0 || range_.end > topo_.node_count()) {
+    throw std::invalid_argument("FaultInjector: node range out of bounds");
+  }
+  range_flat_base_ = topo_.flat_base(range_.begin);
+  range_gpus_ = topo_.gpus_in_nodes(range_.begin, range_.end);
+  // Exactly 1.0 for the full range, so unsharded rate arithmetic is
+  // bit-identical to the pre-sharding injector.
+  gpu_share_ = static_cast<double>(range_gpus_) /
+               static_cast<double>(topo_.total_gpus());
 }
 
 void FaultInjector::set_metrics(obs::MetricsRegistry* m) {
@@ -54,9 +64,9 @@ double FaultInjector::rate_at(const ProcessSpec& spec,
                               common::TimePoint t) const {
   if (t < cfg_.study_begin || t >= cfg_.study_end) return 0.0;
   if (t < cfg_.op_begin) {
-    return cfg_.scale * spec.pre_count / cfg_.pre_hours();
+    return gpu_share_ * cfg_.scale * spec.pre_count / cfg_.pre_hours();
   }
-  return cfg_.scale * spec.op_count / cfg_.op_hours();
+  return gpu_share_ * cfg_.scale * spec.op_count / cfg_.op_hours();
 }
 
 void FaultInjector::start() {
@@ -76,11 +86,15 @@ void FaultInjector::start() {
   for (const auto& p : processes) {
     schedule_next(p, std::max(engine_.now(), cfg_.study_begin));
   }
+  // Episodes are pinned to a GPU; only the injector whose slice owns that
+  // node runs them (under sharding exactly one shard does).
   for (std::size_t i = 0; i < cfg_.uncontained_episodes.size(); ++i) {
+    if (!range_.contains(cfg_.uncontained_episodes[i].gpu.node)) continue;
     schedule_uncontained(static_cast<std::int32_t>(i),
                          cfg_.uncontained_episodes[i].begin);
   }
   for (std::size_t i = 0; i < cfg_.degraded_memory_episodes.size(); ++i) {
+    if (!range_.contains(cfg_.degraded_memory_episodes[i].gpu.node)) continue;
     schedule_degraded(static_cast<std::int32_t>(i),
                       cfg_.degraded_memory_episodes[i].begin);
   }
@@ -166,9 +180,13 @@ void FaultInjector::schedule_degraded(std::int32_t idx,
 }
 
 xid::GpuId FaultInjector::random_gpu() {
+  // Uniform over the slice's GPUs.  For the full range this draws
+  // uniform_u64(total_gpus) with base 0 — bit-identical to the unsharded
+  // injector's draw.
   const auto flat =
-      static_cast<std::int32_t>(rng_.uniform_u64(
-          static_cast<std::uint64_t>(topo_.total_gpus())));
+      range_flat_base_ +
+      static_cast<std::int32_t>(
+          rng_.uniform_u64(static_cast<std::uint64_t>(range_gpus_)));
   return topo_.from_flat(flat);
 }
 

@@ -47,8 +47,17 @@ class FaultInjector {
   using Sink = std::function<void(const Fault&)>;
 
   /// The engine's clock must start at or before cfg.study_begin.
+  ///
+  /// `range` restricts the injector to a contiguous node slice: background
+  /// process rates are thinned by the slice's GPU share (Poisson
+  /// superposition makes the union over disjoint slices distribution-
+  /// identical to one whole-cluster process), targets are drawn within the
+  /// slice, and episodes pinned outside it are skipped.  The default range
+  /// covers the whole cluster and leaves behaviour bit-identical to the
+  /// unsharded injector.
   FaultInjector(des::Engine& engine, const Topology& topo,
-                const FaultConfig& cfg, common::Rng rng, Sink sink);
+                const FaultConfig& cfg, common::Rng rng, Sink sink,
+                NodeRange range = {});
 
   /// Schedule the first arrival of every process and episode.  Call once.
   void start();
@@ -87,6 +96,10 @@ class FaultInjector {
   FaultConfig cfg_;
   common::Rng rng_;
   Sink sink_;
+  NodeRange range_;                   ///< node slice this injector covers
+  std::int32_t range_flat_base_ = 0;  ///< first flat GPU index in range
+  std::int32_t range_gpus_ = 0;       ///< GPUs in range
+  double gpu_share_ = 1.0;            ///< range GPUs / total GPUs (1.0 = full)
   ProcessSpec storm_spec_;  ///< NVLink storm arrival rates (from config)
   std::uint64_t delivered_ = 0;
   std::array<obs::Counter*, kKinds> kind_metrics_{};

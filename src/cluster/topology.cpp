@@ -36,7 +36,13 @@ ClusterSpec ClusterSpec::delta_a100() {
 }
 
 ClusterSpec ClusterSpec::small(std::int32_t nodes4, std::int32_t nodes8) {
+  return scaled(nodes4, nodes8);
+}
+
+ClusterSpec ClusterSpec::scaled(std::int32_t nodes4, std::int32_t nodes8) {
   ClusterSpec spec;
+  spec.nodes.reserve(static_cast<std::size_t>(std::max(nodes4, 0)) +
+                     static_cast<std::size_t>(std::max(nodes8, 0)));
   for (int i = 1; i <= nodes4; ++i) {
     spec.nodes.push_back({node_name("gpua", i), 4});
   }
@@ -96,6 +102,18 @@ std::int32_t Topology::flat_index(xid::GpuId gpu) const {
     throw std::out_of_range("Topology::flat_index: bad GpuId");
   }
   return flat_base_[static_cast<std::size_t>(gpu.node)] + gpu.slot;
+}
+
+std::int32_t Topology::gpus_in_nodes(std::int32_t begin, std::int32_t end) const {
+  if (begin < 0 || end > node_count() || begin > end) {
+    throw std::out_of_range("Topology::gpus_in_nodes: bad range");
+  }
+  if (begin == end) return 0;
+  const std::int32_t first = flat_base_[static_cast<std::size_t>(begin)];
+  const std::int32_t last = end == node_count()
+                                ? total_gpus_
+                                : flat_base_[static_cast<std::size_t>(end)];
+  return last - first;
 }
 
 xid::GpuId Topology::from_flat(std::int32_t flat) const {

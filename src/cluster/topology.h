@@ -11,9 +11,15 @@
 #include <string>
 #include <vector>
 
+#include "des/shard.h"
 #include "xid/event.h"
 
 namespace gpures::cluster {
+
+/// Contiguous [begin, end) node slice — the unit of simulation sharding.
+/// {0, node_count} (the default everywhere it appears) means "the whole
+/// cluster" and reproduces unsharded behaviour exactly.
+using NodeRange = des::IndexRange;
 
 /// Static description of one node.
 struct NodeSpec {
@@ -30,6 +36,12 @@ struct ClusterSpec {
 
   /// A small synthetic cluster for tests/examples.
   static ClusterSpec small(std::int32_t nodes4 = 4, std::int32_t nodes8 = 1);
+
+  /// A Delta-shaped fleet of arbitrary size: `nodes4` 4-way nodes
+  /// ("gpuaN...") followed by `nodes8` 8-way nodes ("gpubN...").  With
+  /// (100, 6) this reproduces delta_a100() exactly; multi-thousand-node
+  /// campaigns pick proportionally larger counts (gpures-simulate --nodes).
+  static ClusterSpec scaled(std::int32_t nodes4, std::int32_t nodes8);
 
   std::int32_t node_count() const { return static_cast<std::int32_t>(nodes.size()); }
   std::int32_t total_gpus() const;
@@ -61,6 +73,15 @@ class Topology {
   /// Global flat GPU index in [0, total_gpus()): useful for per-GPU arrays.
   std::int32_t flat_index(xid::GpuId gpu) const;
   xid::GpuId from_flat(std::int32_t flat) const;
+
+  /// First flat GPU index of `node` (flat indices of a contiguous node range
+  /// are themselves contiguous — the property simulation sharding relies on).
+  std::int32_t flat_base(std::int32_t node) const {
+    return flat_base_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Total GPUs on nodes [begin, end).
+  std::int32_t gpus_in_nodes(std::int32_t begin, std::int32_t end) const;
 
   /// Enumerate NVLink peer slots of `slot` on a node with `gpu_count` GPUs.
   /// A100 HGX boards are all-to-all through NVSwitch, so peers are simply the

@@ -46,6 +46,20 @@ Rng Rng::fork(std::string_view name) const {
   return Rng{seed};
 }
 
+Rng Rng::fork(std::string_view name, std::uint64_t index) const {
+  // Continue the FNV-1a hash of `name` over the index bytes, so (name, i)
+  // and (name, j) yield unrelated seed material for i != j while staying a
+  // pure function of (parent state, name, index).
+  std::uint64_t h = fnv1a(name);
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (index >> (8 * byte)) & 0xffu;
+    h *= 0x100000001b3ull;
+  }
+  std::uint64_t seed = s_[0] ^ rotl(s_[1], 13) ^ rotl(s_[2], 29) ^ s_[3];
+  seed = seed * 0x2545f4914f6cdd1dull ^ h;
+  return Rng{seed};
+}
+
 std::uint64_t Rng::next_u64() {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;

@@ -28,6 +28,12 @@ class Rng {
   /// each consumer a unique name (e.g. "fault.xid79", "workload.arrivals").
   Rng fork(std::string_view name) const;
 
+  /// Indexed sub-stream: fork(name, i) derives one independent stream per
+  /// index from a single named family (e.g. fork("shard", 3) for simulation
+  /// shard 3).  Equivalent in spirit to the chained name forks the chaos
+  /// layer uses, but without formatting the index into a string.
+  Rng fork(std::string_view name, std::uint64_t index) const;
+
   /// Next raw 64 random bits.
   std::uint64_t next_u64();
 

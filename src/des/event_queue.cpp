@@ -1,10 +1,16 @@
 #include "des/event_queue.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace gpures::des {
 
 void Engine::set_metrics(obs::MetricsRegistry* m) {
+  set_metrics(m, std::span<const obs::Label>{});
+}
+
+void Engine::set_metrics(obs::MetricsRegistry* m,
+                         std::span<const obs::Label> labels) {
   if (m == nullptr) {
     scheduled_metric_ = nullptr;
     dispatched_metric_ = nullptr;
@@ -12,10 +18,16 @@ void Engine::set_metrics(obs::MetricsRegistry* m) {
     depth_metric_ = nullptr;
     return;
   }
-  scheduled_metric_ = &m->counter("des.events_scheduled");
-  dispatched_metric_ = &m->counter("des.events_dispatched");
-  cancelled_metric_ = &m->counter("des.events_cancelled");
-  depth_metric_ = &m->gauge("des.queue_depth");
+  scheduled_metric_ = &m->counter("des.events_scheduled", labels);
+  dispatched_metric_ = &m->counter("des.events_dispatched", labels);
+  cancelled_metric_ = &m->counter("des.events_cancelled", labels);
+  depth_metric_ = &m->gauge("des.queue_depth", labels);
+}
+
+void Engine::reserve(std::size_t n) {
+  heap_.reserve(n);
+  pending_.reserve(n);
+  cancelled_.reserve(n / 2 + 1);
 }
 
 EventId Engine::schedule_at(common::TimePoint t, Callback cb) {
@@ -23,7 +35,8 @@ EventId Engine::schedule_at(common::TimePoint t, Callback cb) {
     throw std::invalid_argument("Engine::schedule_at: time in the past");
   }
   const EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id, std::move(cb)});
+  heap_.push_back(Entry{t, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), entry_after);
   pending_.insert(id);
   if (scheduled_metric_ != nullptr) {
     scheduled_metric_->inc();
@@ -46,18 +59,44 @@ bool Engine::cancel(EventId id) {
     cancelled_metric_->inc();
     depth_metric_->set(static_cast<std::int64_t>(pending_.size()));
   }
+  maybe_compact();
   return true;
 }
 
+void Engine::pop_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), entry_after);
+  heap_.pop_back();
+}
+
+void Engine::maybe_compact() {
+  if (cancelled_.size() < kCompactMin ||
+      cancelled_.size() * 2 <= pending_.size()) {
+    return;
+  }
+  // Drop tombstoned entries in place, then restore the heap invariant.  The
+  // surviving entries keep their relative order before make_heap, so the
+  // rebuilt layout — and therefore all subsequent pops — is a deterministic
+  // function of the operation sequence alone.
+  std::erase_if(heap_, [this](const Entry& e) {
+    return cancelled_.contains(e.id);
+  });
+  std::make_heap(heap_.begin(), heap_.end(), entry_after);
+  cancelled_.clear();
+}
+
 bool Engine::step() {
-  while (!queue_.empty()) {
-    // priority_queue::top returns const&; copy out then pop (entries hold a
-    // std::function whose copy is cheap relative to callback work).
-    Entry e = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(e.id) > 0) continue;  // skip cancelled tombstone
+  while (!heap_.empty()) {
+    if (cancelled_.erase(heap_.front().id) > 0) {  // skip cancelled tombstone
+      pop_top();
+      continue;
+    }
+    // Move the entry out before dispatching: the callback may schedule or
+    // cancel events, which mutates the heap.
+    Entry e = std::move(heap_.front());
+    pop_top();
     now_ = e.time;
     pending_.erase(e.id);
+    ++dispatched_total_;
     if (dispatched_metric_ != nullptr) {
       dispatched_metric_->inc();
       depth_metric_->set(static_cast<std::int64_t>(pending_.size()));
@@ -70,11 +109,11 @@ bool Engine::step() {
 
 std::uint64_t Engine::run_until(common::TimePoint until) {
   std::uint64_t dispatched = 0;
-  while (!queue_.empty()) {
-    const Entry& top = queue_.top();
+  while (!heap_.empty()) {
+    const Entry& top = heap_.front();
     if (cancelled_.contains(top.id)) {
       cancelled_.erase(top.id);
-      queue_.pop();
+      pop_top();
       continue;
     }
     if (top.time > until) break;

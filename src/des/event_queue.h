@@ -1,14 +1,23 @@
 // Discrete-event simulation core.
 //
 // A minimal but production-grade DES kernel: a stable priority queue of
-// (time, sequence, callback) entries with cancellation support.  Both the
-// cluster fault simulator and the Slurm scheduler run on one shared engine so
-// that error injection and job lifecycle events interleave on a single clock.
+// (time, sequence, callback) entries with cancellation support.  The cluster
+// fault simulator and the Slurm scheduler share engines so that error
+// injection and job lifecycle events interleave on a single clock; under the
+// sharded fleet simulation each node-range shard additionally owns a private
+// engine (see cluster/sharded_sim.h).
+//
+// Storage is a hand-rolled binary heap over a vector (not std::priority_queue)
+// so that campaigns can reserve() capacity up front and so that the
+// lazily-cancelled tombstone set can be compacted: cancel() is O(1) and
+// leaves the entry in the heap, but once tombstones outnumber half the
+// pending events the heap is rebuilt without them — long campaigns with many
+// cancelled job-end events would otherwise grow the heap without bound.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -38,6 +47,15 @@ class Engine {
   /// a registry cannot change simulation results.
   void set_metrics(obs::MetricsRegistry* m);
 
+  /// Labeled-family variant: registers the same des.* metrics as children
+  /// with the given labels (e.g. {{"shard", "3"}}), so per-shard engines
+  /// report distinct series instead of racing on one shared gauge.
+  void set_metrics(obs::MetricsRegistry* m, std::span<const obs::Label> labels);
+
+  /// Pre-size internal storage for `n` concurrently-pending events (heap and
+  /// id sets).  Purely an allocation hint; never changes results.
+  void reserve(std::size_t n);
+
   /// Schedule `cb` at absolute time `t` (must be >= now()).
   EventId schedule_at(common::TimePoint t, Callback cb);
 
@@ -45,7 +63,8 @@ class Engine {
   EventId schedule_after(common::Duration delay, Callback cb);
 
   /// Cancel a pending event.  Returns false if it already fired or was
-  /// cancelled.  Cancellation is O(1); storage is reclaimed lazily.
+  /// cancelled.  Cancellation is O(1); storage is reclaimed lazily, and the
+  /// heap is compacted once tombstones exceed half the pending count.
   bool cancel(EventId id);
 
   /// True if no runnable events remain.
@@ -53,6 +72,10 @@ class Engine {
 
   /// Number of pending (non-cancelled) events.
   std::size_t pending() const { return pending_.size(); }
+
+  /// Cancelled-but-not-yet-reclaimed entries still occupying heap slots
+  /// (diagnostics; exercised by the compaction tests).
+  std::size_t cancelled_tombstones() const { return cancelled_.size(); }
 
   /// Run until the queue empties or the clock passes `until`.
   /// Events at exactly `until` are executed.  Returns the number of events
@@ -65,28 +88,42 @@ class Engine {
   /// Dispatch exactly one event if available; returns whether one ran.
   bool step();
 
+  /// Total events dispatched over the engine's lifetime.
+  std::uint64_t dispatched_total() const { return dispatched_total_; }
+
  private:
   struct Entry {
     common::TimePoint time;
     std::uint64_t seq;
     EventId id;
     Callback cb;
-
-    // Min-heap on (time, seq): std::priority_queue is a max-heap, so invert.
-    friend bool operator<(const Entry& a, const Entry& b) {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
   };
+
+  /// Heap comparator: "a sorts after b", i.e. the heap top is the entry with
+  /// the smallest (time, seq).
+  static bool entry_after(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  /// Pop the heap top without dispatching (tombstone reclamation).
+  void pop_top();
+
+  /// Rebuild the heap without cancelled entries once tombstones exceed half
+  /// the pending count (with a floor so tiny queues never thrash).
+  void maybe_compact();
+
+  static constexpr std::size_t kCompactMin = 64;
 
   common::TimePoint now_;
   std::uint64_t next_seq_ = 0;
   EventId next_id_ = 1;
+  std::uint64_t dispatched_total_ = 0;
   obs::Counter* scheduled_metric_ = nullptr;
   obs::Counter* dispatched_metric_ = nullptr;
   obs::Counter* cancelled_metric_ = nullptr;
   obs::Gauge* depth_metric_ = nullptr;
-  std::priority_queue<Entry> queue_;
+  std::vector<Entry> heap_;                ///< binary min-heap on (time, seq)
   std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
   std::unordered_set<EventId> cancelled_;  ///< cancelled, tombstone until popped
 };

@@ -115,6 +115,17 @@ common::Duration Scheduler::drain_time_estimate(std::int32_t node,
   return std::clamp<common::Duration>(longest, 0, cap);
 }
 
+void Scheduler::snapshot_busy_until(std::vector<common::TimePoint>& out) const {
+  out.assign(static_cast<std::size_t>(topo_.total_gpus()), 0);
+  for (const auto& [id, r] : running_) {
+    const auto natural_end =
+        r.rec.start + static_cast<common::Duration>(r.duration_s);
+    for (const auto& g : r.gpus) {
+      out[static_cast<std::size_t>(topo_.flat_index(g))] = natural_end;
+    }
+  }
+}
+
 void Scheduler::try_dispatch() {
   // Anti-starvation: when the head has waited too long, suspend backfill so
   // the freed pool can grow to meet it.

@@ -77,6 +77,13 @@ class Scheduler {
                                        common::TimePoint now,
                                        common::Duration cap) const;
 
+  /// Fill `out[flat GPU index]` with the natural end time of the job holding
+  /// each GPU (0 = idle), using the same start + natural-runtime arithmetic
+  /// as drain_time_estimate.  The sharded fleet simulator freezes one such
+  /// snapshot per day epoch so shards can answer busy/drain queries without
+  /// reading live scheduler state mid-day.
+  void snapshot_busy_until(std::vector<common::TimePoint>& out) const;
+
   // ---- introspection / results ----
   std::size_t queued() const { return queue_.size(); }
   std::size_t running() const { return running_.size(); }

@@ -19,7 +19,7 @@ class CampaignTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     an::CampaignConfig cfg = an::CampaignConfig::quick();
-    cfg.seed = 2024;
+    cfg.seed = 2025;
     campaign_ = new an::DeltaCampaign(cfg);
     campaign_->run();
   }

@@ -1,10 +1,13 @@
-// Discrete-event engine: ordering, stability, cancellation, windowed runs.
+// Discrete-event engine: ordering, stability, cancellation, windowed runs,
+// tombstone compaction, and the sharding helpers (partitioning + k-way merge).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "des/event_queue.h"
+#include "des/shard.h"
 
 namespace des = gpures::des;
 
@@ -164,4 +167,175 @@ TEST(Engine, CancelInterleavedWithRunUntil) {
   e.run_until(100);
   EXPECT_EQ(fired, 0);
   EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, TombstoneCompactionReclaimsHeapSlots) {
+  // Cancellation is lazy: tombstones pile up in the heap until they exceed
+  // half the pending count (with a 64-entry floor), then one rebuild drops
+  // them all.  300 scheduled, 100 cancelled leaves 100/200 — exactly at the
+  // threshold, no compaction; the 101st cancel (101*2 > 199) triggers it.
+  des::Engine e(0);
+  std::vector<des::EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 300; ++i) {
+    ids.push_back(e.schedule_at(1 + i, [&] { ++fired; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(e.cancel(ids[static_cast<std::size_t>(i)]));
+  EXPECT_EQ(e.cancelled_tombstones(), 100u);
+  EXPECT_EQ(e.pending(), 200u);
+  EXPECT_TRUE(e.cancel(ids[100]));
+  EXPECT_EQ(e.cancelled_tombstones(), 0u);  // compacted
+  EXPECT_EQ(e.pending(), 199u);
+  // The rebuilt heap still dispatches the survivors in time order.
+  gpures::common::TimePoint last = 0;
+  e.run();
+  EXPECT_EQ(fired, 199);
+  EXPECT_EQ(e.now(), 300);
+  (void)last;
+}
+
+TEST(Engine, SmallQueuesNeverCompact) {
+  // Below the 64-tombstone floor, even cancelling everything leaves the
+  // tombstones in place (compaction would thrash tiny queues).
+  des::Engine e(0);
+  std::vector<des::EventId> ids;
+  for (int i = 0; i < 63; ++i) ids.push_back(e.schedule_at(1 + i, [] {}));
+  for (const auto id : ids) e.cancel(id);
+  EXPECT_EQ(e.cancelled_tombstones(), 63u);
+  EXPECT_EQ(e.pending(), 0u);
+  EXPECT_TRUE(e.empty());  // empty() tracks pending, not heap slots
+  e.run();
+  EXPECT_EQ(e.cancelled_tombstones(), 0u);  // popped as tombstones
+}
+
+TEST(Engine, ReserveIsBehaviorNeutral) {
+  des::Engine a(0);
+  des::Engine b(0);
+  b.reserve(1024);
+  std::vector<int> fa;
+  std::vector<int> fb;
+  for (int i = 0; i < 50; ++i) {
+    a.schedule_at(100 - i, [&fa, i] { fa.push_back(i); });
+    b.schedule_at(100 - i, [&fb, i] { fb.push_back(i); });
+  }
+  a.run();
+  b.run();
+  EXPECT_EQ(fa, fb);
+  EXPECT_EQ(a.dispatched_total(), 50u);
+  EXPECT_EQ(b.dispatched_total(), 50u);
+}
+
+TEST(Engine, CancelDuringDispatchOfSameTimestampBatch) {
+  // An event's callback cancels a later event carrying the same timestamp:
+  // the victim must not fire even though it was already "due".
+  des::Engine e(0);
+  int fired = 0;
+  des::EventId victim = 0;
+  e.schedule_at(10, [&] { EXPECT_TRUE(e.cancel(victim)); });
+  victim = e.schedule_at(10, [&] { ++fired; });
+  e.schedule_at(10, [&] { ++fired; });  // after the victim; still runs
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(e.now(), 10);
+}
+
+TEST(Engine, CancelOfAlreadyFiredIdInsideCallback) {
+  // Cancelling an id that fired earlier in the same batch reports failure
+  // and disturbs nothing.
+  des::Engine e(0);
+  std::vector<int> order;
+  const auto first = e.schedule_at(5, [&] { order.push_back(1); });
+  e.schedule_at(5, [&] {
+    EXPECT_FALSE(e.cancel(first));
+    order.push_back(2);
+  });
+  e.schedule_at(5, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, RunUntilBoundaryFromCallback) {
+  // A callback at t schedules exactly at the run_until boundary: the new
+  // event is inside the window ("events at exactly `until` run") even when
+  // it only comes into existence mid-run.
+  des::Engine e(0);
+  std::vector<int> fired;
+  e.schedule_at(10, [&] {
+    fired.push_back(10);
+    e.schedule_at(20, [&] { fired.push_back(20); });
+    e.schedule_at(21, [&] { fired.push_back(21); });
+  });
+  const auto n = e.run_until(20);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(fired, (std::vector<int>{10, 20}));
+  EXPECT_EQ(e.now(), 20);
+  e.run();
+  EXPECT_EQ(fired, (std::vector<int>{10, 20, 21}));
+}
+
+TEST(Engine, ScheduleInCallbackKeepsFifoStability) {
+  // A callback scheduling at the *current* time joins the back of the
+  // same-timestamp batch — scheduling order is dispatch order, even across
+  // the dispatch boundary.
+  des::Engine e(0);
+  std::vector<int> order;
+  e.schedule_at(7, [&] {
+    order.push_back(0);
+    e.schedule_at(7, [&] { order.push_back(3); });
+    e.schedule_at(7, [&] { order.push_back(4); });
+  });
+  e.schedule_at(7, [&] { order.push_back(1); });
+  e.schedule_at(7, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+// ---- sharding helpers ----
+
+TEST(Shard, PartitionRangeCoversContiguouslyAndEvenly) {
+  const auto parts = des::partition_range(106, 7);
+  ASSERT_EQ(parts.size(), 7u);
+  EXPECT_EQ(parts.front().begin, 0);
+  EXPECT_EQ(parts.back().end, 106);
+  std::int32_t at = 0;
+  for (const auto& r : parts) {
+    EXPECT_EQ(r.begin, at);  // contiguous, no gaps
+    at = r.end;
+    EXPECT_GE(r.size(), 106 / 7);
+    EXPECT_LE(r.size(), 106 / 7 + 1);
+  }
+}
+
+TEST(Shard, PartitionRangeClampsDegenerateInputs) {
+  EXPECT_EQ(des::partition_range(3, 10).size(), 3u);  // never empty shards
+  EXPECT_EQ(des::partition_range(5, 0).size(), 1u);
+  EXPECT_EQ(des::partition_range(0, 4).size(), 1u);
+  EXPECT_EQ(des::partition_range(0, 4)[0].size(), 0);
+}
+
+TEST(Shard, AutoShardCountScalesWithFleet) {
+  EXPECT_EQ(des::auto_shard_count(106, 16, 256), 7);
+  EXPECT_EQ(des::auto_shard_count(2000, 16, 256), 125);
+  EXPECT_EQ(des::auto_shard_count(8, 16, 256), 1);
+  EXPECT_EQ(des::auto_shard_count(100000, 16, 256), 256);  // capped
+}
+
+TEST(Shard, MergeSortedShardsIsStableTotalOrder) {
+  // Ties across shards resolve toward the lower shard index; within a shard
+  // the input order is preserved.
+  struct Ev {
+    int key;
+    std::string tag;
+  };
+  std::vector<std::vector<Ev>> shards;
+  shards.push_back({{1, "a0"}, {5, "a1"}, {5, "a2"}});
+  shards.push_back({{1, "b0"}, {4, "b1"}});
+  shards.push_back({});
+  shards.push_back({{0, "d0"}, {5, "d1"}});
+  const auto merged = des::merge_sorted_shards(
+      std::move(shards), [](const Ev& x, const Ev& y) { return x.key < y.key; });
+  std::vector<std::string> tags;
+  for (const auto& e : merged) tags.push_back(e.tag);
+  EXPECT_EQ(tags, (std::vector<std::string>{"d0", "a0", "b0", "b1", "a1", "a2",
+                                            "d1"}));
 }

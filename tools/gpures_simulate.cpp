@@ -1,6 +1,7 @@
 // gpures-simulate: generate a synthetic Delta-style dataset on disk.
 //
 //   gpures-simulate --out DIR [--seed N] [--quick] [--no-jobs]
+//                   [--nodes N] [--threads N] [--shards N]
 //                   [--noise N] [--scale F] [--metrics FILE] [--trace FILE]
 //                   [--quiet]
 //
@@ -11,6 +12,7 @@
 //
 // stdout stays clean (nothing is written to it); progress and summaries go
 // to stderr, observability artifacts to the requested files.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,6 +23,7 @@
 #include "analysis/config_file.h"
 #include "analysis/dataset.h"
 #include "common/io.h"
+#include "common/strings.h"
 #include "obs/expfmt.h"
 #include "obs/log.h"
 #include "obs/manifest.h"
@@ -36,13 +39,22 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: gpures-simulate --out DIR [--seed N] [--quick] "
-               "[--no-jobs] [--noise N] [--scale F] [--config FILE]\n"
-               "                       [--metrics FILE] [--trace FILE] "
-               "[--quiet]\n"
+               "[--no-jobs] [--nodes N] [--threads N] [--shards N]\n"
+               "                       [--noise N] [--scale F] [--config FILE] "
+               "[--metrics FILE] [--trace FILE] [--quiet]\n"
                "  --out DIR      dataset directory to create (required)\n"
                "  --seed N       campaign seed (default 42)\n"
                "  --quick        90-day campaign instead of the 1170-day one\n"
                "  --no-jobs      skip the Slurm workload (error logs only)\n"
+               "  --nodes N      fleet size: a Delta-shaped cluster of N nodes\n"
+               "                 (default 106; fault + workload rates scale\n"
+               "                 with the GPU count)\n"
+               "  --threads N    worker threads for simulation shards and the\n"
+               "                 analysis pipeline (default 0 = serial;\n"
+               "                 output is byte-identical at any value)\n"
+               "  --shards N     simulation shard count (default 0 = one per\n"
+               "                 ~16 nodes; changes the sample path, unlike\n"
+               "                 --threads)\n"
                "  --noise N      noise lines per day (default 200)\n"
                "  --scale F      workload scale factor (default 1.0)\n"
                "  --config FILE  key=value scenario overrides (applied last;\n"
@@ -82,6 +94,7 @@ std::string config_fingerprint(const analysis::CampaignConfig& cfg,
   s += "op_begin=" + std::to_string(cfg.faults.op_begin) + ";";
   s += "study_end=" + std::to_string(cfg.faults.study_end) + ";";
   s += "nodes=" + std::to_string(cfg.spec.node_count()) + ";";
+  s += "sim_shards=" + std::to_string(cfg.sim_shards) + ";";
   s += "config_file=" + config_text;
   return obs::hex64(obs::fnv1a64(s));
 }
@@ -98,6 +111,20 @@ int main(int argc, char** argv) {
   bool simd_info = false;
   analysis::CampaignConfig cfg = analysis::CampaignConfig::delta_a100();
   bool quick = false;
+  long long fleet_nodes = -1;  // -1 = keep the configured (106-node) spec
+
+  // Shared by --threads/--shards/--nodes: non-negative integer or exit 2.
+  auto parse_count = [](const char* what, const char* value) -> long long {
+    const long long v = common::parse_ll(value);
+    if (v < 0) {
+      std::fprintf(stderr,
+                   "gpures-simulate: %s needs a non-negative integer, got "
+                   "'%s'\n",
+                   what, value);
+      std::exit(2);
+    }
+    return v;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -116,6 +143,18 @@ int main(int argc, char** argv) {
       quick = true;
     } else if (arg == "--no-jobs") {
       cfg.with_jobs = false;
+    } else if (arg == "--nodes") {
+      fleet_nodes = parse_count("--nodes", next("--nodes"));
+      if (fleet_nodes < 1) {
+        std::fprintf(stderr, "gpures-simulate: --nodes must be >= 1\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      cfg.pipeline.num_threads =
+          static_cast<std::uint32_t>(parse_count("--threads", next("--threads")));
+    } else if (arg == "--shards") {
+      cfg.sim_shards =
+          static_cast<std::int32_t>(parse_count("--shards", next("--shards")));
     } else if (arg == "--noise") {
       cfg.noise_lines_per_day = std::strtod(next("--noise"), nullptr);
     } else if (arg == "--scale") {
@@ -185,11 +224,15 @@ int main(int argc, char** argv) {
     const auto noise = cfg.noise_lines_per_day;
     const bool with_jobs = cfg.with_jobs;
     const double scale_mult = cfg.workload_scale;
+    const auto threads = cfg.pipeline.num_threads;
+    const auto shards = cfg.sim_shards;
     cfg = analysis::CampaignConfig::quick();
     cfg.seed = seed;
     cfg.noise_lines_per_day = noise;
     cfg.with_jobs = with_jobs;
     cfg.workload_scale *= scale_mult;
+    cfg.pipeline.num_threads = threads;
+    cfg.sim_shards = shards;
   }
   std::string config_text;
   if (!config_file.empty()) {
@@ -202,6 +245,27 @@ int main(int argc, char** argv) {
     cfg = std::move(loaded).take();
     auto text = common::read_file(config_file);
     if (text.ok()) config_text = std::move(text).take();
+  }
+  if (fleet_nodes > 0) {
+    // A Delta-shaped fleet: keep the study's 100:6 ratio of 4-way to 8-way
+    // nodes and scale every per-cluster intensity (fault rates, workload,
+    // but not noise — noise is per-day, drawn per cluster) by the GPU ratio,
+    // so per-GPU statistics stay at the paper's levels at any fleet size.
+    const auto nodes8 = static_cast<std::int32_t>(
+        std::llround(static_cast<double>(fleet_nodes) * 6.0 / 106.0));
+    const auto nodes4 = static_cast<std::int32_t>(fleet_nodes) - nodes8;
+    const double base_gpus = cfg.spec.total_gpus();
+    cfg.spec = cluster::ClusterSpec::scaled(nodes4, nodes8);
+    const double ratio = cfg.spec.total_gpus() / base_gpus;
+    cfg.faults.scale *= ratio;
+    cfg.workload_scale *= ratio;
+    // Configured episodes pin specific GPUs; on fleets too small to host
+    // them they are dropped rather than remapped.
+    const auto node_count = cfg.spec.node_count();
+    std::erase_if(cfg.faults.uncontained_episodes,
+                  [&](const auto& ep) { return ep.gpu.node >= node_count; });
+    std::erase_if(cfg.faults.degraded_memory_episodes,
+                  [&](const auto& ep) { return ep.gpu.node >= node_count; });
   }
 
   analysis::DatasetManifest manifest;
@@ -243,6 +307,7 @@ int main(int argc, char** argv) {
 
     run.finished_at = obs::wall_clock_iso();
     run.extra.emplace_back("day_files", std::to_string(writer.days_written()));
+    run.extra.emplace_back("sim_shards", std::to_string(campaign.sim_shards()));
     run.extra.emplace_back("raw_lines", std::to_string(campaign.raw_log_lines()));
     run.extra.emplace_back("accounting_rows",
                            std::to_string(campaign.job_records().size()));
