@@ -88,6 +88,33 @@ void Coalescer::flush() {
   }
 }
 
+CoalescerState Coalescer::state() const {
+  CoalescerState st;
+  st.records_in = in_;
+  st.errors_out = out_;
+  st.out_of_order = out_of_order_;
+  st.open.reserve(open_.size());
+  for (const auto& [k, o] : open_) st.open.push_back(o.err);
+  // (gpu, code) is the map key, so it orders the snapshot uniquely no matter
+  // how the unordered_map iterates.
+  std::sort(st.open.begin(), st.open.end(),
+            [](const CoalescedError& a, const CoalescedError& b) {
+              if (a.gpu != b.gpu) return a.gpu < b.gpu;
+              return xid::to_number(a.code) < xid::to_number(b.code);
+            });
+  return st;
+}
+
+void Coalescer::restore(const CoalescerState& state) {
+  in_ = state.records_in;
+  out_ = state.errors_out;
+  out_of_order_ = state.out_of_order;
+  open_.clear();
+  for (const auto& err : state.open) {
+    open_.emplace(key_of(err.gpu, err.code), Open{err});
+  }
+}
+
 std::vector<CoalescedError> coalesce_all(std::vector<XidObservation> obs,
                                          const CoalescerConfig& cfg) {
   std::sort(obs.begin(), obs.end(),

@@ -50,6 +50,17 @@ struct CoalescerConfig {
   bool enforce_order = false;
 };
 
+/// Resumable snapshot of a coalescer's in-flight state: the still-open
+/// (GPU, code) groups plus the counters.  `open` is sorted by (gpu, code)
+/// so the serialized form — and thus the serve daemon's checkpoint bytes —
+/// never depends on hash-map iteration order.
+struct CoalescerState {
+  std::vector<CoalescedError> open;
+  std::uint64_t records_in = 0;
+  std::uint64_t errors_out = 0;
+  std::uint64_t out_of_order = 0;
+};
+
 /// Streaming coalescer.  Feed observations in (approximately) nondecreasing
 /// time order per (GPU, code) key — per-day sorted input satisfies this.
 /// Completed errors are delivered to the sink; call flush() at end of input.
@@ -61,6 +72,16 @@ class Coalescer {
 
   void add(const XidObservation& obs);
   void flush();
+
+  /// Snapshot the in-flight state for checkpointing.  The coalescer remains
+  /// usable; a later restore() of this state into a fresh coalescer (same
+  /// config) resumes the exact merge behavior — feeding the same suffix of
+  /// observations then produces the same emissions.
+  CoalescerState state() const;
+  /// Replace the current state with `state` (open groups are re-keyed from
+  /// their stored (gpu, code)).  The emitted-errors stream is the caller's
+  /// to restore; this only rebuilds what add()/flush() consult.
+  void restore(const CoalescerState& state);
 
   std::uint64_t records_in() const { return in_; }
   std::uint64_t errors_out() const { return out_; }

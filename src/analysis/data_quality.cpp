@@ -22,7 +22,8 @@ std::optional<IngestPolicy> parse_ingest_policy(std::string_view name) {
 
 bool DataQualityReport::clean() const {
   return quarantined_lines() == 0 && missing_days.empty() &&
-         skipped_days.empty() && stray_files.empty() && zero_byte_days == 0 &&
+         skipped_days.empty() && stray_files.empty() &&
+         degraded_sources.empty() && zero_byte_days == 0 &&
          accounting_present && accounting_error.empty() &&
          accounting_rows_rejected == 0;
 }
@@ -56,6 +57,20 @@ std::string DataQualityReport::to_json() const {
   w.begin_array();
   for (const auto& f : stray_files) w.value(f);
   w.end_array();
+  // Emitted only when present so batch-load quality documents are
+  // byte-identical to the pre-serve schema.
+  if (!degraded_sources.empty()) {
+    w.key("degraded_sources");
+    w.begin_array();
+    for (const auto& d : degraded_sources) {
+      w.begin_object();
+      w.kv("name", d.name);
+      w.kv("reason", d.reason);
+      w.kv("bytes_ingested", d.bytes_ingested);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 
   w.key("lines");
@@ -153,6 +168,13 @@ std::string DataQualityReport::to_markdown() const {
     out += "\nSkipped days:\n";
     for (const auto& d : skipped_days) {
       out += "- " + d.date + ": " + d.reason + "\n";
+    }
+  }
+  if (!degraded_sources.empty()) {
+    out += "\nDegraded sources (retry budget exhausted):\n";
+    for (const auto& d : degraded_sources) {
+      out += "- " + d.name + ": " + d.reason + " (" +
+             std::to_string(d.bytes_ingested) + " bytes ingested)\n";
     }
   }
   return out;

@@ -63,6 +63,16 @@ struct SkippedDay {
   std::string reason;
 };
 
+/// A follow-mode source the serve daemon quarantined after exhausting its
+/// retry budget.  Unlike a SkippedDay, a degraded source may have been
+/// partially ingested before the fault hit — the bytes already consumed
+/// stay in the analysis and are recorded here.
+struct DegradedSource {
+  std::string name;    ///< file name (day file or slurm_accounting.txt)
+  std::string reason;  ///< last I/O error before quarantine
+  std::uint64_t bytes_ingested = 0;
+};
+
 /// Everything a run dropped or could not see, accounted by category.
 /// Serialized as data_quality.json (machine-readable) and as a markdown
 /// section of the analysis report (human-readable).
@@ -77,6 +87,9 @@ struct DataQualityReport {
   std::vector<std::string> missing_days;  ///< expected dates with no file
   std::vector<SkippedDay> skipped_days;   ///< unreadable days (lenient)
   std::vector<std::string> stray_files;   ///< non-day entries in syslog/
+  /// Sources quarantined by the serve daemon after retry exhaustion
+  /// (follow mode only; always empty for batch loads).
+  std::vector<DegradedSource> degraded_sources;
 
   // ---- line quarantine totals (sum over `days`) ----
   std::uint64_t lines_kept = 0;

@@ -155,6 +155,8 @@ std::string CorruptionLedger::to_json() const {
   w.begin_object();
   w.kv("path", io_fault_path);
   w.kv("after_bytes", io_fault_after_bytes);
+  w.kv("kind", io_fault_kind);
+  w.kv("times", io_fault_times);
   w.end_object();
 
   w.key("applied");

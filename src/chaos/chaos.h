@@ -101,9 +101,16 @@ struct CorruptionLedger {
 
   // ---- runtime fault plan (not materialized on disk) ----
   /// When non-empty, arm common::IoFaultPlan{io_fault_path,
-  /// io_fault_after_bytes} before loading to trigger the planned failure.
+  /// io_fault_after_bytes, kind, times} before loading to trigger the
+  /// planned failure.  `io_fault_kind` is the canonical kind name
+  /// ("fail", "transient", "eintr", "short-read"); transient kinds carry
+  /// `io_fault_times` (how many operations fail before recovery), so a
+  /// retrying reader — gpures-serve — is expected to absorb them while a
+  /// single-shot batch read still fails.
   std::string io_fault_path;
   std::uint64_t io_fault_after_bytes = 0;
+  std::string io_fault_kind = "fail";
+  std::uint64_t io_fault_times = 0;
 
   std::string to_json() const;
   /// Write to_json() to `path` (the corrupter drops it next to the dataset

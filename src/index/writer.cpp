@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <numeric>
 
 #include "common/hash.h"
+#include "common/io.h"
 #include "index/format.h"
 #include "xid/event.h"
 
@@ -256,26 +255,10 @@ common::Result<IndexWriteStats> write_index(const IndexBuildInput& in,
   auto bytes = serialize_index(in);
   if (!bytes.ok()) return bytes.error();
 
-  namespace fs = std::filesystem;
-  const fs::path target(path);
-  std::error_code ec;
-  if (target.has_parent_path()) {
-    fs::create_directories(target.parent_path(), ec);
-  }
-  const fs::path tmp = target.string() + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::trunc | std::ios::binary);
-    if (!os || !os.write(bytes.value().data(),
-                         static_cast<std::streamsize>(bytes.value().size()))) {
-      return common::Error::at("cannot write index", tmp.string(),
-                               std::nullopt);
-    }
-  }
-  fs::rename(tmp, target, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return common::Error::at("cannot rename temp index into place",
-                             target.string(), std::nullopt);
+  const auto written = common::write_file_atomic(path, bytes.value());
+  if (!written.ok()) {
+    return common::Error::at("cannot write index: " + written.error().message,
+                             path, std::nullopt);
   }
 
   IndexWriteStats stats;

@@ -1,0 +1,470 @@
+#include "serve/checkpoint.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/io.h"
+#include "index/format.h"
+#include "xid/xid.h"
+
+namespace gpures::serve {
+
+namespace {
+
+using index::load_le16;
+using index::load_le32;
+using index::load_le64;
+using index::store_le16;
+using index::store_le32;
+using index::store_le64;
+
+void append_le16(std::string& s, std::uint16_t v) {
+  unsigned char b[2];
+  store_le16(b, v);
+  s.append(reinterpret_cast<const char*>(b), 2);
+}
+void append_le32(std::string& s, std::uint32_t v) {
+  unsigned char b[4];
+  store_le32(b, v);
+  s.append(reinterpret_cast<const char*>(b), 4);
+}
+void append_le64(std::string& s, std::uint64_t v) {
+  unsigned char b[8];
+  store_le64(b, v);
+  s.append(reinterpret_cast<const char*>(b), 8);
+}
+void append_i64(std::string& s, std::int64_t v) {
+  append_le64(s, static_cast<std::uint64_t>(v));
+}
+void append_i32(std::string& s, std::int32_t v) {
+  append_le32(s, static_cast<std::uint32_t>(v));
+}
+void append_u8(std::string& s, std::uint8_t v) {
+  s.push_back(static_cast<char>(v));
+}
+void append_str(std::string& s, std::string_view v) {
+  append_le32(s, static_cast<std::uint32_t>(v.size()));
+  s.append(v);
+}
+
+void append_error(std::string& s, const analysis::CoalescedError& e) {
+  append_i64(s, e.time);
+  append_i64(s, e.last);
+  append_i32(s, e.gpu.node);
+  append_i32(s, e.gpu.slot);
+  append_le16(s, xid::to_number(e.code));
+  append_le16(s, e.raw_xid);
+  append_le32(s, e.raw_lines);
+}
+
+/// first_category is one of three static strings (or null); a small enum
+/// survives serialization where the pointer cannot.
+std::uint8_t category_code(const char* category) {
+  if (category == nullptr) return 0;
+  if (std::strcmp(category, "torn") == 0) return 1;
+  if (std::strcmp(category, "overlong") == 0) return 2;
+  return 3;  // "binary"
+}
+const char* category_from_code(std::uint8_t code) {
+  switch (code) {
+    case 1:
+      return "torn";
+    case 2:
+      return "overlong";
+    case 3:
+      return "binary";
+    default:
+      return nullptr;
+  }
+}
+
+/// Bounds-checked little-endian reader over the payload.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view data) : data_(data) {}
+
+  bool failed() const { return failed_; }
+
+  std::uint64_t u64() {
+    if (!take(8)) return 0;
+    return load_le64(at(pos_ - 8));
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::uint32_t u32() {
+    if (!take(4)) return 0;
+    return load_le32(at(pos_ - 4));
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::uint16_t u16() {
+    if (!take(2)) return 0;
+    return load_le16(at(pos_ - 2));
+  }
+  std::uint8_t u8() {
+    if (!take(1)) return 0;
+    return static_cast<std::uint8_t>(data_[pos_ - 1]);
+  }
+  std::string str() {
+    const std::uint32_t len = u32();
+    if (!take(len)) return {};
+    return std::string(data_.substr(pos_ - len, len));
+  }
+  analysis::CoalescedError error() {
+    analysis::CoalescedError e;
+    e.time = i64();
+    e.last = i64();
+    e.gpu.node = i32();
+    e.gpu.slot = i32();
+    e.code = static_cast<xid::Code>(u16());
+    e.raw_xid = u16();
+    e.raw_lines = u32();
+    return e;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool take(std::size_t n) {
+    if (failed_ || data_.size() - pos_ < n) {
+      failed_ = true;
+      return false;
+    }
+    pos_ += n;
+    return true;
+  }
+  const unsigned char* at(std::size_t p) const {
+    return reinterpret_cast<const unsigned char*>(data_.data()) + p;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+std::string serialize_checkpoint(const CheckpointData& data) {
+  std::string p;
+  append_le64(p, data.config_hash);
+  append_le64(p, data.seq);
+  append_le64(p, data.tick);
+  append_i64(p, data.watermark);
+
+  append_le32(p, static_cast<std::uint32_t>(data.sources.size()));
+  for (const auto& src : data.sources) {
+    append_str(p, src.name);
+    append_i64(p, src.date);
+    append_le64(p, src.offset);
+    append_le64(p, src.lines_seen);
+    std::uint8_t flags = 0;
+    if (src.existed) flags |= 1;
+    if (src.sealed) flags |= 2;
+    if (src.degraded) flags |= 4;
+    if (src.recovered) flags |= 8;
+    append_u8(p, flags);
+    append_str(p, src.degrade_reason);
+    append_le64(p, src.last_progress_tick);
+    append_i64(p, src.last_event);
+    const auto& c = src.counts;
+    append_le64(p, c.kept_lines);
+    append_le64(p, c.kept_bytes);
+    append_le64(p, c.binary_lines);
+    append_le64(p, c.binary_bytes);
+    append_le64(p, c.overlong_lines);
+    append_le64(p, c.overlong_bytes);
+    append_le64(p, c.torn_lines);
+    append_le64(p, c.torn_bytes);
+    append_le64(p, c.crlf_bytes);
+    append_le64(p, c.first_line);
+    append_le64(p, c.first_offset);
+    append_u8(p, category_code(c.first_category));
+  }
+
+  {
+    const auto& a = data.accounting;
+    std::uint8_t flags = 0;
+    if (a.seen) flags |= 1;
+    if (a.degraded) flags |= 2;
+    append_u8(p, flags);
+    append_str(p, a.degrade_reason);
+    append_le64(p, a.offset);
+    append_le64(p, a.line_no);
+    append_le64(p, a.rows_kept);
+    append_le64(p, a.rows_rejected);
+    append_le64(p, a.bytes_rejected);
+  }
+
+  append_le32(p, static_cast<std::uint32_t>(data.stray_files.size()));
+  for (const auto& f : data.stray_files) append_str(p, f);
+
+  append_le64(p, data.coalescer.records_in);
+  append_le64(p, data.coalescer.errors_out);
+  append_le64(p, data.coalescer.out_of_order);
+  append_le32(p, static_cast<std::uint32_t>(data.coalescer.open.size()));
+  for (const auto& e : data.coalescer.open) append_error(p, e);
+
+  append_le64(p, data.errors.size());
+  for (const auto& e : data.errors) append_error(p, e);
+
+  append_le64(p, data.lifecycle.size());
+  for (const auto& l : data.lifecycle) {
+    append_i64(p, l.time);
+    append_u8(p, static_cast<std::uint8_t>(l.kind));
+    append_str(p, l.host);
+  }
+
+  append_le64(p, data.jobs.jobs.size());
+  for (const auto& j : data.jobs.jobs) {
+    append_le64(p, j.id);
+    append_i64(p, j.start);
+    append_i64(p, j.end);
+    append_i32(p, j.gpus);
+    append_u8(p, static_cast<std::uint8_t>(j.state));
+    append_u8(p, j.is_ml ? 1 : 0);
+    append_u8(p, j.inline_count);
+    for (const auto g : j.gpus_inline) append_i32(p, g);
+    append_i32(p, j.spill_index);
+  }
+  append_le64(p, data.jobs.spill.size());
+  for (const auto& s : data.jobs.spill) {
+    append_le32(p, static_cast<std::uint32_t>(s.size()));
+    for (const auto g : s) append_i32(p, g);
+  }
+
+  std::string out;
+  out.reserve(kCheckpointHeaderSize + p.size());
+  out.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_le32(out, kCheckpointVersion);
+  append_le32(out, kCheckpointEndianTag);
+  append_le64(out, p.size());
+  append_le64(out, common::xxhash64(p));
+  append_le64(out, common::xxhash64(std::string_view(out)));
+  out += p;
+  return out;
+}
+
+common::Result<CheckpointData> parse_checkpoint(std::string_view bytes) {
+  if (bytes.size() < kCheckpointHeaderSize) {
+    return common::Error::make("checkpoint: file shorter than header (" +
+                               std::to_string(bytes.size()) + " bytes)");
+  }
+  if (std::memcmp(bytes.data(), kCheckpointMagic, sizeof(kCheckpointMagic)) !=
+      0) {
+    return common::Error::make("checkpoint: bad magic");
+  }
+  const auto* h = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint32_t version = load_le32(h + 8);
+  if (version != kCheckpointVersion) {
+    return common::Error::make("checkpoint: unsupported version " +
+                               std::to_string(version));
+  }
+  if (load_le32(h + 12) != kCheckpointEndianTag) {
+    return common::Error::make("checkpoint: endian tag mismatch");
+  }
+  const std::uint64_t payload_size = load_le64(h + 16);
+  const std::uint64_t payload_hash = load_le64(h + 24);
+  const std::uint64_t header_hash = load_le64(h + 32);
+  if (common::xxhash64(bytes.substr(0, 32)) != header_hash) {
+    return common::Error::make("checkpoint: header checksum mismatch");
+  }
+  if (bytes.size() - kCheckpointHeaderSize != payload_size) {
+    return common::Error::make(
+        "checkpoint: payload size mismatch (header says " +
+        std::to_string(payload_size) + ", file carries " +
+        std::to_string(bytes.size() - kCheckpointHeaderSize) + ")");
+  }
+  const std::string_view payload = bytes.substr(kCheckpointHeaderSize);
+  if (common::xxhash64(payload) != payload_hash) {
+    return common::Error::make("checkpoint: payload checksum mismatch");
+  }
+
+  Cursor c(payload);
+  CheckpointData data;
+  data.config_hash = c.u64();
+  data.seq = c.u64();
+  data.tick = c.u64();
+  data.watermark = c.i64();
+
+  const std::uint32_t nsources = c.u32();
+  for (std::uint32_t i = 0; i < nsources && !c.failed(); ++i) {
+    SourceSnapshot src;
+    src.name = c.str();
+    src.date = c.i64();
+    src.offset = c.u64();
+    src.lines_seen = c.u64();
+    const std::uint8_t flags = c.u8();
+    src.existed = (flags & 1) != 0;
+    src.sealed = (flags & 2) != 0;
+    src.degraded = (flags & 4) != 0;
+    src.recovered = (flags & 8) != 0;
+    src.degrade_reason = c.str();
+    src.last_progress_tick = c.u64();
+    src.last_event = c.i64();
+    auto& sc = src.counts;
+    sc.kept_lines = c.u64();
+    sc.kept_bytes = c.u64();
+    sc.binary_lines = c.u64();
+    sc.binary_bytes = c.u64();
+    sc.overlong_lines = c.u64();
+    sc.overlong_bytes = c.u64();
+    sc.torn_lines = c.u64();
+    sc.torn_bytes = c.u64();
+    sc.crlf_bytes = c.u64();
+    sc.first_line = c.u64();
+    sc.first_offset = c.u64();
+    sc.first_category = category_from_code(c.u8());
+    data.sources.push_back(std::move(src));
+  }
+
+  {
+    auto& a = data.accounting;
+    const std::uint8_t flags = c.u8();
+    a.seen = (flags & 1) != 0;
+    a.degraded = (flags & 2) != 0;
+    a.degrade_reason = c.str();
+    a.offset = c.u64();
+    a.line_no = c.u64();
+    a.rows_kept = c.u64();
+    a.rows_rejected = c.u64();
+    a.bytes_rejected = c.u64();
+  }
+
+  const std::uint32_t nstray = c.u32();
+  for (std::uint32_t i = 0; i < nstray && !c.failed(); ++i) {
+    data.stray_files.push_back(c.str());
+  }
+
+  data.coalescer.records_in = c.u64();
+  data.coalescer.errors_out = c.u64();
+  data.coalescer.out_of_order = c.u64();
+  const std::uint32_t nopen = c.u32();
+  for (std::uint32_t i = 0; i < nopen && !c.failed(); ++i) {
+    data.coalescer.open.push_back(c.error());
+  }
+
+  const std::uint64_t nerrors = c.u64();
+  for (std::uint64_t i = 0; i < nerrors && !c.failed(); ++i) {
+    data.errors.push_back(c.error());
+  }
+
+  const std::uint64_t nlife = c.u64();
+  for (std::uint64_t i = 0; i < nlife && !c.failed(); ++i) {
+    analysis::LifecycleRecord l;
+    l.time = c.i64();
+    l.kind = static_cast<analysis::LifecycleRecord::Kind>(c.u8());
+    l.host = c.str();
+    data.lifecycle.push_back(std::move(l));
+  }
+
+  const std::uint64_t njobs = c.u64();
+  for (std::uint64_t i = 0; i < njobs && !c.failed(); ++i) {
+    analysis::JobView j;
+    j.id = c.u64();
+    j.start = c.i64();
+    j.end = c.i64();
+    j.gpus = c.i32();
+    j.state = static_cast<slurm::JobState>(c.u8());
+    j.is_ml = c.u8() != 0;
+    j.inline_count = c.u8();
+    for (auto& g : j.gpus_inline) g = c.i32();
+    j.spill_index = c.i32();
+    data.jobs.jobs.push_back(j);
+  }
+  const std::uint64_t nspill = c.u64();
+  for (std::uint64_t i = 0; i < nspill && !c.failed(); ++i) {
+    const std::uint32_t n = c.u32();
+    std::vector<analysis::PackedGpu> gpus;
+    for (std::uint32_t g = 0; g < n && !c.failed(); ++g) {
+      gpus.push_back(c.i32());
+    }
+    data.jobs.spill.push_back(std::move(gpus));
+  }
+
+  if (c.failed() || !c.done()) {
+    return common::Error::make(
+        "checkpoint: payload truncated or trailing garbage");
+  }
+  return data;
+}
+
+CheckpointStore::CheckpointStore(std::filesystem::path dir, std::uint32_t keep)
+    : dir_(std::move(dir)), keep_(keep == 0 ? 1 : keep) {}
+
+std::filesystem::path CheckpointStore::path_for(std::uint64_t seq) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "ckpt-%08llu.bin",
+                static_cast<unsigned long long>(seq));
+  return dir_ / name;
+}
+
+namespace {
+
+/// The generation number of `name` when it looks like ckpt-<seq>.bin.
+std::optional<std::uint64_t> checkpoint_seq(std::string_view name) {
+  if (name.size() < 10 || name.substr(0, 5) != "ckpt-" ||
+      name.substr(name.size() - 4) != ".bin") {
+    return std::nullopt;
+  }
+  const auto digits = name.substr(5, name.size() - 9);
+  if (digits.empty()) return std::nullopt;
+  std::uint64_t seq = 0;
+  for (const char ch : digits) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    seq = seq * 10 + static_cast<std::uint64_t>(ch - '0');
+  }
+  return seq;
+}
+
+}  // namespace
+
+common::Status CheckpointStore::write(const CheckpointData& data) const {
+  const auto bytes = serialize_checkpoint(data);
+  const auto path = path_for(data.seq);
+  auto st = common::write_file_atomic(path.string(), bytes);
+  if (!st.ok()) return st;
+  // Prune generations older than the newest `keep_`.  A failed remove is
+  // harmless (extra generations only cost disk), so errors are ignored.
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto seq = checkpoint_seq(entry.path().filename().string());
+    if (seq.has_value() && *seq + keep_ <= data.seq) {
+      std::error_code rm;
+      std::filesystem::remove(entry.path(), rm);
+    }
+  }
+  return common::Status{};
+}
+
+common::Result<std::optional<CheckpointData>> CheckpointStore::load_latest(
+    const std::function<void(const std::string&)>& note) const {
+  std::error_code ec;
+  if (!std::filesystem::is_directory(dir_, ec)) return std::optional<CheckpointData>{};
+  std::vector<std::pair<std::uint64_t, std::filesystem::path>> found;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const auto seq = checkpoint_seq(entry.path().filename().string());
+    if (seq.has_value()) found.emplace_back(*seq, entry.path());
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [seq, path] : found) {
+    auto bytes = common::read_file(path.string());
+    if (!bytes.ok()) {
+      if (note) {
+        note("checkpoint " + path.filename().string() +
+             " unreadable, falling back: " + bytes.error().message);
+      }
+      continue;
+    }
+    auto parsed = parse_checkpoint(bytes.value());
+    if (!parsed.ok()) {
+      if (note) {
+        note("checkpoint " + path.filename().string() +
+             " corrupt, falling back: " + parsed.error().message);
+      }
+      continue;
+    }
+    return std::optional<CheckpointData>(std::move(parsed).take());
+  }
+  return std::optional<CheckpointData>{};
+}
+
+}  // namespace gpures::serve

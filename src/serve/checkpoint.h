@@ -1,0 +1,124 @@
+// Crash-safe checkpoints for the follow-mode serve daemon.
+//
+// A checkpoint is a complete snapshot of the daemon's ingestion state taken
+// between ticks: per-source byte offsets and quality tallies, the
+// accounting-tail cursor, the coalescer's open groups, every error emitted
+// so far, lifecycle records, the job table, and the watermark.  Because the
+// serve loop is deterministic given (dataset bytes, config), restoring the
+// latest checkpoint and replaying the remaining ticks reproduces the exact
+// byte sequence an uninterrupted run would have produced — the property the
+// kill-resume differential suite asserts.
+//
+// On disk a checkpoint is a single file in the gpures.idx style: fixed
+// header (magic, version, endian tag) with an XXH64 over the header and an
+// XXH64 over the payload, written via common::write_file_atomic so a crash
+// mid-write leaves the previous checkpoint intact.  The store rotates
+// `keep` generations; load_latest walks newest-to-oldest and falls back
+// past any file whose checksum no longer verifies — a single flipped bit
+// degrades to the previous generation, never to a crash.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/coalesce.h"
+#include "analysis/extraction.h"
+#include "analysis/job_stats.h"
+#include "common/error.h"
+#include "common/time.h"
+#include "logsys/day_buffer.h"
+
+namespace gpures::serve {
+
+inline constexpr char kCheckpointMagic[8] = {'G', 'P', 'U', 'R',
+                                             'E', 'S', 'C', 'K'};
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointEndianTag = 0x01020304u;
+/// magic(8) + version(4) + endian(4) + payload_size(8) + payload_hash(8) +
+/// header_hash(8).
+inline constexpr std::size_t kCheckpointHeaderSize = 40;
+
+/// Persistent slice of one tailed day file's state.
+struct SourceSnapshot {
+  std::string name;              ///< file name (syslog-YYYY-MM-DD.log)
+  common::TimePoint date = 0;
+  std::uint64_t offset = 0;      ///< consumed bytes (always a line boundary,
+                                 ///< except after the final torn fragment)
+  std::uint64_t lines_seen = 0;  ///< physical lines consumed
+  bool existed = false;          ///< a stat/read ever saw the file
+  bool sealed = false;           ///< fully consumed, quality recorded
+  bool degraded = false;         ///< quarantined after retry exhaustion
+  bool recovered = false;        ///< degraded, but a later re-probe succeeded
+  std::string degrade_reason;
+  std::uint64_t last_progress_tick = 0;
+  common::TimePoint last_event = 0;  ///< per-source watermark
+  logsys::ScreenCounts counts;       ///< cumulative across chunks
+};
+
+/// Persistent accounting-tail state.
+struct AccountingSnapshot {
+  bool seen = false;  ///< the dump existed at least once
+  bool degraded = false;
+  std::string degrade_reason;
+  std::uint64_t offset = 0;   ///< consumed bytes (line boundary)
+  std::uint64_t line_no = 0;  ///< physical lines consumed
+  std::uint64_t rows_kept = 0;
+  std::uint64_t rows_rejected = 0;
+  std::uint64_t bytes_rejected = 0;
+};
+
+/// Everything a resumed daemon needs to continue byte-identically.
+struct CheckpointData {
+  std::uint64_t config_hash = 0;  ///< guard: resume must match the run config
+  std::uint64_t seq = 0;          ///< checkpoint generation (1-based)
+  std::uint64_t tick = 0;         ///< tick count at snapshot time
+  common::TimePoint watermark = 0;
+  std::vector<SourceSnapshot> sources;  ///< date order
+  AccountingSnapshot accounting;
+  std::vector<std::string> stray_files;  ///< observed so far, sorted
+  analysis::CoalescerState coalescer;
+  std::vector<analysis::CoalescedError> errors;  ///< emitted so far, feed order
+  std::vector<analysis::LifecycleRecord> lifecycle;
+  analysis::JobTable jobs;
+};
+
+/// Serialize to the on-disk byte layout (header + checksummed payload).
+std::string serialize_checkpoint(const CheckpointData& data);
+
+/// Parse and verify a checkpoint image.  Any header/payload corruption —
+/// bad magic, wrong version, size mismatch, checksum mismatch, truncated
+/// field — returns an Error describing the defect; it never crashes.
+common::Result<CheckpointData> parse_checkpoint(std::string_view bytes);
+
+/// Rotating on-disk checkpoint store: `dir/ckpt-<seq>.bin`, newest `keep`
+/// generations retained.
+class CheckpointStore {
+ public:
+  explicit CheckpointStore(std::filesystem::path dir, std::uint32_t keep = 2);
+
+  /// Atomically write `data` as generation data.seq, then prune generations
+  /// older than the previous one.
+  common::Status write(const CheckpointData& data) const;
+
+  /// Load the newest checkpoint that verifies.  Corrupt newer generations
+  /// are reported through `note` and skipped (clean fallback); an empty
+  /// optional means no usable checkpoint exists (fresh start).
+  common::Result<std::optional<CheckpointData>> load_latest(
+      const std::function<void(const std::string&)>& note) const;
+
+  /// The path generation `seq` lives at (exposed for tests and chaos).
+  std::filesystem::path path_for(std::uint64_t seq) const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::uint32_t keep_;
+};
+
+}  // namespace gpures::serve

@@ -1,0 +1,321 @@
+// Serve checkpoint format: round-trip fidelity, corruption rejection, and
+// store rotation/fallback.  The invariant under attack: parse_checkpoint
+// accepts exactly the bytes serialize_checkpoint wrote — any flipped bit,
+// truncation, or version bump yields a structured error (never a crash),
+// and CheckpointStore::load_latest degrades to the previous generation.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "chaos/checkpoint_chaos.h"
+#include "common/io.h"
+#include "serve/checkpoint.h"
+#include "slurm/job.h"
+
+namespace ch = gpures::chaos;
+namespace ct = gpures::common;
+namespace sv = gpures::serve;
+namespace an = gpures::analysis;
+namespace sl = gpures::slurm;
+namespace fs = std::filesystem;
+
+namespace {
+
+const ct::TimePoint kDay0 = ct::make_date(2023, 6, 1);
+
+fs::path temp_dir(const std::string& name) {
+  const auto dir = fs::temp_directory_path() / ("gpures_serve_ckpt_" + name);
+  fs::remove_all(dir);
+  return dir;
+}
+
+/// A checkpoint exercising every payload section: multiple sources in mixed
+/// states, a mid-tail accounting cursor, strays, open coalescer groups,
+/// emitted errors, lifecycle records, and a job table with a spilled GPU
+/// list.
+sv::CheckpointData representative() {
+  sv::CheckpointData d;
+  d.config_hash = 0x1122334455667788ull;
+  d.seq = 7;
+  d.tick = 123;
+  d.watermark = kDay0 + 2 * ct::kDay;
+
+  sv::SourceSnapshot s0;
+  s0.name = "syslog-2023-06-01.log";
+  s0.date = kDay0;
+  s0.offset = 4096;
+  s0.lines_seen = 37;
+  s0.existed = true;
+  s0.sealed = true;
+  s0.counts.kept_lines = 35;
+  s0.counts.kept_bytes = 3900;
+  s0.counts.binary_lines = 2;
+  s0.counts.binary_bytes = 99;
+  s0.counts.crlf_bytes = 1;
+  d.sources.push_back(s0);
+
+  sv::SourceSnapshot s1;
+  s1.name = "syslog-2023-06-02.log";
+  s1.date = kDay0 + ct::kDay;
+  s1.offset = 128;
+  s1.lines_seen = 3;
+  s1.existed = true;
+  s1.degraded = true;
+  s1.recovered = true;
+  s1.degrade_reason = "io: read failed: Input/output error";
+  s1.last_progress_tick = 99;
+  s1.last_event = kDay0 + ct::kDay + 3600;
+  d.sources.push_back(s1);
+
+  d.accounting.seen = true;
+  d.accounting.offset = 777;
+  d.accounting.line_no = 12;
+  d.accounting.rows_kept = 10;
+  d.accounting.rows_rejected = 1;
+  d.accounting.bytes_rejected = 42;
+
+  d.stray_files = {"README.txt", "syslog-2023-06-01.log.bak"};
+
+  an::CoalescedError open_err;
+  open_err.time = kDay0 + 100;
+  open_err.last = kDay0 + 130;
+  open_err.gpu = {1, 3};
+  open_err.code = gpures::xid::Code::kGspRpcTimeout;
+  open_err.raw_xid = 119;
+  open_err.raw_lines = 4;
+  d.coalescer.open.push_back(open_err);
+  d.coalescer.records_in = 55;
+  d.coalescer.errors_out = 11;
+  d.coalescer.out_of_order = 1;
+
+  an::CoalescedError done = open_err;
+  done.gpu = {0, 0};
+  done.raw_xid = 79;
+  d.errors.push_back(done);
+
+  an::LifecycleRecord lr;
+  lr.time = kDay0 + 9000;
+  lr.host = "gpua002";
+  lr.kind = an::LifecycleRecord::Kind::kDrain;
+  d.lifecycle.push_back(lr);
+
+  sl::JobRecord rec;
+  rec.id = 4242;
+  rec.name = "train-llm";
+  rec.submit = kDay0;
+  rec.start = kDay0 + 60;
+  rec.end = kDay0 + 7260;
+  rec.gpus = 8;
+  rec.nodes = 2;
+  rec.node_list = {0, 1};
+  rec.gpu_list = {{0, 0}, {0, 1}, {0, 2}, {0, 3}, {1, 0}, {1, 1}, {1, 2},
+                  {1, 3}};
+  d.jobs.add(rec);
+  return d;
+}
+
+}  // namespace
+
+TEST(ServeCheckpoint, RoundTripPreservesEveryField) {
+  const sv::CheckpointData d = representative();
+  const std::string bytes = serialize_checkpoint(d);
+  ASSERT_GE(bytes.size(), sv::kCheckpointHeaderSize);
+
+  auto parsed = sv::parse_checkpoint(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  const sv::CheckpointData& r = parsed.value();
+
+  EXPECT_EQ(r.config_hash, d.config_hash);
+  EXPECT_EQ(r.seq, d.seq);
+  EXPECT_EQ(r.tick, d.tick);
+  EXPECT_EQ(r.watermark, d.watermark);
+  ASSERT_EQ(r.sources.size(), d.sources.size());
+  for (std::size_t i = 0; i < d.sources.size(); ++i) {
+    EXPECT_EQ(r.sources[i].name, d.sources[i].name) << i;
+    EXPECT_EQ(r.sources[i].date, d.sources[i].date) << i;
+    EXPECT_EQ(r.sources[i].offset, d.sources[i].offset) << i;
+    EXPECT_EQ(r.sources[i].lines_seen, d.sources[i].lines_seen) << i;
+    EXPECT_EQ(r.sources[i].existed, d.sources[i].existed) << i;
+    EXPECT_EQ(r.sources[i].sealed, d.sources[i].sealed) << i;
+    EXPECT_EQ(r.sources[i].degraded, d.sources[i].degraded) << i;
+    EXPECT_EQ(r.sources[i].recovered, d.sources[i].recovered) << i;
+    EXPECT_EQ(r.sources[i].degrade_reason, d.sources[i].degrade_reason) << i;
+    EXPECT_EQ(r.sources[i].last_progress_tick, d.sources[i].last_progress_tick)
+        << i;
+    EXPECT_EQ(r.sources[i].last_event, d.sources[i].last_event) << i;
+    EXPECT_EQ(r.sources[i].counts.binary_lines, d.sources[i].counts.binary_lines)
+        << i;
+    EXPECT_EQ(r.sources[i].counts.kept_bytes, d.sources[i].counts.kept_bytes)
+        << i;
+    EXPECT_EQ(r.sources[i].counts.crlf_bytes, d.sources[i].counts.crlf_bytes)
+        << i;
+  }
+  EXPECT_EQ(r.accounting.seen, d.accounting.seen);
+  EXPECT_EQ(r.accounting.offset, d.accounting.offset);
+  EXPECT_EQ(r.accounting.line_no, d.accounting.line_no);
+  EXPECT_EQ(r.accounting.rows_kept, d.accounting.rows_kept);
+  EXPECT_EQ(r.accounting.rows_rejected, d.accounting.rows_rejected);
+  EXPECT_EQ(r.accounting.bytes_rejected, d.accounting.bytes_rejected);
+  EXPECT_EQ(r.stray_files, d.stray_files);
+  ASSERT_EQ(r.coalescer.open.size(), 1u);
+  EXPECT_EQ(r.coalescer.open[0].gpu, d.coalescer.open[0].gpu);
+  EXPECT_EQ(r.coalescer.open[0].raw_lines, d.coalescer.open[0].raw_lines);
+  EXPECT_EQ(r.coalescer.records_in, d.coalescer.records_in);
+  EXPECT_EQ(r.coalescer.errors_out, d.coalescer.errors_out);
+  EXPECT_EQ(r.coalescer.out_of_order, d.coalescer.out_of_order);
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].raw_xid, d.errors[0].raw_xid);
+  ASSERT_EQ(r.lifecycle.size(), 1u);
+  EXPECT_EQ(r.lifecycle[0].host, d.lifecycle[0].host);
+  EXPECT_EQ(r.lifecycle[0].kind, d.lifecycle[0].kind);
+  ASSERT_EQ(r.jobs.jobs.size(), 1u);
+
+  // Serializing the parsed copy reproduces the original bytes exactly —
+  // nothing is lost or reordered in either direction.
+  EXPECT_EQ(serialize_checkpoint(r), bytes);
+}
+
+TEST(ServeCheckpoint, EmptyCheckpointRoundTrips) {
+  sv::CheckpointData d;
+  d.config_hash = 1;
+  const std::string bytes = serialize_checkpoint(d);
+  auto parsed = sv::parse_checkpoint(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().message;
+  EXPECT_EQ(parsed.value().sources.size(), 0u);
+  EXPECT_EQ(serialize_checkpoint(parsed.value()), bytes);
+}
+
+TEST(ServeCheckpoint, BitFlipAnywhereIsAlwaysDetected) {
+  const std::string clean = serialize_checkpoint(representative());
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    std::string bytes = clean;
+    auto c = ch::corrupt_checkpoint_bytes(bytes, seed,
+                                          ch::CheckpointFault::kAnyBitFlip);
+    ASSERT_TRUE(c.ok()) << c.error().message;
+    ASSERT_NE(bytes, clean) << c.value().detail;
+    auto parsed = sv::parse_checkpoint(bytes);
+    EXPECT_FALSE(parsed.ok()) << "seed " << seed << ": " << c.value().detail;
+  }
+}
+
+TEST(ServeCheckpoint, HeaderAndPayloadFlipsNameTheDefect) {
+  const std::string clean = serialize_checkpoint(representative());
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    std::string h = clean;
+    auto ch1 = ch::corrupt_checkpoint_bytes(h, seed,
+                                            ch::CheckpointFault::kHeaderBitFlip);
+    ASSERT_TRUE(ch1.ok());
+    auto ph = sv::parse_checkpoint(h);
+    ASSERT_FALSE(ph.ok()) << ch1.value().detail;
+    EXPECT_FALSE(ph.error().message.empty());
+
+    std::string p = clean;
+    auto ch2 = ch::corrupt_checkpoint_bytes(
+        p, seed, ch::CheckpointFault::kPayloadBitFlip);
+    ASSERT_TRUE(ch2.ok());
+    auto pp = sv::parse_checkpoint(p);
+    ASSERT_FALSE(pp.ok()) << ch2.value().detail;
+  }
+}
+
+TEST(ServeCheckpoint, EveryTruncationLengthRejectedGracefully) {
+  const std::string clean = serialize_checkpoint(representative());
+  // Walk every prefix length; each must fail parse without crashing (the
+  // interesting ones are inside the header and one byte short of the end).
+  for (std::size_t len = 0; len < clean.size(); ++len) {
+    auto parsed = sv::parse_checkpoint(std::string_view(clean).substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+  }
+}
+
+TEST(ServeCheckpoint, FutureVersionIsRejectedByVersionCheck) {
+  std::string bytes = serialize_checkpoint(representative());
+  auto c = ch::corrupt_checkpoint_bytes(bytes, 1,
+                                        ch::CheckpointFault::kVersionBump);
+  ASSERT_TRUE(c.ok()) << c.error().message;
+  auto parsed = sv::parse_checkpoint(bytes);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error().message.find("version"), std::string::npos)
+      << parsed.error().message;
+}
+
+TEST(ServeCheckpointStore, RotationKeepsNewestTwoGenerations) {
+  const auto dir = temp_dir("rotate");
+  sv::CheckpointStore store(dir, 2);
+  sv::CheckpointData d = representative();
+  for (std::uint64_t seq = 1; seq <= 5; ++seq) {
+    d.seq = seq;
+    const auto st = store.write(d);
+    ASSERT_TRUE(st.ok()) << st.error().message;
+  }
+  EXPECT_FALSE(fs::exists(store.path_for(1)));
+  EXPECT_FALSE(fs::exists(store.path_for(2)));
+  EXPECT_FALSE(fs::exists(store.path_for(3)));
+  EXPECT_TRUE(fs::exists(store.path_for(4)));
+  EXPECT_TRUE(fs::exists(store.path_for(5)));
+
+  auto latest = store.load_latest(nullptr);
+  ASSERT_TRUE(latest.ok()) << latest.error().message;
+  ASSERT_TRUE(latest.value().has_value());
+  EXPECT_EQ(latest.value()->seq, 5u);
+  fs::remove_all(dir);
+}
+
+TEST(ServeCheckpointStore, CorruptNewestFallsBackToPreviousGeneration) {
+  const auto dir = temp_dir("fallback");
+  sv::CheckpointStore store(dir, 2);
+  sv::CheckpointData d = representative();
+  d.seq = 1;
+  ASSERT_TRUE(store.write(d).ok());
+  d.seq = 2;
+  d.tick = 999;
+  ASSERT_TRUE(store.write(d).ok());
+
+  auto c = ch::corrupt_checkpoint_file(store.path_for(2), store.path_for(2),
+                                       77, ch::CheckpointFault::kPayloadBitFlip);
+  ASSERT_TRUE(c.ok()) << c.error().message;
+
+  std::vector<std::string> notes;
+  auto latest = store.load_latest([&](const std::string& n) {
+    notes.push_back(n);
+  });
+  ASSERT_TRUE(latest.ok()) << latest.error().message;
+  ASSERT_TRUE(latest.value().has_value());
+  EXPECT_EQ(latest.value()->seq, 1u);
+  EXPECT_EQ(latest.value()->tick, representative().tick);
+  ASSERT_FALSE(notes.empty());
+  fs::remove_all(dir);
+}
+
+TEST(ServeCheckpointStore, AllGenerationsCorruptMeansFreshStart) {
+  const auto dir = temp_dir("all_corrupt");
+  sv::CheckpointStore store(dir, 2);
+  sv::CheckpointData d = representative();
+  d.seq = 1;
+  ASSERT_TRUE(store.write(d).ok());
+  d.seq = 2;
+  ASSERT_TRUE(store.write(d).ok());
+  for (std::uint64_t seq = 1; seq <= 2; ++seq) {
+    auto c = ch::corrupt_checkpoint_file(store.path_for(seq),
+                                         store.path_for(seq), seq,
+                                         ch::CheckpointFault::kTruncate);
+    ASSERT_TRUE(c.ok()) << c.error().message;
+  }
+  auto latest = store.load_latest(nullptr);
+  ASSERT_TRUE(latest.ok()) << latest.error().message;
+  EXPECT_FALSE(latest.value().has_value());
+  fs::remove_all(dir);
+}
+
+TEST(ServeCheckpointStore, EmptyDirectoryIsFreshStart) {
+  const auto dir = temp_dir("empty");
+  fs::create_directories(dir);
+  sv::CheckpointStore store(dir, 2);
+  auto latest = store.load_latest(nullptr);
+  ASSERT_TRUE(latest.ok()) << latest.error().message;
+  EXPECT_FALSE(latest.value().has_value());
+  fs::remove_all(dir);
+}

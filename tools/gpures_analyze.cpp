@@ -91,8 +91,10 @@ void usage() {
       "  --error-budget N       lenient: abort if any one file exceeds N\n"
       "                         quarantined lines / rejected rows (0 = off)\n"
       "  --quality-report FILE  write the data-quality accounting as JSON\n"
-      "  --chaos-io-fault S:N   testing: fail reads of paths containing S\n"
-      "                         after N bytes (see common/io.h)\n"
+      "  --chaos-io-fault SPEC  testing: SUBSTRING:BYTES[:KIND[:TIMES]] —\n"
+      "                         fail reads of paths containing SUBSTRING\n"
+      "                         after BYTES; KIND fail|transient|eintr|\n"
+      "                         short-read (see common/io.h)\n"
       "  --quiet                suppress progress and summaries on stderr\n");
 }
 
@@ -115,7 +117,7 @@ long long parse_count(const char* flag, std::string_view s) {
 /// trace): open, short-write, and close failures all surface as an error
 /// record and a nonzero exit at the call site.
 bool write_artifact(const std::filesystem::path& path, std::string_view text) {
-  const auto st = common::write_text_file(path.string(), text);
+  const auto st = common::write_file_atomic(path.string(), text);
   if (!st.ok()) {
     obs::Logger::current().error("analyze", "artifact write failed",
                                  {{"path", path.string()},
@@ -375,15 +377,13 @@ int main(int argc, char** argv) {
 
   common::IoFaultPlan fault_plan;
   if (!chaos_io_fault.empty()) {
-    const auto colon = chaos_io_fault.rfind(':');
-    if (colon == std::string::npos || colon == 0) {
-      std::fprintf(stderr,
-                   "gpures-analyze: --chaos-io-fault wants SUBSTRING:BYTES\n");
+    auto parsed = common::parse_io_fault_spec(chaos_io_fault);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "gpures-analyze: --chaos-io-fault: %s\n",
+                   parsed.error().message.c_str());
       return 2;
     }
-    fault_plan.path_substring = chaos_io_fault.substr(0, colon);
-    fault_plan.fail_after_bytes = static_cast<std::uint64_t>(parse_count(
-        "--chaos-io-fault", std::string_view(chaos_io_fault).substr(colon + 1)));
+    fault_plan = std::move(parsed).take();
     common::set_io_fault_plan(&fault_plan);
   }
 

@@ -18,6 +18,7 @@
 #include <string>
 
 #include "chaos/chaos.h"
+#include "common/io.h"
 #include "common/strings.h"
 #include "obs/log.h"
 
@@ -35,6 +36,12 @@ void usage() {
       "  --faults SPEC  comma-separated fault[:count] list, or 'all'\n"
       "                 (default all)\n"
       "  --ledger FILE  also write the corruption ledger JSON here\n"
+      "  --chaos-io-fault SPEC\n"
+      "                 record SUBSTRING:BYTES[:KIND[:TIMES]] as the ledger's\n"
+      "                 I/O fault plan (KIND fail|transient|eintr|short-read;\n"
+      "                 see common/io.h).  Transient kinds are absorbed by a\n"
+      "                 retrying reader (gpures-serve) but fail a single-shot\n"
+      "                 batch read\n"
       "  --log-json FILE  structured JSONL log sidecar\n"
       "  --log-level L    debug|info|warn|error (default info)\n"
       "  --quiet        no summary on stderr\n");
@@ -47,6 +54,7 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string faults = "all";
   std::string ledger_file;
+  std::string chaos_io_fault;
   std::string log_json_file;
   obs::LogLevel log_level = obs::LogLevel::kInfo;
   std::uint64_t seed = 1;
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
       faults = next("--faults");
     } else if (arg == "--ledger") {
       ledger_file = next("--ledger");
+    } else if (arg == "--chaos-io-fault") {
+      chaos_io_fault = next("--chaos-io-fault");
     } else if (arg == "--log-json") {
       log_json_file = next("--log-json");
     } else if (arg == "--log-level") {
@@ -128,21 +138,43 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const auto ledger = chaos::corrupt_dataset(in_dir, out_dir, seed,
-                                             spec.value());
-  if (!ledger.ok()) {
-    logger.error("corrupt", ledger.error().message);
+  const auto corrupted = chaos::corrupt_dataset(in_dir, out_dir, seed,
+                                                spec.value());
+  if (!corrupted.ok()) {
+    logger.error("corrupt", corrupted.error().message);
     return 1;
   }
+  chaos::CorruptionLedger l = corrupted.value();
+  if (!chaos_io_fault.empty()) {
+    // Record the requested runtime fault plan in the ledger so a harness can
+    // arm exactly this spec on the reader side.  It overrides whatever the
+    // io-fault fault picked; the dataset bytes are untouched.
+    auto plan = common::parse_io_fault_spec(chaos_io_fault);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "gpures-corrupt: --chaos-io-fault: %s\n",
+                   plan.error().message.c_str());
+      return 2;
+    }
+    l.io_fault_path = plan.value().path_substring;
+    l.io_fault_after_bytes = plan.value().fail_after_bytes;
+    l.io_fault_kind = std::string(common::to_string(plan.value().kind));
+    l.io_fault_times = plan.value().times;
+    const auto st =
+        l.write(std::filesystem::path(out_dir) / "corruption_ledger.json");
+    if (!st.ok()) {
+      logger.error("corrupt", "ledger write failed",
+                   {{"path", out_dir}, {"error", st.error().message}});
+      return 1;
+    }
+  }
   if (!ledger_file.empty()) {
-    const auto st = ledger.value().write(ledger_file);
+    const auto st = l.write(ledger_file);
     if (!st.ok()) {
       logger.error("corrupt", "ledger write failed",
                    {{"path", ledger_file}, {"error", st.error().message}});
       return 1;
     }
   }
-  const auto& l = ledger.value();
   logger.info(
       "corrupt", "corrupted dataset",
       {{"in", in_dir},
@@ -160,6 +192,8 @@ int main(int argc, char** argv) {
     logger.info("corrupt", "planned I/O fault armed",
                 {{"path", l.io_fault_path},
                  {"after_bytes", l.io_fault_after_bytes},
+                 {"kind", l.io_fault_kind},
+                 {"times", l.io_fault_times},
                  {"hint", "pass --chaos-io-fault to the analyzer to trigger"}});
   }
   return 0;

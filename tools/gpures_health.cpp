@@ -227,6 +227,23 @@ double counter_or(const Metrics& m, std::string_view name, double fallback) {
   return it == m.counters.end() ? fallback : it->second;
 }
 
+double gauge_or(const Metrics& m, std::string_view name, double fallback) {
+  const auto it = m.gauges.find(std::string(name));
+  return it == m.gauges.end() ? fallback : it->second.value;
+}
+
+/// Any serve.* counter or gauge in the snapshot means it came from
+/// gpures-serve and the daemon section applies.
+bool has_serve_metrics(const Metrics& m) {
+  for (const auto& [name, value] : m.counters) {
+    if (name.rfind("serve.", 0) == 0) return true;
+  }
+  for (const auto& [name, g] : m.gauges) {
+    if (name.rfind("serve.", 0) == 0) return true;
+  }
+  return false;
+}
+
 /// Sum of every counter in a family across label sets (and the unlabeled
 /// child, if present).
 double family_sum(const Metrics& m, std::string_view family) {
@@ -335,6 +352,18 @@ struct Report {
   double cache_evictions = 0.0;
   double cache_hit_ratio = std::numeric_limits<double>::quiet_NaN();
   std::vector<HistRow> latency;
+
+  // Daemon health (present only in gpures-serve snapshots).
+  bool has_serve = false;
+  double serve_degraded = 0.0;
+  double serve_stalled = 0.0;
+  double serve_retry_attempts = 0.0;
+  double serve_retry_recovered = 0.0;
+  double serve_retry_exhausted = 0.0;
+  double serve_ckpt_age = 0.0;
+  double serve_ckpt_interval = 0.0;
+  double serve_ckpt_failures = 0.0;
+  double serve_watermark_lag_bytes = 0.0;
 };
 
 void derive(Report& r) {
@@ -365,6 +394,55 @@ void derive(Report& r) {
       r.cache_hit_ratio < 0.5) {
     r.findings.push_back({"info", "query cache hit ratio below 50% (" +
                                       fmt_pct(r.cache_hit_ratio) + ")"});
+  }
+  r.has_serve = has_serve_metrics(m);
+  if (r.has_serve) {
+    r.serve_degraded = gauge_or(m, "serve.sources.degraded", 0.0);
+    r.serve_stalled = gauge_or(m, "serve.sources.stalled", 0.0);
+    r.serve_retry_attempts = counter_or(m, "serve.retry.attempts", 0.0);
+    r.serve_retry_recovered = counter_or(m, "serve.retry.recovered", 0.0);
+    r.serve_retry_exhausted = counter_or(m, "serve.retry.exhausted", 0.0);
+    r.serve_ckpt_age = gauge_or(m, "serve.checkpoint.age_ticks", 0.0);
+    r.serve_ckpt_interval =
+        gauge_or(m, "serve.checkpoint.interval_ticks", 0.0);
+    r.serve_ckpt_failures = counter_or(m, "serve.checkpoint.failures", 0.0);
+    r.serve_watermark_lag_bytes = gauge_or(m, "serve.frontier.lag_bytes", 0.0);
+    if (r.serve_degraded > 0.0) {
+      r.findings.push_back(
+          {"warn", fmt_num(r.serve_degraded) +
+                       " serve source(s) degraded (retry budget exhausted); "
+                       "see the quality report's degraded_sources"});
+    }
+    if (r.serve_stalled > 0.0) {
+      r.findings.push_back(
+          {"warn", fmt_num(r.serve_stalled) +
+                       " serve source(s) stalled (watermark not advancing)"});
+    }
+    if (r.serve_retry_exhausted > 0.0) {
+      r.findings.push_back(
+          {"warn", "serve read retries exhausted " +
+                       fmt_num(r.serve_retry_exhausted) +
+                       " time(s); sources were degraded"});
+    }
+    if (r.serve_ckpt_failures > 0.0) {
+      r.findings.push_back({"warn", "serve checkpoint writes failed " +
+                                        fmt_num(r.serve_ckpt_failures) +
+                                        " time(s); recovery window is stale"});
+    }
+    if (r.serve_ckpt_interval > 0.0 &&
+        r.serve_ckpt_age > 3.0 * r.serve_ckpt_interval) {
+      r.findings.push_back(
+          {"warn", "last serve checkpoint is " + fmt_num(r.serve_ckpt_age) +
+                       " ticks old (interval " +
+                       fmt_num(r.serve_ckpt_interval) +
+                       "); a crash now replays that much work"});
+    }
+    if (r.serve_retry_attempts > 0.0 && r.serve_retry_exhausted == 0.0) {
+      r.findings.push_back(
+          {"info", fmt_num(r.serve_retry_attempts) +
+                       " transient read fault(s) absorbed by retry (" +
+                       fmt_num(r.serve_retry_recovered) + " reads recovered)"});
+    }
   }
   if (r.samples.size() >= 2) {
     const auto& first = r.samples.front();
@@ -439,6 +517,35 @@ std::string render_md(const Report& r) {
     }
     out += "\nValues are in each family's native unit (see its `# UNIT` in "
            "the Prometheus exposition); latency families are microseconds.\n";
+  }
+
+  if (r.has_serve) {
+    out += "\n## Serve\n\n";
+    out += "| metric | value |\n|---|---|\n";
+    static const char* kServeCounters[] = {
+        "serve.ticks",           "serve.bytes_ingested",
+        "serve.log_lines",       "serve.errors_coalesced",
+        "serve.retry.attempts",  "serve.retry.recovered",
+        "serve.retry.exhausted", "serve.sources.degraded_total",
+        "serve.checkpoint.writes", "serve.checkpoint.failures",
+    };
+    for (const char* name : kServeCounters) {
+      const auto it = r.metrics.counters.find(name);
+      if (it == r.metrics.counters.end()) continue;
+      out += "| " + it->first + " | " + fmt_num(it->second) + " |\n";
+    }
+    static const char* kServeGauges[] = {
+        "serve.sources.total",          "serve.sources.sealed",
+        "serve.sources.degraded",       "serve.sources.stalled",
+        "serve.watermark_epoch",        "serve.frontier.lag_bytes",
+        "serve.checkpoint.age_ticks",   "serve.checkpoint.last_seq",
+        "serve.checkpoint.interval_ticks",
+    };
+    for (const char* name : kServeGauges) {
+      const auto it = r.metrics.gauges.find(name);
+      if (it == r.metrics.gauges.end()) continue;
+      out += "| " + it->first + " | " + fmt_num(it->second.value) + " |\n";
+    }
   }
 
   out += "\n## Query cache\n\n";
@@ -563,6 +670,20 @@ std::string render_json(const Report& r) {
     w.end_object();
   }
   w.end_array();
+  if (r.has_serve) {
+    w.key("serve");
+    w.begin_object();
+    w.kv("sources_degraded", r.serve_degraded);
+    w.kv("sources_stalled", r.serve_stalled);
+    w.kv("retry_attempts", r.serve_retry_attempts);
+    w.kv("retry_recovered", r.serve_retry_recovered);
+    w.kv("retry_exhausted", r.serve_retry_exhausted);
+    w.kv("checkpoint_age_ticks", r.serve_ckpt_age);
+    w.kv("checkpoint_interval_ticks", r.serve_ckpt_interval);
+    w.kv("checkpoint_failures", r.serve_ckpt_failures);
+    w.kv("frontier_lag_bytes", r.serve_watermark_lag_bytes);
+    w.end_object();
+  }
   w.key("cache");
   w.begin_object();
   w.kv("hits", r.cache_hits);

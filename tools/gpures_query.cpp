@@ -456,9 +456,10 @@ int main(int argc, char** argv) {
   }
 
   if (!metrics_file.empty()) {
-    // Same checked write path gpures-analyze uses: open, short-write, and
-    // close failures exit nonzero instead of vanishing in a bad() stream.
-    const auto st = common::write_text_file(
+    // Same checked atomic write path gpures-analyze uses: tmp+rename, so a
+    // crash mid-write never leaves a torn snapshot, and open/short-write/
+    // rename failures exit nonzero instead of vanishing in a bad() stream.
+    const auto st = common::write_file_atomic(
         metrics_file, obs::render_metrics_file(registry, metrics_file));
     if (!st.ok()) {
       obs::Logger::current().error("query", st.error().message);

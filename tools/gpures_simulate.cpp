@@ -70,9 +70,10 @@ void usage() {
 }
 
 /// Checked artifact write: failures surface as an error record + exit 1 at
-/// the call site (shared common::write_text_file under the hood).
+/// the call site (atomic tmp+rename via common::write_file_atomic, so a
+/// crash mid-write never leaves a torn artifact).
 bool write_artifact(const std::filesystem::path& path, std::string_view text) {
-  const auto st = common::write_text_file(path.string(), text);
+  const auto st = common::write_file_atomic(path.string(), text);
   if (!st.ok()) {
     obs::Logger::current().error("simulate", "artifact write failed",
                                  {{"path", path.string()},
